@@ -1,0 +1,112 @@
+"""Shared helpers for the benchmark suite.
+
+Benchmarks here serve two purposes at once:
+
+* **wall-clock** — pytest-benchmark times one deterministic simulation per
+  case (useful for tracking simulator performance regressions);
+* **science** — each bench measures *round counts* across a parameter
+  sweep, compares them to the paper's bound shapes, records everything in
+  ``benchmark.extra_info``, and writes a plain-text report to
+  ``benchmarks/output/`` (the tables EXPERIMENTS.md quotes).
+
+Absolute round counts are simulator-specific; the reproduction claims are
+about shapes — scaling exponents, orderings, crossovers.
+"""
+
+from __future__ import annotations
+
+import statistics
+from pathlib import Path
+
+from repro.core.crowdedbin import CrowdedBinConfig
+from repro.core.problem import uniform_instance
+from repro.core.runner import run_gossip
+from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: Seeds averaged per sweep point (median, robust to lucky runs).
+DEFAULT_SEEDS = (11, 23, 37)
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a sweep table so EXPERIMENTS.md can quote it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def median_rounds(run_once, seeds=DEFAULT_SEEDS) -> float:
+    """Median round count of ``run_once(seed)`` over ``seeds``."""
+    return statistics.median(run_once(seed) for seed in seeds)
+
+
+def gossip_rounds(
+    algorithm: str,
+    dynamic_graph,
+    n: int,
+    k: int,
+    seed: int,
+    max_rounds: int,
+    config=None,
+) -> int:
+    """Run one gossip execution and return its round count (must solve)."""
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    kwargs = dict(max_rounds=max_rounds, trace_sample_every=1024)
+    if algorithm == "crowdedbin":
+        kwargs["config"] = config or CrowdedBinConfig.practical()
+        kwargs["termination_every"] = 16
+    elif config is not None:
+        kwargs["config"] = config
+    result = run_gossip(
+        algorithm, dynamic_graph, instance, seed=seed, **kwargs
+    )
+    assert result.solved, (
+        f"{algorithm} did not solve within {max_rounds} rounds "
+        f"(n={n}, k={k}, seed={seed})"
+    )
+    return result.rounds
+
+
+def static_graph(topo) -> StaticDynamicGraph:
+    return StaticDynamicGraph(topo)
+
+
+def instance_with_token_at(n: int, vertex: int, seed: int):
+    """A k=1 instance whose token starts at a chosen vertex.
+
+    Used by the double-star benchmarks, where the lower-bound argument
+    needs the rumor to start inside one star (at its hub) so it must cross
+    the hub-to-hub bridge.
+    """
+    from repro.core.problem import GossipInstance
+    from repro.core.tokens import Token
+    import random
+
+    rng = random.Random(seed)
+    uids = tuple(rng.sample(range(1, n + 1), n))
+    return GossipInstance(
+        n=n,
+        upper_n=n,
+        uids=uids,
+        initial_tokens={vertex: (Token(uids[vertex]),)},
+    )
+
+
+def gossip_rounds_with_instance(
+    algorithm: str, dynamic_graph, instance, seed: int, max_rounds: int
+) -> int:
+    result = run_gossip(
+        algorithm, dynamic_graph, instance, seed=seed,
+        max_rounds=max_rounds, trace_sample_every=1024,
+    )
+    assert result.solved, (
+        f"{algorithm} did not solve within {max_rounds} rounds (seed={seed})"
+    )
+    return result.rounds
+
+
+def relabeled(topo, seed: int, tau: int = 1) -> RelabelingAdversary:
+    """The τ=1 adversary of choice: full rewiring, known α and Δ."""
+    return RelabelingAdversary(topo, tau=tau, seed=seed)

@@ -1,0 +1,129 @@
+"""FIG1-R1: BlindMatch — O((1/α)·k·Δ²·log²n), b = 0, τ ≥ 1 (Theorem 4.1).
+
+Two sweeps check the two load-bearing factors of the bound:
+
+* Δ sweep on relabeled double stars (k = 1): rounds should grow roughly
+  quadratically in Δ — the acceptance-lottery penalty unique to the
+  bounded-connection model;
+* k sweep on a relabeled expander: rounds should grow roughly linearly
+  in k (the transfer routine moves tokens in label order, one per
+  productive connection).
+"""
+
+import pytest
+
+from repro.analysis.bounds import blindmatch_bound
+from repro.analysis.fits import loglog_slope
+from repro.analysis.tables import render_table
+from repro.graphs.topologies import double_star, expander
+
+from _common import (
+    gossip_rounds,
+    gossip_rounds_with_instance,
+    instance_with_token_at,
+    median_rounds,
+    relabeled,
+    static_graph,
+    write_report,
+)
+
+
+def _delta_sweep():
+    """Static double stars, token at one hub: the Ω(Δ²/√α) construction.
+
+    The bridge edge fires only when one hub picks the other (≈ 1/Δ) *and*
+    wins the acceptance lottery against ≈ Δ competing leaves (≈ 1/Δ), so
+    crossing costs ≈ Δ² rounds — this is where the bounded-connection model
+    departs from the classical telephone model.
+    """
+    rows = []
+    deltas = []
+    measured = []
+    for points in (2, 4, 8, 16, 32):
+        topo = double_star(points)
+        delta = topo.max_degree
+
+        def run_once(seed, topo=topo):
+            instance = instance_with_token_at(topo.n, vertex=0, seed=seed)
+            return gossip_rounds_with_instance(
+                "blindmatch", static_graph(topo), instance, seed=seed,
+                max_rounds=600_000,
+            )
+
+        rounds = median_rounds(run_once, seeds=(11, 23, 37, 51, 67))
+        bound = blindmatch_bound(topo.n, 1, topo.alpha, delta)
+        rows.append((topo.n, delta, rounds, f"{bound:.0f}",
+                     f"{rounds / bound:.3f}"))
+        deltas.append(delta)
+        measured.append(rounds)
+    slope = loglog_slope(deltas, measured)
+    table = render_table(
+        headers=("n", "Δ", "median rounds", "bound shape", "ratio"),
+        rows=rows,
+        title="BlindMatch Δ-sweep on static double stars (k=1, hub origin)",
+    )
+    return table + f"\nlog-log slope in Δ: {slope:.2f} (theory: ~2)", slope
+
+
+def _k_sweep():
+    topo = expander(16, 4, seed=1)
+    rows = []
+    ks = []
+    measured = []
+    for k in (1, 2, 4, 8):
+        def run_once(seed, k=k):
+            return gossip_rounds(
+                "blindmatch", relabeled(topo, seed), n=16, k=k,
+                seed=seed, max_rounds=400_000,
+            )
+
+        rounds = median_rounds(run_once)
+        rows.append((16, k, rounds))
+        ks.append(k)
+        measured.append(rounds)
+    slope = loglog_slope(ks, measured)
+    table = render_table(
+        headers=("n", "k", "median rounds"),
+        rows=rows,
+        title="BlindMatch k-sweep on a dynamic expander (τ=1)",
+    )
+    return table + f"\nlog-log slope in k: {slope:.2f} (theory: ~1)", slope
+
+
+def test_blindmatch_delta_scaling(benchmark):
+    table, slope = _delta_sweep()
+    write_report("fig1_r1_blindmatch_delta", table)
+    print("\n" + table)
+    benchmark.extra_info["delta_slope"] = slope
+    # Timing target: the smallest sweep point.
+    topo = double_star(2)
+    benchmark.pedantic(
+        lambda: gossip_rounds_with_instance(
+            "blindmatch", static_graph(topo),
+            instance_with_token_at(topo.n, vertex=0, seed=11), seed=11,
+            max_rounds=400_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Super-linear growth in Δ: the acceptance lottery is visible.  The
+    # theoretical exponent is 2; small sizes and log factors blur it, so
+    # assert the direction, not the decimals.
+    assert slope > 1.2, f"Δ-scaling too flat: slope={slope:.2f}"
+
+
+def test_blindmatch_k_scaling(benchmark):
+    table, slope = _k_sweep()
+    write_report("fig1_r1_blindmatch_k", table)
+    print("\n" + table)
+    benchmark.extra_info["k_slope"] = slope
+    topo = expander(16, 4, seed=1)
+    benchmark.pedantic(
+        lambda: gossip_rounds(
+            "blindmatch", relabeled(topo, 11), n=16, k=2, seed=11,
+            max_rounds=400_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.4 < slope < 1.8, f"k-scaling off: slope={slope:.2f}"

@@ -1,0 +1,98 @@
+"""EXP-CLS: the bounded-acceptance model change, measured directly.
+
+The paper's related-work section stresses that "most of the well-known
+bounds in the classical model depend on [the] assumption of unbounded
+connections".  This bench runs the *same* blind algorithm on the same
+static double stars under both acceptance semantics:
+
+* **bounded** (mobile telephone model): the hub accepts one of ≈ Δ
+  competing proposals, so the bridge crossing pays the full Δ² price;
+* **unbounded** (classical telephone model): every proposal lands, the
+  acceptance lottery disappears, and only the 1/Δ selection probability
+  remains — cost ≈ Δ.
+
+The measured exponents separating the two curves are the paper's
+motivation quantified.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.fits import loglog_slope
+from repro.analysis.tables import render_table
+from repro.core.runner import build_nodes
+from repro.graphs.topologies import double_star
+from repro.sim.channel import ChannelPolicy
+from repro.sim.engine import Simulation
+from repro.sim.termination import all_hold_tokens
+
+from _common import DEFAULT_SEEDS, instance_with_token_at, static_graph, write_report
+
+
+def blind_rounds(points: int, seed: int, acceptance: str) -> int:
+    topo = double_star(points)
+    instance = instance_with_token_at(topo.n, vertex=0, seed=seed)
+    nodes = build_nodes("blindmatch", instance, seed=seed)
+    sim = Simulation(
+        static_graph(topo),
+        nodes,
+        b=0,
+        seed=seed,
+        channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+        acceptance=acceptance,
+        trace_sample_every=1024,
+    )
+    result = sim.run(
+        max_rounds=2_000_000,
+        termination=all_hold_tokens(instance.token_ids),
+    )
+    assert result.terminated
+    return result.rounds
+
+
+def _sweep():
+    seeds = DEFAULT_SEEDS + (51, 67)
+    rows, deltas, bounded, unbounded = [], [], [], []
+    for points in (2, 4, 8, 16):
+        topo = double_star(points)
+        b_rounds = statistics.median(
+            blind_rounds(points, s, "uniform") for s in seeds
+        )
+        u_rounds = statistics.median(
+            blind_rounds(points, s, "unbounded") for s in seeds
+        )
+        rows.append((topo.n, topo.max_degree, b_rounds, u_rounds,
+                     f"{b_rounds / u_rounds:.1f}"))
+        deltas.append(topo.max_degree)
+        bounded.append(b_rounds)
+        unbounded.append(u_rounds)
+    bounded_slope = loglog_slope(deltas, bounded)
+    unbounded_slope = loglog_slope(deltas, unbounded)
+    table = render_table(
+        headers=("n", "Δ", "bounded rounds", "unbounded rounds", "gap"),
+        rows=rows,
+        title=(
+            "Blind gossip on static double stars: mobile telephone "
+            "(bounded) vs classical (unbounded) acceptance"
+        ),
+    )
+    table += (
+        f"\nΔ-exponents: bounded → {bounded_slope:.2f} (theory ~2), "
+        f"unbounded → {unbounded_slope:.2f} (theory ~1)"
+    )
+    return table, bounded_slope, unbounded_slope
+
+
+def test_bounded_acceptance_is_the_expensive_part(benchmark):
+    table, bounded_slope, unbounded_slope = _sweep()
+    write_report("expcls_classical_model", table)
+    print("\n" + table)
+    benchmark.extra_info["bounded_slope"] = bounded_slope
+    benchmark.extra_info["unbounded_slope"] = unbounded_slope
+    benchmark.pedantic(
+        lambda: blind_rounds(4, 11, "unbounded"), rounds=1, iterations=1
+    )
+    assert bounded_slope > unbounded_slope + 0.3, (
+        f"bounded={bounded_slope:.2f}, unbounded={unbounded_slope:.2f}"
+    )

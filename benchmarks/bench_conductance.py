@@ -1,0 +1,71 @@
+"""EXP-CND: spreading tracks vertex expansion, not conductance.
+
+The paper's related work (quoting its own [11]): "efficient rumor
+spreading with respect to conductance is not possible in the mobile
+telephone model, but efficient spreading with respect to vertex expansion
+is possible."  Stars are the separating family: conductance stays ≈ 1 as
+n grows while α = Θ(1/n) vanishes — and the hub can serve only one leaf
+per round, so PPUSH needs Θ(n) rounds.
+
+The test: sweep star sizes, fit PPUSH time against 1/φ(G) (flat — cannot
+explain the growth) and against 1/α (grows linearly — explains it).
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.fits import loglog_slope
+from repro.analysis.tables import render_table
+from repro.graphs.metrics import conductance_estimate
+from repro.graphs.topologies import star
+
+from _common import DEFAULT_SEEDS, write_report
+from bench_ppush import ppush_rounds
+
+
+def _sweep():
+    rows, ns, times, alphas, phis = [], [], [], [], []
+    for n in (8, 16, 32, 64):
+        topo = star(n)
+        rounds = statistics.median(
+            ppush_rounds(topo, seed) for seed in DEFAULT_SEEDS
+        )
+        phi = conductance_estimate(topo.graph, seed=1)
+        rows.append(
+            (n, f"{topo.alpha:.4f}", f"{phi:.3f}", rounds)
+        )
+        ns.append(n)
+        times.append(rounds)
+        alphas.append(topo.alpha)
+        phis.append(phi)
+    time_slope_n = loglog_slope(ns, times)
+    inv_alpha = [1 / a for a in alphas]
+    time_vs_inv_alpha = loglog_slope(inv_alpha, times)
+    table = render_table(
+        headers=("n", "alpha", "conductance", "PPUSH rounds"),
+        rows=rows,
+        title="PPUSH on stars: conductance flat, alpha vanishing",
+    )
+    table += (
+        f"\nslope of rounds vs n: {time_slope_n:.2f}; "
+        f"vs 1/α: {time_vs_inv_alpha:.2f} (≈1 ⇒ expansion explains it); "
+        f"conductance spans {min(phis):.2f}–{max(phis):.2f} (flat ⇒ cannot)"
+    )
+    return table, time_vs_inv_alpha, phis
+
+
+def test_expansion_not_conductance_governs_spreading(benchmark):
+    table, time_vs_inv_alpha, phis = _sweep()
+    write_report("expcnd_conductance", table)
+    print("\n" + table)
+    benchmark.extra_info["time_vs_inv_alpha_slope"] = time_vs_inv_alpha
+    benchmark.pedantic(
+        lambda: ppush_rounds(star(32), 11), rounds=1, iterations=1
+    )
+    # Conductance is flat across the sweep...
+    assert max(phis) < 2.5 * min(phis)
+    # ...while time scales ~linearly with 1/α.
+    assert 0.6 < time_vs_inv_alpha < 1.4, (
+        f"time vs 1/alpha slope {time_vs_inv_alpha:.2f}"
+    )

@@ -1,0 +1,90 @@
+"""LB-1: the Ω(Δ²/√α) double-star lower bound for blind strategies (§1, [22]).
+
+The introduction's intuition made measurable.  A rumor starts at one hub
+of a double star and must cross the bridge:
+
+* with b = 0 (BlindMatch) the bridge fires with probability ≈ 1/Δ², so
+  measured crossing cost grows super-linearly in Δ;
+* with b = 1 (PPUSH) the informed hub *sees* which neighbors are
+  uninformed and the uninformed hub receives no competing proposals from
+  its own informed leaves — the lottery disappears and spreading stays
+  near-linear in Δ (it still must serve Δ leaves one connection at a
+  time).
+
+This is the cleanest head-to-head for why tags matter in the
+bounded-connection model.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.fits import loglog_slope
+from repro.analysis.tables import render_table
+from repro.graphs.topologies import double_star
+
+from _common import (
+    DEFAULT_SEEDS,
+    gossip_rounds_with_instance,
+    instance_with_token_at,
+    static_graph,
+    write_report,
+)
+from bench_ppush import ppush_rounds
+
+
+def blind_rounds(points: int, seed: int) -> int:
+    topo = double_star(points)
+    instance = instance_with_token_at(topo.n, vertex=0, seed=seed)
+    return gossip_rounds_with_instance(
+        "blindmatch", static_graph(topo), instance, seed=seed,
+        max_rounds=2_000_000,
+    )
+
+
+def ppush_on_doublestar(points: int, seed: int) -> int:
+    return ppush_rounds(double_star(points), seed, max_rounds=200_000)
+
+
+def _sweep():
+    seeds = DEFAULT_SEEDS + (51, 67)
+    rows = []
+    deltas, blind, tagged = [], [], []
+    for points in (2, 4, 8, 16):
+        topo = double_star(points)
+        delta = topo.max_degree
+        b0 = statistics.median(blind_rounds(points, s) for s in seeds)
+        b1 = statistics.median(ppush_on_doublestar(points, s) for s in seeds)
+        rows.append((topo.n, delta, b0, b1, f"{b0 / b1:.1f}"))
+        deltas.append(delta)
+        blind.append(b0)
+        tagged.append(b1)
+    blind_slope = loglog_slope(deltas, blind)
+    tagged_slope = loglog_slope(deltas, tagged)
+    table = render_table(
+        headers=("n", "Δ", "b=0 rounds", "b=1 rounds", "gap"),
+        rows=rows,
+        title="Double-star crossing: blind (b=0) vs tagged (b=1), rumor at hub",
+    )
+    table += (
+        f"\nlog-log slope in Δ: b=0 → {blind_slope:.2f} (theory ~2), "
+        f"b=1 → {tagged_slope:.2f} (theory ~1)"
+    )
+    return table, blind_slope, tagged_slope, rows
+
+
+def test_doublestar_lower_bound_gap(benchmark):
+    table, blind_slope, tagged_slope, rows = _sweep()
+    write_report("lb1_doublestar", table)
+    print("\n" + table)
+    benchmark.extra_info["blind_slope"] = blind_slope
+    benchmark.extra_info["tagged_slope"] = tagged_slope
+    benchmark.pedantic(lambda: blind_rounds(4, 11), rounds=1, iterations=1)
+    # The blind strategy's Δ-exponent must exceed the tagged one's, and
+    # the absolute gap must widen with Δ.
+    assert blind_slope > tagged_slope + 0.3, (
+        f"blind={blind_slope:.2f}, tagged={tagged_slope:.2f}"
+    )
+    first_gap = rows[0][2] / rows[0][3]
+    last_gap = rows[-1][2] / rows[-1][3]
+    assert last_gap > first_gap, "gap should widen with Δ"

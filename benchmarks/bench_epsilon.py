@@ -1,0 +1,120 @@
+"""FIG1-R5 + ABL-3: ε-gossip — O(n·√(Δ·logΔ)/((1−ε)·α)) (Theorem 7.4).
+
+Measured shapes:
+
+* rounds grow as ε → 1 (the 1/(1−ε) factor);
+* ε-gossip at constant ε beats full gossip on a well-connected graph with
+  k = n — the paper's headline polynomial speedup;
+* the speedup shrinks on a low-α graph (the α in the denominator).
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.bounds import epsilon_gossip_bound
+from repro.analysis.tables import render_table
+from repro.core.epsilon import run_epsilon_gossip
+from repro.core.problem import everyone_starts_instance
+from repro.core.runner import run_gossip
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.graphs.topologies import cycle, expander
+
+from _common import DEFAULT_SEEDS, write_report
+
+N = 24
+
+
+def _epsilon_rounds(dg_factory, epsilon, seed) -> int:
+    result = run_epsilon_gossip(
+        dg_factory(), epsilon=epsilon, seed=seed, max_rounds=400_000
+    )
+    assert result.solved
+    return result.rounds
+
+
+def _full_rounds(dg_factory, seed) -> int:
+    result = run_gossip(
+        "sharedbit",
+        dg_factory(),
+        everyone_starts_instance(n=N, seed=seed),
+        seed=seed,
+        max_rounds=400_000,
+        trace_sample_every=1024,
+    )
+    assert result.solved
+    return result.rounds
+
+
+def _median(fn):
+    return statistics.median(fn(seed) for seed in DEFAULT_SEEDS)
+
+
+def _epsilon_sweep():
+    dg_factory = lambda: StaticDynamicGraph(expander(N, 6, seed=1))
+    rows, measured = [], {}
+    for epsilon in (0.25, 0.5, 0.75, 0.9):
+        rounds = _median(
+            lambda seed, e=epsilon: _epsilon_rounds(dg_factory, e, seed)
+        )
+        bound = epsilon_gossip_bound(N, alpha=0.5, delta=6, epsilon=epsilon)
+        rows.append(
+            (f"{epsilon:.2f}", rounds, f"{bound:.0f}",
+             f"{rounds / bound:.4f}")
+        )
+        measured[epsilon] = rounds
+    full = _median(lambda seed: _full_rounds(dg_factory, seed))
+    rows.append(("1.00 (full)", full, "-", "-"))
+    measured["full"] = full
+    table = render_table(
+        headers=("epsilon", "median rounds", "bound shape", "ratio"),
+        rows=rows,
+        title=f"epsilon-gossip sweep on a static expander (n=k={N})",
+    )
+    return table, measured
+
+
+def test_epsilon_monotone_and_faster_than_full(benchmark):
+    table, measured = _epsilon_sweep()
+    write_report("fig1_r5_epsilon_sweep", table)
+    print("\n" + table)
+    benchmark.extra_info.update({str(k): v for k, v in measured.items()})
+    dg_factory = lambda: StaticDynamicGraph(expander(N, 6, seed=1))
+    benchmark.pedantic(
+        lambda: _epsilon_rounds(dg_factory, 0.5, 11), rounds=1, iterations=1
+    )
+    # Monotone in ε and strictly below full gossip at ε = 1/2.
+    assert measured[0.25] <= measured[0.9]
+    assert measured[0.5] < measured["full"]
+
+
+def test_epsilon_speedup_shrinks_with_low_alpha(benchmark):
+    """The α in Theorem 7.4's denominator: cycles blunt the ε advantage."""
+    rows = []
+    speedups = {}
+    for topo_factory, label in (
+        (lambda: expander(N, 6, seed=1), "expander"),
+        (lambda: cycle(N), "cycle"),
+    ):
+        dg_factory = lambda: StaticDynamicGraph(topo_factory())
+        eps_rounds = _median(
+            lambda seed: _epsilon_rounds(dg_factory, 0.5, seed)
+        )
+        full_rounds = _median(lambda seed: _full_rounds(dg_factory, seed))
+        speedups[label] = full_rounds / eps_rounds
+        rows.append((label, eps_rounds, full_rounds,
+                     f"{full_rounds / eps_rounds:.2f}"))
+    table = render_table(
+        headers=("topology", "eps=0.5 rounds", "full rounds", "speedup"),
+        rows=rows,
+        title=f"epsilon-gossip speedup by connectivity (n=k={N})",
+    )
+    write_report("fig1_r5_epsilon_alpha", table)
+    print("\n" + table)
+    benchmark.extra_info.update(speedups)
+    dg = StaticDynamicGraph(cycle(N))
+    benchmark.pedantic(
+        lambda: _epsilon_rounds(lambda: StaticDynamicGraph(cycle(N)), 0.5, 11),
+        rounds=1, iterations=1,
+    )
+    assert speedups["expander"] >= 1.0

@@ -1,0 +1,113 @@
+"""THM-6.1: PPUSH rumor spreading — O(log⁴N / α) with b ≥ 1, τ = ∞.
+
+CrowdedBin's engine room.  Measured: spreading time across graphs ordered
+by expansion; the measured/(1/α) ratio should not grow as α shrinks (the
+1/α factor explains the ordering), and times on expanders should be
+logarithmic-ish in n.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.bounds import ppush_bound
+from repro.analysis.fits import loglog_slope
+from repro.analysis.tables import render_table
+from repro.core.ppush import PPushNode
+from repro.core.tokens import Token
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.graphs.topologies import cycle, expander, path, star
+from repro.rng import SeedTree
+from repro.sim.channel import ChannelPolicy
+from repro.sim.engine import Simulation
+from repro.sim.termination import all_hold_tokens
+
+from _common import DEFAULT_SEEDS, write_report
+
+
+def ppush_rounds(topo, seed, max_rounds=100_000) -> int:
+    tree = SeedTree(seed)
+    rumor = Token(1)
+    nodes = {
+        v: PPushNode(
+            uid=v + 1,
+            upper_n=topo.n,
+            rng=tree.stream("node", v),
+            rumor=rumor if v == 0 else None,
+        )
+        for v in range(topo.n)
+    }
+    sim = Simulation(
+        StaticDynamicGraph(topo), nodes, b=1, seed=seed,
+        channel_policy=ChannelPolicy.for_upper_n(topo.n),
+    )
+    result = sim.run(max_rounds=max_rounds, termination=all_hold_tokens({1}))
+    assert result.terminated
+    return result.rounds
+
+
+def _median(topo, max_rounds=100_000):
+    return statistics.median(
+        ppush_rounds(topo, seed, max_rounds) for seed in DEFAULT_SEEDS
+    )
+
+
+def _alpha_ordering():
+    cases = (
+        ("expander n=32", expander(32, 4, seed=1), 0.5),
+        ("star n=32", star(32), 1 / 16),
+        ("cycle n=32", cycle(32), 2 / 16),
+        ("path n=32", path(32), 1 / 16),
+    )
+    rows = []
+    outcomes = {}
+    for label, topo, alpha in cases:
+        rounds = _median(topo)
+        bound = ppush_bound(topo.n, alpha)
+        outcomes[label] = rounds
+        rows.append((label, f"{alpha:.3f}", rounds, f"{bound:.0f}",
+                     f"{rounds / bound:.4f}"))
+    table = render_table(
+        headers=("topology", "alpha", "median rounds", "bound shape",
+                 "ratio"),
+        rows=rows,
+        title="PPUSH spreading time by expansion (b=1, τ=∞)",
+    )
+    return table, outcomes
+
+
+def _n_scaling_on_expanders():
+    ns, measured = [], []
+    for n in (16, 32, 64, 128):
+        topo = expander(n, 4, seed=1)
+        ns.append(n)
+        measured.append(_median(topo))
+    slope = loglog_slope(ns, measured)
+    table = render_table(
+        headers=("n", "median rounds"),
+        rows=list(zip(ns, measured)),
+        title="PPUSH n-sweep on expanders (constant α)",
+    )
+    return table + f"\nlog-log slope in n: {slope:.2f} (theory: polylog ⇒ ≪ 1)", slope
+
+
+def test_ppush_alpha_ordering(benchmark):
+    table, outcomes = _alpha_ordering()
+    write_report("thm61_ppush_alpha", table)
+    print("\n" + table)
+    benchmark.extra_info.update(outcomes)
+    topo = expander(32, 4, seed=1)
+    benchmark.pedantic(lambda: ppush_rounds(topo, 11), rounds=1, iterations=1)
+    assert outcomes["expander n=32"] < outcomes["path n=32"]
+    assert outcomes["expander n=32"] < outcomes["cycle n=32"]
+
+
+def test_ppush_polylog_on_expanders(benchmark):
+    table, slope = _n_scaling_on_expanders()
+    write_report("thm61_ppush_n", table)
+    print("\n" + table)
+    benchmark.extra_info["n_slope"] = slope
+    topo = expander(64, 4, seed=1)
+    benchmark.pedantic(lambda: ppush_rounds(topo, 11), rounds=1, iterations=1)
+    # Constant-α family: far below linear growth.
+    assert slope < 0.7, f"expected sublinear growth, slope={slope:.2f}"

@@ -1,0 +1,165 @@
+"""FIG1-R2: SharedBit — O(k·n), b = 1, τ ≥ 1 (Theorem 5.1).
+
+Where is O(k·n) tight?  The analysis counts *one* guaranteed productive
+connection per round (Lemma 5.4).  On a star every connection involves the
+hub, so at most one connection forms per round and the measured cost
+really scales like k·n.  On an expander Θ(n) productive connections run in
+parallel and SharedBit finishes far below the bound — the bound is
+worst-case over topologies, and both regimes are measured here:
+
+* n-sweep and k-sweep on dynamic stars: log-log slopes ≈ 1 against the
+  bound's k·n;
+* the same sweeps on dynamic expanders: far below the bound (recorded as
+  the parallelism bonus, no slope claim);
+* star vs expander against BlindMatch: the advertising bit neutralizes
+  the Δ² acceptance-lottery penalty (the paper's b=0 vs b=1 gap).
+"""
+
+import pytest
+
+from repro.analysis.bounds import sharedbit_bound
+from repro.analysis.fits import loglog_slope
+from repro.analysis.tables import render_table
+from repro.graphs.topologies import expander, star
+
+from _common import gossip_rounds, median_rounds, relabeled, write_report
+
+
+def _sweep(topo_factory, points, fixed, vary, title):
+    """Generic sweep helper: vary n or k, return (table, slope)."""
+    rows, xs, measured = [], [], []
+    for value in points:
+        n = value if vary == "n" else fixed
+        k = value if vary == "k" else fixed
+        topo = topo_factory(n)
+
+        def run_once(seed, topo=topo, n=n, k=k):
+            return gossip_rounds(
+                "sharedbit", relabeled(topo, seed), n=n, k=k, seed=seed,
+                max_rounds=200_000,
+            )
+
+        rounds = median_rounds(run_once)
+        bound = sharedbit_bound(n, k)
+        rows.append((n, k, rounds, f"{bound:.0f}", f"{rounds / bound:.3f}"))
+        xs.append(value)
+        measured.append(rounds)
+    slope = loglog_slope(xs, measured)
+    table = render_table(
+        headers=("n", "k", "median rounds", "bound kn", "ratio"),
+        rows=rows,
+        title=title,
+    )
+    return table + f"\nlog-log slope in {vary}: {slope:.2f}", slope
+
+
+def test_sharedbit_n_scaling_worst_case_star(benchmark):
+    table, slope = _sweep(
+        star, points=(8, 16, 32, 64), fixed=2, vary="n",
+        title="SharedBit n-sweep on dynamic stars (k=2, τ=1) — bound-tight regime",
+    )
+    write_report("fig1_r2_sharedbit_n_star", table)
+    print("\n" + table)
+    benchmark.extra_info["n_slope_star"] = slope
+    topo = star(16)
+    benchmark.pedantic(
+        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=16, k=2,
+                              seed=11, max_rounds=200_000),
+        rounds=1, iterations=1,
+    )
+    # Theory: ~1 (hub serializes connections, so rounds track k·n).
+    assert 0.6 < slope < 1.6, f"star n-scaling off: slope={slope:.2f}"
+
+
+def test_sharedbit_k_scaling_worst_case_star(benchmark):
+    table, slope = _sweep(
+        lambda n: star(n), points=(1, 2, 4, 8), fixed=16, vary="k",
+        title="SharedBit k-sweep on a dynamic star (n=16, τ=1) — bound-tight regime",
+    )
+    write_report("fig1_r2_sharedbit_k_star", table)
+    print("\n" + table)
+    benchmark.extra_info["k_slope_star"] = slope
+    topo = star(16)
+    benchmark.pedantic(
+        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=16, k=4,
+                              seed=11, max_rounds=200_000),
+        rounds=1, iterations=1,
+    )
+    assert 0.4 < slope < 1.6, f"star k-scaling off: slope={slope:.2f}"
+
+
+def test_sharedbit_expander_beats_bound(benchmark):
+    """Well-connected graphs finish far below k·n (parallel connections)."""
+    table, _ = _sweep(
+        lambda n: expander(n, 4, seed=1), points=(8, 16, 32, 64), fixed=2,
+        vary="n",
+        title="SharedBit n-sweep on dynamic expanders (k=2, τ=1) — parallel regime",
+    )
+    write_report("fig1_r2_sharedbit_n_expander", table)
+    print("\n" + table)
+    ratios = []
+    for n in (16, 64):
+        topo = expander(n, 4, seed=1)
+        rounds = median_rounds(
+            lambda seed, topo=topo, n=n: gossip_rounds(
+                "sharedbit", relabeled(topo, seed), n=n, k=2, seed=seed,
+                max_rounds=200_000,
+            )
+        )
+        ratios.append(rounds / sharedbit_bound(n, 2))
+    benchmark.extra_info["ratio_n16"] = ratios[0]
+    benchmark.extra_info["ratio_n64"] = ratios[1]
+    topo = expander(32, 4, seed=1)
+    benchmark.pedantic(
+        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=32, k=2,
+                              seed=11, max_rounds=200_000),
+        rounds=1, iterations=1,
+    )
+    # The looseness grows with n: measured/bound shrinks.
+    assert ratios[1] < ratios[0]
+
+
+def test_sharedbit_delta_insensitive_vs_blindmatch(benchmark):
+    """Star vs expander at equal n: BlindMatch pays Δ², SharedBit doesn't."""
+    rows = []
+    outcomes = {}
+    for topo, label in ((star(32), "star (Δ=31)"),
+                        (expander(32, 4, seed=1), "expander (Δ=4)")):
+        for algorithm in ("sharedbit", "blindmatch"):
+            def run_once(seed, topo=topo, algorithm=algorithm):
+                return gossip_rounds(
+                    algorithm, relabeled(topo, seed), n=32, k=1, seed=seed,
+                    max_rounds=600_000,
+                )
+
+            rounds = median_rounds(run_once)
+            outcomes[(label, algorithm)] = rounds
+            rows.append((label, algorithm, rounds))
+    table = render_table(
+        headers=("topology", "algorithm", "median rounds"),
+        rows=rows,
+        title="Δ-(in)sensitivity at n=32, k=1, τ=1",
+    )
+    write_report("fig1_r2_sharedbit_delta", table)
+    print("\n" + table)
+    star_gap = (
+        outcomes[("star (Δ=31)", "blindmatch")]
+        / outcomes[("star (Δ=31)", "sharedbit")]
+    )
+    expander_gap = (
+        outcomes[("expander (Δ=4)", "blindmatch")]
+        / outcomes[("expander (Δ=4)", "sharedbit")]
+    )
+    benchmark.extra_info["star_gap"] = star_gap
+    benchmark.extra_info["expander_gap"] = expander_gap
+    topo = star(32)
+    benchmark.pedantic(
+        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=32, k=1,
+                              seed=11, max_rounds=200_000),
+        rounds=1, iterations=1,
+    )
+    # The b=0 penalty must be much larger on the high-Δ graph.
+    assert star_gap > 1.5 * expander_gap, (
+        f"expected the Δ² penalty on stars: star_gap={star_gap:.1f}, "
+        f"expander_gap={expander_gap:.1f}"
+    )

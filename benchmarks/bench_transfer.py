@@ -1,0 +1,121 @@
+"""SUB-3: the Transfer(ε) subroutine — O(log²N · log(logN/ε)) control bits.
+
+The §3 cost claim, measured directly: control bits per invocation across
+the N axis (should grow ~log²N, i.e. ~4× per N²-fold) and the ε axis
+(logarithmically in 1/ε), plus the success-rate contract.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.bits import ceil_log2
+from repro.commcplx.transfer import TransferProtocol
+
+from _common import write_report
+
+
+def _measure_bits(upper_n: int, epsilon: float, trials: int = 40) -> float:
+    rng = random.Random(99)
+    proto = TransferProtocol(upper_n=upper_n, epsilon=epsilon)
+    costs = []
+    for _ in range(trials):
+        size_a = rng.randint(0, min(20, upper_n))
+        size_b = rng.randint(0, min(20, upper_n))
+        a = set(rng.sample(range(1, upper_n + 1), size_a))
+        b = set(rng.sample(range(1, upper_n + 1), size_b))
+        outcome = proto.locate(a, b, rng)
+        costs.append(outcome.control_bits)
+    return statistics.median(costs)
+
+
+def _n_sweep():
+    rows, ratios = [], []
+    for exp in (6, 8, 10, 12, 14):
+        upper_n = 2**exp
+        bits = _measure_bits(upper_n, epsilon=1e-3)
+        log2n = ceil_log2(upper_n)
+        shape = log2n**2
+        rows.append((upper_n, bits, shape, f"{bits / shape:.2f}"))
+        ratios.append(bits / shape)
+    table = render_table(
+        headers=("N", "median control bits", "log²N", "ratio"),
+        rows=rows,
+        title="Transfer bit cost across N (ε=1e-3)",
+    )
+    return table, ratios
+
+
+def _epsilon_sweep():
+    rows, costs = [], []
+    for epsilon in (1e-1, 1e-2, 1e-4, 1e-8):
+        bits = _measure_bits(2**10, epsilon=epsilon)
+        rows.append((f"{epsilon:.0e}", bits))
+        costs.append(bits)
+    table = render_table(
+        headers=("epsilon", "median control bits"),
+        rows=rows,
+        title="Transfer bit cost across ε (N=1024)",
+    )
+    return table, costs
+
+
+def _success_rate(upper_n=256, epsilon=1e-3, trials=500) -> float:
+    rng = random.Random(5)
+    proto = TransferProtocol(upper_n=upper_n, epsilon=epsilon)
+    successes = 0
+    attempts = 0
+    for _ in range(trials):
+        a = set(rng.sample(range(1, upper_n + 1), 12))
+        b = set(rng.sample(range(1, upper_n + 1), 12))
+        if a == b:
+            continue
+        attempts += 1
+        outcome = proto.locate(a, b, rng)
+        sym = (a | b) - (a & b)
+        if outcome.token_id == min(sym):
+            successes += 1
+    return successes / attempts
+
+
+def test_transfer_bits_scale_as_log_squared(benchmark):
+    table, ratios = _n_sweep()
+    write_report("sub3_transfer_n", table)
+    print("\n" + table)
+    benchmark.extra_info["ratios"] = ratios
+    benchmark.pedantic(
+        lambda: _measure_bits(2**10, 1e-3, trials=10), rounds=1, iterations=1
+    )
+    # measured / log²N varies by at most a small constant across the sweep
+    # (the log(logN/ε) trial factor moves slowly).
+    assert max(ratios) < 4 * min(ratios), f"ratios drift: {ratios}"
+
+
+def test_transfer_bits_log_in_inverse_epsilon(benchmark):
+    table, costs = _epsilon_sweep()
+    write_report("sub3_transfer_eps", table)
+    print("\n" + table)
+    benchmark.extra_info["costs"] = costs
+    benchmark.pedantic(
+        lambda: _measure_bits(2**10, 1e-4, trials=10), rounds=1, iterations=1
+    )
+    # ε shrinking by 10^7 should cost only a small constant factor more.
+    assert costs[-1] < 8 * costs[0]
+    assert costs == sorted(costs), "cost must rise as ε tightens"
+
+
+def test_transfer_success_contract(benchmark):
+    rate = _success_rate()
+    benchmark.extra_info["success_rate"] = rate
+    benchmark.pedantic(
+        lambda: _success_rate(trials=50), rounds=1, iterations=1
+    )
+    print(f"\nTransfer success rate at ε=1e-3: {rate:.4f}")
+    write_report(
+        "sub3_transfer_success",
+        f"Transfer success rate at eps=1e-3, N=256: {rate:.4f} "
+        "(contract: >= 1 - eps)",
+    )
+    assert rate >= 0.995

@@ -1,0 +1,83 @@
+"""Run every algorithm on one mesh and compare their spread curves.
+
+A side-by-side of the paper's algorithms (plus the b≥1 MultiBit
+extension) on the bound-tight topology — a fully dynamic star — with each
+run's coverage growth drawn as a sparkline.  CrowdedBin runs on the
+static version of the same star (its τ=∞ requirement).
+
+Run:  python examples/compare_all.py
+"""
+
+from repro.analysis.curves import sparkline, spread_curve_from_trace
+from repro.analysis.tables import render_table
+from repro.core.crowdedbin import CrowdedBinConfig
+from repro.core.runner import ALGORITHMS, coverage_gauge, run_gossip
+from repro.core.problem import uniform_instance
+from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
+from repro.graphs.topologies import star
+
+N, K, SEED = 16, 3, 13
+
+
+def main() -> None:
+    topo = star(N)
+    rows = []
+    curves = {}
+    for algorithm in ALGORITHMS:
+        instance = uniform_instance(n=N, k=K, seed=SEED)
+        if algorithm == "crowdedbin":
+            dynamic_graph = StaticDynamicGraph(topo)
+            kwargs = dict(
+                config=CrowdedBinConfig.practical(),
+                termination_every=16,
+                gauge_every=64,
+            )
+        else:
+            dynamic_graph = RelabelingAdversary(topo, tau=1, seed=SEED)
+            kwargs = dict(gauge_every=2)
+        result = run_gossip(
+            algorithm=algorithm,
+            dynamic_graph=dynamic_graph,
+            instance=instance,
+            seed=SEED,
+            max_rounds=2_000_000,
+            gauges={"coverage": coverage_gauge(instance.token_ids)},
+            trace_sample_every=1,
+            **kwargs,
+        )
+        curve = spread_curve_from_trace(result.trace, k=K)
+        curves[algorithm] = curve
+        summary = curve.summary()
+        rows.append(
+            (
+                algorithm,
+                result.rounds,
+                summary["t50"] if summary["t50"] is not None else "-",
+                summary["t90"] if summary["t90"] is not None else "-",
+                "yes" if result.solved else "no",
+            )
+        )
+
+    print(
+        render_table(
+            headers=("algorithm", "rounds", "t50", "t90", "solved"),
+            rows=rows,
+            title=(
+                f"all algorithms on a star mesh (n={N}, k={K}; "
+                "CrowdedBin static, others tau=1)"
+            ),
+        )
+    )
+    print("\ncoverage growth (each bar spans that run's own duration):")
+    for algorithm, curve in curves.items():
+        bar = sparkline([v for _, v in curve.points], width=40)
+        print(f"  {algorithm:>12}  {bar}")
+    print(
+        "\nSame destination, different shapes: the b=1 algorithms climb "
+        "steadily;\nCrowdedBin idles through its schedule's spelling "
+        "rounds, then PPUSH\nbursts carry whole bins at once."
+    )
+
+
+if __name__ == "__main__":
+    main()

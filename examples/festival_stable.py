@@ -1,0 +1,69 @@
+"""Festival mesh: why network stability is worth more than tag bits.
+
+A dense, stationary festival crowd (the paper's Burning Man example) is
+the τ = ∞ regime.  CrowdedBin exploits stability — spelling tag bits over
+consecutive rounds, estimating k via crowded bins, then running parallel
+PPUSH — and Theorem 6.10 says it needs only O((k/α)·log⁶n) rounds versus
+SharedBit's O(k·n).  On a well-connected graph the asymptotic win is a
+factor ≈ n; at demo sizes the polylog constants still favor SharedBit,
+which is exactly the crossover the benchmarks chart (see
+benchmarks/bench_ablations.py).
+
+Run:  python examples/festival_stable.py
+"""
+
+from repro.analysis.bounds import crowdedbin_bound, sharedbit_bound
+from repro.analysis.tables import render_table
+from repro.core.crowdedbin import CrowdedBinConfig
+from repro.core.runner import run_gossip
+from repro.workloads.scenarios import festival_scenario
+
+SEED = 5
+
+
+def main() -> None:
+    scenario = festival_scenario(n=32, k=4, seed=SEED)
+    alpha = 0.5  # random 6-regular graphs have constant expansion
+    rows = []
+    for algorithm in ("sharedbit", "crowdedbin"):
+        kwargs = dict(max_rounds=400_000, trace_sample_every=512)
+        if algorithm == "crowdedbin":
+            kwargs["config"] = CrowdedBinConfig.practical()
+            kwargs["termination_every"] = 16
+        result = run_gossip(
+            algorithm=algorithm,
+            dynamic_graph=scenario.dynamic_graph,
+            instance=scenario.instance,
+            seed=SEED,
+            **kwargs,
+        )
+        bound = (
+            sharedbit_bound(32, 4)
+            if algorithm == "sharedbit"
+            else crowdedbin_bound(32, 4, alpha)
+        )
+        rows.append(
+            (
+                algorithm,
+                result.rounds,
+                "yes" if result.solved else "no",
+                f"{bound:.0f}",
+            )
+        )
+    print(f"scenario: {scenario.description}")
+    print(
+        render_table(
+            headers=("algorithm", "rounds", "solved", "bound shape (c=1)"),
+            rows=rows,
+            title="festival mesh (n=32, k=4, stable topology)",
+        )
+    )
+    print(
+        "\nCrowdedBin pays big polylog constants for its schedule; its win "
+        "over\nO(k·n) materializes as n grows — the shape, not the constant, "
+        "is the claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: spread k rumors through a smartphone mesh with SharedBit.
+
+Builds a 32-phone mesh (a random-regular expander), drops 4 rumors at
+random phones, and runs the paper's SharedBit algorithm (1 advertising
+bit, shared randomness) until every phone knows every rumor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import core, graphs
+from repro.analysis.tables import render_table
+from repro.core.runner import coverage_gauge, potential_gauge
+from repro.graphs.dynamic import StaticDynamicGraph
+
+N, K, SEED = 32, 4, 7
+
+
+def main() -> None:
+    topo = graphs.expander(n=N, degree=4, seed=1)
+    instance = core.uniform_instance(n=N, k=K, seed=SEED)
+    print(f"mesh: {topo.name} n={topo.n} Δ={topo.max_degree}")
+    print(f"rumors: {sorted(instance.token_ids)} (labels = origin UIDs)\n")
+
+    result = core.run_gossip(
+        algorithm="sharedbit",
+        dynamic_graph=StaticDynamicGraph(topo),
+        instance=instance,
+        seed=SEED,
+        max_rounds=20_000,
+        gauges={
+            "phi": potential_gauge(instance.token_ids),
+            "coverage": coverage_gauge(instance.token_ids),
+        },
+        gauge_every=4,
+    )
+
+    rows = []
+    for round_index, phi in result.trace.gauge_series("phi"):
+        coverage = dict(result.trace.gauge_series("coverage"))[round_index]
+        rows.append((round_index, phi, coverage[0], f"{coverage[1]:.1f}"))
+    print(
+        render_table(
+            headers=("round", "potential φ", "min coverage", "mean coverage"),
+            rows=rows,
+            title="progress (φ = missing (node, token) pairs)",
+        )
+    )
+    print(
+        f"\nsolved={result.solved} in {result.rounds} rounds "
+        f"(theory: O(k·n) = O({K * N}))"
+    )
+    print(
+        f"connections={result.trace.total_connections}, "
+        f"tokens moved={result.trace.total_tokens_moved}, "
+        f"control bits={result.trace.total_control_bits}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""ε-gossip: stop when a majority quorum mutually knows each other.
+
+Many distributed tasks need responses from only a quorum — the paper's
+motivation for ε-gossip (§7).  Every node starts with a token (k = n);
+the run may stop once some ≥ εn nodes all know each other's tokens.
+Theorem 7.4: SharedBit does this in O(n·√(Δ·logΔ)/((1−ε)·α)) rounds —
+polynomially faster than the O(n²) full gossip needs.
+
+Run:  python examples/quorum_epsilon.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.epsilon import run_epsilon_gossip
+from repro.core.problem import everyone_starts_instance
+from repro.core.runner import run_gossip
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.graphs.topologies import expander
+
+N, SEED = 24, 9
+
+
+def main() -> None:
+    topo = expander(n=N, degree=6, seed=1)
+    dg = StaticDynamicGraph(topo)
+
+    rows = []
+    for epsilon in (0.25, 0.5, 0.75, 0.9):
+        result = run_epsilon_gossip(
+            dg, epsilon=epsilon, seed=SEED, max_rounds=60_000
+        )
+        rows.append(
+            (
+                f"{epsilon:.2f}",
+                result.rounds,
+                "yes" if result.solved else "no",
+                result.core_size,
+            )
+        )
+
+    full = run_gossip(
+        "sharedbit",
+        dg,
+        everyone_starts_instance(n=N, seed=SEED),
+        seed=SEED,
+        max_rounds=120_000,
+    )
+    rows.append(("1.00 (full)", full.rounds, "yes" if full.solved else "no", N))
+
+    print(
+        render_table(
+            headers=("epsilon", "rounds", "solved", "mutual-knowledge core"),
+            rows=rows,
+            title=f"epsilon-gossip on an expander (n=k={N})",
+        )
+    )
+    print(
+        "\nA majority quorum (ε=0.5) forms long before full gossip "
+        "completes —\nthe (1−ε) denominator of Theorem 7.4 in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — Gossip in a Smartphone Peer-to-Peer Network (Newport, PODC 2017).
+
+A complete, from-scratch reproduction of the paper's system: the mobile
+telephone model (a discrete-round simulator of smartphone peer-to-peer
+services), the communication-complexity subroutines (EQTest, Transfer,
+the Newman-style shared-string family), leader election, and all the
+gossip algorithms with their analyses turned into measurable experiments.
+
+Quickstart::
+
+    from repro import graphs, core
+    from repro.graphs.dynamic import StaticDynamicGraph
+
+    topo = graphs.expander(n=32, degree=4, seed=1)
+    result = core.run_gossip(
+        algorithm="sharedbit",
+        dynamic_graph=StaticDynamicGraph(topo),
+        instance=core.uniform_instance(n=32, k=4, seed=7),
+        seed=7,
+        max_rounds=20_000,
+    )
+    print(result.rounds, result.solved)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every experiment.
+"""
+
+from repro import graphs, sim, commcplx, core, leader, analysis, workloads
+from repro.core import (
+    run_gossip,
+    run_epsilon_gossip,
+    uniform_instance,
+    everyone_starts_instance,
+    skewed_instance,
+    ALGORITHMS,
+)
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    TopologyError,
+    ProtocolViolationError,
+    ChannelBudgetError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "sim",
+    "commcplx",
+    "core",
+    "leader",
+    "analysis",
+    "workloads",
+    "run_gossip",
+    "run_epsilon_gossip",
+    "uniform_instance",
+    "everyone_starts_instance",
+    "skewed_instance",
+    "ALGORITHMS",
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "ProtocolViolationError",
+    "ChannelBudgetError",
+    "SimulationError",
+    "__version__",
+]

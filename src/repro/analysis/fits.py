@@ -1,0 +1,77 @@
+"""Fitting helpers for comparing measured sweeps against bound shapes.
+
+The reproduction criterion for a theory paper is *shape agreement*: when
+the bound predicts rounds ∝ k, a sweep over k should show log–log slope
+≈ 1; when two algorithms are predicted to cross as α grows, the measured
+curves should cross.  These helpers turn raw (x, rounds) sweeps into those
+statements.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["loglog_slope", "ratio_series", "crossover_point", "geometric_mean"]
+
+
+def loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    The empirical scaling exponent: ``ys ∝ xs**slope`` along the sweep.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.size < 2:
+        raise ConfigurationError("need >= 2 paired samples")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ConfigurationError("log-log fit needs positive values")
+    slope, _ = np.polyfit(np.log(xs), np.log(ys), 1)
+    return float(slope)
+
+
+def ratio_series(measured, predicted) -> list[float]:
+    """measured[i] / predicted[i]; flat in i means the shape matches."""
+    if len(measured) != len(predicted):
+        raise ConfigurationError("series must have equal length")
+    out = []
+    for m, p in zip(measured, predicted):
+        if p <= 0:
+            raise ConfigurationError(f"predicted value must be > 0, got {p}")
+        out.append(m / p)
+    return out
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (natural summary for round-count ratios)."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric mean needs positive values")
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))
+
+
+def crossover_point(xs, ys_a, ys_b) -> float | None:
+    """The x where series A stops beating series B (linear interpolation).
+
+    Returns None when one series dominates throughout.  Used for the
+    SharedBit-vs-CrowdedBin crossover in α predicted by Theorems 5.1/6.10.
+    """
+    if not (len(xs) == len(ys_a) == len(ys_b)) or len(xs) < 2:
+        raise ConfigurationError("need >= 2 aligned samples")
+    diffs = [a - b for a, b in zip(ys_a, ys_b)]
+    for i in range(1, len(diffs)):
+        if diffs[i - 1] == 0:
+            return float(xs[i - 1])
+        if diffs[i - 1] * diffs[i] < 0:
+            # Sign change in (a - b): interpolate the zero.
+            x0, x1 = float(xs[i - 1]), float(xs[i])
+            d0, d1 = diffs[i - 1], diffs[i]
+            return x0 + (x1 - x0) * (abs(d0) / (abs(d0) + abs(d1)))
+    if diffs[-1] == 0:
+        return float(xs[-1])
+    return None

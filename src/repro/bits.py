@@ -1,0 +1,102 @@
+"""Bit-accounting helpers.
+
+The mobile telephone model caps what a connected pair may exchange in one
+round: O(1) tokens plus O(polylog N) control bits.  The subroutines in
+:mod:`repro.commcplx` and the channel in :mod:`repro.sim.channel` need a
+common vocabulary for "how many bits does this message cost"; this module
+provides it, together with a small running counter used for budget metering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "bit_length",
+    "int_cost_bits",
+    "ceil_log2",
+    "polylog_budget",
+    "BitCounter",
+]
+
+
+def ceil_log2(value: int) -> int:
+    """Return ``⌈log2(value)⌉`` for ``value >= 1`` (0 for value == 1)."""
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    return (value - 1).bit_length()
+
+
+def bit_length(value: int) -> int:
+    """Number of bits needed to write ``value`` (at least 1, sign ignored)."""
+    return max(abs(value).bit_length(), 1)
+
+
+def int_cost_bits(value: int, universe: int | None = None) -> int:
+    """Cost in bits of sending an integer.
+
+    If ``universe`` is given, the integer is known by both parties to lie in
+    ``[0, universe)`` and costs ``⌈log2 universe⌉`` bits (the fixed-width
+    encoding the paper's protocols assume); otherwise the integer's own bit
+    length is charged.
+    """
+    if universe is not None:
+        if universe < 1:
+            raise ValueError(f"universe must be >= 1, got {universe}")
+        return max(ceil_log2(universe), 1)
+    return bit_length(value)
+
+
+def polylog_budget(upper_n: int, exponent: int = 3, scale: int = 64) -> int:
+    """A concrete O(polylog N) control-bit budget.
+
+    ``scale * ⌈log2 N⌉ ** exponent`` bits.  The default exponent of 3 covers
+    the Transfer subroutine's O(log²N · log(logN/ε)) cost with room for the
+    per-connection bookkeeping the algorithms send (tags, bin indices);
+    tests assert each algorithm fits inside it.
+    """
+    if upper_n < 2:
+        raise ValueError(f"upper_n must be >= 2, got {upper_n}")
+    return scale * max(ceil_log2(upper_n), 1) ** exponent
+
+
+@dataclass
+class BitCounter:
+    """A running total of bits sent, used for channel metering.
+
+    The counter never enforces a limit itself; enforcement lives in
+    :class:`repro.sim.channel.Channel` so the policy (raise vs. record) is
+    decided in one place.
+    """
+
+    total_bits: int = 0
+    messages: int = 0
+    _by_label: dict = field(default_factory=dict)
+
+    def charge(self, nbits: int, label: str = "") -> None:
+        if nbits < 0:
+            raise ValueError(f"nbits must be >= 0, got {nbits}")
+        self.total_bits += nbits
+        self.messages += 1
+        if label:
+            self._by_label[label] = self._by_label.get(label, 0) + nbits
+
+    def by_label(self) -> dict:
+        """Bits charged per label (a fresh copy)."""
+        return dict(self._by_label)
+
+    def merge(self, other: "BitCounter") -> None:
+        self.total_bits += other.total_bits
+        self.messages += other.messages
+        for label, bits in other._by_label.items():
+            self._by_label[label] = self._by_label.get(label, 0) + bits
+
+
+def ceil_log(value: float, base: float = 2.0) -> int:
+    """Return ``⌈log_base(value)⌉`` as an int, for readability in schedules."""
+    if value <= 0:
+        raise ValueError(f"value must be > 0, got {value}")
+    if value <= 1:
+        return 0
+    return int(math.ceil(math.log(value, base) - 1e-12))

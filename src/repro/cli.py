@@ -1,0 +1,172 @@
+"""Command-line experiment runner.
+
+Examples::
+
+    repro-gossip run --algorithm sharedbit --n 32 --k 4 --graph expander
+    repro-gossip scenario --name festival
+    repro-gossip compare --n 24 --k 3
+    python -m repro.cli run --algorithm blindmatch --n 16 --k 2 --graph star
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.problem import uniform_instance
+from repro.core.runner import ALGORITHMS, run_gossip
+from repro.graphs.dynamic import (
+    RelabelingAdversary,
+    StaticDynamicGraph,
+    TAU_INFINITY,
+)
+from repro.graphs.topologies import TOPOLOGY_FAMILIES
+from repro.analysis.tables import render_table
+from repro.workloads.scenarios import SCENARIOS
+
+__all__ = ["main"]
+
+_GRAPH_CHOICES = ("expander", "star", "path", "cycle", "complete", "grid")
+
+
+def _build_topology(name: str, n: int, seed: int):
+    if name == "expander":
+        degree = min(6, n - 1)
+        if (n * degree) % 2:
+            degree -= 1
+        return TOPOLOGY_FAMILIES["expander"](n=n, degree=max(degree, 2), seed=seed)
+    if name == "grid":
+        cols = max(2, int(n**0.5))
+        rows = max(2, n // cols)
+        return TOPOLOGY_FAMILIES["grid"](rows=rows, cols=cols)
+    return TOPOLOGY_FAMILIES[name](n)
+
+
+def _build_graph(args):
+    topo = _build_topology(args.graph, args.n, args.seed)
+    if args.tau == 0:  # 0 encodes tau = infinity on the command line
+        return StaticDynamicGraph(topo), topo.n
+    return RelabelingAdversary(topo, tau=args.tau, seed=args.seed), topo.n
+
+
+def _cmd_run(args) -> int:
+    graph, n = _build_graph(args)
+    instance = uniform_instance(n=n, k=args.k, seed=args.seed)
+    result = run_gossip(
+        algorithm=args.algorithm,
+        dynamic_graph=graph,
+        instance=instance,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+    )
+    status = "solved" if result.solved else "NOT solved (round limit)"
+    print(
+        f"{args.algorithm} on {args.graph} (n={n}, k={args.k}, "
+        f"tau={'inf' if args.tau == 0 else args.tau}): "
+        f"{result.rounds} rounds, {status}"
+    )
+    print(
+        f"connections={result.trace.total_connections} "
+        f"tokens_moved={result.trace.total_tokens_moved} "
+        f"control_bits={result.trace.total_control_bits}"
+    )
+    return 0 if result.solved else 1
+
+
+def _cmd_scenario(args) -> int:
+    scenario = SCENARIOS[args.name](seed=args.seed)
+    result = run_gossip(
+        algorithm=args.algorithm or scenario.recommended_algorithm,
+        dynamic_graph=scenario.dynamic_graph,
+        instance=scenario.instance,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+    )
+    status = "solved" if result.solved else "NOT solved (round limit)"
+    print(f"scenario {scenario.name}: {scenario.description}")
+    print(
+        f"{result.algorithm}: {result.rounds} rounds, {status} "
+        f"(n={scenario.instance.n}, k={scenario.instance.k})"
+    )
+    return 0 if result.solved else 1
+
+
+def _cmd_compare(args) -> int:
+    rows = []
+    for algorithm in ALGORITHMS:
+        tau = 0 if algorithm == "crowdedbin" else args.tau
+        topo = _build_topology(args.graph, args.n, args.seed)
+        if tau == 0:
+            graph = StaticDynamicGraph(topo)
+        else:
+            graph = RelabelingAdversary(topo, tau=tau, seed=args.seed)
+        instance = uniform_instance(n=topo.n, k=args.k, seed=args.seed)
+        result = run_gossip(
+            algorithm=algorithm,
+            dynamic_graph=graph,
+            instance=instance,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+        )
+        rows.append(
+            (
+                algorithm,
+                "inf" if tau == 0 else tau,
+                result.rounds,
+                "yes" if result.solved else "no",
+            )
+        )
+    print(
+        render_table(
+            headers=("algorithm", "tau", "rounds", "solved"),
+            rows=rows,
+            title=f"gossip comparison: {args.graph}, n={args.n}, k={args.k}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gossip",
+        description="Gossip in the mobile telephone model (Newport, PODC 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one algorithm on one graph")
+    run_p.add_argument("--algorithm", choices=ALGORITHMS, required=True)
+    run_p.add_argument("--graph", choices=_GRAPH_CHOICES, default="expander")
+    run_p.add_argument("--n", type=int, default=32)
+    run_p.add_argument("--k", type=int, default=4)
+    run_p.add_argument("--tau", type=int, default=0,
+                       help="stability factor; 0 means infinity")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--max-rounds", type=int, default=200_000)
+    run_p.set_defaults(func=_cmd_run)
+
+    sc_p = sub.add_parser("scenario", help="run a motivating workload")
+    sc_p.add_argument("--name", choices=sorted(SCENARIOS), required=True)
+    sc_p.add_argument("--algorithm", choices=ALGORITHMS, default=None)
+    sc_p.add_argument("--seed", type=int, default=0)
+    sc_p.add_argument("--max-rounds", type=int, default=200_000)
+    sc_p.set_defaults(func=_cmd_scenario)
+
+    cmp_p = sub.add_parser("compare", help="run all algorithms side by side")
+    cmp_p.add_argument("--graph", choices=_GRAPH_CHOICES, default="expander")
+    cmp_p.add_argument("--n", type=int, default=24)
+    cmp_p.add_argument("--k", type=int, default=3)
+    cmp_p.add_argument("--tau", type=int, default=1)
+    cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.add_argument("--max-rounds", type=int, default=400_000)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

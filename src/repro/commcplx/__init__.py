@@ -1,0 +1,36 @@
+"""Two-party communication-complexity subroutines (paper §3 and §5.2).
+
+Connected nodes may exchange only O(polylog N) control bits per round, far
+too few to ship a token set.  This subpackage supplies the machinery the
+paper builds on top of that constraint:
+
+* :mod:`repro.commcplx.eqtest` — randomized set-equality testing
+  (``EQTest(c)``): one-sided error, O(log N) bits per trial;
+* :mod:`repro.commcplx.transfer` — the ``Transfer(ε)`` subroutine: binary
+  search over ``[N]`` driven by EQTest to locate and move the smallest
+  token in the symmetric difference of two token sets;
+* :mod:`repro.commcplx.newman` — the seed-indexed family of candidate
+  shared strings realizing the paper's generalization of Newman's theorem
+  (the multiset R′ of §5.2).
+"""
+
+from repro.commcplx.fields import next_prime, is_prime, eval_set_polynomial
+from repro.commcplx.eqtest import EqualityTester, EqTestStats
+from repro.commcplx.transfer import (
+    TransferOutcome,
+    TransferProtocol,
+    trials_for_error,
+)
+from repro.commcplx.newman import SharedStringFamily
+
+__all__ = [
+    "next_prime",
+    "is_prime",
+    "eval_set_polynomial",
+    "EqualityTester",
+    "EqTestStats",
+    "TransferOutcome",
+    "TransferProtocol",
+    "trials_for_error",
+    "SharedStringFamily",
+]

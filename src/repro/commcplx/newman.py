@@ -1,0 +1,80 @@
+"""The shared-string family R′ (the paper's generalization of Newman's theorem).
+
+SharedBit needs Θ(N³ log N) shared random bits — far too many to
+disseminate over connections limited to polylog(N) bits.  §5.2 of the
+paper proves (probabilistic method, never constructive) that a multiset
+R′ of only poly(N) candidate strings exists such that a string sampled
+uniformly from R′ is "random enough" for SharedBit w.h.p.  A string in R′
+can then be named with a polylog(N)-bit *seed*, small enough for a leader
+to disseminate.
+
+:class:`SharedStringFamily` realizes the object the probabilistic-method
+argument samples: ``family_size`` candidate strings, each derived from the
+family's master key and its index.  Picking the family at random is
+exactly what the existence proof does — a random selection is *good* (not
+bad for any graph/assignment combination) with probability > 1 − 2^-poly(N);
+our PRF-derived strings play the role of those uniform draws (DESIGN.md §4).
+
+Seeds are indices in ``[0, family_size)`` and cost ``⌈log₂ family_size⌉``
+bits on the wire — polylog(N) as required for the leader's payload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bits import ceil_log2
+from repro.errors import ConfigurationError
+from repro.rng import SeedTree, SharedRandomness
+
+__all__ = ["SharedStringFamily"]
+
+
+class SharedStringFamily:
+    """A poly(N)-sized, seed-indexed multiset of candidate shared strings.
+
+    All nodes construct the family from the same ``(master_seed,
+    family_size, capacity_n)`` — the family itself is part of the algorithm
+    description, exactly as R′ is in the paper.  What stays *private* is
+    which index each node samples; the leader's index is the one that ends
+    up shared.
+    """
+
+    def __init__(self, master_seed: int, capacity_n: int,
+                 family_size: int | None = None):
+        if capacity_n < 2:
+            raise ConfigurationError(f"capacity_n must be >= 2, got {capacity_n}")
+        # The paper's R′ has N^Θ(1) strings; N³ keeps seed indices at
+        # 3·log₂N bits, comfortably inside the payload budget.
+        self.family_size = capacity_n**3 if family_size is None else family_size
+        if self.family_size < 1:
+            raise ConfigurationError(
+                f"family_size must be >= 1, got {self.family_size}"
+            )
+        self.master_seed = master_seed
+        self.capacity_n = capacity_n
+        self._tree = SeedTree(master_seed).child("newman-family")
+
+    @property
+    def seed_bits(self) -> int:
+        """Bits needed to transmit a seed index."""
+        return max(ceil_log2(self.family_size), 1)
+
+    def string_for_seed(self, seed_index: int) -> SharedRandomness:
+        """The candidate shared string named by ``seed_index``."""
+        if not 0 <= seed_index < self.family_size:
+            raise ConfigurationError(
+                f"seed_index {seed_index} outside [0, {self.family_size})"
+            )
+        key = self._tree.key("string", seed_index)
+        return SharedRandomness(key, self.capacity_n)
+
+    def sample_seed(self, rng: random.Random) -> int:
+        """Draw a uniform seed index (each node does this privately)."""
+        return rng.randrange(self.family_size)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedStringFamily(size={self.family_size}, "
+            f"N={self.capacity_n}, seed_bits={self.seed_bits})"
+        )

@@ -1,0 +1,73 @@
+"""The paper's contribution: gossip algorithms for the mobile telephone model.
+
+===============  ===========  ==========================================
+Algorithm        Assumptions  Proven round complexity (w.h.p.)
+===============  ===========  ==========================================
+BlindMatch       b=0, τ≥1     O((1/α) · k · Δ² · log²n)      (Thm 4.1)
+SharedBit        b=1, τ≥1     O(k·n)  [shared randomness]    (Thm 5.1)
+SimSharedBit     b=1, τ≥1     O(k·n + (1/α)·Δ^{1/τ}·log⁶n)   (Thm 5.6)
+CrowdedBin       b=1, τ=∞     O((k/α) · log⁶n)               (Thm 6.10)
+SharedBit (ε)    b=1, τ≥1     O(n·√(Δ·logΔ) / ((1−ε)·α))     (Thm 7.4)
+===============  ===========  ==========================================
+
+Entry points: :func:`repro.core.runner.run_gossip` for one-call experiment
+runs, or instantiate the per-algorithm node classes directly with
+:class:`repro.sim.engine.Simulation`.
+"""
+
+from repro.core.tokens import Token
+from repro.core.problem import (
+    GossipInstance,
+    GossipNode,
+    uniform_instance,
+    everyone_starts_instance,
+    skewed_instance,
+)
+from repro.core.potential import (
+    potential,
+    token_set_census,
+    find_coalition,
+    epsilon_gossip_solved,
+    mutual_knowledge_core,
+)
+from repro.core.blindmatch import BlindMatchConfig, BlindMatchNode
+from repro.core.sharedbit import SharedBitConfig, SharedBitNode
+from repro.core.simsharedbit import SimSharedBitConfig, SimSharedBitNode
+from repro.core.multibit import MultiBitConfig, MultiBitSharedBitNode
+from repro.core.ppush import PPushNode
+from repro.core.schedule import CrowdedBinSchedule, SchedulePosition
+from repro.core.crowdedbin import CrowdedBinConfig, CrowdedBinNode
+from repro.core.epsilon import run_epsilon_gossip, EpsilonGossipResult
+from repro.core.runner import run_gossip, GossipRunResult, ALGORITHMS
+
+__all__ = [
+    "Token",
+    "GossipInstance",
+    "GossipNode",
+    "uniform_instance",
+    "everyone_starts_instance",
+    "skewed_instance",
+    "potential",
+    "token_set_census",
+    "find_coalition",
+    "epsilon_gossip_solved",
+    "mutual_knowledge_core",
+    "BlindMatchConfig",
+    "BlindMatchNode",
+    "SharedBitConfig",
+    "SharedBitNode",
+    "SimSharedBitConfig",
+    "SimSharedBitNode",
+    "MultiBitConfig",
+    "MultiBitSharedBitNode",
+    "PPushNode",
+    "CrowdedBinSchedule",
+    "SchedulePosition",
+    "CrowdedBinConfig",
+    "CrowdedBinNode",
+    "run_epsilon_gossip",
+    "EpsilonGossipResult",
+    "run_gossip",
+    "GossipRunResult",
+    "ALGORITHMS",
+]

@@ -1,0 +1,67 @@
+"""PPUSH: rumor spreading with one advertising bit (from [11], used in §6).
+
+The strategy: informed nodes advertise 1, uninformed advertise 0; each
+informed node with at least one uninformed neighbor proposes to one chosen
+uniformly at random; connections move the rumor.
+
+Theorem 6.1 (adapted from [11]): with b ≥ 1, τ = ∞ and expansion α, PPUSH
+spreads the rumor to all nodes in O(log⁴N / α) rounds w.h.p.  CrowdedBin
+runs logically-parallel PPUSH instances in the tails of its blocks; this
+standalone version backs the Theorem 6.1 benchmark and the quickstart
+example.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bits import ceil_log2
+from repro.core.tokens import Token
+from repro.sim.channel import Channel
+from repro.sim.context import NeighborView
+from repro.sim.protocol import NodeProtocol
+
+__all__ = ["PPushNode"]
+
+
+class PPushNode(NodeProtocol):
+    """One node running PPUSH for a single rumor."""
+
+    def __init__(self, uid: int, upper_n: int, rng: random.Random,
+                 rumor: Token | None = None):
+        super().__init__(uid)
+        self.upper_n = upper_n
+        self.rng = rng
+        self.rumor = rumor
+        self.informed_at_round: int | None = 0 if rumor is not None else None
+
+    @property
+    def informed(self) -> bool:
+        return self.rumor is not None
+
+    @property
+    def known_tokens(self) -> frozenset:
+        """TokenHolder interface so gossip termination conditions apply."""
+        return frozenset((self.rumor.token_id,)) if self.rumor else frozenset()
+
+    def advertise(self, round_index: int, neighbor_uids: tuple[int, ...]) -> int:
+        return 1 if self.informed else 0
+
+    def propose(
+        self, round_index: int, neighbors: tuple[NeighborView, ...]
+    ) -> int | None:
+        if not self.informed:
+            return None
+        uninformed = [view.uid for view in neighbors if view.tag == 0]
+        if not uninformed:
+            return None
+        return self.rng.choice(sorted(uninformed))
+
+    def interact(self, responder: "PPushNode", channel: Channel,
+                 round_index: int) -> None:
+        # The rumor id rides along so the receiver can label it.
+        channel.charge_bits(ceil_log2(self.upper_n + 1), label="rumor-id")
+        channel.charge_token()
+        if not responder.informed:
+            responder.rumor = self.rumor
+            responder.informed_at_round = round_index

@@ -1,0 +1,204 @@
+"""The gossip problem: instances and the common gossip-node base class.
+
+An instance fixes what the paper's §2 fixes: the network size ``n``, the
+known upper bound ``N ≥ n``, each node's UID from ``[N]``, and the initial
+token assignment (``k`` tokens, each starting at exactly one node, a node
+possibly starting with several).  ``k`` is *not* given to the nodes — only
+the harness reads it.
+
+:class:`GossipNode` is the shared base for every gossip protocol: token
+storage keyed by label, the :class:`~repro.sim.protocol.TokenHolder`
+interface for termination/gauges, and the glue that applies a
+Transfer(ε) outcome by actually moving the token payload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.commcplx.transfer import TransferOutcome, TransferProtocol
+from repro.errors import ConfigurationError
+from repro.core.tokens import Token
+from repro.sim.channel import Channel
+from repro.sim.protocol import NodeProtocol
+
+__all__ = [
+    "GossipInstance",
+    "GossipNode",
+    "uniform_instance",
+    "everyone_starts_instance",
+    "skewed_instance",
+]
+
+
+@dataclass(frozen=True)
+class GossipInstance:
+    """A concrete gossip problem: who is who, and who starts with what."""
+
+    n: int
+    upper_n: int
+    uids: tuple[int, ...]                 # uids[vertex] ∈ [1, upper_n]
+    initial_tokens: dict = field(default_factory=dict)  # vertex -> tuple[Token]
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise ConfigurationError(f"need n >= 2, got {self.n}")
+        if self.upper_n < self.n:
+            raise ConfigurationError(
+                f"upper bound N={self.upper_n} must be >= n={self.n}"
+            )
+        if len(self.uids) != self.n or len(set(self.uids)) != self.n:
+            raise ConfigurationError("uids must be n distinct values")
+        for uid in self.uids:
+            if not 1 <= uid <= self.upper_n:
+                raise ConfigurationError(
+                    f"uid {uid} outside [1, {self.upper_n}]"
+                )
+        seen: set[int] = set()
+        for vertex, tokens in self.initial_tokens.items():
+            if not 0 <= vertex < self.n:
+                raise ConfigurationError(f"vertex {vertex} out of range")
+            for token in tokens:
+                if token.token_id in seen:
+                    raise ConfigurationError(
+                        f"token {token.token_id} starts at more than one node"
+                    )
+                seen.add(token.token_id)
+
+    @property
+    def k(self) -> int:
+        """Number of tokens in the system (harness-side knowledge only)."""
+        return sum(len(tokens) for tokens in self.initial_tokens.values())
+
+    @property
+    def token_ids(self) -> frozenset:
+        return frozenset(
+            token.token_id
+            for tokens in self.initial_tokens.values()
+            for token in tokens
+        )
+
+    def tokens_for(self, vertex: int) -> tuple[Token, ...]:
+        return tuple(self.initial_tokens.get(vertex, ()))
+
+    def uid_of(self, vertex: int) -> int:
+        return self.uids[vertex]
+
+
+def _draw_uids(n: int, upper_n: int, rng: random.Random) -> tuple[int, ...]:
+    return tuple(rng.sample(range(1, upper_n + 1), n))
+
+
+def uniform_instance(
+    n: int, k: int, seed: int, upper_n: int | None = None
+) -> GossipInstance:
+    """``k`` tokens at ``k`` distinct uniformly-chosen nodes.
+
+    Each token is labeled with its origin's UID, matching the paper's
+    labeling convention.
+    """
+    upper_n = upper_n or n
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"need 1 <= k <= n, got k={k}, n={n}")
+    rng = random.Random(seed)
+    uids = _draw_uids(n, upper_n, rng)
+    origins = rng.sample(range(n), k)
+    initial = {
+        vertex: (Token(token_id=uids[vertex], payload=f"rumor-from-{uids[vertex]}"),)
+        for vertex in origins
+    }
+    return GossipInstance(n=n, upper_n=upper_n, uids=uids, initial_tokens=initial)
+
+
+def everyone_starts_instance(
+    n: int, seed: int, upper_n: int | None = None
+) -> GossipInstance:
+    """k = n: every node starts with its own token (the ε-gossip setting)."""
+    return uniform_instance(n=n, k=n, seed=seed, upper_n=upper_n)
+
+
+def skewed_instance(
+    n: int, k: int, seed: int, upper_n: int | None = None, holders: int = 1
+) -> GossipInstance:
+    """All ``k`` tokens concentrated at ``holders`` nodes.
+
+    Exercises the paper's allowance that "a given node can start the
+    execution with multiple tokens".  Extra token labels are drawn from
+    UIDs of non-holder nodes (each token still has a unique [N] label).
+    """
+    upper_n = upper_n or n
+    if not 1 <= holders <= min(k, n):
+        raise ConfigurationError(
+            f"need 1 <= holders <= min(k, n), got holders={holders}"
+        )
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"need 1 <= k <= n, got k={k}, n={n}")
+    rng = random.Random(seed)
+    uids = _draw_uids(n, upper_n, rng)
+    holder_vertices = rng.sample(range(n), holders)
+    label_vertices = rng.sample(range(n), k)
+    initial: dict[int, tuple[Token, ...]] = {}
+    for index, label_vertex in enumerate(label_vertices):
+        holder = holder_vertices[index % holders]
+        token = Token(
+            token_id=uids[label_vertex],
+            payload=f"rumor-{uids[label_vertex]}",
+            origin_uid=uids[holder],
+        )
+        initial.setdefault(holder, ())
+        initial[holder] = initial[holder] + (token,)
+    return GossipInstance(n=n, upper_n=upper_n, uids=uids, initial_tokens=initial)
+
+
+class GossipNode(NodeProtocol):
+    """Base class for gossip protocols: token storage plus Transfer glue."""
+
+    def __init__(self, uid: int, upper_n: int, initial_tokens,
+                 rng: random.Random):
+        super().__init__(uid)
+        if upper_n < 2:
+            raise ConfigurationError(f"upper_n must be >= 2, got {upper_n}")
+        self.upper_n = upper_n
+        self.rng = rng
+        self._tokens: dict[int, Token] = {}
+        for token in initial_tokens:
+            self.store_token(token)
+
+    @property
+    def known_tokens(self) -> frozenset:
+        """Labels of all tokens this node owns (TokenHolder interface)."""
+        return frozenset(self._tokens)
+
+    def token(self, token_id: int) -> Token:
+        return self._tokens[token_id]
+
+    def has_token(self, token_id: int) -> bool:
+        return token_id in self._tokens
+
+    def store_token(self, token: Token) -> None:
+        if not 1 <= token.token_id <= self.upper_n:
+            raise ConfigurationError(
+                f"token label {token.token_id} outside [1, {self.upper_n}]"
+            )
+        self._tokens[token.token_id] = token
+
+    def run_transfer(
+        self,
+        peer: "GossipNode",
+        protocol: TransferProtocol,
+        channel: Channel,
+    ) -> TransferOutcome:
+        """Execute Transfer(ε) with ``peer`` and move the identified token.
+
+        The initiating node's private randomness drives the EQTest trials
+        (the subroutine needs no shared coins).
+        """
+        outcome = protocol.locate(
+            self.known_tokens, peer.known_tokens, self.rng, channel
+        )
+        if outcome.moved_to_a:
+            self.store_token(peer.token(outcome.token_id))
+        elif outcome.moved_to_b:
+            peer.store_token(self.token(outcome.token_id))
+        return outcome

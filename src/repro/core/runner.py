@@ -1,0 +1,213 @@
+"""One-call experiment harness: build nodes, run, measure.
+
+:func:`run_gossip` wires together an instance, a dynamic graph, one of the
+paper's algorithms, and the standard termination condition (all nodes know
+all k tokens), returning the measured round count plus the trace.  This is
+what the examples, benchmarks and integration tests call; direct use of
+the node classes with :class:`repro.sim.engine.Simulation` remains
+available for custom setups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.commcplx.newman import SharedStringFamily
+from repro.core.blindmatch import BlindMatchConfig, BlindMatchNode
+from repro.core.crowdedbin import CrowdedBinConfig, CrowdedBinNode
+from repro.core.multibit import MultiBitConfig, MultiBitSharedBitNode
+from repro.core.potential import potential
+from repro.core.problem import GossipInstance
+from repro.core.sharedbit import SharedBitConfig, SharedBitNode
+from repro.core.simsharedbit import SimSharedBitConfig, SimSharedBitNode
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import DynamicGraph, TAU_INFINITY
+from repro.rng import SeedTree, SharedRandomness
+from repro.sim.channel import ChannelPolicy
+from repro.sim.engine import Simulation
+from repro.sim.protocol import NodeProtocol
+from repro.sim.termination import all_hold_tokens
+from repro.sim.trace import Trace
+
+__all__ = ["ALGORITHMS", "GossipRunResult", "build_nodes", "run_gossip",
+           "coverage_gauge", "potential_gauge"]
+
+#: Algorithms runnable through :func:`run_gossip`.  "multibit" is the b≥1
+#: generalization of SharedBit (see repro.core.multibit); the other four
+#: are the paper's Figure 1 algorithms.
+ALGORITHMS = ("blindmatch", "sharedbit", "simsharedbit", "crowdedbin",
+              "multibit")
+
+_DEFAULT_CONFIGS = {
+    "blindmatch": BlindMatchConfig,
+    "sharedbit": SharedBitConfig,
+    "simsharedbit": SimSharedBitConfig,
+    "crowdedbin": CrowdedBinConfig,
+    "multibit": MultiBitConfig,
+}
+
+
+def _tag_length(algorithm: str, config) -> int:
+    if algorithm == "blindmatch":
+        return 0
+    if algorithm == "multibit":
+        return config.bits
+    return 1
+
+
+@dataclass
+class GossipRunResult:
+    """Outcome of one gossip execution."""
+
+    algorithm: str
+    rounds: int
+    solved: bool
+    trace: Trace
+    instance: GossipInstance
+    nodes: Mapping[int, NodeProtocol]
+
+    @property
+    def residual_potential(self) -> int:
+        return potential(self.nodes, self.instance.token_ids)
+
+    def coverage(self) -> list[int]:
+        """Per-node count of known tokens (harness-side)."""
+        wanted = self.instance.token_ids
+        return [len(node.known_tokens & wanted) for node in self.nodes.values()]
+
+
+def build_nodes(
+    algorithm: str,
+    instance: GossipInstance,
+    seed: int,
+    config=None,
+) -> dict[int, NodeProtocol]:
+    """Construct one protocol object per vertex for the named algorithm."""
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    if config is None:
+        config = _DEFAULT_CONFIGS[algorithm]()
+    tree = SeedTree(seed)
+
+    def common(vertex: int) -> dict:
+        return {
+            "uid": instance.uid_of(vertex),
+            "upper_n": instance.upper_n,
+            "initial_tokens": instance.tokens_for(vertex),
+            "rng": tree.stream("node", instance.uid_of(vertex)),
+        }
+
+    if algorithm == "blindmatch":
+        return {
+            vertex: BlindMatchNode(config=config, **common(vertex))
+            for vertex in range(instance.n)
+        }
+    if algorithm == "sharedbit":
+        shared = SharedRandomness(tree.key("shared-string"), instance.upper_n)
+        return {
+            vertex: SharedBitNode(shared=shared, config=config, **common(vertex))
+            for vertex in range(instance.n)
+        }
+    if algorithm == "simsharedbit":
+        family = SharedStringFamily(
+            master_seed=tree.stream("family-master").randrange(2**31),
+            capacity_n=instance.upper_n,
+            family_size=config.family_size,
+        )
+        return {
+            vertex: SimSharedBitNode(family=family, config=config, **common(vertex))
+            for vertex in range(instance.n)
+        }
+    if algorithm == "multibit":
+        shared = SharedRandomness(tree.key("shared-string"), instance.upper_n)
+        return {
+            vertex: MultiBitSharedBitNode(
+                shared=shared, config=config, **common(vertex)
+            )
+            for vertex in range(instance.n)
+        }
+    # crowdedbin
+    schedule = config.schedule(instance.upper_n)
+    return {
+        vertex: CrowdedBinNode(config=config, schedule=schedule, **common(vertex))
+        for vertex in range(instance.n)
+    }
+
+
+def coverage_gauge(token_ids):
+    """Gauge: (min, mean) coverage of the k tokens across nodes."""
+    wanted = frozenset(token_ids)
+
+    def gauge(nodes, round_index: int):
+        counts = [len(node.known_tokens & wanted) for node in nodes.values()]
+        return (min(counts), sum(counts) / len(counts))
+
+    return gauge
+
+
+def potential_gauge(token_ids):
+    """Gauge: the paper's potential φ(r)."""
+
+    def gauge(nodes, round_index: int):
+        return potential(nodes, token_ids)
+
+    return gauge
+
+
+def run_gossip(
+    algorithm: str,
+    dynamic_graph: DynamicGraph,
+    instance: GossipInstance,
+    seed: int,
+    max_rounds: int,
+    config=None,
+    channel_policy: ChannelPolicy | None = None,
+    gauges: dict | None = None,
+    gauge_every: int = 64,
+    trace_sample_every: int = 1,
+    termination_every: int = 1,
+) -> GossipRunResult:
+    """Run ``algorithm`` on ``instance`` over ``dynamic_graph`` to completion.
+
+    Raises :class:`ConfigurationError` when the algorithm's model
+    assumptions are violated (CrowdedBin on a changing topology).
+    """
+    if dynamic_graph.n != instance.n:
+        raise ConfigurationError(
+            f"graph has n={dynamic_graph.n} but instance has n={instance.n}"
+        )
+    if algorithm == "crowdedbin" and dynamic_graph.tau != TAU_INFINITY:
+        raise ConfigurationError(
+            "CrowdedBin assumes a stable topology (tau = infinity); got "
+            f"tau={dynamic_graph.tau}"
+        )
+    if config is None:
+        config = _DEFAULT_CONFIGS[algorithm]()
+    nodes = build_nodes(algorithm, instance, seed, config)
+    sim = Simulation(
+        dynamic_graph=dynamic_graph,
+        protocols=nodes,
+        b=_tag_length(algorithm, config),
+        seed=seed,
+        channel_policy=channel_policy
+        or ChannelPolicy.for_upper_n(instance.upper_n),
+        gauges=gauges,
+        gauge_every=gauge_every,
+        trace_sample_every=trace_sample_every,
+        termination_every=termination_every,
+    )
+    result = sim.run(
+        max_rounds=max_rounds,
+        termination=all_hold_tokens(instance.token_ids),
+    )
+    return GossipRunResult(
+        algorithm=algorithm,
+        rounds=result.rounds,
+        solved=result.terminated,
+        trace=result.trace,
+        instance=instance,
+        nodes=nodes,
+    )

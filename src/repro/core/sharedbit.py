@@ -1,0 +1,115 @@
+"""SharedBit: gossip with one advertising bit and shared randomness (§5.1).
+
+The single bit is spent well: each round ``r``, the shared string assigns
+every token label ``t`` a fresh random bit ``t.bit``; a node advertises the
+parity of the bits of the tokens it knows (0 for the empty set).  Nodes
+with identical token sets therefore advertise the same bit, and nodes with
+*different* sets advertise different bits with probability exactly 1/2
+(Lemma 5.2) — so a 1-advertiser proposing to a 0-advertiser always lands on
+a neighbor whose set differs from its own, and the Transfer subroutine can
+make the connection productive.
+
+Theorem 5.1: O(k·n) rounds w.h.p., for any τ ≥ 1.
+
+The proposal *target* among 0-advertising neighbors is also drawn from the
+shared string (the node's own UID bundle), exactly as in the paper — a
+detail that matters for §5.2, where all of SharedBit's shared coins must
+come from the one disseminated string.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.commcplx.transfer import TransferProtocol
+from repro.core.problem import GossipNode
+from repro.errors import ConfigurationError
+from repro.rng import SharedRandomness
+from repro.sim.channel import Channel
+from repro.sim.context import NeighborView
+
+__all__ = ["SharedBitConfig", "SharedBitNode"]
+
+
+@dataclass(frozen=True)
+class SharedBitConfig:
+    """Tunables for SharedBit.
+
+    ``transfer_error_exponent`` — Transfer's ε = N^{-c_t} (§5.1).
+    ``group_offset`` — added to the engine round to index the shared
+    string's group; SimSharedBit uses this to keep gossip rounds and leader
+    rounds on a common global clock.
+    """
+
+    transfer_error_exponent: float = 2.0
+    group_offset: int = 0
+
+    def __post_init__(self):
+        if self.transfer_error_exponent <= 0:
+            raise ConfigurationError(
+                "transfer_error_exponent must be positive, got "
+                f"{self.transfer_error_exponent}"
+            )
+
+    def transfer_epsilon(self, upper_n: int) -> float:
+        return float(upper_n) ** (-self.transfer_error_exponent)
+
+    @classmethod
+    def paper(cls) -> "SharedBitConfig":
+        return cls(transfer_error_exponent=2.0)
+
+    @classmethod
+    def practical(cls) -> "SharedBitConfig":
+        return cls(transfer_error_exponent=1.0)
+
+
+class SharedBitNode(GossipNode):
+    """One node running SharedBit.  Requires b = 1 and a shared string."""
+
+    def __init__(
+        self,
+        uid: int,
+        upper_n: int,
+        initial_tokens,
+        rng: random.Random,
+        shared: SharedRandomness,
+        config: SharedBitConfig | None = None,
+    ):
+        super().__init__(uid, upper_n, initial_tokens, rng)
+        self.config = config or SharedBitConfig()
+        self.shared = shared
+        self._transfer = TransferProtocol(
+            upper_n, self.config.transfer_epsilon(upper_n)
+        )
+        self._bit_this_round = 0
+
+    def advertisement_bit(self, round_index: int) -> int:
+        """b_u(r): parity of the shared bits of the tokens this node knows."""
+        if not self._tokens:
+            return 0
+        group = round_index + self.config.group_offset
+        parity = 0
+        for token_id in self._tokens:
+            parity ^= self.shared.token_bit(group, token_id)
+        return parity
+
+    def advertise(self, round_index: int, neighbor_uids: tuple[int, ...]) -> int:
+        self._bit_this_round = self.advertisement_bit(round_index)
+        return self._bit_this_round
+
+    def propose(
+        self, round_index: int, neighbors: tuple[NeighborView, ...]
+    ) -> int | None:
+        if self._bit_this_round != 1:
+            return None  # 0-advertisers wait to receive proposals.
+        zeros = sorted(view.uid for view in neighbors if view.tag == 0)
+        if not zeros:
+            return None
+        group = round_index + self.config.group_offset
+        index = self.shared.selection_index(group, self.uid, len(zeros))
+        return zeros[index]
+
+    def interact(self, responder: "SharedBitNode", channel: Channel,
+                 round_index: int) -> None:
+        self.run_transfer(responder, self._transfer, channel)

@@ -1,0 +1,42 @@
+"""Gossip tokens.
+
+The paper treats tokens as "comparable black boxes": they carry a label
+from ``[N]`` — each origin labels its token with its own UID — and an
+opaque payload that can only move through a connection (a node cannot
+spell a token out via advertising bits).  The label gives the fixed total
+order the Transfer subroutine's binary search relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Token"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One gossip message.
+
+    ``token_id`` — the label in ``[1, N]`` (the origin's UID).
+    ``payload`` — opaque content; algorithms never inspect it, which the
+    test suite verifies by running every algorithm with sentinel payloads
+    and checking they arrive intact.
+    """
+
+    token_id: int
+    payload: str = ""
+    origin_uid: int = field(default=-1)
+
+    def __post_init__(self):
+        if self.token_id < 1:
+            raise ConfigurationError(
+                f"token_id must be >= 1 (labels live in [1, N]), got {self.token_id}"
+            )
+        if self.origin_uid == -1:
+            object.__setattr__(self, "origin_uid", self.token_id)
+
+    def __repr__(self) -> str:
+        return f"Token(id={self.token_id})"

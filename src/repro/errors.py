@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single except clause while still
+distinguishing configuration mistakes from model violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or combination of parameters is invalid.
+
+    Raised eagerly, at construction time, so misconfigured experiments fail
+    before any simulation work is done.
+    """
+
+
+class TopologyError(ReproError):
+    """A topology violates a model requirement.
+
+    The mobile telephone model requires every per-round topology graph to be
+    connected and the dynamic graph to respect its stability factor; this is
+    raised when either requirement is violated.
+    """
+
+
+class StabilityError(TopologyError):
+    """A dynamic graph changed faster than its stability factor permits."""
+
+
+class ProtocolViolationError(ReproError):
+    """A node protocol broke a rule of the mobile telephone model.
+
+    Examples: advertising a tag wider than ``b`` bits, proposing to a
+    non-neighbor, or attempting a second connection in one round.
+    """
+
+
+class ChannelBudgetError(ProtocolViolationError):
+    """A connection exceeded its per-round communication budget.
+
+    The model allows a connected pair to exchange at most O(1) tokens and
+    O(polylog N) control bits per round; the :class:`repro.sim.channel.Channel`
+    meters both and raises this error on overflow.
+    """
+
+
+class ChannelClosedError(ProtocolViolationError):
+    """A node used a channel outside the round in which it was open."""
+
+
+class SimulationError(ReproError):
+    """The simulation could not make progress (e.g. round limit exceeded)."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """An execution hit its round limit before its termination condition.
+
+    Carries the partially-completed trace when available so callers can
+    inspect how far the execution got.
+    """
+
+    def __init__(self, message: str, trace=None):
+        super().__init__(message)
+        self.trace = trace

@@ -1,0 +1,340 @@
+"""Dynamic graphs with a stability factor τ.
+
+The model (§2 of the paper): the topology in round ``r`` is a connected
+graph ``G_r`` over the fixed vertex set; the sequence ``G_1, G_2, ...`` is
+*fixed at the beginning of the execution* (an oblivious adversary) and at
+least τ rounds must pass between changes.  ``τ = 1`` allows arbitrary
+change every round; ``τ = ∞`` (``TAU_INFINITY``) means the graph never
+changes.
+
+Implementations here derive each epoch's graph deterministically from a
+seed, so the dynamic graph is a pure function of (seed, round) — i.e. fixed
+in advance — while only O(1) graphs are kept in memory at a time.
+
+:class:`RelabelingAdversary` deserves a note: it permutes the vertex labels
+of a fixed *shape* each epoch.  Because relabeling preserves α, Δ and D,
+this adversary gives experiments a fully-dynamic (τ = 1) graph whose
+structural parameters are still known exactly — which is what the paper's
+bounds are stated in terms of.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+import networkx as nx
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.graphs.metrics import vertex_expansion_estimate, max_degree
+from repro.graphs.topologies import Topology
+from repro.rng import SeedTree
+
+__all__ = [
+    "TAU_INFINITY",
+    "DynamicGraph",
+    "StaticDynamicGraph",
+    "PeriodicRewireGraph",
+    "RelabelingAdversary",
+    "GeometricMobilityGraph",
+    "dynamic_max_degree",
+    "dynamic_expansion_estimate",
+]
+
+#: Stability factor meaning "the graph never changes".
+TAU_INFINITY = math.inf
+
+
+def _check_round(round_index: int) -> None:
+    if round_index < 1:
+        raise ConfigurationError(f"rounds are 1-indexed, got {round_index}")
+
+
+def _check_graph(graph: nx.Graph, n: int, context: str) -> nx.Graph:
+    if graph.number_of_nodes() != n or sorted(graph.nodes) != list(range(n)):
+        raise TopologyError(f"{context}: graph must use vertices 0..{n - 1}")
+    if not nx.is_connected(graph):
+        raise TopologyError(f"{context}: graph must be connected")
+    return graph
+
+
+class DynamicGraph(ABC):
+    """A τ-stable sequence of connected graphs over vertices ``0..n-1``."""
+
+    def __init__(self, n: int, tau):
+        if n < 2:
+            raise ConfigurationError(f"need n >= 2, got n={n}")
+        if tau != TAU_INFINITY and (not isinstance(tau, int) or tau < 1):
+            raise ConfigurationError(
+                f"tau must be a positive integer or TAU_INFINITY, got {tau!r}"
+            )
+        self.n = n
+        self.tau = tau
+
+    def epoch_of(self, round_index: int) -> int:
+        """The index of the stability window containing ``round_index``."""
+        _check_round(round_index)
+        if self.tau == TAU_INFINITY:
+            return 0
+        return (round_index - 1) // self.tau
+
+    def graph_at(self, round_index: int) -> nx.Graph:
+        """The (connected) topology for round ``round_index`` (1-indexed)."""
+        _check_round(round_index)
+        return self._graph_for_epoch(self.epoch_of(round_index))
+
+    @abstractmethod
+    def _graph_for_epoch(self, epoch: int) -> nx.Graph:
+        """Return the graph for a stability window (deterministic in epoch)."""
+
+    def __repr__(self) -> str:
+        tau = "inf" if self.tau == TAU_INFINITY else self.tau
+        return f"{type(self).__name__}(n={self.n}, tau={tau})"
+
+
+class StaticDynamicGraph(DynamicGraph):
+    """τ = ∞: the same topology in every round."""
+
+    def __init__(self, topology: Topology):
+        super().__init__(n=topology.n, tau=TAU_INFINITY)
+        self.topology = topology
+        self._graph = _check_graph(topology.graph, topology.n, topology.name)
+
+    def _graph_for_epoch(self, epoch: int) -> nx.Graph:
+        return self._graph
+
+
+class _EpochCache:
+    """Keep the two most recent epochs (engine access is sequential)."""
+
+    def __init__(self):
+        self._entries: dict[int, nx.Graph] = {}
+
+    def get(self, epoch: int, build) -> nx.Graph:
+        if epoch not in self._entries:
+            if len(self._entries) >= 2:
+                oldest = min(self._entries)
+                del self._entries[oldest]
+            self._entries[epoch] = build(epoch)
+        return self._entries[epoch]
+
+
+class PeriodicRewireGraph(DynamicGraph):
+    """Re-sample a fresh graph from a family every τ rounds.
+
+    ``factory(epoch, rng)`` must return a connected graph on ``0..n-1``;
+    it is called with a per-epoch ``random.Random`` derived from ``seed``,
+    so the whole sequence is reproducible and, importantly, *re-derivable*:
+    old epochs can be regenerated exactly (used by tests to verify that the
+    sequence is fixed in advance).
+    """
+
+    def __init__(self, n: int, tau, seed: int, factory):
+        super().__init__(n=n, tau=tau)
+        self.seed = seed
+        self._factory = factory
+        self._tree = SeedTree(seed).child("periodic-rewire")
+        self._cache = _EpochCache()
+
+    def _graph_for_epoch(self, epoch: int) -> nx.Graph:
+        return self._cache.get(epoch, self._build)
+
+    def _build(self, epoch: int) -> nx.Graph:
+        rng = self._tree.stream("epoch", epoch)
+        graph = self._factory(epoch, rng)
+        return _check_graph(graph, self.n, f"epoch {epoch}")
+
+    @classmethod
+    def resampled_regular(cls, n: int, degree: int, tau, seed: int):
+        """Fresh random ``degree``-regular graph each epoch."""
+
+        def factory(epoch: int, rng: random.Random) -> nx.Graph:
+            for attempt in range(64):
+                g = nx.random_regular_graph(degree, n, seed=rng.randrange(2**31))
+                if nx.is_connected(g):
+                    return g
+            raise TopologyError(
+                f"failed to sample connected {degree}-regular graph (epoch {epoch})"
+            )
+
+        return cls(n=n, tau=tau, seed=seed, factory=factory)
+
+    @classmethod
+    def resampled_gnp(cls, n: int, p: float, tau, seed: int):
+        """Fresh connected G(n, p) sample each epoch."""
+
+        def factory(epoch: int, rng: random.Random) -> nx.Graph:
+            for attempt in range(256):
+                g = nx.gnp_random_graph(n, p, seed=rng.randrange(2**31))
+                if nx.is_connected(g):
+                    return g
+            raise TopologyError(
+                f"failed to sample connected G({n},{p}) (epoch {epoch})"
+            )
+
+        return cls(n=n, tau=tau, seed=seed, factory=factory)
+
+
+class RelabelingAdversary(DynamicGraph):
+    """Permute the labels of a fixed shape every τ rounds.
+
+    The graph "changes completely" from the nodes' point of view (their
+    neighborhoods are rewired arbitrarily) while α, Δ and D stay exactly
+    those of the base topology — the natural adversary for the paper's
+    τ = 1 results, where bounds are stated in terms of those parameters.
+    """
+
+    def __init__(self, topology: Topology, tau, seed: int):
+        super().__init__(n=topology.n, tau=tau)
+        self.topology = topology
+        self.seed = seed
+        _check_graph(topology.graph, topology.n, topology.name)
+        self._tree = SeedTree(seed).child("relabeling")
+        self._cache = _EpochCache()
+
+    def _graph_for_epoch(self, epoch: int) -> nx.Graph:
+        return self._cache.get(epoch, self._build)
+
+    def _build(self, epoch: int) -> nx.Graph:
+        rng = self._tree.stream("epoch", epoch)
+        labels = list(range(self.n))
+        rng.shuffle(labels)
+        mapping = dict(zip(range(self.n), labels))
+        return nx.relabel_nodes(self.topology.graph, mapping)
+
+
+class GeometricMobilityGraph(DynamicGraph):
+    """A unit-square random-waypoint mobility mesh (smartphone crowd).
+
+    Nodes live on the unit square; each epoch every node drifts toward a
+    waypoint by ``step`` and the topology is the unit-disk graph of radius
+    ``radius``.  Because the model requires connectivity, disconnected
+    components are bridged by adding an edge between the closest pair of
+    nodes across components (recorded in ``bridges_added``); this keeps the
+    workload honest about when raw proximity alone fails.
+
+    This is the substitute for real smartphone mobility traces (DESIGN.md
+    §4): it exercises exactly the same code paths — a τ-stable dynamic
+    graph with evolving neighborhoods.
+    """
+
+    def __init__(self, n: int, radius: float, step: float, tau, seed: int):
+        super().__init__(n=n, tau=tau)
+        if not 0 < radius <= 1.5:
+            raise ConfigurationError(f"need 0 < radius <= 1.5, got {radius}")
+        if not 0 <= step <= 1:
+            raise ConfigurationError(f"need 0 <= step <= 1, got {step}")
+        self.radius = radius
+        self.step = step
+        self.seed = seed
+        self.bridges_added = 0
+        self._tree = SeedTree(seed).child("mobility")
+        self._cache = _EpochCache()
+        rng = self._tree.stream("init")
+        self._positions = [
+            (rng.random(), rng.random()) for _ in range(n)
+        ]
+        self._waypoints = [
+            (rng.random(), rng.random()) for _ in range(n)
+        ]
+        self._built_through = -1
+
+    def _graph_for_epoch(self, epoch: int) -> nx.Graph:
+        # Positions evolve sequentially; replaying from scratch would be
+        # wasteful, so mobility graphs must be accessed in non-decreasing
+        # epoch order (the engine always does).
+        if epoch < self._built_through:
+            raise ConfigurationError(
+                "GeometricMobilityGraph must be accessed in forward order "
+                f"(asked for epoch {epoch}, already at {self._built_through})"
+            )
+        return self._cache.get(epoch, self._advance_to)
+
+    def _advance_to(self, epoch: int) -> nx.Graph:
+        while self._built_through < epoch:
+            self._built_through += 1
+            if self._built_through > 0:
+                self._move(self._built_through)
+        return self._disk_graph()
+
+    def _move(self, epoch: int) -> None:
+        rng = self._tree.stream("epoch", epoch)
+        for i in range(self.n):
+            x, y = self._positions[i]
+            wx, wy = self._waypoints[i]
+            dx, dy = wx - x, wy - y
+            dist = math.hypot(dx, dy)
+            if dist <= self.step:
+                self._positions[i] = (wx, wy)
+                self._waypoints[i] = (rng.random(), rng.random())
+            else:
+                scale = self.step / dist
+                self._positions[i] = (x + dx * scale, y + dy * scale)
+
+    def _disk_graph(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        r2 = self.radius * self.radius
+        for i in range(self.n):
+            xi, yi = self._positions[i]
+            for j in range(i + 1, self.n):
+                xj, yj = self._positions[j]
+                if (xi - xj) ** 2 + (yi - yj) ** 2 <= r2:
+                    g.add_edge(i, j)
+        self._bridge_components(g)
+        return g
+
+    def _bridge_components(self, g: nx.Graph) -> None:
+        components = [list(c) for c in nx.connected_components(g)]
+        while len(components) > 1:
+            base = components[0]
+            best = None
+            for other_idx, other in enumerate(components[1:], start=1):
+                for u in base:
+                    xu, yu = self._positions[u]
+                    for v in other:
+                        xv, yv = self._positions[v]
+                        d = (xu - xv) ** 2 + (yu - yv) ** 2
+                        if best is None or d < best[0]:
+                            best = (d, u, v, other_idx)
+            _, u, v, other_idx = best
+            g.add_edge(u, v)
+            self.bridges_added += 1
+            base.extend(components.pop(other_idx))
+
+
+def dynamic_max_degree(dynamic_graph: DynamicGraph, horizon: int) -> int:
+    """Δ of the dynamic graph over rounds ``1..horizon`` (max over epochs)."""
+    _check_round(horizon)
+    best = 0
+    round_index = 1
+    while round_index <= horizon:
+        best = max(best, max_degree(dynamic_graph.graph_at(round_index)))
+        if dynamic_graph.tau == TAU_INFINITY:
+            break
+        round_index += dynamic_graph.tau
+    return best
+
+
+def dynamic_expansion_estimate(
+    dynamic_graph: DynamicGraph, horizon: int, samples: int = 32, seed: int = 0
+) -> float:
+    """Upper-bound estimate of the dynamic graph's α over ``1..horizon``.
+
+    α of a dynamic graph is the minimum over its constituent graphs (§2);
+    we estimate each epoch's α and take the minimum.
+    """
+    _check_round(horizon)
+    best = float("inf")
+    round_index = 1
+    while round_index <= horizon:
+        graph = dynamic_graph.graph_at(round_index)
+        best = min(
+            best,
+            vertex_expansion_estimate(graph, samples=samples, seed=seed).alpha,
+        )
+        if dynamic_graph.tau == TAU_INFINITY:
+            break
+        round_index += dynamic_graph.tau
+    return best

@@ -1,0 +1,331 @@
+"""Named static topology families.
+
+Each generator returns a :class:`Topology`: a connected ``networkx.Graph``
+on vertices ``0 .. n-1`` plus the structural facts the paper's bounds are
+stated in terms of (when they have clean closed forms): vertex expansion α,
+maximum degree Δ, diameter D.
+
+The families here are the ones the paper's analysis leans on:
+
+* :func:`star` / :func:`double_star` — the double star is the Ω(Δ²/√α)
+  lower-bound construction sketched in the paper's introduction;
+* :func:`path` / :func:`cycle` — worst-case α = Θ(1/n) graphs;
+* :func:`complete` — best-case expansion;
+* :func:`random_regular` (= :func:`expander`) — constant-expansion graphs
+  for the "well-connected" regimes where CrowdedBin and ε-gossip shine;
+* :func:`hypercube`, :func:`grid`, :func:`barbell`, :func:`lollipop`,
+  :func:`binary_tree`, :func:`erdos_renyi` — intermediate shapes used by
+  the test suite and the sweep benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Topology",
+    "star",
+    "double_star",
+    "path",
+    "cycle",
+    "complete",
+    "hypercube",
+    "random_regular",
+    "erdos_renyi",
+    "grid",
+    "barbell",
+    "lollipop",
+    "binary_tree",
+    "expander",
+    "TOPOLOGY_FAMILIES",
+]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A connected graph plus its known structural facts.
+
+    ``alpha`` / ``diameter_hint`` are exact when the family has a closed
+    form and ``None`` otherwise (callers fall back to
+    :mod:`repro.graphs.metrics`).  ``max_degree`` is always exact — it is
+    cheap to compute for any graph.
+    """
+
+    graph: nx.Graph
+    name: str
+    params: dict = field(default_factory=dict)
+    alpha: float | None = None
+    diameter_hint: int | None = None
+    notes: str = ""
+
+    @property
+    def n(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def max_degree(self) -> int:
+        return max(d for _, d in self.graph.degree)
+
+    def __post_init__(self):
+        if self.graph.number_of_nodes() < 2:
+            raise ConfigurationError(
+                f"topology {self.name!r} needs at least 2 nodes"
+            )
+        if not nx.is_connected(self.graph):
+            raise ConfigurationError(
+                f"topology {self.name!r} must be connected"
+            )
+        if sorted(self.graph.nodes) != list(range(self.graph.number_of_nodes())):
+            raise ConfigurationError(
+                f"topology {self.name!r} must use vertices 0..n-1"
+            )
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name}, n={self.n}, Δ={self.max_degree})"
+
+
+def _check_n(n: int, minimum: int = 2) -> None:
+    if n < minimum:
+        raise ConfigurationError(f"need n >= {minimum}, got n={n}")
+
+
+def star(n: int) -> Topology:
+    """A star: vertex 0 is the hub, 1..n-1 are leaves.
+
+    α = 1/⌊n/2⌋ (witness: any ⌊n/2⌋ leaves have boundary {hub}), Δ = n-1,
+    D = 2.
+    """
+    _check_n(n, 3)
+    g = nx.star_graph(n - 1)
+    return Topology(
+        graph=g,
+        name="star",
+        params={"n": n},
+        alpha=1.0 / (n // 2),
+        diameter_hint=2,
+    )
+
+
+def double_star(points: int) -> Topology:
+    """Two hubs joined by an edge, each with ``points`` leaves.
+
+    This is the construction behind the Ω(Δ²/√α) lower bound for blind
+    strategies sketched in the paper's introduction: for the bridge edge to
+    fire, one hub must pick the other (probability ≈ 1/Δ) *and* the pick
+    must be accepted against ≈ Δ competing proposals (probability ≈ 1/Δ).
+
+    n = 2·points + 2, Δ = points + 1, α = 1/(points + 1) (witness: one
+    whole star), D = 3.
+    """
+    if points < 1:
+        raise ConfigurationError(f"need points >= 1, got {points}")
+    n = 2 * points + 2
+    g = nx.Graph()
+    hub_u, hub_v = 0, 1
+    g.add_edge(hub_u, hub_v)
+    for i in range(points):
+        g.add_edge(hub_u, 2 + i)
+        g.add_edge(hub_v, 2 + points + i)
+    return Topology(
+        graph=g,
+        name="double_star",
+        params={"points": points, "n": n},
+        alpha=1.0 / (points + 1),
+        diameter_hint=3,
+        notes="Ω(Δ²/√α) lower-bound construction for blind strategies",
+    )
+
+
+def path(n: int) -> Topology:
+    """A path on n vertices. α = 1/⌊n/2⌋, Δ = 2, D = n-1."""
+    _check_n(n)
+    return Topology(
+        graph=nx.path_graph(n),
+        name="path",
+        params={"n": n},
+        alpha=1.0 / (n // 2),
+        diameter_hint=n - 1,
+    )
+
+
+def cycle(n: int) -> Topology:
+    """A cycle on n vertices. α = 2/⌊n/2⌋, Δ = 2, D = ⌊n/2⌋."""
+    _check_n(n, 3)
+    return Topology(
+        graph=nx.cycle_graph(n),
+        name="cycle",
+        params={"n": n},
+        alpha=2.0 / (n // 2),
+        diameter_hint=n // 2,
+    )
+
+
+def complete(n: int) -> Topology:
+    """The complete graph K_n. α = ⌈n/2⌉/⌊n/2⌋ ≥ 1, Δ = n-1, D = 1."""
+    _check_n(n)
+    return Topology(
+        graph=nx.complete_graph(n),
+        name="complete",
+        params={"n": n},
+        alpha=math.ceil(n / 2) / (n // 2),
+        diameter_hint=1,
+    )
+
+
+def hypercube(dim: int) -> Topology:
+    """The ``dim``-dimensional hypercube (n = 2^dim, Δ = dim, D = dim).
+
+    α = Θ(1/√dim) (Harper's theorem); we leave ``alpha=None`` and let the
+    metrics module compute or estimate it, since the exact constant depends
+    on n.
+    """
+    if dim < 1:
+        raise ConfigurationError(f"need dim >= 1, got {dim}")
+    g = nx.hypercube_graph(dim)
+    mapping = {node: int("".join(map(str, node)), 2) for node in g.nodes}
+    g = nx.relabel_nodes(g, mapping)
+    return Topology(
+        graph=g,
+        name="hypercube",
+        params={"dim": dim, "n": 2**dim},
+        diameter_hint=dim,
+    )
+
+
+def random_regular(n: int, degree: int, seed: int) -> Topology:
+    """A connected random ``degree``-regular graph.
+
+    Random d-regular graphs (d ≥ 3) are expanders with high probability, so
+    this family provides the constant-α graphs in the benchmarks.  Sampling
+    retries until connected (a.a.s. one attempt suffices).
+    """
+    _check_n(n, 4)
+    if degree < 2 or degree >= n:
+        raise ConfigurationError(f"need 2 <= degree < n, got degree={degree}")
+    if (n * degree) % 2 != 0:
+        raise ConfigurationError(
+            f"n*degree must be even for a regular graph (n={n}, degree={degree})"
+        )
+    for attempt in range(64):
+        g = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(g):
+            return Topology(
+                graph=g,
+                name="random_regular",
+                params={"n": n, "degree": degree, "seed": seed},
+                notes="expander w.h.p. for degree >= 3",
+            )
+    raise ConfigurationError(
+        f"could not sample a connected {degree}-regular graph on {n} vertices"
+    )
+
+
+def expander(n: int, degree: int = 6, seed: int = 0) -> Topology:
+    """Alias for :func:`random_regular` emphasizing its role: constant α."""
+    topo = random_regular(n, degree, seed)
+    return Topology(
+        graph=topo.graph,
+        name="expander",
+        params=topo.params,
+        notes=topo.notes,
+    )
+
+
+def erdos_renyi(n: int, p: float, seed: int) -> Topology:
+    """A connected G(n, p) sample (resamples until connected)."""
+    _check_n(n)
+    if not 0 < p <= 1:
+        raise ConfigurationError(f"need 0 < p <= 1, got p={p}")
+    for attempt in range(256):
+        g = nx.gnp_random_graph(n, p, seed=seed + attempt)
+        if g.number_of_nodes() >= 2 and nx.is_connected(g):
+            return Topology(
+                graph=g,
+                name="erdos_renyi",
+                params={"n": n, "p": p, "seed": seed},
+            )
+    raise ConfigurationError(
+        f"could not sample a connected G({n},{p}); increase p"
+    )
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """A rows×cols grid. Δ = 4, D = rows+cols-2, α = Θ(1/max(rows, cols))."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ConfigurationError(f"need rows*cols >= 2, got {rows}x{cols}")
+    g = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r, c in g.nodes}
+    g = nx.relabel_nodes(g, mapping)
+    return Topology(
+        graph=g,
+        name="grid",
+        params={"rows": rows, "cols": cols, "n": rows * cols},
+        diameter_hint=rows + cols - 2,
+    )
+
+
+def barbell(clique_size: int, bridge_length: int = 0) -> Topology:
+    """Two cliques of ``clique_size`` joined by a path of ``bridge_length``.
+
+    A classic bottleneck graph: α = Θ(1/clique_size).
+    """
+    if clique_size < 3:
+        raise ConfigurationError(f"need clique_size >= 3, got {clique_size}")
+    if bridge_length < 0:
+        raise ConfigurationError(f"need bridge_length >= 0, got {bridge_length}")
+    g = nx.barbell_graph(clique_size, bridge_length)
+    return Topology(
+        graph=g,
+        name="barbell",
+        params={"clique_size": clique_size, "bridge_length": bridge_length},
+    )
+
+
+def lollipop(clique_size: int, path_length: int) -> Topology:
+    """A clique with a path attached (the lollipop graph)."""
+    if clique_size < 3:
+        raise ConfigurationError(f"need clique_size >= 3, got {clique_size}")
+    if path_length < 1:
+        raise ConfigurationError(f"need path_length >= 1, got {path_length}")
+    g = nx.lollipop_graph(clique_size, path_length)
+    return Topology(
+        graph=g,
+        name="lollipop",
+        params={"clique_size": clique_size, "path_length": path_length},
+    )
+
+
+def binary_tree(depth: int) -> Topology:
+    """A complete binary tree of the given depth (n = 2^(depth+1) - 1)."""
+    if depth < 1:
+        raise ConfigurationError(f"need depth >= 1, got {depth}")
+    g = nx.balanced_tree(2, depth)
+    return Topology(
+        graph=g,
+        name="binary_tree",
+        params={"depth": depth, "n": 2 ** (depth + 1) - 1},
+        diameter_hint=2 * depth,
+    )
+
+
+#: Families usable by name from the CLI and the workload generators.
+TOPOLOGY_FAMILIES = {
+    "star": star,
+    "double_star": double_star,
+    "path": path,
+    "cycle": cycle,
+    "complete": complete,
+    "hypercube": hypercube,
+    "random_regular": random_regular,
+    "erdos_renyi": erdos_renyi,
+    "grid": grid,
+    "barbell": barbell,
+    "lollipop": lollipop,
+    "binary_tree": binary_tree,
+    "expander": expander,
+}

@@ -1,0 +1,23 @@
+"""Leader election in the mobile telephone model (substrate from [22]).
+
+SimSharedBit (paper §5.2) interleaves gossip with the *BitConvergence*
+leader-election algorithm of Newport's IPDPS 2017 paper [22].  This paper
+uses only its interface: candidates converge permanently to the minimum
+UID, a polylog(N)-bit payload rides along, and convergence takes
+O((1/α)·Δ^{1/τ}·polylog n) rounds w.h.p.  See DESIGN.md §4 for the
+substitution notes on our implementation.
+"""
+
+from repro.leader.bitconvergence import (
+    BitConvergence,
+    LeaderConfig,
+    LeaderElectionNode,
+    run_leader_election,
+)
+
+__all__ = [
+    "BitConvergence",
+    "LeaderConfig",
+    "LeaderElectionNode",
+    "run_leader_election",
+]

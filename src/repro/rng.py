@@ -1,0 +1,198 @@
+"""Deterministic randomness for simulations.
+
+Two kinds of randomness appear in the paper and therefore in this library:
+
+* **Private randomness** — each node flips its own coins (BlindMatch's
+  sender/receiver coin, EQTest's evaluation points, ...). We model this with
+  a :class:`SeedTree`: a root seed from which independent, reproducible
+  ``random.Random`` streams are derived by name, so a whole experiment is
+  replayable from one integer.
+
+* **Shared randomness** — SharedBit assumes a uniform shared string ``r̂`` of
+  length Θ(N³ log N) partitioned into *groups* (one per round) of *N bundles*
+  (one per UID) of ``⌈log N⌉ + 1`` bits each.  Materializing that string is
+  infeasible and unnecessary: algorithms read only a handful of bundles per
+  round.  :class:`SharedRandomness` therefore evaluates the string lazily
+  with a keyed BLAKE2b PRF — functionally a uniform string, and *shared*
+  because every node holds the same key.  This substitution is recorded in
+  DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SeedTree",
+    "SharedRandomness",
+    "prf_bytes",
+    "prf_bits",
+    "prf_uniform_int",
+]
+
+_PERSON = b"repro-gossip"
+
+
+def prf_bytes(key: bytes, index: tuple[int, ...], nbytes: int) -> bytes:
+    """Return ``nbytes`` pseudorandom bytes for ``index`` under ``key``.
+
+    The PRF is BLAKE2b in keyed mode; the index tuple is serialized
+    unambiguously (length-prefixed big-endian integers). Output longer than
+    one digest is produced in counter mode.
+    """
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    payload = b"".join(
+        len(ix := i.to_bytes((max(i.bit_length(), 1) + 7) // 8, "big", signed=False)).to_bytes(2, "big") + ix
+        for i in index
+    )
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        h = hashlib.blake2b(
+            payload + counter.to_bytes(4, "big"),
+            key=key[:64],
+            person=_PERSON,
+            digest_size=64,
+        )
+        out.extend(h.digest())
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+def prf_bits(key: bytes, index: tuple[int, ...], nbits: int) -> int:
+    """Return an ``nbits``-bit pseudorandom integer for ``index`` under ``key``."""
+    if nbits <= 0:
+        raise ValueError(f"nbits must be positive, got {nbits}")
+    raw = prf_bytes(key, index, (nbits + 7) // 8)
+    return int.from_bytes(raw, "big") >> ((8 * len(raw)) - nbits)
+
+
+def prf_uniform_int(key: bytes, index: tuple[int, ...], bound: int) -> int:
+    """Return a uniform integer in ``[0, bound)`` derived from the PRF.
+
+    Uses deterministic rejection sampling over successive PRF blocks so the
+    result is exactly uniform (the paper's nodes use ``log N`` shared bits to
+    pick uniformly among at most N neighbors; rejection sampling is the
+    standard way to realize that uniformity exactly).
+    """
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+    if bound == 1:
+        return 0
+    nbits = (bound - 1).bit_length()
+    attempt = 0
+    while True:
+        value = prf_bits(key, index + (0x52, attempt), nbits)
+        if value < bound:
+            return value
+        attempt += 1
+
+
+def _derive_seed(root: int, path: tuple) -> int:
+    material = repr((root, path)).encode()
+    return int.from_bytes(hashlib.blake2b(material, digest_size=16).digest(), "big")
+
+
+@dataclass
+class SeedTree:
+    """A tree of independent reproducible random streams.
+
+    Example::
+
+        tree = SeedTree(seed=7)
+        node_rng = tree.stream("node", uid)     # random.Random
+        child = tree.child("leader-election")   # SeedTree
+
+    Streams for distinct paths are computationally independent (derived by
+    hashing the path under the root seed), and the same path always yields
+    the same stream.
+    """
+
+    seed: int
+    _path: tuple = field(default_factory=tuple)
+
+    def stream(self, *path) -> random.Random:
+        """Return a ``random.Random`` dedicated to ``path``."""
+        return random.Random(_derive_seed(self.seed, self._path + tuple(path)))
+
+    def child(self, *path) -> "SeedTree":
+        """Return a subtree rooted at ``path`` (for handing to subsystems)."""
+        return SeedTree(seed=self.seed, _path=self._path + tuple(path))
+
+    def key(self, *path) -> bytes:
+        """Return 32 key bytes for ``path`` (for PRF-based shared strings)."""
+        return _derive_seed(self.seed, self._path + tuple(path)).to_bytes(16, "big") * 2
+
+
+class SharedRandomness:
+    """The shared string ``r̂`` of SharedBit, evaluated lazily.
+
+    The string is organized exactly as in §5.1 of the paper: ``groups`` of
+    ``N`` *bundles*, each bundle holding ``⌈log N⌉ + 1`` bits.  Group ``r``
+    supplies the bits for round ``r``; bundle ``t`` of a group belongs to
+    UID/token ``t``.
+
+    * :meth:`token_bit` — the *first* bit of a bundle, used as ``t.bit`` when
+      hashing token sets to a 1-bit advertisement.
+    * :meth:`selection_index` — a uniform index derived from the remaining
+      bits of a node's own bundle, used to pick which 0-advertising neighbor
+      receives the proposal.
+
+    Two instances constructed with the same key are bit-for-bit identical,
+    which is the shared-randomness assumption. ``SimSharedBit`` builds its
+    family R′ of candidate strings as SharedRandomness instances with
+    distinct keys (see :mod:`repro.commcplx.newman`).
+    """
+
+    def __init__(self, key: bytes, capacity_n: int):
+        if capacity_n < 2:
+            raise ValueError(f"capacity_n must be >= 2, got {capacity_n}")
+        self._key = key
+        self.capacity_n = capacity_n
+
+    @classmethod
+    def from_seed(cls, seed: int, capacity_n: int) -> "SharedRandomness":
+        return cls(SeedTree(seed).key("shared-string"), capacity_n)
+
+    @property
+    def key(self) -> bytes:
+        return self._key
+
+    def token_bit(self, group: int, bundle: int) -> int:
+        """Bit assigned to token/UID ``bundle`` in round-group ``group``."""
+        self._check(group, bundle)
+        return prf_bits(self._key, (group, bundle, 0), 1)
+
+    def selection_index(self, group: int, bundle: int, bound: int) -> int:
+        """Uniform value in ``[0, bound)`` from bundle ``bundle`` of ``group``."""
+        self._check(group, bundle)
+        return prf_uniform_int(self._key, (group, bundle, 1), bound)
+
+    def bundle_bits(self, group: int, bundle: int, nbits: int) -> int:
+        """Raw ``nbits`` of the bundle, for callers that need the bit string."""
+        self._check(group, bundle)
+        return prf_bits(self._key, (group, bundle, 2), nbits)
+
+    def _check(self, group: int, bundle: int) -> None:
+        if group < 0:
+            raise ValueError(f"group must be >= 0, got {group}")
+        if not 0 <= bundle <= self.capacity_n:
+            raise ValueError(
+                f"bundle must be in [0, {self.capacity_n}], got {bundle}"
+            )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SharedRandomness)
+            and self._key == other._key
+            and self.capacity_n == other.capacity_n
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._key, self.capacity_n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedRandomness(key={self._key[:4].hex()}…, N={self.capacity_n})"

@@ -1,0 +1,25 @@
+"""Per-round views handed to node protocols.
+
+A node's knowledge at decision time is deliberately narrow — exactly what
+the model grants: the UIDs of its current neighbors and, once tags are
+published, each neighbor's ``b``-bit tag.  Protocols receive tuples of
+:class:`NeighborView`; they never see the topology object, other nodes'
+state, or the future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NeighborView"]
+
+
+@dataclass(frozen=True)
+class NeighborView:
+    """What a node sees of one neighbor after the scan: UID and tag."""
+
+    uid: int
+    tag: int
+
+    def __repr__(self) -> str:
+        return f"NeighborView(uid={self.uid}, tag={self.tag})"

@@ -1,0 +1,250 @@
+"""The synchronous round engine for the mobile telephone model.
+
+:class:`Simulation` owns the round loop and enforces the model's rules so
+that protocols cannot cheat:
+
+* tags are validated against the tag length ``b`` (with ``b = 0`` only the
+  empty tag 0 is legal);
+* proposals must name a current neighbor;
+* matching follows :func:`repro.sim.matching.resolve_proposals` (one
+  connection per node, proposers cannot receive);
+* every connection runs over a budget-metered channel.
+
+Everything is deterministic given the seed: topology evolution, acceptance
+draws, and protocol-internal randomness (protocols are constructed with
+streams from the same :class:`~repro.rng.SeedTree`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import networkx as nx
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolViolationError,
+    RoundLimitExceeded,
+)
+from repro.graphs.dynamic import DynamicGraph
+from repro.rng import SeedTree
+from repro.sim.channel import Channel, ChannelPolicy
+from repro.sim.context import NeighborView
+from repro.sim.matching import (
+    ACCEPTANCE_RULES,
+    resolve_proposals,
+    resolve_proposals_unbounded,
+)
+from repro.sim.protocol import NodeProtocol
+from repro.sim.termination import TerminationCondition, never
+from repro.sim.trace import RoundRecord, Trace
+
+__all__ = ["Simulation", "SimulationResult"]
+
+Gauge = Callable[[Mapping[int, NodeProtocol], int], object]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a run: how long it took and what the system looked like."""
+
+    rounds: int
+    terminated: bool
+    trace: Trace
+    nodes: Mapping[int, NodeProtocol]
+
+    @property
+    def nodes_by_uid(self) -> dict[int, NodeProtocol]:
+        return {node.uid: node for node in self.nodes.values()}
+
+
+class Simulation:
+    """Drive a set of node protocols over a dynamic graph.
+
+    ``protocols`` maps graph vertex (``0..n-1``) to the protocol object for
+    the node at that vertex; each protocol carries its own UID, which is
+    what other nodes observe (the vertex is an artifact of the simulator).
+    """
+
+    def __init__(
+        self,
+        dynamic_graph: DynamicGraph,
+        protocols: Mapping[int, NodeProtocol],
+        b: int,
+        seed: int,
+        channel_policy: ChannelPolicy | None = None,
+        gauges: Mapping[str, Gauge] | None = None,
+        gauge_every: int = 1,
+        trace_sample_every: int = 1,
+        termination_every: int = 1,
+        acceptance: str = "uniform",
+    ):
+        if b < 0:
+            raise ConfigurationError(f"tag length b must be >= 0, got {b}")
+        if acceptance != "unbounded" and acceptance not in ACCEPTANCE_RULES:
+            raise ConfigurationError(
+                f"unknown acceptance mode {acceptance!r}; choose from "
+                f"{sorted(ACCEPTANCE_RULES) + ['unbounded']}"
+            )
+        if set(protocols) != set(range(dynamic_graph.n)):
+            raise ConfigurationError(
+                "protocols must be keyed by every vertex 0..n-1"
+            )
+        uids = [node.uid for node in protocols.values()]
+        if len(set(uids)) != len(uids):
+            raise ConfigurationError("node UIDs must be unique")
+        if gauge_every < 1 or termination_every < 1:
+            raise ConfigurationError(
+                "gauge_every and termination_every must be >= 1"
+            )
+
+        self.dynamic_graph = dynamic_graph
+        self.protocols = dict(protocols)
+        self.b = b
+        self.max_tag = (1 << b) - 1
+        self.seed = seed
+        self.channel_policy = channel_policy or ChannelPolicy()
+        self.gauges = dict(gauges or {})
+        self.gauge_every = gauge_every
+        self.termination_every = termination_every
+        #: "uniform"/"lowest_uid"/"highest_uid" (mobile telephone model) or
+        #: "unbounded" (the classical telephone model baseline).
+        self.acceptance = acceptance
+        self.trace = Trace(sample_every=trace_sample_every)
+
+        self._tree = SeedTree(seed).child("engine")
+        self._vertex_of_uid = {
+            node.uid: vertex for vertex, node in self.protocols.items()
+        }
+        self._round = 0
+        # Adjacency caches are keyed on the graph object identity; dynamic
+        # graphs return the same object for every round of an epoch, so this
+        # rebuilds only when the topology actually changes.
+        self._adjacency_for: nx.Graph | None = None
+        self._neighbor_uids: dict[int, tuple[int, ...]] = {}
+        self._neighbor_vertices: dict[int, tuple[int, ...]] = {}
+
+    @property
+    def n(self) -> int:
+        return self.dynamic_graph.n
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    def run(
+        self,
+        max_rounds: int,
+        termination: TerminationCondition | None = None,
+        raise_on_limit: bool = False,
+    ) -> SimulationResult:
+        """Run until ``termination`` fires or ``max_rounds`` elapse."""
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        condition = termination or never()
+        terminated = False
+        while self._round < max_rounds:
+            self.step()
+            if (
+                self._round % self.termination_every == 0
+                or self._round == max_rounds
+            ) and condition(self.protocols, self._round):
+                terminated = True
+                break
+        if not terminated and raise_on_limit:
+            raise RoundLimitExceeded(
+                f"no termination within {max_rounds} rounds", trace=self.trace
+            )
+        return SimulationResult(
+            rounds=self._round,
+            terminated=terminated,
+            trace=self.trace,
+            nodes=self.protocols,
+        )
+
+    def step(self) -> RoundRecord:
+        """Execute one full round and return its record."""
+        self._round += 1
+        rnd = self._round
+        graph = self.dynamic_graph.graph_at(rnd)
+        self._refresh_adjacency(graph)
+
+        # Stage 1: scan + tag selection.
+        tags: dict[int, int] = {}
+        for vertex, node in self.protocols.items():
+            tag = node.advertise(rnd, self._neighbor_uids[vertex])
+            if not isinstance(tag, int) or not 0 <= tag <= self.max_tag:
+                raise ProtocolViolationError(
+                    f"node uid={node.uid} advertised tag {tag!r}; "
+                    f"legal range with b={self.b} is [0, {self.max_tag}]"
+                )
+            tags[vertex] = tag
+
+        # Stage 2: proposals, with each node seeing neighbor tags.
+        proposals: dict[int, int] = {}
+        for vertex, node in self.protocols.items():
+            views = tuple(
+                NeighborView(uid=self.protocols[nv].uid, tag=tags[nv])
+                for nv in self._neighbor_vertices[vertex]
+            )
+            target = node.propose(rnd, views)
+            if target is None:
+                continue
+            if target not in self._neighbor_uids[vertex]:
+                raise ProtocolViolationError(
+                    f"node uid={node.uid} proposed to uid={target}, "
+                    f"not a neighbor in round {rnd}"
+                )
+            proposals[node.uid] = target
+
+        # Stage 3: matching and bounded pairwise interaction.
+        if self.acceptance == "unbounded":
+            matches = resolve_proposals_unbounded(proposals)
+        else:
+            matches = resolve_proposals(
+                proposals, self._tree.stream("match", rnd),
+                rule=self.acceptance,
+            )
+        tokens_moved = 0
+        control_bits = 0
+        for initiator_uid, responder_uid in matches:
+            initiator = self.protocols[self._vertex_of_uid[initiator_uid]]
+            responder = self.protocols[self._vertex_of_uid[responder_uid]]
+            channel = Channel(rnd, initiator_uid, responder_uid,
+                              self.channel_policy)
+            initiator.interact(responder, channel, rnd)
+            channel.close()
+            tokens_moved += channel.tokens_moved
+            control_bits += channel.bits.total_bits
+
+        gauges = {}
+        if self.gauges and rnd % self.gauge_every == 0:
+            gauges = {
+                name: fn(self.protocols, rnd) for name, fn in self.gauges.items()
+            }
+        record = RoundRecord(
+            round_index=rnd,
+            proposals=len(proposals),
+            connections=len(matches),
+            tokens_moved=tokens_moved,
+            control_bits=control_bits,
+            gauges=gauges,
+        )
+        self.trace.record(record)
+        return record
+
+    def _refresh_adjacency(self, graph: nx.Graph) -> None:
+        if graph is self._adjacency_for:
+            return
+        self._adjacency_for = graph
+        self._neighbor_vertices = {
+            vertex: tuple(sorted(graph.neighbors(vertex)))
+            for vertex in range(self.n)
+        }
+        self._neighbor_uids = {
+            vertex: tuple(
+                self.protocols[nv].uid for nv in self._neighbor_vertices[vertex]
+            )
+            for vertex in range(self.n)
+        }

@@ -1,0 +1,126 @@
+"""Proposal resolution: who connects to whom.
+
+The model's connection rules (§2):
+
+* a node sends at most one proposal;
+* a node that sends a proposal cannot also receive one — proposals aimed
+  at a proposer are simply lost;
+* a node that did not propose and received at least one proposal accepts
+  exactly one.  The paper fixes the acceptance draw to *uniform* "for
+  simplicity" while noting "there are different ways to model how v
+  selects a proposal to accept" — so the rule is pluggable here
+  (:data:`ACCEPTANCE_RULES`), with uniform as the default everywhere.
+
+The result is a partial matching: every node is in at most one connection.
+This bounded-acceptance rule is *the* difference from the classical
+telephone model (which allows unbounded incoming connections), and it is
+why the paper needs new analysis — see the double-star discussion in §1.
+:func:`resolve_proposals_unbounded` implements the classical model's rule
+as a measurable baseline (benchmarks/bench_classical.py shows the Δ²
+penalty collapsing once acceptance is unbounded).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import ConfigurationError, ProtocolViolationError
+
+__all__ = [
+    "resolve_proposals",
+    "resolve_proposals_unbounded",
+    "ACCEPTANCE_RULES",
+    "AcceptanceRule",
+]
+
+#: An acceptance rule picks one proposer among the incoming ones.
+AcceptanceRule = Callable[[list[int], random.Random], int]
+
+
+def _accept_uniform(senders: list[int], rng: random.Random) -> int:
+    """The paper's rule: uniform among incoming proposals."""
+    return senders[0] if len(senders) == 1 else rng.choice(senders)
+
+
+def _accept_lowest_uid(senders: list[int], rng: random.Random) -> int:
+    """Deterministic tie-break: smallest UID wins (an adversary-friendly
+    rule — the same proposer can monopolize a popular target)."""
+    return min(senders)
+
+
+def _accept_highest_uid(senders: list[int], rng: random.Random) -> int:
+    """Deterministic tie-break: largest UID wins."""
+    return max(senders)
+
+
+#: Named acceptance rules for the bounded (mobile telephone) model.
+ACCEPTANCE_RULES: dict[str, AcceptanceRule] = {
+    "uniform": _accept_uniform,
+    "lowest_uid": _accept_lowest_uid,
+    "highest_uid": _accept_highest_uid,
+}
+
+
+def _validate(proposals: dict[int, int]) -> None:
+    for proposer, target in proposals.items():
+        if proposer == target:
+            raise ProtocolViolationError(f"node {proposer} proposed to itself")
+
+
+def _incoming_at_non_proposers(proposals: dict[int, int]) -> dict[int, list[int]]:
+    proposers = set(proposals)
+    incoming: dict[int, list[int]] = {}
+    for proposer, target in proposals.items():
+        if target in proposers:
+            # The target is busy proposing; this proposal is lost.
+            continue
+        incoming.setdefault(target, []).append(proposer)
+    return incoming
+
+
+def resolve_proposals(
+    proposals: dict[int, int],
+    rng: random.Random,
+    rule: str = "uniform",
+) -> list[tuple[int, int]]:
+    """Resolve ``{proposer_uid: target_uid}`` into connection pairs.
+
+    Returns ``(initiator, responder)`` pairs under the mobile telephone
+    model: at most one connection per node.  Determinism: the acceptance
+    draw consumes ``rng`` in sorted-target order, so a fixed seed yields a
+    fixed matching.
+    """
+    if rule not in ACCEPTANCE_RULES:
+        raise ConfigurationError(
+            f"unknown acceptance rule {rule!r}; choose from "
+            f"{sorted(ACCEPTANCE_RULES)}"
+        )
+    _validate(proposals)
+    accept = ACCEPTANCE_RULES[rule]
+    matches = []
+    incoming = _incoming_at_non_proposers(proposals)
+    for target in sorted(incoming):
+        senders = sorted(incoming[target])
+        matches.append((accept(senders, rng), target))
+    return matches
+
+
+def resolve_proposals_unbounded(
+    proposals: dict[int, int],
+) -> list[tuple[int, int]]:
+    """The classical telephone model's rule: every proposal to a
+    non-proposer connects (a node may accept unboundedly many).
+
+    Provided as a baseline only — most classical-model bounds silently
+    rely on this rule (c.f. Daum et al. and the paper's related work), and
+    the benchmarks use it to measure exactly what the bounded-acceptance
+    change costs.
+    """
+    _validate(proposals)
+    matches = []
+    incoming = _incoming_at_non_proposers(proposals)
+    for target in sorted(incoming):
+        for sender in sorted(incoming[target]):
+            matches.append((sender, target))
+    return matches

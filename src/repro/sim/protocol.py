@@ -1,0 +1,84 @@
+"""The node-protocol interface every algorithm implements.
+
+A protocol is the per-node state machine of a distributed algorithm.  Each
+round the engine calls, in model order:
+
+1. :meth:`NodeProtocol.advertise` — pick this round's ``b``-bit tag,
+   knowing only the round number and the current neighbor UIDs;
+2. :meth:`NodeProtocol.propose` — after tags are published, decide whether
+   to send a connection proposal (and to whom) based on the neighbor views;
+3. :meth:`NodeProtocol.interact` — if matched, the *initiator's* method is
+   invoked with the responder object and a metered channel; the pair
+   performs its bounded exchange.
+
+Protocols must not communicate outside these hooks; the test suite checks
+the engine-enforced parts (tag width, proposing only to neighbors) and the
+channel meters the rest.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.sim.channel import Channel
+from repro.sim.context import NeighborView
+
+__all__ = ["NodeProtocol", "TokenHolder"]
+
+
+class NodeProtocol(ABC):
+    """Per-node algorithm state plus the three per-round decision hooks."""
+
+    def __init__(self, uid: int):
+        if uid < 0:
+            raise ValueError(f"uid must be >= 0, got {uid}")
+        self.uid = uid
+
+    @abstractmethod
+    def advertise(self, round_index: int, neighbor_uids: tuple[int, ...]) -> int:
+        """Return this round's tag (an integer in ``[0, 2**b)``).
+
+        With ``b = 0`` the only legal tag is 0.
+        """
+
+    @abstractmethod
+    def propose(
+        self, round_index: int, neighbors: tuple[NeighborView, ...]
+    ) -> int | None:
+        """Return the UID of the neighbor to propose to, or None to wait.
+
+        This hook is also where a protocol digests what it heard during the
+        scan (CrowdedBin's tag-spelling reception happens here), because it
+        is the one hook per round where the node sees all neighbor tags.
+        """
+
+    @abstractmethod
+    def interact(self, responder: "NodeProtocol", channel: Channel,
+                 round_index: int) -> None:
+        """Run the bounded pairwise exchange with ``responder``.
+
+        Called on the node whose proposal was accepted.  All communication
+        cost must be charged to ``channel``.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(uid={self.uid})"
+
+
+@runtime_checkable
+class TokenHolder(Protocol):
+    """Anything exposing the set of gossip tokens it currently knows.
+
+    Gossip protocols implement this so generic termination conditions and
+    trace gauges can measure coverage without knowing the algorithm.
+    """
+
+    @property
+    def known_tokens(self) -> frozenset: ...
+
+
+def coverage_counts(nodes: Iterable[TokenHolder], token_ids) -> list[int]:
+    """Per-node counts of how many of ``token_ids`` each node knows."""
+    wanted = frozenset(token_ids)
+    return [len(node.known_tokens & wanted) for node in nodes]

@@ -1,0 +1,66 @@
+"""Reusable termination conditions for simulations.
+
+A termination condition is a callable ``(nodes, round_index) -> bool``
+evaluated by the engine at the end of every round, where ``nodes`` maps
+vertex → protocol object.  These are *harness-side* observers — the
+distributed nodes themselves never see them, mirroring the paper's setup
+where termination is a property the analysis certifies rather than
+something nodes detect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.sim.protocol import NodeProtocol
+
+__all__ = ["TerminationCondition", "never", "all_hold_tokens",
+           "all_agree_on_leader", "any_of"]
+
+TerminationCondition = Callable[[Mapping[int, NodeProtocol], int], bool]
+
+
+def never() -> TerminationCondition:
+    """Run until the round limit (used when measuring fixed horizons)."""
+
+    def check(nodes: Mapping[int, NodeProtocol], round_index: int) -> bool:
+        return False
+
+    return check
+
+
+def all_hold_tokens(token_ids) -> TerminationCondition:
+    """True once every node's ``known_tokens`` contains all of ``token_ids``.
+
+    This is the gossip success condition: all nodes know all k tokens.
+    """
+    wanted = frozenset(token_ids)
+
+    def check(nodes: Mapping[int, NodeProtocol], round_index: int) -> bool:
+        return all(wanted <= node.known_tokens for node in nodes.values())
+
+    return check
+
+
+def all_agree_on_leader() -> TerminationCondition:
+    """True once every node's ``candidate_leader`` is identical.
+
+    Note this checks *agreement at an instant*; permanent stabilization is
+    what the leader-election guarantee promises, and the leader tests check
+    that agreement, once reached with the true minimum, never degrades.
+    """
+
+    def check(nodes: Mapping[int, NodeProtocol], round_index: int) -> bool:
+        candidates = {node.candidate_leader for node in nodes.values()}
+        return len(candidates) == 1
+
+    return check
+
+
+def any_of(*conditions: TerminationCondition) -> TerminationCondition:
+    """True when any constituent condition is true."""
+
+    def check(nodes: Mapping[int, NodeProtocol], round_index: int) -> bool:
+        return any(cond(nodes, round_index) for cond in conditions)
+
+    return check

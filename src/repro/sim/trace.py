@@ -1,0 +1,80 @@
+"""Execution traces: per-round records and summary statistics.
+
+The trace is how benchmarks and tests observe an execution without
+breaking the protocol abstraction: the engine appends one
+:class:`RoundRecord` per round (optionally downsampled for very long runs)
+with connection counts, communication totals, and the values of any
+caller-supplied *gauges* (e.g. token coverage, potential φ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one round."""
+
+    round_index: int
+    proposals: int
+    connections: int
+    tokens_moved: int
+    control_bits: int
+    gauges: dict = field(default_factory=dict)
+
+
+class Trace:
+    """An append-only log of round records plus running totals.
+
+    ``sample_every`` controls how often full records are kept (1 = every
+    round); totals are exact regardless of sampling.
+    """
+
+    def __init__(self, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        self.records: list[RoundRecord] = []
+        self.total_rounds = 0
+        self.total_proposals = 0
+        self.total_connections = 0
+        self.total_tokens_moved = 0
+        self.total_control_bits = 0
+
+    def record(self, record: RoundRecord) -> None:
+        self.total_rounds = max(self.total_rounds, record.round_index)
+        self.total_proposals += record.proposals
+        self.total_connections += record.connections
+        self.total_tokens_moved += record.tokens_moved
+        self.total_control_bits += record.control_bits
+        keep = (
+            record.round_index % self.sample_every == 0
+            or record.round_index == 1
+            or record.gauges
+        )
+        if keep:
+            self.records.append(record)
+
+    def gauge_series(self, name: str) -> list[tuple[int, object]]:
+        """(round, value) pairs for one named gauge."""
+        return [
+            (rec.round_index, rec.gauges[name])
+            for rec in self.records
+            if name in rec.gauges
+        ]
+
+    def last(self) -> RoundRecord | None:
+        return self.records[-1] if self.records else None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(rounds={self.total_rounds}, "
+            f"connections={self.total_connections}, "
+            f"tokens={self.total_tokens_moved})"
+        )

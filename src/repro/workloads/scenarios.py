@@ -1,0 +1,123 @@
+"""Concrete (dynamic graph, instance) pairs for the paper's motivating settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import GossipInstance, uniform_instance, skewed_instance
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import (
+    DynamicGraph,
+    GeometricMobilityGraph,
+    PeriodicRewireGraph,
+    StaticDynamicGraph,
+)
+from repro.graphs.topologies import expander, grid
+
+__all__ = [
+    "Scenario",
+    "protest_scenario",
+    "festival_scenario",
+    "disaster_scenario",
+    "rural_mesh_scenario",
+    "SCENARIOS",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload: topology dynamics plus a token assignment."""
+
+    name: str
+    description: str
+    dynamic_graph: DynamicGraph
+    instance: GossipInstance
+    recommended_algorithm: str
+
+
+def protest_scenario(n: int = 40, k: int = 5, seed: int = 0,
+                     tau: int = 4) -> Scenario:
+    """A moving crowd under censored infrastructure.
+
+    Phones drift through a square (random-waypoint mobility); a handful of
+    organizers hold messages to spread.  The topology changes every ``tau``
+    rounds, so the τ ≥ 1 algorithms apply; SimSharedBit is the recommended
+    choice because no shared-randomness service can be assumed.
+    """
+    if n < 8:
+        raise ConfigurationError(f"protest needs n >= 8, got {n}")
+    graph = GeometricMobilityGraph(
+        n=n, radius=0.35, step=0.05, tau=tau, seed=seed
+    )
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    return Scenario(
+        name="protest",
+        description="mobile crowd, censored infrastructure, few sources",
+        dynamic_graph=graph,
+        instance=instance,
+        recommended_algorithm="simsharedbit",
+    )
+
+
+def festival_scenario(n: int = 48, k: int = 8, seed: int = 0) -> Scenario:
+    """A dense, mostly-stationary festival crowd (Burning Man, far from towers).
+
+    Stable, well-connected topology — the τ = ∞, large-α regime where
+    CrowdedBin's O((k/α)·polylog) shines.
+    """
+    topo = expander(n=n, degree=6, seed=seed)
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    return Scenario(
+        name="festival",
+        description="dense stable mesh, no infrastructure, several sources",
+        dynamic_graph=StaticDynamicGraph(topo),
+        instance=instance,
+        recommended_algorithm="crowdedbin",
+    )
+
+
+def disaster_scenario(n: int = 36, k: int = 3, seed: int = 0) -> Scenario:
+    """Post-disaster relay: sparse, elongated topology, few working phones.
+
+    A grid-like street layout with low expansion; messages originate at a
+    single staging node (multiple tokens per holder exercises the paper's
+    multi-token allowance).
+    """
+    cols = max(n // 4, 2)
+    rows = max(n // cols, 2)
+    topo = grid(rows=rows, cols=cols)
+    actual_n = topo.n
+    instance = skewed_instance(n=actual_n, k=k, seed=seed, holders=1)
+    return Scenario(
+        name="disaster",
+        description="sparse grid mesh, one staging source with k messages",
+        dynamic_graph=StaticDynamicGraph(topo),
+        instance=instance,
+        recommended_algorithm="sharedbit",
+    )
+
+
+def rural_mesh_scenario(n: int = 32, k: int = 4, seed: int = 0,
+                        tau: int = 8) -> Scenario:
+    """Data-budget conservation: periodic rewiring as phones come and go.
+
+    Moderate density, topology resampled every τ rounds — the general
+    τ ≥ 1 setting with α and Δ known per epoch.
+    """
+    graph = PeriodicRewireGraph.resampled_gnp(n=n, p=0.2, tau=tau, seed=seed)
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    return Scenario(
+        name="rural_mesh",
+        description="periodically rewired mesh, cellular-data-free gossip",
+        dynamic_graph=graph,
+        instance=instance,
+        recommended_algorithm="sharedbit",
+    )
+
+
+SCENARIOS = {
+    "protest": protest_scenario,
+    "festival": festival_scenario,
+    "disaster": disaster_scenario,
+    "rural_mesh": rural_mesh_scenario,
+}

@@ -1,0 +1,127 @@
+"""Tests for repro.bits: bit-length math and counters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import (
+    BitCounter,
+    bit_length,
+    ceil_log,
+    ceil_log2,
+    int_cost_bits,
+    polylog_budget,
+)
+
+
+class TestCeilLog2:
+    def test_exact_powers(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(4) == 2
+        assert ceil_log2(1024) == 10
+
+    def test_between_powers_rounds_up(self):
+        assert ceil_log2(3) == 2
+        assert ceil_log2(5) == 3
+        assert ceil_log2(1000) == 10
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestBitLength:
+    def test_values(self):
+        assert bit_length(0) == 1
+        assert bit_length(1) == 1
+        assert bit_length(2) == 2
+        assert bit_length(255) == 8
+        assert bit_length(-255) == 8
+
+
+class TestIntCostBits:
+    def test_with_universe_fixed_width(self):
+        assert int_cost_bits(3, universe=16) == 4
+        assert int_cost_bits(0, universe=16) == 4
+        assert int_cost_bits(5, universe=2) == 1
+
+    def test_without_universe_uses_own_length(self):
+        assert int_cost_bits(255) == 8
+
+    def test_universe_one_costs_one(self):
+        assert int_cost_bits(0, universe=1) == 1
+
+    def test_rejects_bad_universe(self):
+        with pytest.raises(ValueError):
+            int_cost_bits(1, universe=0)
+
+
+class TestPolylogBudget:
+    def test_grows_polylog(self):
+        b16 = polylog_budget(16)
+        b256 = polylog_budget(256)
+        assert b256 > b16
+        # log 256 / log 16 = 2, cubed = 8.
+        assert b256 == b16 * 8
+
+    def test_scale_and_exponent(self):
+        assert polylog_budget(16, exponent=1, scale=1) == 4
+        assert polylog_budget(16, exponent=2, scale=2) == 32
+
+    def test_rejects_tiny_universe(self):
+        with pytest.raises(ValueError):
+            polylog_budget(1)
+
+
+class TestBitCounter:
+    def test_accumulates(self):
+        c = BitCounter()
+        c.charge(10, label="x")
+        c.charge(5, label="y")
+        c.charge(1)
+        assert c.total_bits == 16
+        assert c.messages == 3
+        assert c.by_label() == {"x": 10, "y": 5}
+
+    def test_merge(self):
+        a, b = BitCounter(), BitCounter()
+        a.charge(3, label="x")
+        b.charge(4, label="x")
+        b.charge(2, label="z")
+        a.merge(b)
+        assert a.total_bits == 9
+        assert a.by_label() == {"x": 7, "z": 2}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitCounter().charge(-1)
+
+    def test_by_label_returns_copy(self):
+        c = BitCounter()
+        c.charge(1, label="x")
+        c.by_label()["x"] = 999
+        assert c.by_label() == {"x": 1}
+
+
+class TestCeilLog:
+    def test_base2_matches_ceil_log2(self):
+        for v in (1, 2, 3, 5, 16, 100):
+            assert ceil_log(v) == ceil_log2(v)
+
+    def test_other_base(self):
+        assert ceil_log(9, base=3) == 2
+        assert ceil_log(10, base=3) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log(0)
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+@settings(max_examples=200, deadline=None)
+def test_ceil_log2_bracket_property(value):
+    e = ceil_log2(value)
+    assert 2**e >= value
+    if e > 0:
+        assert 2 ** (e - 1) < value

@@ -1,0 +1,125 @@
+"""Tests for BlindMatch: coin discipline and end-to-end behavior."""
+
+import random
+
+import pytest
+
+from repro.core.blindmatch import BlindMatchConfig, BlindMatchNode
+from repro.core.problem import uniform_instance
+from repro.core.runner import run_gossip
+from repro.core.tokens import Token
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
+from repro.graphs.topologies import path, star
+from repro.sim.context import NeighborView
+
+
+def make_node(uid=1, tokens=(), seed=0):
+    return BlindMatchNode(
+        uid=uid,
+        upper_n=32,
+        initial_tokens=tuple(Token(t) for t in tokens),
+        rng=random.Random(seed),
+    )
+
+
+class TestBehavior:
+    def test_always_advertises_zero(self):
+        node = make_node()
+        for r in range(1, 50):
+            assert node.advertise(r, (2, 3)) == 0
+
+    def test_sender_coin_is_roughly_fair(self):
+        node = make_node(seed=5)
+        views = (NeighborView(uid=2, tag=0),)
+        sends = 0
+        for r in range(1, 2001):
+            node.advertise(r, (2,))
+            if node.propose(r, views) is not None:
+                sends += 1
+        assert 860 < sends < 1140
+
+    def test_receiver_never_proposes(self):
+        node = make_node(seed=0)
+        views = (NeighborView(uid=2, tag=0),)
+        for r in range(1, 100):
+            node.advertise(r, (2,))
+            target = node.propose(r, views)
+            if not node._sender_this_round:
+                assert target is None
+
+    def test_no_neighbors_no_proposal(self):
+        node = make_node()
+        node.advertise(1, ())
+        assert node.propose(1, ()) is None
+
+    def test_target_uniform_over_neighbors(self):
+        node = make_node(seed=9)
+        uids = (2, 3, 4, 5)
+        views = tuple(NeighborView(uid=u, tag=0) for u in uids)
+        counts = {u: 0 for u in uids}
+        for r in range(1, 4001):
+            node.advertise(r, uids)
+            target = node.propose(r, views)
+            if target is not None:
+                counts[target] += 1
+        total = sum(counts.values())
+        for u in uids:
+            assert counts[u] > 0.15 * total  # ~25% each
+
+
+class TestConfig:
+    def test_rejects_nonpositive_exponent(self):
+        with pytest.raises(ConfigurationError):
+            BlindMatchConfig(transfer_error_exponent=0)
+
+    def test_presets_distinct(self):
+        assert (
+            BlindMatchConfig.paper().transfer_error_exponent
+            != BlindMatchConfig.practical().transfer_error_exponent
+        )
+
+
+class TestEndToEnd:
+    def test_solves_on_static_path(self):
+        inst = uniform_instance(n=8, k=2, seed=3)
+        result = run_gossip(
+            "blindmatch",
+            StaticDynamicGraph(path(8)),
+            inst,
+            seed=3,
+            max_rounds=20_000,
+        )
+        assert result.solved
+        assert result.residual_potential == 0
+
+    def test_solves_on_dynamic_star(self):
+        # The hard regime: b=0 on a relabeled star every round.
+        inst = uniform_instance(n=8, k=1, seed=1)
+        result = run_gossip(
+            "blindmatch",
+            RelabelingAdversary(star(8), tau=1, seed=2),
+            inst,
+            seed=1,
+            max_rounds=50_000,
+        )
+        assert result.solved
+
+    def test_payloads_travel_intact(self):
+        inst = uniform_instance(n=6, k=2, seed=5)
+        result = run_gossip(
+            "blindmatch",
+            StaticDynamicGraph(path(6)),
+            inst,
+            seed=5,
+            max_rounds=20_000,
+        )
+        assert result.solved
+        expected = {
+            t.token_id: t.payload
+            for ts in inst.initial_tokens.values()
+            for t in ts
+        }
+        for node in result.nodes.values():
+            for token_id, payload in expected.items():
+                assert node.token(token_id).payload == payload

@@ -1,0 +1,90 @@
+"""Tests for the metered channel and its budget policies."""
+
+import pytest
+
+from repro.errors import (
+    ChannelBudgetError,
+    ChannelClosedError,
+    ConfigurationError,
+)
+from repro.sim.channel import Channel, ChannelPolicy
+
+
+def make_channel(max_tokens=1, max_bits=100, strict=True):
+    policy = ChannelPolicy(
+        max_tokens=max_tokens, max_control_bits=max_bits, strict=strict
+    )
+    return Channel(round_index=1, endpoint_a=10, endpoint_b=20, policy=policy)
+
+
+class TestPolicy:
+    def test_for_upper_n_scales(self):
+        small = ChannelPolicy.for_upper_n(16)
+        large = ChannelPolicy.for_upper_n(256)
+        assert large.max_control_bits > small.max_control_bits
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ChannelPolicy(max_tokens=-1)
+        with pytest.raises(ConfigurationError):
+            ChannelPolicy(max_control_bits=-1)
+
+
+class TestCharging:
+    def test_bits_accumulate(self):
+        ch = make_channel()
+        ch.charge_bits(30, label="a")
+        ch.charge_bits(20, label="b")
+        assert ch.bits.total_bits == 50
+        assert ch.bits.by_label() == {"a": 30, "b": 20}
+
+    def test_tokens_accumulate(self):
+        ch = make_channel(max_tokens=2)
+        ch.charge_token()
+        ch.charge_token()
+        assert ch.tokens_moved == 2
+
+    def test_bit_budget_enforced(self):
+        ch = make_channel(max_bits=10)
+        with pytest.raises(ChannelBudgetError):
+            ch.charge_bits(11)
+
+    def test_token_budget_enforced(self):
+        ch = make_channel(max_tokens=1)
+        ch.charge_token()
+        with pytest.raises(ChannelBudgetError):
+            ch.charge_token()
+
+    def test_exact_budget_ok(self):
+        ch = make_channel(max_bits=10)
+        ch.charge_bits(10)
+        assert ch.bits.total_bits == 10
+
+    def test_non_strict_records_violation(self):
+        ch = make_channel(max_bits=10, strict=False)
+        ch.charge_bits(25)
+        assert len(ch.violations) == 1
+        assert "control bits exceeded" in ch.violations[0]
+
+
+class TestLifecycle:
+    def test_closed_channel_rejects_use(self):
+        ch = make_channel()
+        ch.close()
+        with pytest.raises(ChannelClosedError):
+            ch.charge_bits(1)
+        with pytest.raises(ChannelClosedError):
+            ch.charge_token()
+
+    def test_is_open_flag(self):
+        ch = make_channel()
+        assert ch.is_open
+        ch.close()
+        assert not ch.is_open
+
+    def test_peer_of(self):
+        ch = make_channel()
+        assert ch.peer_of(10) == 20
+        assert ch.peer_of(20) == 10
+        with pytest.raises(ConfigurationError):
+            ch.peer_of(99)

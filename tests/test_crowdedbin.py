@@ -1,0 +1,228 @@
+"""Tests for CrowdedBin: spelling, upgrades, and end-to-end gossip."""
+
+import random
+
+import pytest
+
+from repro.core.crowdedbin import (
+    CrowdedBinConfig,
+    CrowdedBinNode,
+    configuration_report,
+)
+from repro.core.problem import uniform_instance
+from repro.core.runner import run_gossip
+from repro.core.tokens import Token
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
+from repro.graphs.topologies import cycle, expander, path
+
+CFG = CrowdedBinConfig.practical()
+
+
+def make_node(uid=1, tokens=(), upper_n=16, seed=0, config=CFG):
+    return CrowdedBinNode(
+        uid=uid,
+        upper_n=upper_n,
+        initial_tokens=tuple(Token(t) for t in tokens),
+        rng=random.Random(seed),
+        config=config,
+    )
+
+
+class TestInitialization:
+    def test_token_owner_gets_tag_and_bins(self):
+        node = make_node(tokens=(5,))
+        tags = node.owned_tags()
+        assert len(tags) == 1
+        tag = next(iter(tags))
+        assert 1 <= tag <= node.schedule.max_tag
+        # The tag is thrown into one bin per instance.
+        for instance in range(1, node.schedule.num_instances + 1):
+            in_some_bin = any(
+                tag in node.tags_in_bin(instance, b)
+                for b in range(node.schedule.bins(instance))
+            )
+            assert in_some_bin
+
+    def test_multiple_tokens_distinct_tags(self):
+        node = make_node(tokens=(3, 5, 9))
+        assert len(node.owned_tags()) == 3
+
+    def test_tokenless_node_starts_empty(self):
+        node = make_node()
+        assert node.owned_tags() == frozenset()
+        assert node.estimate == 2  # instance 1 -> k_1 = 2
+
+    def test_estimate_starts_at_instance_one(self):
+        assert make_node().est == 1
+
+
+class TestUpgrades:
+    def test_crowded_bin_triggers_upgrade(self):
+        node = make_node()
+        key = (1, 0)
+        threshold = node.schedule.crowded_threshold
+        node._pending_tags[key] = set(range(1, threshold + 1))
+        node._fold_pending(1, 0)
+        assert node.est == 2
+
+    def test_below_threshold_no_upgrade(self):
+        node = make_node()
+        node._pending_tags[(1, 0)] = set(range(1, 3))
+        node._fold_pending(1, 0)
+        assert node.est == 1
+
+    def test_crowding_in_other_instance_ignored(self):
+        node = make_node()
+        threshold = node.schedule.crowded_threshold
+        node._pending_tags[(2, 0)] = set(range(1, threshold + 1))
+        node._fold_pending(2, 0)
+        assert node.est == 1
+
+    def test_estimate_capped(self):
+        node = make_node()
+        node.est = node.schedule.num_instances
+        threshold = node.schedule.crowded_threshold
+        node._pending_tags[(node.est, 0)] = set(range(1, threshold + 1))
+        node._fold_pending(node.est, 0)
+        assert node.est == node.schedule.num_instances
+
+    def test_activity_jumps_estimate(self):
+        from repro.sim.context import NeighborView
+
+        node = make_node()
+        # Find a real round belonging to instance 3.
+        r = next(
+            r for r in range(1, 100)
+            if node.schedule.locate(r).instance == 3
+        )
+        node.advertise(r, (2,))
+        node.propose(r, (NeighborView(uid=2, tag=1),))
+        assert node.est == 3
+
+    def test_activity_below_estimate_ignored(self):
+        from repro.sim.context import NeighborView
+
+        node = make_node()
+        node.est = 2
+        r = next(
+            r for r in range(1, 100)
+            if node.schedule.locate(r).instance == 1
+        )
+        node.advertise(r, (2,))
+        node.propose(r, (NeighborView(uid=2, tag=1),))
+        assert node.est == 2
+
+
+class TestSpelling:
+    def test_two_neighbors_exchange_tags_via_bits(self):
+        """Drive two adjacent nodes by hand through instance-1 rounds."""
+        from repro.sim.context import NeighborView
+
+        a = make_node(uid=1, tokens=(1,), seed=1)
+        b = make_node(uid=2, seed=2)
+        schedule = a.schedule
+        tag_a = next(iter(a.owned_tags()))
+        bin_a = next(
+            bin_index
+            for bin_index in range(schedule.bins(1))
+            if tag_a in a.tags_in_bin(1, bin_index)
+        )
+        # Walk both nodes through one full phase of instance 1.
+        plen = schedule.phase_len(1)
+        for t in range(1, plen + 1):
+            r = schedule.log_n * (t - 1) + 1  # instance 1's t-th real round
+            bit_a = a.advertise(r, (2,))
+            bit_b = b.advertise(r, (1,))
+            a.propose(r, (NeighborView(uid=2, tag=bit_b),))
+            b.propose(r, (NeighborView(uid=1, tag=bit_a),))
+        assert tag_a in b.tags_in_bin(1, bin_a)
+
+    def test_nonparticipant_advertises_zero(self):
+        node = make_node(tokens=(3,))
+        node.est = 2  # instance 1 rounds are not its instance
+        r = next(
+            r for r in range(1, 50)
+            if node.schedule.locate(r).instance == 1
+        )
+        assert node.advertise(r, ()) == 0
+
+
+class TestEndToEnd:
+    def test_solves_small_expander(self):
+        inst = uniform_instance(n=16, k=2, seed=7)
+        result = run_gossip(
+            "crowdedbin",
+            StaticDynamicGraph(expander(16, 4, seed=1)),
+            inst,
+            seed=7,
+            max_rounds=100_000,
+            config=CFG,
+            termination_every=8,
+        )
+        assert result.solved
+        assert result.residual_potential == 0
+
+    def test_solves_cycle(self):
+        inst = uniform_instance(n=12, k=3, seed=2)
+        result = run_gossip(
+            "crowdedbin",
+            StaticDynamicGraph(cycle(12)),
+            inst,
+            seed=2,
+            max_rounds=200_000,
+            config=CFG,
+            termination_every=8,
+        )
+        assert result.solved
+
+    def test_upgrade_path_with_tight_gamma(self):
+        # gamma=1: threshold = log N, so k=12 must overflow instance 1.
+        config = CrowdedBinConfig(beta=2, gamma=1)
+        inst = uniform_instance(n=32, k=12, seed=7)
+        result = run_gossip(
+            "crowdedbin",
+            StaticDynamicGraph(expander(32, 4, seed=1)),
+            inst,
+            seed=7,
+            max_rounds=500_000,
+            config=config,
+            termination_every=32,
+            trace_sample_every=1024,
+        )
+        assert result.solved
+        assert all(node.est > 1 for node in result.nodes.values())
+
+    def test_rejects_dynamic_topology(self):
+        inst = uniform_instance(n=8, k=2, seed=1)
+        with pytest.raises(ConfigurationError):
+            run_gossip(
+                "crowdedbin",
+                RelabelingAdversary(path(8), tau=1, seed=1),
+                inst,
+                seed=1,
+                max_rounds=100,
+            )
+
+    def test_configuration_report_good(self):
+        inst = uniform_instance(n=16, k=3, seed=11)
+        from repro.core.runner import build_nodes
+
+        nodes = build_nodes("crowdedbin", inst, seed=11, config=CFG)
+        report = configuration_report(
+            nodes, CFG.schedule(inst.upper_n), inst.k
+        )
+        assert report["unique_tags"]
+        assert report["target_instance"] is not None
+
+
+class TestConfig:
+    def test_paper_preset_satisfies_lemma_6_5(self):
+        cfg = CrowdedBinConfig.paper()
+        # c=1: beta >= c+3 and gamma >= 3c+9.
+        assert cfg.beta >= 4
+        assert cfg.gamma >= 12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrowdedBinConfig(beta=0, gamma=1)

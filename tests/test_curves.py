@@ -1,0 +1,93 @@
+"""Tests for spread curves and sparklines."""
+
+import pytest
+
+from repro.analysis.curves import (
+    SpreadCurve,
+    sparkline,
+    spread_curve_from_trace,
+)
+from repro.errors import ConfigurationError
+from repro.sim.trace import RoundRecord, Trace
+
+
+def make_trace(points):
+    trace = Trace()
+    for round_index, mean in points:
+        trace.record(
+            RoundRecord(
+                round_index=round_index,
+                proposals=0,
+                connections=0,
+                tokens_moved=0,
+                control_bits=0,
+                gauges={"coverage": (0, mean)},
+            )
+        )
+    return trace
+
+
+class TestSpreadCurve:
+    def test_quantiles(self):
+        curve = SpreadCurve(points=((1, 0.2), (5, 0.6), (9, 1.0)), k=4)
+        assert curve.rounds_to_fraction(0.5) == 5
+        assert curve.rounds_to_fraction(1.0) == 9
+        assert curve.rounds_to_fraction(0.1) == 1
+
+    def test_unreached_fraction_is_none(self):
+        curve = SpreadCurve(points=((1, 0.2),), k=4)
+        assert curve.rounds_to_fraction(0.9) is None
+
+    def test_summary(self):
+        curve = SpreadCurve(points=((2, 0.5), (4, 0.95), (6, 1.0)), k=2)
+        assert curve.summary() == {"t50": 2, "t90": 4, "t100": 6}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpreadCurve(points=(), k=1)
+        with pytest.raises(ConfigurationError):
+            SpreadCurve(points=((5, 0.1), (1, 0.2)), k=1)
+        curve = SpreadCurve(points=((1, 0.5),), k=1)
+        with pytest.raises(ConfigurationError):
+            curve.rounds_to_fraction(0.0)
+
+
+class TestFromTrace:
+    def test_normalizes_by_k(self):
+        trace = make_trace([(1, 1.0), (2, 2.0), (3, 4.0)])
+        curve = spread_curve_from_trace(trace, k=4)
+        assert curve.points == ((1, 0.25), (2, 0.5), (3, 1.0))
+
+    def test_caps_at_one(self):
+        trace = make_trace([(1, 5.0)])
+        curve = spread_curve_from_trace(trace, k=4)
+        assert curve.points[0][1] == 1.0
+
+    def test_missing_gauge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spread_curve_from_trace(Trace(), k=2)
+
+
+class TestSparkline:
+    def test_width_and_levels(self):
+        line = sparkline([0.0, 0.5, 1.0], width=3)
+        assert len(line) == 3
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_downsamples_long_series(self):
+        line = sparkline([i / 99 for i in range(100)], width=10)
+        assert len(line) == 10
+        # Monotone input stays monotone after bucketing.
+        assert list(line) == sorted(line, key="▁▂▃▄▅▆▇█".index)
+
+    def test_short_series_kept(self):
+        assert len(sparkline([0.3, 0.7], width=40)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+        with pytest.raises(ConfigurationError):
+            sparkline([1.5])
+        with pytest.raises(ConfigurationError):
+            sparkline([0.5], width=0)

@@ -1,0 +1,172 @@
+"""Tests for dynamic graphs: stability, determinism, connectivity."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import (
+    TAU_INFINITY,
+    GeometricMobilityGraph,
+    PeriodicRewireGraph,
+    RelabelingAdversary,
+    StaticDynamicGraph,
+    dynamic_expansion_estimate,
+    dynamic_max_degree,
+)
+from repro.graphs.topologies import cycle, double_star, path, star
+
+
+def edges_at(dg, r):
+    return frozenset(map(tuple, map(sorted, dg.graph_at(r).edges)))
+
+
+class TestStaticDynamicGraph:
+    def test_same_graph_every_round(self):
+        dg = StaticDynamicGraph(cycle(8))
+        assert edges_at(dg, 1) == edges_at(dg, 1000)
+
+    def test_tau_is_infinity(self):
+        assert StaticDynamicGraph(cycle(8)).tau == TAU_INFINITY
+
+    def test_epoch_always_zero(self):
+        dg = StaticDynamicGraph(cycle(8))
+        assert dg.epoch_of(1) == dg.epoch_of(999) == 0
+
+    def test_rounds_one_indexed(self):
+        dg = StaticDynamicGraph(cycle(8))
+        with pytest.raises(ConfigurationError):
+            dg.graph_at(0)
+
+
+class TestRelabelingAdversary:
+    def test_preserves_shape(self):
+        topo = double_star(4)
+        dg = RelabelingAdversary(topo, tau=1, seed=5)
+        for r in (1, 2, 3):
+            g = dg.graph_at(r)
+            assert nx.is_isomorphic(g, topo.graph)
+
+    def test_changes_at_tau_one(self):
+        # A path's relabeled edge set pins down the permutation (up to
+        # reversal), so distinct epochs almost surely differ.
+        dg = RelabelingAdversary(path(10), tau=1, seed=5)
+        assert edges_at(dg, 1) != edges_at(dg, 2)
+
+    def test_stable_within_epoch(self):
+        dg = RelabelingAdversary(path(10), tau=5, seed=5)
+        for r in range(1, 6):
+            assert edges_at(dg, r) == edges_at(dg, 1)
+        assert edges_at(dg, 6) != edges_at(dg, 1)
+
+    def test_sequence_fixed_in_advance(self):
+        # Re-deriving an old epoch must reproduce it exactly: the dynamic
+        # graph is an oblivious adversary, fixed at execution start.
+        dg = RelabelingAdversary(star(10), tau=1, seed=9)
+        first = edges_at(dg, 3)
+        for r in (50, 1, 7):
+            dg.graph_at(r)
+        assert edges_at(dg, 3) == first
+
+    def test_determinism_across_instances(self):
+        a = RelabelingAdversary(star(10), tau=2, seed=9)
+        b = RelabelingAdversary(star(10), tau=2, seed=9)
+        for r in (1, 4, 11):
+            assert edges_at(a, r) == edges_at(b, r)
+
+    def test_seed_changes_sequence(self):
+        a = RelabelingAdversary(star(10), tau=1, seed=1)
+        b = RelabelingAdversary(star(10), tau=1, seed=2)
+        assert any(edges_at(a, r) != edges_at(b, r) for r in range(1, 6))
+
+
+class TestPeriodicRewire:
+    def test_resampled_regular_stays_regular(self):
+        dg = PeriodicRewireGraph.resampled_regular(12, 3, tau=2, seed=4)
+        for r in (1, 3, 9):
+            assert all(d == 3 for _, d in dg.graph_at(r).degree)
+
+    def test_connected_every_epoch(self):
+        dg = PeriodicRewireGraph.resampled_gnp(14, 0.3, tau=1, seed=4)
+        for r in range(1, 12):
+            assert nx.is_connected(dg.graph_at(r))
+
+    def test_respects_tau(self):
+        dg = PeriodicRewireGraph.resampled_gnp(14, 0.3, tau=3, seed=4)
+        assert edges_at(dg, 1) == edges_at(dg, 2) == edges_at(dg, 3)
+        assert edges_at(dg, 4) != edges_at(dg, 1)
+
+    def test_factory_output_validated(self):
+        def bad_factory(epoch, rng):
+            g = nx.Graph()
+            g.add_nodes_from(range(6))
+            g.add_edge(0, 1)  # disconnected
+            return g
+
+        dg = PeriodicRewireGraph(n=6, tau=1, seed=0, factory=bad_factory)
+        with pytest.raises(Exception):
+            dg.graph_at(1)
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicRewireGraph.resampled_gnp(8, 0.5, tau=0, seed=0)
+        with pytest.raises(ConfigurationError):
+            PeriodicRewireGraph.resampled_gnp(8, 0.5, tau=1.5, seed=0)
+
+
+class TestGeometricMobility:
+    def test_connected_every_round(self):
+        dg = GeometricMobilityGraph(n=20, radius=0.3, step=0.05, tau=2, seed=1)
+        for r in range(1, 20):
+            assert nx.is_connected(dg.graph_at(r))
+
+    def test_positions_move(self):
+        dg = GeometricMobilityGraph(n=15, radius=0.4, step=0.1, tau=1, seed=1)
+        seqs = {edges_at(dg, r) for r in range(1, 10)}
+        assert len(seqs) > 1
+
+    def test_forward_access_only(self):
+        dg = GeometricMobilityGraph(n=10, radius=0.4, step=0.1, tau=1, seed=1)
+        dg.graph_at(10)
+        dg.graph_at(11)
+        with pytest.raises(ConfigurationError):
+            dg.graph_at(1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMobilityGraph(n=10, radius=0.0, step=0.1, tau=1, seed=1)
+        with pytest.raises(ConfigurationError):
+            GeometricMobilityGraph(n=10, radius=0.3, step=2.0, tau=1, seed=1)
+
+
+class TestDynamicMetrics:
+    def test_static_max_degree(self):
+        dg = StaticDynamicGraph(star(9))
+        assert dynamic_max_degree(dg, horizon=100) == 8
+
+    def test_relabeling_preserves_max_degree(self):
+        dg = RelabelingAdversary(star(9), tau=1, seed=3)
+        assert dynamic_max_degree(dg, horizon=10) == 8
+
+    def test_dynamic_expansion_static_case(self):
+        topo = cycle(12)
+        dg = StaticDynamicGraph(topo)
+        est = dynamic_expansion_estimate(dg, horizon=50)
+        assert est == pytest.approx(topo.alpha)
+
+    def test_dynamic_expansion_relabeling_invariant(self):
+        topo = cycle(12)
+        dg = RelabelingAdversary(topo, tau=2, seed=3)
+        est = dynamic_expansion_estimate(dg, horizon=8)
+        assert est == pytest.approx(topo.alpha)
+
+
+class TestValidation:
+    def test_n_too_small(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMobilityGraph(n=1, radius=0.3, step=0.1, tau=1, seed=0)
+
+    def test_tau_infinity_epoch(self):
+        dg = StaticDynamicGraph(cycle(6))
+        assert dg.tau == math.inf

@@ -1,0 +1,213 @@
+"""Tests for the round engine: model enforcement, traces, termination."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolViolationError,
+    RoundLimitExceeded,
+)
+from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
+from repro.graphs.topologies import cycle, path, star
+from repro.sim.channel import Channel, ChannelPolicy
+from repro.sim.context import NeighborView
+from repro.sim.engine import Simulation
+from repro.sim.protocol import NodeProtocol
+from repro.sim.termination import all_agree_on_leader, any_of, never
+
+
+class CountingNode(NodeProtocol):
+    """Advertises a fixed tag; proposes to its smallest neighbor when odd."""
+
+    def __init__(self, uid, tag=0, propose_when_odd=False):
+        super().__init__(uid)
+        self.tag = tag
+        self.propose_when_odd = propose_when_odd
+        self.connections = 0
+        self.seen_rounds = []
+        self.seen_neighbor_tags = {}
+
+    def advertise(self, round_index, neighbor_uids):
+        self.seen_rounds.append(round_index)
+        return self.tag
+
+    def propose(self, round_index, neighbors):
+        self.seen_neighbor_tags = {v.uid: v.tag for v in neighbors}
+        if self.propose_when_odd and self.uid % 2 == 1 and neighbors:
+            return min(v.uid for v in neighbors)
+        return None
+
+    def interact(self, responder, channel, round_index):
+        channel.charge_bits(8, label="test")
+        self.connections += 1
+        responder.connections += 1
+
+
+def simple_sim(topo, node_factory, b=1, seed=0, **kwargs):
+    nodes = {v: node_factory(v) for v in range(topo.n)}
+    dg = StaticDynamicGraph(topo)
+    return Simulation(dg, nodes, b=b, seed=seed, **kwargs), nodes
+
+
+class TestConstruction:
+    def test_rejects_missing_vertices(self):
+        topo = cycle(5)
+        nodes = {v: CountingNode(v + 1) for v in range(4)}  # one missing
+        with pytest.raises(ConfigurationError):
+            Simulation(StaticDynamicGraph(topo), nodes, b=1, seed=0)
+
+    def test_rejects_duplicate_uids(self):
+        topo = cycle(4)
+        nodes = {v: CountingNode(7) for v in range(4)}
+        with pytest.raises(ConfigurationError):
+            Simulation(StaticDynamicGraph(topo), nodes, b=1, seed=0)
+
+    def test_rejects_negative_b(self):
+        topo = cycle(4)
+        nodes = {v: CountingNode(v + 1) for v in range(4)}
+        with pytest.raises(ConfigurationError):
+            Simulation(StaticDynamicGraph(topo), nodes, b=-1, seed=0)
+
+
+class TestTagEnforcement:
+    def test_b0_rejects_nonzero_tag(self):
+        sim, _ = simple_sim(cycle(4), lambda v: CountingNode(v + 1, tag=1), b=0)
+        with pytest.raises(ProtocolViolationError):
+            sim.step()
+
+    def test_b1_rejects_tag_two(self):
+        sim, _ = simple_sim(cycle(4), lambda v: CountingNode(v + 1, tag=2), b=1)
+        with pytest.raises(ProtocolViolationError):
+            sim.step()
+
+    def test_b2_allows_tag_three(self):
+        sim, _ = simple_sim(cycle(4), lambda v: CountingNode(v + 1, tag=3), b=2)
+        sim.step()  # no error
+
+    def test_neighbors_see_tags(self):
+        sim, nodes = simple_sim(
+            path(3), lambda v: CountingNode(v + 1, tag=1), b=1
+        )
+        sim.step()
+        # Middle vertex (uid 2) saw both endpoints' tags.
+        assert nodes[1].seen_neighbor_tags == {1: 1, 3: 1}
+
+
+class TestProposalEnforcement:
+    def test_proposal_to_non_neighbor_rejected(self):
+        class BadNode(CountingNode):
+            def propose(self, round_index, neighbors):
+                return 999
+
+        sim, _ = simple_sim(cycle(4), lambda v: BadNode(v + 1))
+        with pytest.raises(ProtocolViolationError):
+            sim.step()
+
+    def test_valid_proposals_connect(self):
+        sim, nodes = simple_sim(
+            path(2), lambda v: CountingNode(v + 1, propose_when_odd=True)
+        )
+        record = sim.step()
+        assert record.connections == 1
+        assert nodes[0].connections == 1
+        assert nodes[1].connections == 1
+
+
+class TestRunLoop:
+    def test_runs_to_max_rounds(self):
+        sim, nodes = simple_sim(cycle(4), lambda v: CountingNode(v + 1))
+        result = sim.run(max_rounds=10)
+        assert result.rounds == 10
+        assert not result.terminated
+        assert nodes[0].seen_rounds == list(range(1, 11))
+
+    def test_termination_stops_early(self):
+        sim, _ = simple_sim(cycle(4), lambda v: CountingNode(v + 1))
+
+        def stop_at_3(nodes, r):
+            return r >= 3
+
+        result = sim.run(max_rounds=100, termination=stop_at_3)
+        assert result.rounds == 3
+        assert result.terminated
+
+    def test_raise_on_limit(self):
+        sim, _ = simple_sim(cycle(4), lambda v: CountingNode(v + 1))
+        with pytest.raises(RoundLimitExceeded):
+            sim.run(max_rounds=5, termination=never(), raise_on_limit=True)
+
+    def test_termination_every_stride(self):
+        sim, _ = simple_sim(cycle(4), lambda v: CountingNode(v + 1),
+                            termination_every=4)
+        result = sim.run(max_rounds=100, termination=lambda nodes, r: r >= 3)
+        # Condition is only polled at multiples of 4.
+        assert result.rounds == 4
+
+    def test_nodes_by_uid(self):
+        sim, nodes = simple_sim(cycle(4), lambda v: CountingNode(v + 1))
+        result = sim.run(max_rounds=1)
+        assert set(result.nodes_by_uid) == {1, 2, 3, 4}
+
+
+class TestTrace:
+    def test_trace_counts_connections(self):
+        sim, _ = simple_sim(
+            path(2), lambda v: CountingNode(v + 1, propose_when_odd=True)
+        )
+        result = sim.run(max_rounds=5)
+        assert result.trace.total_connections == 5
+        assert result.trace.total_control_bits == 5 * 8
+
+    def test_gauges_recorded(self):
+        sim, _ = simple_sim(
+            cycle(4),
+            lambda v: CountingNode(v + 1),
+            gauges={"round_echo": lambda nodes, r: r},
+            gauge_every=2,
+        )
+        result = sim.run(max_rounds=6)
+        series = result.trace.gauge_series("round_echo")
+        assert series == [(2, 2), (4, 4), (6, 6)]
+
+
+class TestDynamicTopology:
+    def test_adjacency_tracks_relabeling(self):
+        topo = star(6)
+        dg = RelabelingAdversary(topo, tau=1, seed=3)
+        nodes = {v: CountingNode(v + 1, propose_when_odd=True) for v in range(6)}
+        sim = Simulation(dg, nodes, b=1, seed=0)
+        result = sim.run(max_rounds=20)
+        # Connections happen every round (odd-uid nodes always propose and
+        # the star guarantees a non-proposing hub or leaf target exists
+        # often enough that at least some rounds connect).
+        assert result.trace.total_connections > 0
+
+    def test_determinism(self):
+        def run_once():
+            topo = cycle(6)
+            dg = RelabelingAdversary(topo, tau=1, seed=3)
+            nodes = {
+                v: CountingNode(v + 1, propose_when_odd=True) for v in range(6)
+            }
+            sim = Simulation(dg, nodes, b=1, seed=11)
+            result = sim.run(max_rounds=30)
+            return result.trace.total_connections
+
+        assert run_once() == run_once()
+
+
+class TestTerminationHelpers:
+    def test_any_of(self):
+        cond = any_of(lambda n, r: r >= 5, lambda n, r: r == 2)
+        assert cond({}, 2)
+        assert cond({}, 6)
+        assert not cond({}, 3)
+
+    def test_all_agree_on_leader(self):
+        class Stub:
+            def __init__(self, leader):
+                self.candidate_leader = leader
+
+        cond = all_agree_on_leader()
+        assert cond({0: Stub(1), 1: Stub(1)}, 1)
+        assert not cond({0: Stub(1), 1: Stub(2)}, 1)

@@ -1,0 +1,119 @@
+"""Tests for the EQTest equality protocol: one-sided error, bit costs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcplx.eqtest import EqualityTester
+from repro.errors import ConfigurationError
+from repro.sim.channel import Channel, ChannelPolicy
+
+
+class TestCompleteness:
+    """Equal sets are *always* reported equal (probability-1 guarantee)."""
+
+    def test_equal_sets_always_equal(self):
+        tester = EqualityTester(upper_n=64)
+        rng = random.Random(0)
+        for trial in range(50):
+            size = rng.randint(0, 20)
+            s = set(rng.sample(range(1, 65), size))
+            assert tester.test(s, set(s), trials=3, rng=rng)
+
+    def test_empty_sets_equal(self):
+        tester = EqualityTester(upper_n=16)
+        assert tester.test(set(), set(), trials=1, rng=random.Random(1))
+
+
+class TestSoundness:
+    def test_unequal_sets_usually_detected(self):
+        tester = EqualityTester(upper_n=64)
+        rng = random.Random(7)
+        errors = 0
+        for trial in range(300):
+            s = set(rng.sample(range(1, 65), 10))
+            t = set(s)
+            t.remove(next(iter(t)))
+            t.add(next(x for x in range(1, 65) if x not in s))
+            if tester.test(s, t, trials=5, rng=rng):
+                errors += 1
+        # Per-call error <= 2^-5 ~ 3%; allow generous slack.
+        assert errors <= 30
+
+    def test_more_trials_reduce_error(self):
+        tester = EqualityTester(upper_n=16)
+        rng = random.Random(3)
+
+        def error_rate(trials):
+            errors = 0
+            for _ in range(400):
+                if tester.test({1, 2}, {1, 3}, trials=trials, rng=rng):
+                    errors += 1
+            return errors
+
+        assert error_rate(6) <= error_rate(1)
+
+    def test_single_element_difference_detected_eventually(self):
+        tester = EqualityTester(upper_n=1024)
+        rng = random.Random(5)
+        s = set(range(1, 500))
+        t = s | {1000}
+        assert not tester.test(s, t, trials=20, rng=rng)
+
+
+class TestAccounting:
+    def test_prime_exceeds_2n(self):
+        for upper_n in (2, 16, 100, 1000):
+            tester = EqualityTester(upper_n=upper_n)
+            assert tester.prime > 2 * upper_n
+
+    def test_bits_per_trial_logarithmic(self):
+        small = EqualityTester(upper_n=16).bits_per_trial
+        large = EqualityTester(upper_n=2**16).bits_per_trial
+        assert small < large <= 4 * small
+
+    def test_stats_accumulate(self):
+        tester = EqualityTester(upper_n=32)
+        rng = random.Random(0)
+        tester.test({1}, {1}, trials=4, rng=rng)
+        assert tester.stats.calls == 1
+        assert tester.stats.trials == 4
+        assert tester.stats.bits == 4 * tester.bits_per_trial
+
+    def test_early_exit_on_detection_spends_fewer_trials(self):
+        tester = EqualityTester(upper_n=32)
+        rng = random.Random(0)
+        # Unequal sets stop at the first detecting trial.
+        tester.test({1}, {2}, trials=50, rng=rng)
+        assert tester.stats.trials < 50
+
+    def test_channel_charged(self):
+        tester = EqualityTester(upper_n=32)
+        channel = Channel(1, 10, 20, ChannelPolicy(max_control_bits=10**6))
+        tester.test({1}, {1}, trials=2, rng=random.Random(0), channel=channel)
+        assert channel.bits.total_bits == 2 * tester.bits_per_trial
+
+
+class TestValidation:
+    def test_rejects_tiny_universe(self):
+        with pytest.raises(ConfigurationError):
+            EqualityTester(upper_n=1)
+
+    def test_rejects_zero_trials(self):
+        tester = EqualityTester(upper_n=8)
+        with pytest.raises(ConfigurationError):
+            tester.test({1}, {1}, trials=0, rng=random.Random(0))
+
+
+@given(
+    st.sets(st.integers(min_value=1, max_value=50), max_size=25),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_reflexivity_property(elements, seed):
+    """EQTest(S, S) is true for every S and every randomness."""
+    tester = EqualityTester(upper_n=50)
+    assert tester.test(elements, set(elements), trials=2,
+                       rng=random.Random(seed))

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion and prints sense."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) >= {
+        "quickstart",
+        "protest_mesh",
+        "festival_stable",
+        "quorum_epsilon",
+        "leader_seed",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip(), f"{name} produced no output"
+    assert "Traceback" not in out
+
+
+def test_quickstart_solves(capsys):
+    out = run_example("quickstart", capsys)
+    assert "solved=True" in out
+
+
+def test_quorum_reports_all_epsilons(capsys):
+    out = run_example("quorum_epsilon", capsys)
+    for eps in ("0.25", "0.50", "0.75", "0.90"):
+        assert eps in out
+
+
+def test_leader_seed_converges(capsys):
+    out = run_example("leader_seed", capsys)
+    assert "yes" in out
+    assert "winning seed" in out

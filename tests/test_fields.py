@@ -1,0 +1,99 @@
+"""Tests for prime-field utilities used by EQTest."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcplx.fields import eval_set_polynomial, is_prime, next_prime
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 15, 91, 7917, 7921):
+            assert not is_prime(c)
+
+    def test_carmichael_numbers(self):
+        # Classic Fermat pseudoprimes must be rejected.
+        for c in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(c)
+
+    def test_larger_primes(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+        assert not is_prime(2**32 + 1)  # 641 * 6700417
+
+
+class TestNextPrime:
+    def test_basic(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(13) == 17
+
+    def test_strictly_greater(self):
+        assert next_prime(11) == 13
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_result_prime_and_greater(self, value):
+        p = next_prime(value)
+        assert p > value
+        assert is_prime(p)
+
+
+class TestEvalSetPolynomial:
+    def test_empty_set_is_zero(self):
+        assert eval_set_polynomial([], 5, 101) == 0
+
+    def test_singleton(self):
+        # P_{3}(x) = x^3.
+        assert eval_set_polynomial([3], 2, 101) == 8
+
+    def test_sum_of_powers(self):
+        # P_{1,2}(x) = x + x^2 at x=3 mod 101 -> 12.
+        assert eval_set_polynomial([1, 2], 3, 101) == 12
+
+    def test_order_irrelevant(self):
+        a = eval_set_polynomial([5, 1, 9], 7, 211)
+        b = eval_set_polynomial([9, 5, 1], 7, 211)
+        assert a == b
+
+    def test_distinct_sets_differ_somewhere(self):
+        prime = next_prime(64)
+        set_a, set_b = [1, 2, 3], [1, 2, 4]
+        differs = any(
+            eval_set_polynomial(set_a, x, prime)
+            != eval_set_polynomial(set_b, x, prime)
+            for x in range(prime)
+        )
+        assert differs
+
+    def test_rejects_negative_elements(self):
+        with pytest.raises(ValueError):
+            eval_set_polynomial([-1], 2, 101)
+
+    def test_rejects_bad_prime(self):
+        with pytest.raises(ValueError):
+            eval_set_polynomial([1], 2, 1)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=60), max_size=20),
+    st.sets(st.integers(min_value=0, max_value=60), max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_distinct_sets_agree_on_few_points(set_a, set_b):
+    """Soundness core: distinct sets agree on <= max_element points."""
+    if set_a == set_b:
+        return
+    prime = next_prime(2 * 64)
+    agreements = sum(
+        1
+        for x in range(prime)
+        if eval_set_polynomial(set_a, x, prime)
+        == eval_set_polynomial(set_b, x, prime)
+    )
+    assert agreements <= 60  # degree bound

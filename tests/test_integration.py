@@ -1,0 +1,166 @@
+"""Integration tests: every algorithm, end to end, under model enforcement.
+
+Because every run uses strict channel policies (O(1) tokens, polylog N
+control bits per connection) and the engine validates tags and proposals,
+a successful run here certifies both that the algorithm *solves gossip*
+and that it *stays inside the mobile telephone model*.
+"""
+
+import pytest
+
+from repro.core.crowdedbin import CrowdedBinConfig
+from repro.core.potential import potential
+from repro.core.problem import skewed_instance, uniform_instance
+from repro.core.runner import ALGORITHMS, potential_gauge, run_gossip
+from repro.graphs.dynamic import (
+    PeriodicRewireGraph,
+    RelabelingAdversary,
+    StaticDynamicGraph,
+)
+from repro.graphs.topologies import cycle, double_star, expander, grid, path
+
+MAX_ROUNDS = {
+    "blindmatch": 120_000,
+    "sharedbit": 60_000,
+    "simsharedbit": 120_000,
+    "crowdedbin": 400_000,
+    "multibit": 60_000,
+}
+
+
+def run_one(algorithm, dynamic_graph, instance, seed):
+    kwargs = dict(
+        max_rounds=MAX_ROUNDS[algorithm],
+        termination_every=16 if algorithm == "crowdedbin" else 1,
+        trace_sample_every=256,
+    )
+    if algorithm == "crowdedbin":
+        kwargs["config"] = CrowdedBinConfig.practical()
+    return run_gossip(algorithm, dynamic_graph, instance, seed=seed, **kwargs)
+
+
+class TestAllAlgorithmsStaticTopologies:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: path(10),
+            lambda: cycle(12),
+            lambda: expander(16, 4, seed=3),
+            lambda: grid(3, 4),
+        ],
+        ids=["path10", "cycle12", "expander16", "grid3x4"],
+    )
+    def test_solves_and_obeys_budgets(self, algorithm, topo_factory):
+        topo = topo_factory()
+        inst = uniform_instance(n=topo.n, k=2, seed=13)
+        result = run_one(algorithm, StaticDynamicGraph(topo), inst, seed=13)
+        assert result.solved, f"{algorithm} failed on {topo.name}"
+        assert result.residual_potential == 0
+
+
+class TestDynamicTopologies:
+    @pytest.mark.parametrize(
+        "algorithm", ["blindmatch", "sharedbit", "simsharedbit"]
+    )
+    def test_fully_dynamic_relabeling(self, algorithm):
+        topo = expander(12, 4, seed=2)
+        inst = uniform_instance(n=12, k=2, seed=5)
+        result = run_one(
+            algorithm, RelabelingAdversary(topo, tau=1, seed=7), inst, seed=5
+        )
+        assert result.solved
+
+    @pytest.mark.parametrize(
+        "algorithm", ["blindmatch", "sharedbit", "simsharedbit"]
+    )
+    def test_periodic_rewire(self, algorithm):
+        dg = PeriodicRewireGraph.resampled_gnp(12, 0.35, tau=4, seed=3)
+        inst = uniform_instance(n=12, k=2, seed=6)
+        result = run_one(algorithm, dg, inst, seed=6)
+        assert result.solved
+
+    def test_blindmatch_on_dynamic_double_star(self):
+        """The paper's hard instance for blind strategies — must still
+        solve, just slowly (the Δ² cost is measured in the benchmarks)."""
+        topo = double_star(4)  # n=10
+        inst = uniform_instance(n=10, k=1, seed=2)
+        result = run_one(
+            "blindmatch", RelabelingAdversary(topo, tau=1, seed=3), inst,
+            seed=2,
+        )
+        assert result.solved
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_potential_never_increases(self, algorithm):
+        topo = expander(12, 4, seed=1)
+        inst = uniform_instance(n=12, k=3, seed=9)
+        kwargs = dict(
+            max_rounds=MAX_ROUNDS[algorithm],
+            gauges={"phi": potential_gauge(inst.token_ids)},
+            gauge_every=8,
+            termination_every=16 if algorithm == "crowdedbin" else 1,
+            trace_sample_every=256,
+        )
+        if algorithm == "crowdedbin":
+            kwargs["config"] = CrowdedBinConfig.practical()
+        result = run_gossip(
+            algorithm, StaticDynamicGraph(topo), inst, seed=9, **kwargs
+        )
+        assert result.solved
+        series = [v for _, v in result.trace.gauge_series("phi")]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_tokens_are_black_boxes(self, algorithm):
+        """Sentinel payloads arrive intact at every node — algorithms never
+        synthesize or alter token contents."""
+        topo = cycle(10)
+        inst = uniform_instance(n=10, k=2, seed=21)
+        expected = {
+            t.token_id: t.payload
+            for ts in inst.initial_tokens.values()
+            for t in ts
+        }
+        result = run_one(algorithm, StaticDynamicGraph(topo), inst, seed=21)
+        assert result.solved
+        for node in result.nodes.values():
+            for token_id, payload in expected.items():
+                assert node.token(token_id).payload == payload
+
+    @pytest.mark.parametrize(
+        "algorithm", ["blindmatch", "sharedbit", "simsharedbit"]
+    )
+    def test_multi_token_holders(self, algorithm):
+        """The paper allows one node to start with several tokens."""
+        inst = skewed_instance(n=12, k=4, seed=3, holders=1)
+        topo = expander(12, 4, seed=4)
+        result = run_one(algorithm, StaticDynamicGraph(topo), inst, seed=3)
+        assert result.solved
+
+    def test_crowdedbin_multi_token_holders(self):
+        inst = skewed_instance(n=12, k=3, seed=3, holders=1)
+        topo = expander(12, 4, seed=4)
+        result = run_one("crowdedbin", StaticDynamicGraph(topo), inst, seed=3)
+        assert result.solved
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_single_token_rumor_spreading(self, algorithm):
+        """k = 1 degenerates gossip to rumor spreading; all must handle it."""
+        topo = cycle(8)
+        inst = uniform_instance(n=8, k=1, seed=17)
+        result = run_one(algorithm, StaticDynamicGraph(topo), inst, seed=17)
+        assert result.solved
+
+    def test_connection_counts_consistent(self):
+        topo = expander(16, 4, seed=2)
+        inst = uniform_instance(n=16, k=2, seed=11)
+        result = run_one("sharedbit", StaticDynamicGraph(topo), inst, seed=11)
+        trace = result.trace
+        # Each connection involves 2 nodes and each node has at most one
+        # connection per round, so connections <= n/2 per round.
+        assert trace.total_connections <= trace.total_rounds * (16 // 2)
+        # Tokens can only move through connections.
+        assert trace.total_tokens_moved <= trace.total_connections

@@ -1,0 +1,85 @@
+"""Tests for proposal resolution — the model's connection rules."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolViolationError
+from repro.sim.matching import resolve_proposals
+
+
+class TestBasicRules:
+    def test_single_proposal_connects(self):
+        matches = resolve_proposals({1: 2}, random.Random(0))
+        assert matches == [(1, 2)]
+
+    def test_proposer_cannot_receive(self):
+        # 1 -> 2 and 2 -> 3: node 2 proposed, so 1's proposal is lost.
+        matches = resolve_proposals({1: 2, 2: 3}, random.Random(0))
+        assert matches == [(2, 3)]
+
+    def test_one_acceptance_per_target(self):
+        matches = resolve_proposals({1: 9, 2: 9, 3: 9}, random.Random(0))
+        assert len(matches) == 1
+        initiator, responder = matches[0]
+        assert responder == 9
+        assert initiator in {1, 2, 3}
+
+    def test_self_proposal_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            resolve_proposals({1: 1}, random.Random(0))
+
+    def test_empty_input(self):
+        assert resolve_proposals({}, random.Random(0)) == []
+
+    def test_disjoint_pairs_all_connect(self):
+        matches = resolve_proposals({1: 2, 3: 4, 5: 6}, random.Random(0))
+        assert sorted(matches) == [(1, 2), (3, 4), (5, 6)]
+
+    def test_deterministic_given_seed(self):
+        proposals = {i: 99 for i in range(1, 8)}
+        a = resolve_proposals(proposals, random.Random(42))
+        b = resolve_proposals(proposals, random.Random(42))
+        assert a == b
+
+
+class TestAcceptanceUniformity:
+    def test_acceptance_roughly_uniform(self):
+        counts = Counter()
+        for seed in range(3000):
+            matches = resolve_proposals({1: 9, 2: 9, 3: 9}, random.Random(seed))
+            counts[matches[0][0]] += 1
+        assert set(counts) == {1, 2, 3}
+        assert min(counts.values()) > 800  # each ~1000 of 3000
+
+
+@given(
+    st.dictionaries(
+        keys=st.integers(min_value=0, max_value=30),
+        values=st.integers(min_value=0, max_value=30),
+        min_size=0,
+        max_size=25,
+    ),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_matching_invariants(proposals, seed):
+    proposals = {p: t for p, t in proposals.items() if p != t}
+    matches = resolve_proposals(proposals, random.Random(seed))
+
+    participants = [node for pair in matches for node in pair]
+    # Invariant: one connection per node.
+    assert len(participants) == len(set(participants))
+    for initiator, responder in matches:
+        # Initiators proposed to exactly that responder.
+        assert proposals[initiator] == responder
+        # Responders never proposed.
+        assert responder not in proposals
+    # Every proposal to a non-proposing target with no competition connects.
+    incoming = Counter(t for p, t in proposals.items() if t not in proposals)
+    for target, count in incoming.items():
+        if count >= 1:
+            assert any(resp == target for _, resp in matches)

@@ -1,0 +1,137 @@
+"""Tests for vertex expansion, boundary, and related metrics."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graphs.metrics import (
+    boundary,
+    diameter,
+    expansion_of_set,
+    max_degree,
+    vertex_expansion_estimate,
+    vertex_expansion_exact,
+)
+from repro.graphs.topologies import (
+    complete,
+    cycle,
+    double_star,
+    path,
+    random_regular,
+    star,
+)
+
+
+class TestBoundary:
+    def test_path_interior(self):
+        g = path(5).graph
+        assert boundary(g, {2}) == {1, 3}
+
+    def test_path_prefix(self):
+        g = path(5).graph
+        assert boundary(g, {0, 1}) == {2}
+
+    def test_star_leaves(self):
+        g = star(6).graph
+        assert boundary(g, {1, 2}) == {0}
+
+    def test_whole_graph_empty_boundary(self):
+        g = cycle(5).graph
+        assert boundary(g, set(g.nodes)) == set()
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            boundary(path(3).graph, set())
+
+
+class TestExpansionOfSet:
+    def test_singleton_in_complete(self):
+        g = complete(5).graph
+        assert expansion_of_set(g, {0}) == 4.0
+
+    def test_half_cycle(self):
+        g = cycle(8).graph
+        assert expansion_of_set(g, {0, 1, 2, 3}) == pytest.approx(0.5)
+
+
+class TestExactExpansion:
+    def test_matches_closed_form_star(self):
+        topo = star(8)
+        assert vertex_expansion_exact(topo.graph) == pytest.approx(topo.alpha)
+
+    def test_matches_closed_form_path(self):
+        topo = path(9)
+        assert vertex_expansion_exact(topo.graph) == pytest.approx(topo.alpha)
+
+    def test_matches_closed_form_cycle(self):
+        topo = cycle(10)
+        assert vertex_expansion_exact(topo.graph) == pytest.approx(topo.alpha)
+
+    def test_matches_closed_form_complete(self):
+        topo = complete(6)
+        assert vertex_expansion_exact(topo.graph) == pytest.approx(topo.alpha)
+
+    def test_matches_closed_form_double_star(self):
+        topo = double_star(4)
+        assert vertex_expansion_exact(topo.graph) == pytest.approx(topo.alpha)
+
+    def test_size_guard(self):
+        with pytest.raises(ConfigurationError):
+            vertex_expansion_exact(cycle(40).graph)
+
+
+class TestEstimate:
+    @pytest.mark.parametrize(
+        "topo",
+        [star(10), path(12), cycle(12), double_star(5), complete(8)],
+        ids=lambda t: t.name,
+    )
+    def test_estimate_finds_closed_form_cut(self, topo):
+        est = vertex_expansion_estimate(topo.graph, seed=0)
+        assert est.alpha == pytest.approx(topo.alpha)
+
+    def test_estimate_is_upper_bound_small_graphs(self):
+        for seed in range(3):
+            topo = random_regular(12, 3, seed=seed)
+            exact = vertex_expansion_exact(topo.graph)
+            est = vertex_expansion_estimate(topo.graph, seed=1)
+            assert est.alpha >= exact - 1e-12
+
+    def test_witness_achieves_alpha(self):
+        topo = double_star(6)
+        est = vertex_expansion_estimate(topo.graph)
+        assert expansion_of_set(topo.graph, est.witness) == pytest.approx(est.alpha)
+
+    def test_witness_size_legal(self):
+        topo = cycle(14)
+        est = vertex_expansion_estimate(topo.graph)
+        assert 0 < len(est.witness) <= topo.n // 2
+
+    def test_float_conversion(self):
+        est = vertex_expansion_estimate(cycle(8).graph)
+        assert float(est) == est.alpha
+
+
+class TestDegreeAndDiameter:
+    def test_max_degree(self):
+        assert max_degree(star(7).graph) == 6
+        assert max_degree(cycle(7).graph) == 2
+
+    def test_diameter(self):
+        assert diameter(path(6).graph) == 5
+        assert diameter(complete(6).graph) == 1
+
+
+@given(st.integers(min_value=4, max_value=12), st.integers(min_value=0, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_estimate_upper_bounds_exact_on_random_graphs(n, seed):
+    g = nx.gnp_random_graph(n, 0.5, seed=seed)
+    if not nx.is_connected(g) or g.number_of_nodes() < 2:
+        return
+    exact = vertex_expansion_exact(g)
+    est = vertex_expansion_estimate(g, seed=seed)
+    assert est.alpha >= exact - 1e-12
+    # The witness is a genuine cut achieving the reported value.
+    assert expansion_of_set(g, est.witness) == pytest.approx(est.alpha)

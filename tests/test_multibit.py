@@ -1,0 +1,153 @@
+"""Tests for the b ≥ 1 MultiBitSharedBit generalization."""
+
+import random
+
+import pytest
+
+from repro.core.multibit import MultiBitConfig, MultiBitSharedBitNode
+from repro.core.problem import uniform_instance
+from repro.core.runner import run_gossip
+from repro.core.tokens import Token
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
+from repro.graphs.topologies import cycle, expander, star
+from repro.rng import SharedRandomness
+from repro.sim.context import NeighborView
+
+KEY = b"m" * 32
+
+
+def make_node(uid=1, tokens=(), bits=2, shared=None, seed=0, upper_n=64):
+    return MultiBitSharedBitNode(
+        uid=uid,
+        upper_n=upper_n,
+        initial_tokens=tuple(Token(t) for t in tokens),
+        rng=random.Random(seed),
+        shared=shared or SharedRandomness(KEY, upper_n),
+        config=MultiBitConfig(bits=bits),
+    )
+
+
+class TestTagHash:
+    def test_empty_set_tag_zero(self):
+        node = make_node(bits=3)
+        assert node.advertise(1, ()) == 0
+
+    def test_tag_within_b_bits(self):
+        node = make_node(tokens=(5, 9), bits=3)
+        for r in range(1, 100):
+            assert 0 <= node.advertisement_tag(r) < 8
+
+    def test_equal_sets_equal_tags(self):
+        shared = SharedRandomness(KEY, 64)
+        a = make_node(uid=1, tokens=(3, 7), bits=4, shared=shared)
+        b = make_node(uid=2, tokens=(3, 7), bits=4, shared=shared)
+        for r in range(1, 50):
+            assert a.advertisement_tag(r) == b.advertisement_tag(r)
+
+    def test_collision_rate_drops_with_b(self):
+        """Different sets collide with probability ~2^-b."""
+        shared = SharedRandomness(KEY, 64)
+        rounds = 3000
+
+        def collision_rate(bits):
+            a = make_node(uid=1, tokens=(3, 7), bits=bits, shared=shared)
+            b = make_node(uid=2, tokens=(3, 9), bits=bits, shared=shared)
+            collisions = sum(
+                1 for r in range(1, rounds + 1)
+                if a.advertisement_tag(r) == b.advertisement_tag(r)
+            )
+            return collisions / rounds
+
+        rate1 = collision_rate(1)
+        rate3 = collision_rate(3)
+        assert 0.43 < rate1 < 0.57          # ~1/2
+        assert 0.07 < rate3 < 0.19          # ~1/8
+
+    def test_b1_matches_sharedbit_hash(self):
+        """With b = 1 the hash family is SharedBit's (same string usage
+        modulo which PRF lane supplies the bit)."""
+        node = make_node(tokens=(5,), bits=1)
+        for r in range(1, 30):
+            assert node.advertisement_tag(r) in (0, 1)
+
+
+class TestProposals:
+    def test_targets_only_strictly_smaller_tags(self):
+        node = make_node(tokens=(5,), bits=2)
+        r = next(
+            r for r in range(1, 200) if node.advertisement_tag(r) == 3
+        )
+        node.advertise(r, (2, 3, 4))
+        views = (
+            NeighborView(uid=2, tag=3),
+            NeighborView(uid=3, tag=1),
+            NeighborView(uid=4, tag=0),
+        )
+        target = node.propose(r, views)
+        assert target in (3, 4)
+
+    def test_smallest_tag_never_proposes(self):
+        node = make_node(bits=2)  # empty set -> tag 0, nothing smaller
+        node.advertise(1, (2,))
+        assert node.propose(1, (NeighborView(uid=2, tag=3),)) is None
+
+
+class TestConfig:
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ConfigurationError):
+            MultiBitConfig(bits=0)
+
+    def test_epsilon(self):
+        cfg = MultiBitConfig(bits=2, transfer_error_exponent=1.0)
+        assert cfg.transfer_epsilon(10) == pytest.approx(0.1)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    def test_solves_on_dynamic_star(self, bits):
+        inst = uniform_instance(n=12, k=2, seed=5)
+        result = run_gossip(
+            "multibit",
+            RelabelingAdversary(star(12), tau=1, seed=3),
+            inst,
+            seed=5,
+            max_rounds=100_000,
+            config=MultiBitConfig(bits=bits),
+        )
+        assert result.solved
+
+    def test_solves_on_static_cycle(self):
+        inst = uniform_instance(n=10, k=3, seed=2)
+        result = run_gossip(
+            "multibit",
+            StaticDynamicGraph(cycle(10)),
+            inst,
+            seed=2,
+            max_rounds=100_000,
+        )
+        assert result.solved
+        assert result.residual_potential == 0
+
+    def test_more_bits_never_catastrophically_slower(self):
+        """b=4 should be in the same ballpark as b=1 (the paper: beyond
+        b=1 the gains are marginal — but they must not be losses)."""
+        import statistics
+
+        def median_rounds(bits):
+            values = []
+            for seed in (3, 5, 7, 11, 13):
+                inst = uniform_instance(n=16, k=4, seed=seed)
+                result = run_gossip(
+                    "multibit",
+                    RelabelingAdversary(star(16), tau=1, seed=seed),
+                    inst,
+                    seed=seed,
+                    max_rounds=200_000,
+                    config=MultiBitConfig(bits=bits),
+                )
+                assert result.solved
+                values.append(result.rounds)
+            return statistics.median(values)
+
+        assert median_rounds(4) < 2.0 * median_rounds(1)

@@ -1,0 +1,87 @@
+"""Tests for the shared-string family (Newman machinery)."""
+
+import random
+
+import pytest
+
+from repro.commcplx.newman import SharedStringFamily
+from repro.errors import ConfigurationError
+
+
+class TestFamilyShape:
+    def test_default_size_poly_n(self):
+        family = SharedStringFamily(master_seed=1, capacity_n=16)
+        assert family.family_size == 16**3
+
+    def test_seed_bits_polylog(self):
+        family = SharedStringFamily(master_seed=1, capacity_n=64)
+        # N^3 strings -> 3 log N = 18 bits.
+        assert family.seed_bits == 18
+
+    def test_custom_size(self):
+        family = SharedStringFamily(master_seed=1, capacity_n=16, family_size=10)
+        assert family.family_size == 10
+        assert family.seed_bits >= 1
+
+
+class TestStrings:
+    def test_same_seed_same_string(self):
+        family = SharedStringFamily(master_seed=5, capacity_n=32)
+        a = family.string_for_seed(7)
+        b = family.string_for_seed(7)
+        assert a == b
+        assert a.token_bit(3, 9) == b.token_bit(3, 9)
+
+    def test_different_seeds_differ(self):
+        family = SharedStringFamily(master_seed=5, capacity_n=32)
+        a = family.string_for_seed(7)
+        b = family.string_for_seed(8)
+        bits_a = [a.token_bit(1, i) for i in range(32)]
+        bits_b = [b.token_bit(1, i) for i in range(32)]
+        assert bits_a != bits_b
+
+    def test_family_identity_from_master_seed(self):
+        # Two nodes constructing the family independently agree bit-for-bit:
+        # the family is common knowledge, like R' in the paper.
+        f1 = SharedStringFamily(master_seed=5, capacity_n=32)
+        f2 = SharedStringFamily(master_seed=5, capacity_n=32)
+        assert f1.string_for_seed(3) == f2.string_for_seed(3)
+
+    def test_different_master_seeds_give_different_families(self):
+        f1 = SharedStringFamily(master_seed=5, capacity_n=32)
+        f2 = SharedStringFamily(master_seed=6, capacity_n=32)
+        a, b = f1.string_for_seed(0), f2.string_for_seed(0)
+        assert [a.token_bit(1, i) for i in range(32)] != [
+            b.token_bit(1, i) for i in range(32)
+        ]
+
+    def test_seed_range_validated(self):
+        family = SharedStringFamily(master_seed=1, capacity_n=8, family_size=4)
+        with pytest.raises(ConfigurationError):
+            family.string_for_seed(4)
+        with pytest.raises(ConfigurationError):
+            family.string_for_seed(-1)
+
+
+class TestSampling:
+    def test_sample_in_range(self):
+        family = SharedStringFamily(master_seed=1, capacity_n=8, family_size=10)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 0 <= family.sample_seed(rng) < 10
+
+    def test_sampling_covers_family(self):
+        family = SharedStringFamily(master_seed=1, capacity_n=8, family_size=4)
+        rng = random.Random(0)
+        seen = {family.sample_seed(rng) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestValidation:
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SharedStringFamily(master_seed=1, capacity_n=1)
+
+    def test_rejects_empty_family(self):
+        with pytest.raises(ConfigurationError):
+            SharedStringFamily(master_seed=1, capacity_n=8, family_size=0)

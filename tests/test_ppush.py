@@ -1,0 +1,108 @@
+"""Tests for the PPUSH rumor-spreading strategy (Theorem 6.1 behavior)."""
+
+import random
+
+import pytest
+
+from repro.core.ppush import PPushNode
+from repro.core.tokens import Token
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.graphs.topologies import cycle, expander, path, star
+from repro.rng import SeedTree
+from repro.sim.channel import ChannelPolicy
+from repro.sim.context import NeighborView
+from repro.sim.engine import Simulation
+from repro.sim.termination import all_hold_tokens
+
+
+def run_ppush(topo, source_vertex=0, seed=0, max_rounds=10_000):
+    tree = SeedTree(seed)
+    rumor = Token(1, payload="the-rumor")
+    nodes = {
+        v: PPushNode(
+            uid=v + 1,
+            upper_n=topo.n,
+            rng=tree.stream("node", v),
+            rumor=rumor if v == source_vertex else None,
+        )
+        for v in range(topo.n)
+    }
+    sim = Simulation(
+        StaticDynamicGraph(topo),
+        nodes,
+        b=1,
+        seed=seed,
+        channel_policy=ChannelPolicy.for_upper_n(topo.n),
+    )
+    result = sim.run(max_rounds=max_rounds, termination=all_hold_tokens({1}))
+    return result, nodes
+
+
+class TestUnit:
+    def test_informed_advertises_one(self):
+        node = PPushNode(uid=1, upper_n=8, rng=random.Random(0),
+                         rumor=Token(1))
+        assert node.advertise(1, ()) == 1
+
+    def test_uninformed_advertises_zero_and_waits(self):
+        node = PPushNode(uid=1, upper_n=8, rng=random.Random(0))
+        assert node.advertise(1, ()) == 0
+        views = (NeighborView(uid=2, tag=1),)
+        assert node.propose(1, views) is None
+
+    def test_informed_targets_only_uninformed(self):
+        node = PPushNode(uid=1, upper_n=8, rng=random.Random(0),
+                         rumor=Token(1))
+        views = (NeighborView(uid=2, tag=1), NeighborView(uid=3, tag=0))
+        for _ in range(20):
+            assert node.propose(1, views) == 3
+
+    def test_all_informed_neighbors_no_proposal(self):
+        node = PPushNode(uid=1, upper_n=8, rng=random.Random(0),
+                         rumor=Token(1))
+        views = (NeighborView(uid=2, tag=1),)
+        assert node.propose(1, views) is None
+
+    def test_known_tokens_interface(self):
+        informed = PPushNode(uid=1, upper_n=8, rng=random.Random(0),
+                             rumor=Token(5))
+        uninformed = PPushNode(uid=2, upper_n=8, rng=random.Random(0))
+        assert informed.known_tokens == frozenset({5})
+        assert uninformed.known_tokens == frozenset()
+
+
+class TestSpreading:
+    @pytest.mark.parametrize(
+        "topo", [path(10), cycle(12), star(10), expander(16, 4, seed=2)],
+        ids=["path", "cycle", "star", "expander"],
+    )
+    def test_rumor_reaches_everyone(self, topo):
+        result, nodes = run_ppush(topo, seed=1)
+        assert result.terminated
+        assert all(node.informed for node in nodes.values())
+
+    def test_payload_intact_everywhere(self):
+        result, nodes = run_ppush(path(8), seed=2)
+        assert result.terminated
+        assert all(
+            node.rumor.payload == "the-rumor" for node in nodes.values()
+        )
+
+    def test_informed_at_round_monotone_from_source(self):
+        result, nodes = run_ppush(path(8), source_vertex=0, seed=3)
+        times = [nodes[v].informed_at_round for v in range(8)]
+        assert times[0] == 0
+        # On a path the rumor moves outward: each node is informed no
+        # earlier than its predecessor toward the source.
+        assert all(times[i] < times[i + 1] for i in range(7))
+
+    def test_expander_faster_than_path(self):
+        """The α-dependence of Theorem 6.1, qualitatively."""
+        slow_total = 0
+        fast_total = 0
+        for seed in range(3):
+            r_path, _ = run_ppush(path(24), seed=seed)
+            r_exp, _ = run_ppush(expander(24, 4, seed=seed), seed=seed)
+            slow_total += r_path.rounds
+            fast_total += r_exp.rounds
+        assert fast_total < slow_total

@@ -1,0 +1,170 @@
+"""Tests for repro.rng: seed trees, PRF bits, shared randomness."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    SeedTree,
+    SharedRandomness,
+    prf_bits,
+    prf_bytes,
+    prf_uniform_int,
+)
+
+KEY = b"k" * 32
+OTHER_KEY = b"j" * 32
+
+
+class TestPrfBytes:
+    def test_deterministic(self):
+        assert prf_bytes(KEY, (1, 2), 16) == prf_bytes(KEY, (1, 2), 16)
+
+    def test_key_separation(self):
+        assert prf_bytes(KEY, (1, 2), 16) != prf_bytes(OTHER_KEY, (1, 2), 16)
+
+    def test_index_separation(self):
+        assert prf_bytes(KEY, (1, 2), 16) != prf_bytes(KEY, (2, 1), 16)
+
+    def test_length_extension_prefix_stable(self):
+        short = prf_bytes(KEY, (5,), 16)
+        long = prf_bytes(KEY, (5,), 80)
+        assert long[:16] == short
+
+    def test_unambiguous_index_encoding(self):
+        # (1, 23) and (12, 3) must not collide via naive concatenation.
+        assert prf_bytes(KEY, (1, 23), 8) != prf_bytes(KEY, (12, 3), 8)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            prf_bytes(KEY, (1,), 0)
+
+
+class TestPrfBits:
+    def test_width(self):
+        for nbits in (1, 7, 8, 9, 63, 64, 65):
+            value = prf_bits(KEY, (3,), nbits)
+            assert 0 <= value < (1 << nbits)
+
+    def test_single_bit_is_binary(self):
+        values = {prf_bits(KEY, (i,), 1) for i in range(64)}
+        assert values == {0, 1}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prf_bits(KEY, (1,), 0)
+
+
+class TestPrfUniformInt:
+    def test_bounds(self):
+        for bound in (1, 2, 3, 7, 100):
+            for i in range(20):
+                assert 0 <= prf_uniform_int(KEY, (i,), bound) < bound
+
+    def test_bound_one_is_zero(self):
+        assert prf_uniform_int(KEY, (9,), 1) == 0
+
+    def test_roughly_uniform_over_nonpower_bound(self):
+        # Bound 3 forces rejection sampling; check all residues occur.
+        counts = [0, 0, 0]
+        for i in range(300):
+            counts[prf_uniform_int(KEY, (i,), 3)] += 1
+        assert min(counts) > 50
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            prf_uniform_int(KEY, (1,), 0)
+
+
+class TestSeedTree:
+    def test_same_path_same_stream(self):
+        t = SeedTree(7)
+        assert t.stream("a", 1).random() == t.stream("a", 1).random()
+
+    def test_different_paths_differ(self):
+        t = SeedTree(7)
+        assert t.stream("a").random() != t.stream("b").random()
+
+    def test_child_prefixes_path(self):
+        t = SeedTree(7)
+        assert (
+            t.child("x").stream("y").random()
+            == t.stream("x", "y").random()
+        )
+
+    def test_different_roots_differ(self):
+        assert SeedTree(1).stream("a").random() != SeedTree(2).stream("a").random()
+
+    def test_key_is_32_bytes(self):
+        assert len(SeedTree(3).key("shared")) == 32
+
+    def test_streams_are_independent_instances(self):
+        t = SeedTree(7)
+        s1, s2 = t.stream("a"), t.stream("a")
+        s1.random()
+        # s2 unaffected by s1's consumption.
+        assert s2.random() == t.stream("a").random()
+
+
+class TestSharedRandomness:
+    def test_shared_instances_agree(self):
+        a = SharedRandomness(KEY, 64)
+        b = SharedRandomness(KEY, 64)
+        for group in (1, 2, 77):
+            for bundle in (0, 5, 64):
+                assert a.token_bit(group, bundle) == b.token_bit(group, bundle)
+        assert a == b
+
+    def test_different_keys_disagree_somewhere(self):
+        a = SharedRandomness(KEY, 64)
+        b = SharedRandomness(OTHER_KEY, 64)
+        bits_a = [a.token_bit(1, i) for i in range(64)]
+        bits_b = [b.token_bit(1, i) for i in range(64)]
+        assert bits_a != bits_b
+
+    def test_token_bits_look_fair(self):
+        shared = SharedRandomness(KEY, 512)
+        ones = sum(shared.token_bit(1, bundle) for bundle in range(512))
+        assert 180 < ones < 332  # ~6 sigma around 256
+
+    def test_fresh_bits_each_group(self):
+        shared = SharedRandomness(KEY, 128)
+        g1 = [shared.token_bit(1, i) for i in range(128)]
+        g2 = [shared.token_bit(2, i) for i in range(128)]
+        assert g1 != g2
+
+    def test_selection_index_in_bound(self):
+        shared = SharedRandomness(KEY, 32)
+        for bound in (1, 2, 5, 31):
+            for group in range(10):
+                assert 0 <= shared.selection_index(group, 7, bound) < bound
+
+    def test_from_seed_roundtrip(self):
+        assert SharedRandomness.from_seed(5, 16) == SharedRandomness.from_seed(5, 16)
+        assert SharedRandomness.from_seed(5, 16) != SharedRandomness.from_seed(6, 16)
+
+    def test_bundle_validation(self):
+        shared = SharedRandomness(KEY, 16)
+        with pytest.raises(ValueError):
+            shared.token_bit(-1, 0)
+        with pytest.raises(ValueError):
+            shared.token_bit(0, 17)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SharedRandomness(KEY, 1)
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=2, max_value=1000))
+@settings(max_examples=50, deadline=None)
+def test_prf_uniform_always_in_bound(index, bound):
+    assert 0 <= prf_uniform_int(KEY, (index,), bound) < bound
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**16), min_size=1, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_prf_bits_deterministic_for_any_index(path):
+    index = tuple(path)
+    assert prf_bits(KEY, index, 32) == prf_bits(KEY, index, 32)

@@ -1,0 +1,132 @@
+"""Tests for the high-level runner: wiring, gauges, validation."""
+
+import pytest
+
+from repro.core.problem import uniform_instance
+from repro.core.runner import (
+    ALGORITHMS,
+    build_nodes,
+    coverage_gauge,
+    potential_gauge,
+    run_gossip,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.graphs.topologies import cycle, expander
+
+
+class TestBuildNodes:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_builds_one_node_per_vertex(self, algorithm):
+        inst = uniform_instance(n=8, k=2, seed=1)
+        nodes = build_nodes(algorithm, inst, seed=1)
+        assert set(nodes) == set(range(8))
+        assert {node.uid for node in nodes.values()} == set(inst.uids)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_initial_tokens_placed(self, algorithm):
+        inst = uniform_instance(n=8, k=3, seed=2)
+        nodes = build_nodes(algorithm, inst, seed=2)
+        for vertex, tokens in inst.initial_tokens.items():
+            for token in tokens:
+                assert nodes[vertex].has_token(token.token_id)
+
+    def test_unknown_algorithm_rejected(self):
+        inst = uniform_instance(n=4, k=1, seed=0)
+        with pytest.raises(ConfigurationError):
+            build_nodes("push-pull", inst, seed=0)
+
+    def test_deterministic_construction(self):
+        inst = uniform_instance(n=8, k=2, seed=3)
+        a = build_nodes("sharedbit", inst, seed=3)
+        b = build_nodes("sharedbit", inst, seed=3)
+        for vertex in a:
+            assert a[vertex].uid == b[vertex].uid
+            assert a[vertex].known_tokens == b[vertex].known_tokens
+
+
+class TestRunGossip:
+    def test_result_fields(self):
+        inst = uniform_instance(n=8, k=2, seed=1)
+        result = run_gossip(
+            "sharedbit",
+            StaticDynamicGraph(cycle(8)),
+            inst,
+            seed=1,
+            max_rounds=20_000,
+        )
+        assert result.algorithm == "sharedbit"
+        assert result.solved
+        assert result.rounds >= 1
+        assert result.residual_potential == 0
+        assert result.coverage() == [2] * 8
+
+    def test_graph_instance_size_mismatch_rejected(self):
+        inst = uniform_instance(n=8, k=2, seed=1)
+        with pytest.raises(ConfigurationError):
+            run_gossip(
+                "sharedbit",
+                StaticDynamicGraph(cycle(6)),
+                inst,
+                seed=1,
+                max_rounds=100,
+            )
+
+    def test_unsolved_reported_not_raised(self):
+        inst = uniform_instance(n=8, k=2, seed=1)
+        result = run_gossip(
+            "blindmatch",
+            StaticDynamicGraph(cycle(8)),
+            inst,
+            seed=1,
+            max_rounds=2,  # far too few
+        )
+        assert not result.solved
+        assert result.rounds == 2
+
+    def test_determinism_of_full_run(self):
+        inst = uniform_instance(n=10, k=2, seed=5)
+
+        def once():
+            return run_gossip(
+                "sharedbit",
+                StaticDynamicGraph(expander(10, 4, seed=2)),
+                inst,
+                seed=5,
+                max_rounds=20_000,
+            ).rounds
+
+        assert once() == once()
+
+    def test_gauges_flow_into_trace(self):
+        inst = uniform_instance(n=8, k=2, seed=1)
+        result = run_gossip(
+            "sharedbit",
+            StaticDynamicGraph(cycle(8)),
+            inst,
+            seed=1,
+            max_rounds=20_000,
+            gauges={
+                "phi": potential_gauge(inst.token_ids),
+                "coverage": coverage_gauge(inst.token_ids),
+            },
+            gauge_every=1,
+        )
+        phi_series = [v for _, v in result.trace.gauge_series("phi")]
+        assert phi_series  # recorded
+        # φ is non-increasing (nodes never unlearn).
+        assert all(a >= b for a, b in zip(phi_series, phi_series[1:]))
+        assert phi_series[-1] == 0
+
+    def test_loose_upper_bound_still_solves(self):
+        """Footnote 4: N may exceed n; algorithms must still work."""
+        inst = uniform_instance(n=8, k=2, seed=2, upper_n=32)
+        for algorithm in ("blindmatch", "sharedbit", "simsharedbit"):
+            result = run_gossip(
+                algorithm,
+                StaticDynamicGraph(expander(8, 3, seed=1)),
+                inst,
+                seed=2,
+                max_rounds=60_000,
+            )
+            assert result.solved, algorithm

@@ -1,0 +1,166 @@
+"""Tests for SimSharedBit: round interleaving, seeds, and end-to-end runs."""
+
+import random
+
+import pytest
+
+from repro.commcplx.newman import SharedStringFamily
+from repro.core.problem import uniform_instance
+from repro.core.runner import run_gossip
+from repro.core.simsharedbit import SimSharedBitConfig, SimSharedBitNode
+from repro.core.tokens import Token
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
+from repro.graphs.topologies import cycle, expander
+from repro.leader.bitconvergence import LeaderConfig
+
+
+def make_node(uid=1, tokens=(), seed=0, family=None, upper_n=16):
+    family = family or SharedStringFamily(master_seed=9, capacity_n=upper_n)
+    return SimSharedBitNode(
+        uid=uid,
+        upper_n=upper_n,
+        initial_tokens=tuple(Token(t) for t in tokens),
+        rng=random.Random(seed),
+        family=family,
+    )
+
+
+class TestSeeds:
+    def test_seed_sampled_from_family(self):
+        family = SharedStringFamily(master_seed=9, capacity_n=16)
+        node = make_node(family=family)
+        assert 0 <= node.seed_index < family.family_size
+
+    def test_seed_rides_election_payload(self):
+        node = make_node()
+        assert node.election.candidate_payload == node.seed_index
+
+    def test_current_string_follows_candidate(self):
+        family = SharedStringFamily(master_seed=9, capacity_n=16)
+        node = make_node(family=family, seed=1)
+        before = node.current_shared()
+        assert before == family.string_for_seed(node.seed_index)
+        # Simulate adopting a new leader with a different seed.
+        other_seed = (node.seed_index + 1) % family.family_size
+        node.election._adopt(0, other_seed)
+        after = node.current_shared()
+        assert after == family.string_for_seed(other_seed)
+        assert after != before
+
+    def test_family_must_fit_payload(self):
+        family = SharedStringFamily(
+            master_seed=9, capacity_n=16, family_size=2**70
+        )
+        with pytest.raises(ConfigurationError):
+            SimSharedBitNode(
+                uid=1,
+                upper_n=16,
+                initial_tokens=(),
+                rng=random.Random(0),
+                family=family,
+                config=SimSharedBitConfig(
+                    leader=LeaderConfig(payload_bits=8)
+                ),
+            )
+
+
+class TestInterleaving:
+    def test_even_rounds_are_election(self):
+        assert SimSharedBitNode.is_election_round(2)
+        assert SimSharedBitNode.is_election_round(100)
+        assert not SimSharedBitNode.is_election_round(1)
+        assert not SimSharedBitNode.is_election_round(99)
+
+    def test_even_round_advertises_election_bit(self):
+        node = make_node()
+        # A fresh node has news: election bit 1 on even rounds.
+        assert node.advertise(2, ()) == 1
+
+    def test_odd_round_empty_set_advertises_zero(self):
+        node = make_node()
+        assert node.advertise(1, ()) == 0
+
+    def test_odd_round_bit_matches_candidate_string(self):
+        family = SharedStringFamily(master_seed=9, capacity_n=16)
+        node = make_node(tokens=(5,), family=family)
+        shared = family.string_for_seed(node.seed_index)
+        for r in (1, 3, 5, 7, 9):
+            assert node.advertise(r, ()) == shared.token_bit(r, 5)
+
+
+class TestEndToEnd:
+    def test_solves_on_static_cycle(self):
+        inst = uniform_instance(n=10, k=2, seed=4)
+        result = run_gossip(
+            "simsharedbit",
+            StaticDynamicGraph(cycle(10)),
+            inst,
+            seed=4,
+            max_rounds=50_000,
+        )
+        assert result.solved
+        assert result.residual_potential == 0
+
+    def test_solves_on_fully_dynamic_expander(self):
+        inst = uniform_instance(n=16, k=3, seed=5)
+        result = run_gossip(
+            "simsharedbit",
+            RelabelingAdversary(expander(16, 4, seed=2), tau=1, seed=6),
+            inst,
+            seed=5,
+            max_rounds=100_000,
+        )
+        assert result.solved
+
+    def test_leader_converges_with_enough_rounds(self):
+        """Gossip can finish before the interleaved election settles (a
+        small instance needs few productive connections); the election
+        itself must still converge to the minimum UID if we keep going."""
+        from repro.sim.channel import ChannelPolicy
+        from repro.sim.engine import Simulation
+        from repro.sim.termination import all_agree_on_leader
+
+        inst = uniform_instance(n=12, k=2, seed=8)
+        dg = StaticDynamicGraph(expander(12, 4, seed=1))
+        result = run_gossip(
+            "simsharedbit", dg, inst, seed=8, max_rounds=50_000
+        )
+        assert result.solved
+        sim = Simulation(
+            dg, result.nodes, b=1, seed=123,
+            channel_policy=ChannelPolicy.for_upper_n(inst.upper_n),
+        )
+        more = sim.run(max_rounds=20_000, termination=all_agree_on_leader())
+        assert more.terminated
+        leaders = {n.candidate_leader for n in result.nodes.values()}
+        assert leaders == {min(inst.uids)}
+
+    def test_after_convergence_all_nodes_share_one_string(self):
+        """Post-convergence every node expands the same seed, so nodes with
+        equal token sets advertise equal bits on every odd round — the
+        SharedBit discipline (Lemma 5.2 part 1) restored without shared
+        randomness."""
+        from repro.sim.channel import ChannelPolicy
+        from repro.sim.engine import Simulation
+        from repro.sim.termination import all_agree_on_leader
+
+        inst = uniform_instance(n=10, k=2, seed=4)
+        dg = StaticDynamicGraph(cycle(10))
+        result = run_gossip(
+            "simsharedbit", dg, inst, seed=4, max_rounds=50_000
+        )
+        assert result.solved
+        sim = Simulation(
+            dg, result.nodes, b=1, seed=321,
+            channel_policy=ChannelPolicy.for_upper_n(inst.upper_n),
+        )
+        more = sim.run(max_rounds=20_000, termination=all_agree_on_leader())
+        assert more.terminated
+        nodes = list(result.nodes.values())
+        seeds = {n.election.candidate_payload for n in nodes}
+        assert len(seeds) == 1
+        # All token sets are equal now, so all odd-round bits agree.
+        for r in (10_001, 10_003, 10_005):
+            bits = {n.advertise(r, ()) for n in nodes}
+            assert len(bits) == 1

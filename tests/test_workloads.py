@@ -1,0 +1,93 @@
+"""Tests for the motivating workload scenarios."""
+
+import networkx as nx
+import pytest
+
+from repro.core.runner import run_gossip
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    disaster_scenario,
+    festival_scenario,
+    protest_scenario,
+    rural_mesh_scenario,
+)
+
+
+class TestScenarioShapes:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_instance_matches_graph(self, name):
+        scenario = SCENARIOS[name](seed=1)
+        assert scenario.dynamic_graph.n == scenario.instance.n
+        assert scenario.recommended_algorithm in (
+            "blindmatch", "sharedbit", "simsharedbit", "crowdedbin",
+        )
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_topologies_connected(self, name):
+        scenario = SCENARIOS[name](seed=1)
+        for r in (1, 5, 9):
+            assert nx.is_connected(scenario.dynamic_graph.graph_at(r))
+
+    def test_protest_is_dynamic(self):
+        scenario = protest_scenario(seed=2)
+        assert scenario.dynamic_graph.tau != float("inf")
+
+    def test_festival_is_stable(self):
+        scenario = festival_scenario(seed=2)
+        assert scenario.dynamic_graph.tau == float("inf")
+
+    def test_disaster_single_holder(self):
+        scenario = disaster_scenario(seed=2)
+        assert len(scenario.instance.initial_tokens) == 1
+        assert scenario.instance.k == 3
+
+
+class TestScenarioRuns:
+    def test_festival_crowdedbin_solves(self):
+        scenario = festival_scenario(n=24, k=3, seed=3)
+        from repro.core.crowdedbin import CrowdedBinConfig
+
+        result = run_gossip(
+            scenario.recommended_algorithm,
+            scenario.dynamic_graph,
+            scenario.instance,
+            seed=3,
+            max_rounds=300_000,
+            config=CrowdedBinConfig.practical(),
+            termination_every=16,
+            trace_sample_every=256,
+        )
+        assert result.solved
+
+    def test_protest_simsharedbit_solves(self):
+        scenario = protest_scenario(n=20, k=3, seed=4)
+        result = run_gossip(
+            scenario.recommended_algorithm,
+            scenario.dynamic_graph,
+            scenario.instance,
+            seed=4,
+            max_rounds=60_000,
+        )
+        assert result.solved
+
+    def test_disaster_sharedbit_solves(self):
+        scenario = disaster_scenario(n=24, seed=5)
+        result = run_gossip(
+            scenario.recommended_algorithm,
+            scenario.dynamic_graph,
+            scenario.instance,
+            seed=5,
+            max_rounds=60_000,
+        )
+        assert result.solved
+
+    def test_rural_mesh_solves(self):
+        scenario = rural_mesh_scenario(n=20, k=3, seed=6)
+        result = run_gossip(
+            scenario.recommended_algorithm,
+            scenario.dynamic_graph,
+            scenario.instance,
+            seed=6,
+            max_rounds=60_000,
+        )
+        assert result.solved
