@@ -9,6 +9,14 @@ Benchmarks here serve two purposes at once:
   ``benchmark.extra_info``, and writes a plain-text report to
   ``benchmarks/output/`` (the tables EXPERIMENTS.md quotes).
 
+Sweeps route through :mod:`repro.experiments` — a bench builds a
+:class:`~repro.experiments.SweepSpec`, runs it via
+:func:`run_bench_sweep`, and reads medians off the aggregated result, so
+the same declarative spec a bench runs serially here can be re-run with
+``repro-gossip sweep --jobs N`` on a bigger machine.  The thin wrappers
+(:func:`gossip_rounds` et al.) remain for benches that exercise
+non-default engine modes directly.
+
 Absolute round counts are simulator-specific; the reproduction claims are
 about shapes — scaling exponents, orderings, crossovers.
 """
@@ -21,6 +29,8 @@ from pathlib import Path
 from repro.core.crowdedbin import CrowdedBinConfig
 from repro.core.problem import uniform_instance
 from repro.core.runner import run_gossip
+from repro.experiments import SweepSpec, run_sweep
+from repro.experiments import write_report as _write_report
 from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
@@ -31,10 +41,21 @@ DEFAULT_SEEDS = (11, 23, 37)
 
 def write_report(name: str, text: str) -> Path:
     """Persist a sweep table so EXPERIMENTS.md can quote it."""
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    path = OUTPUT_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
-    return path
+    return _write_report(name, text, OUTPUT_DIR)
+
+
+def run_bench_sweep(
+    sweep: SweepSpec, require_solved: bool = True
+):
+    """Run a bench sweep serially and sanity-check every cell solved."""
+    result = run_sweep(sweep)
+    if require_solved:
+        for summary in result.points:
+            assert summary.all_solved, (
+                f"sweep {sweep.name} cell {summary.point} did not solve: "
+                f"rounds={summary.rounds}, solved={summary.solved}"
+            )
+    return result
 
 
 def median_rounds(run_once, seeds=DEFAULT_SEEDS) -> float:
@@ -78,20 +99,12 @@ def instance_with_token_at(n: int, vertex: int, seed: int):
 
     Used by the double-star benchmarks, where the lower-bound argument
     needs the rumor to start inside one star (at its hub) so it must cross
-    the hub-to-hub bridge.
+    the hub-to-hub bridge.  The experiments layer spells the same instance
+    as ``{"kind": "token_at", "vertex": v}``.
     """
-    from repro.core.problem import GossipInstance
-    from repro.core.tokens import Token
-    import random
+    from repro.experiments import build_instance
 
-    rng = random.Random(seed)
-    uids = tuple(rng.sample(range(1, n + 1), n))
-    return GossipInstance(
-        n=n,
-        upper_n=n,
-        uids=uids,
-        initial_tokens={vertex: (Token(uids[vertex]),)},
-    )
+    return build_instance({"kind": "token_at", "vertex": vertex}, n, seed)
 
 
 def gossip_rounds_with_instance(

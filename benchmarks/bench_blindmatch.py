@@ -1,8 +1,8 @@
 """FIG1-R1: BlindMatch — O((1/α)·k·Δ²·log²n), b = 0, τ ≥ 1 (Theorem 4.1).
 
-Two sweeps check the two load-bearing factors of the bound:
+Two declarative sweeps check the two load-bearing factors of the bound:
 
-* Δ sweep on relabeled double stars (k = 1): rounds should grow roughly
+* Δ sweep on static double stars (k = 1): rounds should grow roughly
   quadratically in Δ — the acceptance-lottery penalty unique to the
   bounded-connection model;
 * k sweep on a relabeled expander: rounds should grow roughly linearly
@@ -15,17 +15,12 @@ import pytest
 from repro.analysis.bounds import blindmatch_bound
 from repro.analysis.fits import loglog_slope
 from repro.analysis.tables import render_table
-from repro.graphs.topologies import double_star, expander
+from repro.experiments import SweepSpec, execute_run
+from repro.graphs.topologies import double_star
 
-from _common import (
-    gossip_rounds,
-    gossip_rounds_with_instance,
-    instance_with_token_at,
-    median_rounds,
-    relabeled,
-    static_graph,
-    write_report,
-)
+from _common import run_bench_sweep, write_report
+
+_DELTA_POINTS = (2, 4, 8, 16, 32)
 
 
 def _delta_sweep():
@@ -36,21 +31,25 @@ def _delta_sweep():
     crossing costs ≈ Δ² rounds — this is where the bounded-connection model
     departs from the classical telephone model.
     """
-    rows = []
-    deltas = []
-    measured = []
-    for points in (2, 4, 8, 16, 32):
+    spec = SweepSpec(
+        name="fig1-r1-blindmatch-delta",
+        base={
+            "algorithm": "blindmatch",
+            "graph": {"family": "double_star", "params": {"points": 2}},
+            "dynamic": {"kind": "static"},
+            "instance": {"kind": "token_at", "vertex": 0},
+            "max_rounds": 600_000,
+            "engine": {"trace_sample_every": 1024},
+        },
+        grid={"graph.params.points": list(_DELTA_POINTS)},
+        seeds=(11, 23, 37, 51, 67),
+    )
+    result = run_bench_sweep(spec)
+    rows, deltas, measured = [], [], []
+    for points, summary in zip(_DELTA_POINTS, result.points):
         topo = double_star(points)
         delta = topo.max_degree
-
-        def run_once(seed, topo=topo):
-            instance = instance_with_token_at(topo.n, vertex=0, seed=seed)
-            return gossip_rounds_with_instance(
-                "blindmatch", static_graph(topo), instance, seed=seed,
-                max_rounds=600_000,
-            )
-
-        rounds = median_rounds(run_once, seeds=(11, 23, 37, 51, 67))
+        rounds = summary.median_rounds
         bound = blindmatch_bound(topo.n, 1, topo.alpha, delta)
         rows.append((topo.n, delta, rounds, f"{bound:.0f}",
                      f"{rounds / bound:.3f}"))
@@ -66,20 +65,27 @@ def _delta_sweep():
 
 
 def _k_sweep():
-    topo = expander(16, 4, seed=1)
-    rows = []
-    ks = []
-    measured = []
-    for k in (1, 2, 4, 8):
-        def run_once(seed, k=k):
-            return gossip_rounds(
-                "blindmatch", relabeled(topo, seed), n=16, k=k,
-                seed=seed, max_rounds=400_000,
-            )
-
-        rounds = median_rounds(run_once)
+    ks = (1, 2, 4, 8)
+    spec = SweepSpec(
+        name="fig1-r1-blindmatch-k",
+        base={
+            "algorithm": "blindmatch",
+            "graph": {
+                "family": "expander",
+                "params": {"n": 16, "degree": 4, "seed": 1},
+            },
+            "dynamic": {"kind": "relabeling", "tau": 1},
+            "instance": {"kind": "uniform", "k": 1},
+            "max_rounds": 400_000,
+            "engine": {"trace_sample_every": 1024},
+        },
+        grid={"instance.k": list(ks)},
+    )
+    result = run_bench_sweep(spec)
+    rows, measured = [], []
+    for k, summary in zip(ks, result.points):
+        rounds = summary.median_rounds
         rows.append((16, k, rounds))
-        ks.append(k)
         measured.append(rounds)
     slope = loglog_slope(ks, measured)
     table = render_table(
@@ -95,14 +101,17 @@ def test_blindmatch_delta_scaling(benchmark):
     write_report("fig1_r1_blindmatch_delta", table)
     print("\n" + table)
     benchmark.extra_info["delta_slope"] = slope
-    # Timing target: the smallest sweep point.
-    topo = double_star(2)
+    # Timing target: the smallest sweep point, run through the layer.
     benchmark.pedantic(
-        lambda: gossip_rounds_with_instance(
-            "blindmatch", static_graph(topo),
-            instance_with_token_at(topo.n, vertex=0, seed=11), seed=11,
-            max_rounds=400_000,
-        ),
+        lambda: execute_run({
+            "algorithm": "blindmatch",
+            "graph": {"family": "double_star", "params": {"points": 2}},
+            "dynamic": {"kind": "static"},
+            "instance": {"kind": "token_at", "vertex": 0},
+            "max_rounds": 400_000,
+            "engine": {"trace_sample_every": 1024},
+            "seed": 11,
+        }),
         rounds=1,
         iterations=1,
     )
@@ -117,12 +126,19 @@ def test_blindmatch_k_scaling(benchmark):
     write_report("fig1_r1_blindmatch_k", table)
     print("\n" + table)
     benchmark.extra_info["k_slope"] = slope
-    topo = expander(16, 4, seed=1)
     benchmark.pedantic(
-        lambda: gossip_rounds(
-            "blindmatch", relabeled(topo, 11), n=16, k=2, seed=11,
-            max_rounds=400_000,
-        ),
+        lambda: execute_run({
+            "algorithm": "blindmatch",
+            "graph": {
+                "family": "expander",
+                "params": {"n": 16, "degree": 4, "seed": 1},
+            },
+            "dynamic": {"kind": "relabeling", "tau": 1},
+            "instance": {"kind": "uniform", "k": 2},
+            "max_rounds": 400_000,
+            "engine": {"trace_sample_every": 1024},
+            "seed": 11,
+        }),
         rounds=1,
         iterations=1,
     )

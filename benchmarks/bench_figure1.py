@@ -8,60 +8,29 @@ comparable side by side:
 * row 4 (τ = ∞): the same star held static for CrowdedBin;
 * row 5 (ε-gossip): k = n on a static expander, ε = 1/2.
 
-The printed table carries the paper's bound column next to the measured
-median rounds; EXPERIMENTS.md quotes it verbatim.
+The rows come from the canonical :func:`repro.experiments.figure1_sweep`
+spec — the very same sweep ``examples/sweep_figure1.py`` runs with
+``--jobs N`` — so bench and example cannot drift.  The printed table
+carries the paper's bound column next to the measured median rounds;
+EXPERIMENTS.md quotes it verbatim.
 """
-
-import statistics
 
 import pytest
 
 from repro.analysis.tables import figure1_table
-from repro.core.epsilon import run_epsilon_gossip
-from repro.graphs.dynamic import StaticDynamicGraph
-from repro.graphs.topologies import expander, star
+from repro.experiments import FIGURE1_ROW_KEYS, execute_run, figure1_sweep
 
-from _common import DEFAULT_SEEDS, gossip_rounds, relabeled, static_graph, write_report
+from _common import DEFAULT_SEEDS, run_bench_sweep, write_report
 
 N, K = 16, 2
 
 
-def _row_rounds(algorithm) -> float:
-    topo = star(N)
-    if algorithm == "crowdedbin":
-        dg_factory = lambda seed: static_graph(topo)
-        max_rounds = 2_000_000
-    else:
-        dg_factory = lambda seed: relabeled(topo, seed)
-        max_rounds = 600_000
-    return statistics.median(
-        gossip_rounds(algorithm, dg_factory(seed), n=N, k=K, seed=seed,
-                      max_rounds=max_rounds)
-        for seed in DEFAULT_SEEDS
-    )
-
-
-def _epsilon_row() -> float:
-    def once(seed):
-        result = run_epsilon_gossip(
-            StaticDynamicGraph(expander(N, 4, seed=1)),
-            epsilon=0.5,
-            seed=seed,
-            max_rounds=400_000,
-        )
-        assert result.solved
-        return result.rounds
-
-    return statistics.median(once(seed) for seed in DEFAULT_SEEDS)
-
-
 def test_figure1_regenerated(benchmark):
+    sweep = figure1_sweep(n=N, k=K, seeds=DEFAULT_SEEDS)
+    result = run_bench_sweep(sweep)
     measured = {
-        "blindmatch": _row_rounds("blindmatch"),
-        "sharedbit": _row_rounds("sharedbit"),
-        "simsharedbit": _row_rounds("simsharedbit"),
-        "crowdedbin": _row_rounds("crowdedbin"),
-        "epsilon": _epsilon_row(),
+        key: result.point_for(algorithm=key).median_rounds
+        for key in FIGURE1_ROW_KEYS
     }
     table = figure1_table(
         measured,
@@ -74,12 +43,10 @@ def test_figure1_regenerated(benchmark):
     write_report("figure1", table)
     print("\n" + table)
     benchmark.extra_info.update(measured)
-    topo = star(N)
-    benchmark.pedantic(
-        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=N, k=K,
-                              seed=11, max_rounds=600_000),
-        rounds=1, iterations=1,
-    )
+    # Timing target: one SharedBit row-run end-to-end through the
+    # experiments layer (spec -> graph/instance rebuild -> engine).
+    payload = sweep.run_payload({"algorithm": "sharedbit"}, seed=11)
+    benchmark.pedantic(lambda: execute_run(payload), rounds=1, iterations=1)
     # The qualitative ordering of the table's τ≥1 rows at a hub-bottleneck
     # topology: the b=1 algorithms beat the b=0 baseline.
     assert measured["sharedbit"] < measured["blindmatch"]

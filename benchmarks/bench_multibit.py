@@ -6,30 +6,47 @@ mechanism concrete: with b bits, two different token sets advertise
 different tags with probability 1 − 2^{-b} instead of 1/2, so the wasted
 (collision) rounds shrink from 1/2 to 2^{-b} of the total — a bounded
 constant-factor gain that saturates immediately.
+
+The b-axis is a config sweep: one declarative grid over ``config.bits``.
 """
 
 import pytest
 
 from repro.analysis.tables import render_table
-from repro.core.multibit import MultiBitConfig
-from repro.graphs.topologies import star
+from repro.experiments import SweepSpec, execute_run
 
-from _common import gossip_rounds, median_rounds, relabeled, write_report
+from _common import run_bench_sweep, write_report
 
 SEEDS = (11, 23, 37, 51, 67)
+_BITS = (1, 2, 4, 8)
+
+
+def _payload(bits: int, seed: int | None = None) -> dict:
+    payload = {
+        "algorithm": "multibit",
+        "graph": {"family": "star", "params": {"n": 16}},
+        "dynamic": {"kind": "relabeling", "tau": 1},
+        "instance": {"kind": "uniform", "k": 4},
+        "max_rounds": 400_000,
+        "config": {"bits": bits},
+        "engine": {"trace_sample_every": 1024},
+    }
+    if seed is not None:
+        payload["seed"] = seed
+    return payload
 
 
 def _b_sweep():
-    topo = star(16)
+    spec = SweepSpec(
+        name="ablB-multibit-bits",
+        base=_payload(1),
+        grid={"config.bits": list(_BITS)},
+        seeds=SEEDS,
+    )
+    result = run_bench_sweep(spec)
     rows, outcomes = [], {}
-    for bits in (1, 2, 4, 8):
-        def run_once(seed, bits=bits):
-            return gossip_rounds(
-                "multibit", relabeled(topo, seed), n=16, k=4, seed=seed,
-                max_rounds=400_000, config=MultiBitConfig(bits=bits),
-            )
-
-        rounds = median_rounds(run_once, seeds=SEEDS)
+    for bits, summary in zip(_BITS, result.points):
+        rounds = summary.median_rounds
         outcomes[bits] = rounds
         rows.append((bits, rounds, f"{2.0**-bits:.3f}"))
     table = render_table(
@@ -49,13 +66,8 @@ def test_extra_tag_bits_saturate(benchmark):
     write_report("ablB_multibit", table)
     print("\n" + table)
     benchmark.extra_info.update({str(b): r for b, r in outcomes.items()})
-    topo = star(16)
     benchmark.pedantic(
-        lambda: gossip_rounds(
-            "multibit", relabeled(topo, 11), n=16, k=4, seed=11,
-            max_rounds=400_000, config=MultiBitConfig(bits=2),
-        ),
-        rounds=1, iterations=1,
+        lambda: execute_run(_payload(2, seed=11)), rounds=1, iterations=1
     )
     # b=8 must not beat b=1 by more than the collision-rate headroom
     # allows (a factor of ~2), and must not be dramatically worse.

@@ -13,6 +13,9 @@ worst-case over topologies, and both regimes are measured here:
   the parallelism bonus, no slope claim);
 * star vs expander against BlindMatch: the advertising bit neutralizes
   the Δ² acceptance-lottery penalty (the paper's b=0 vs b=1 gap).
+
+All sweeps are declarative :class:`~repro.experiments.SweepSpec` grids run
+through :func:`repro.experiments.run_sweep`.
 """
 
 import pytest
@@ -20,26 +23,45 @@ import pytest
 from repro.analysis.bounds import sharedbit_bound
 from repro.analysis.fits import loglog_slope
 from repro.analysis.tables import render_table
-from repro.graphs.topologies import expander, star
+from repro.experiments import SweepSpec, execute_run
 
-from _common import gossip_rounds, median_rounds, relabeled, write_report
+from _common import run_bench_sweep, write_report
 
 
-def _sweep(topo_factory, points, fixed, vary, title):
-    """Generic sweep helper: vary n or k, return (table, slope)."""
+def _star_params(n: int) -> dict:
+    return {"family": "star", "params": {"n": n}}
+
+
+def _expander_params(n: int) -> dict:
+    return {"family": "expander", "params": {"n": n, "degree": 4, "seed": 1}}
+
+
+def _sweep(graph_spec_for, points, fixed, vary, title):
+    """Generic sweep: vary n or k, return (table, slope, result)."""
+    if vary == "n":
+        base_graph, base_k = graph_spec_for(points[0]), fixed
+        grid = {"graph.params.n": list(points)}
+    else:
+        base_graph, base_k = graph_spec_for(fixed), points[0]
+        grid = {"instance.k": list(points)}
+    spec = SweepSpec(
+        name=f"fig1-r2-sharedbit-{vary}-{base_graph['family']}",
+        base={
+            "algorithm": "sharedbit",
+            "graph": base_graph,
+            "dynamic": {"kind": "relabeling", "tau": 1},
+            "instance": {"kind": "uniform", "k": base_k},
+            "max_rounds": 200_000,
+            "engine": {"trace_sample_every": 1024},
+        },
+        grid=grid,
+    )
+    result = run_bench_sweep(spec)
     rows, xs, measured = [], [], []
-    for value in points:
+    for value, summary in zip(points, result.points):
         n = value if vary == "n" else fixed
         k = value if vary == "k" else fixed
-        topo = topo_factory(n)
-
-        def run_once(seed, topo=topo, n=n, k=k):
-            return gossip_rounds(
-                "sharedbit", relabeled(topo, seed), n=n, k=k, seed=seed,
-                max_rounds=200_000,
-            )
-
-        rounds = median_rounds(run_once)
+        rounds = summary.median_rounds
         bound = sharedbit_bound(n, k)
         rows.append((n, k, rounds, f"{bound:.0f}", f"{rounds / bound:.3f}"))
         xs.append(value)
@@ -50,21 +72,31 @@ def _sweep(topo_factory, points, fixed, vary, title):
         rows=rows,
         title=title,
     )
-    return table + f"\nlog-log slope in {vary}: {slope:.2f}", slope
+    return table + f"\nlog-log slope in {vary}: {slope:.2f}", slope, result
+
+
+def _timing_payload(graph_spec: dict, n: int, k: int) -> dict:
+    return {
+        "algorithm": "sharedbit",
+        "graph": graph_spec,
+        "dynamic": {"kind": "relabeling", "tau": 1},
+        "instance": {"kind": "uniform", "k": k},
+        "max_rounds": 200_000,
+        "engine": {"trace_sample_every": 1024},
+        "seed": 11,
+    }
 
 
 def test_sharedbit_n_scaling_worst_case_star(benchmark):
-    table, slope = _sweep(
-        star, points=(8, 16, 32, 64), fixed=2, vary="n",
+    table, slope, _ = _sweep(
+        _star_params, points=(8, 16, 32, 64), fixed=2, vary="n",
         title="SharedBit n-sweep on dynamic stars (k=2, τ=1) — bound-tight regime",
     )
     write_report("fig1_r2_sharedbit_n_star", table)
     print("\n" + table)
     benchmark.extra_info["n_slope_star"] = slope
-    topo = star(16)
     benchmark.pedantic(
-        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=16, k=2,
-                              seed=11, max_rounds=200_000),
+        lambda: execute_run(_timing_payload(_star_params(16), 16, 2)),
         rounds=1, iterations=1,
     )
     # Theory: ~1 (hub serializes connections, so rounds track k·n).
@@ -72,17 +104,15 @@ def test_sharedbit_n_scaling_worst_case_star(benchmark):
 
 
 def test_sharedbit_k_scaling_worst_case_star(benchmark):
-    table, slope = _sweep(
-        lambda n: star(n), points=(1, 2, 4, 8), fixed=16, vary="k",
+    table, slope, _ = _sweep(
+        _star_params, points=(1, 2, 4, 8), fixed=16, vary="k",
         title="SharedBit k-sweep on a dynamic star (n=16, τ=1) — bound-tight regime",
     )
     write_report("fig1_r2_sharedbit_k_star", table)
     print("\n" + table)
     benchmark.extra_info["k_slope_star"] = slope
-    topo = star(16)
     benchmark.pedantic(
-        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=16, k=4,
-                              seed=11, max_rounds=200_000),
+        lambda: execute_run(_timing_payload(_star_params(16), 16, 4)),
         rounds=1, iterations=1,
     )
     assert 0.4 < slope < 1.6, f"star k-scaling off: slope={slope:.2f}"
@@ -90,29 +120,20 @@ def test_sharedbit_k_scaling_worst_case_star(benchmark):
 
 def test_sharedbit_expander_beats_bound(benchmark):
     """Well-connected graphs finish far below k·n (parallel connections)."""
-    table, _ = _sweep(
-        lambda n: expander(n, 4, seed=1), points=(8, 16, 32, 64), fixed=2,
-        vary="n",
+    table, _, result = _sweep(
+        _expander_params, points=(8, 16, 32, 64), fixed=2, vary="n",
         title="SharedBit n-sweep on dynamic expanders (k=2, τ=1) — parallel regime",
     )
     write_report("fig1_r2_sharedbit_n_expander", table)
     print("\n" + table)
-    ratios = []
-    for n in (16, 64):
-        topo = expander(n, 4, seed=1)
-        rounds = median_rounds(
-            lambda seed, topo=topo, n=n: gossip_rounds(
-                "sharedbit", relabeled(topo, seed), n=n, k=2, seed=seed,
-                max_rounds=200_000,
-            )
-        )
-        ratios.append(rounds / sharedbit_bound(n, 2))
+    ratios = [
+        result.point_for(n=n).median_rounds / sharedbit_bound(n, 2)
+        for n in (16, 64)
+    ]
     benchmark.extra_info["ratio_n16"] = ratios[0]
     benchmark.extra_info["ratio_n64"] = ratios[1]
-    topo = expander(32, 4, seed=1)
     benchmark.pedantic(
-        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=32, k=2,
-                              seed=11, max_rounds=200_000),
+        lambda: execute_run(_timing_payload(_expander_params(32), 32, 2)),
         rounds=1, iterations=1,
     )
     # The looseness grows with n: measured/bound shrinks.
@@ -121,20 +142,34 @@ def test_sharedbit_expander_beats_bound(benchmark):
 
 def test_sharedbit_delta_insensitive_vs_blindmatch(benchmark):
     """Star vs expander at equal n: BlindMatch pays Δ², SharedBit doesn't."""
+    labels = {
+        "star": "star (Δ=31)",
+        "expander": "expander (Δ=4)",
+    }
+    spec = SweepSpec(
+        name="fig1-r2-delta-insensitivity",
+        base={
+            "algorithm": "sharedbit",
+            "graph": _star_params(32),
+            "dynamic": {"kind": "relabeling", "tau": 1},
+            "instance": {"kind": "uniform", "k": 1},
+            "max_rounds": 600_000,
+            "engine": {"trace_sample_every": 1024},
+        },
+        grid={
+            "graph": [_star_params(32), _expander_params(32)],
+            "algorithm": ["sharedbit", "blindmatch"],
+        },
+    )
+    result = run_bench_sweep(spec)
     rows = []
     outcomes = {}
-    for topo, label in ((star(32), "star (Δ=31)"),
-                        (expander(32, 4, seed=1), "expander (Δ=4)")):
-        for algorithm in ("sharedbit", "blindmatch"):
-            def run_once(seed, topo=topo, algorithm=algorithm):
-                return gossip_rounds(
-                    algorithm, relabeled(topo, seed), n=32, k=1, seed=seed,
-                    max_rounds=600_000,
-                )
-
-            rounds = median_rounds(run_once)
-            outcomes[(label, algorithm)] = rounds
-            rows.append((label, algorithm, rounds))
+    for summary in result.points:
+        label = labels[summary.point["graph"]["family"]]
+        algorithm = summary.point["algorithm"]
+        rounds = summary.median_rounds
+        outcomes[(label, algorithm)] = rounds
+        rows.append((label, algorithm, rounds))
     table = render_table(
         headers=("topology", "algorithm", "median rounds"),
         rows=rows,
@@ -152,10 +187,8 @@ def test_sharedbit_delta_insensitive_vs_blindmatch(benchmark):
     )
     benchmark.extra_info["star_gap"] = star_gap
     benchmark.extra_info["expander_gap"] = expander_gap
-    topo = star(32)
     benchmark.pedantic(
-        lambda: gossip_rounds("sharedbit", relabeled(topo, 11), n=32, k=1,
-                              seed=11, max_rounds=200_000),
+        lambda: execute_run(_timing_payload(_star_params(32), 32, 1)),
         rounds=1, iterations=1,
     )
     # The b=0 penalty must be much larger on the high-Δ graph.

@@ -3,58 +3,75 @@
 A side-by-side of the paper's algorithms (plus the b≥1 MultiBit
 extension) on the bound-tight topology — a fully dynamic star — with each
 run's coverage growth drawn as a sparkline.  CrowdedBin runs on the
-static version of the same star (its τ=∞ requirement).
+static version of the same star (its τ=∞ requirement), stated as a
+declarative override in the sweep spec rather than a hand-rolled branch:
+the whole comparison is one :class:`~repro.experiments.SweepSpec`, so it
+can run cached and process-parallel.
 
-Run:  python examples/compare_all.py
+Run:  python examples/compare_all.py [--jobs N]
 """
 
-from repro.analysis.curves import sparkline, spread_curve_from_trace
+import sys
+
+from repro.analysis.curves import sparkline, spread_curve_from_series
 from repro.analysis.tables import render_table
-from repro.core.crowdedbin import CrowdedBinConfig
-from repro.core.runner import ALGORITHMS, coverage_gauge, run_gossip
-from repro.core.problem import uniform_instance
-from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
-from repro.graphs.topologies import star
+from repro.core.runner import ALGORITHMS
+from repro.experiments import SweepSpec, argv_flag, run_sweep
 
 N, K, SEED = 16, 3, 13
 
 
-def main() -> None:
-    topo = star(N)
+def comparison_sweep() -> SweepSpec:
+    return SweepSpec(
+        name="compare-all-star",
+        base={
+            "algorithm": ALGORITHMS[0],
+            "graph": {"family": "star", "params": {"n": N}},
+            "dynamic": {"kind": "relabeling", "tau": 1},
+            "instance": {"kind": "uniform", "k": K},
+            "max_rounds": 2_000_000,
+            "engine": {
+                "gauges": ["coverage"],
+                "gauge_every": 2,
+                "trace_sample_every": 1,
+            },
+        },
+        grid={"algorithm": list(ALGORITHMS)},
+        seeds=(SEED,),
+        overrides=[
+            {
+                "when": {"algorithm": "crowdedbin"},
+                "set": {
+                    "dynamic": {"kind": "static"},
+                    "config": {"preset": "practical"},
+                    "engine.termination_every": 16,
+                    "engine.gauge_every": 64,
+                },
+            }
+        ],
+    )
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    jobs = int(argv_flag(argv, "--jobs", 1))
+    result = run_sweep(comparison_sweep(), jobs=jobs)
+
     rows = []
     curves = {}
-    for algorithm in ALGORITHMS:
-        instance = uniform_instance(n=N, k=K, seed=SEED)
-        if algorithm == "crowdedbin":
-            dynamic_graph = StaticDynamicGraph(topo)
-            kwargs = dict(
-                config=CrowdedBinConfig.practical(),
-                termination_every=16,
-                gauge_every=64,
-            )
-        else:
-            dynamic_graph = RelabelingAdversary(topo, tau=1, seed=SEED)
-            kwargs = dict(gauge_every=2)
-        result = run_gossip(
-            algorithm=algorithm,
-            dynamic_graph=dynamic_graph,
-            instance=instance,
-            seed=SEED,
-            max_rounds=2_000_000,
-            gauges={"coverage": coverage_gauge(instance.token_ids)},
-            trace_sample_every=1,
-            **kwargs,
-        )
-        curve = spread_curve_from_trace(result.trace, k=K)
+    for summary in result.points:
+        algorithm = summary.point["algorithm"]
+        record = summary.runs[0]
+        curve = spread_curve_from_series(record["gauges"]["coverage"], K)
         curves[algorithm] = curve
-        summary = curve.summary()
+        s = curve.summary()
         rows.append(
             (
                 algorithm,
-                result.rounds,
-                summary["t50"] if summary["t50"] is not None else "-",
-                summary["t90"] if summary["t90"] is not None else "-",
-                "yes" if result.solved else "no",
+                record["rounds"],
+                s["t50"] if s["t50"] is not None else "-",
+                s["t90"] if s["t90"] is not None else "-",
+                "yes" if summary.all_solved else "no",
             )
         )
 

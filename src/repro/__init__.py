@@ -25,7 +25,16 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every experiment.
 """
 
-from repro import graphs, sim, commcplx, core, leader, analysis, workloads
+from repro import (
+    graphs,
+    sim,
+    commcplx,
+    core,
+    leader,
+    analysis,
+    workloads,
+    experiments,
+)
 from repro.core import (
     run_gossip,
     run_epsilon_gossip,
@@ -53,6 +62,7 @@ __all__ = [
     "leader",
     "analysis",
     "workloads",
+    "experiments",
     "run_gossip",
     "run_epsilon_gossip",
     "uniform_instance",

@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
 
-__all__ = ["SpreadCurve", "spread_curve_from_trace", "sparkline"]
+__all__ = [
+    "SpreadCurve",
+    "spread_curve_from_series",
+    "spread_curve_from_trace",
+    "sparkline",
+]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -63,25 +68,31 @@ class SpreadCurve:
         }
 
 
-def spread_curve_from_trace(trace: Trace, k: int,
-                            gauge: str = "coverage") -> SpreadCurve:
-    """Build a :class:`SpreadCurve` from the ``coverage`` gauge series.
+def spread_curve_from_series(series, k: int) -> SpreadCurve:
+    """Build a :class:`SpreadCurve` from ``(round, (min, mean))`` pairs.
 
-    The gauge records ``(min, mean)`` coverage counts; the curve keeps the
+    The pairs are the ``coverage`` gauge's samples — live from a trace or
+    deserialized from an experiments-layer run record; the curve keeps the
     mean normalized by k.
     """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
-    series = trace.gauge_series(gauge)
-    if not series:
-        raise ConfigurationError(
-            f"trace has no {gauge!r} gauge; pass coverage_gauge() to the run"
-        )
     points = tuple(
         (round_index, min(mean / k, 1.0))
         for round_index, (_, mean) in series
     )
     return SpreadCurve(points=points, k=k)
+
+
+def spread_curve_from_trace(trace: Trace, k: int,
+                            gauge: str = "coverage") -> SpreadCurve:
+    """Build a :class:`SpreadCurve` from the ``coverage`` gauge series."""
+    series = trace.gauge_series(gauge)
+    if not series:
+        raise ConfigurationError(
+            f"trace has no {gauge!r} gauge; pass coverage_gauge() to the run"
+        )
+    return spread_curve_from_series(series, k)
 
 
 def sparkline(values, width: int = 40) -> str:

@@ -5,6 +5,7 @@ Examples::
     repro-gossip run --algorithm sharedbit --n 32 --k 4 --graph expander
     repro-gossip scenario --name festival
     repro-gossip compare --n 24 --k 3
+    repro-gossip sweep --spec examples/specs/tiny.json --jobs 4
     python -m repro.cli run --algorithm blindmatch --n 16 --k 2 --graph star
 """
 
@@ -12,9 +13,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core.problem import uniform_instance
 from repro.core.runner import ALGORITHMS, run_gossip
+from repro.experiments import SweepSpec, run_sweep
 from repro.graphs.dynamic import (
     RelabelingAdversary,
     StaticDynamicGraph,
@@ -29,17 +32,26 @@ __all__ = ["main"]
 _GRAPH_CHOICES = ("expander", "star", "path", "cycle", "complete", "grid")
 
 
-def _build_topology(name: str, n: int, seed: int):
+def _graph_spec(name: str, n: int, seed: int) -> dict:
+    """The experiments-layer graph spec matching this CLI's conventions."""
     if name == "expander":
         degree = min(6, n - 1)
         if (n * degree) % 2:
             degree -= 1
-        return TOPOLOGY_FAMILIES["expander"](n=n, degree=max(degree, 2), seed=seed)
+        return {
+            "family": "expander",
+            "params": {"n": n, "degree": max(degree, 2), "seed": seed},
+        }
     if name == "grid":
         cols = max(2, int(n**0.5))
         rows = max(2, n // cols)
-        return TOPOLOGY_FAMILIES["grid"](rows=rows, cols=cols)
-    return TOPOLOGY_FAMILIES[name](n)
+        return {"family": "grid", "params": {"rows": rows, "cols": cols}}
+    return {"family": name, "params": {"n": n}}
+
+
+def _build_topology(name: str, n: int, seed: int):
+    spec = _graph_spec(name, n, seed)
+    return TOPOLOGY_FAMILIES[spec["family"]](**spec["params"])
 
 
 def _build_graph(args):
@@ -92,38 +104,69 @@ def _cmd_scenario(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    if args.tau == 0:
+        dynamic = {"kind": "static"}
+    else:
+        dynamic = {"kind": "relabeling", "tau": args.tau}
+    sweep = SweepSpec(
+        name=f"compare-{args.graph}-n{args.n}-k{args.k}",
+        base={
+            "algorithm": ALGORITHMS[0],
+            "graph": _graph_spec(args.graph, args.n, args.seed),
+            "dynamic": dynamic,
+            "instance": {"kind": "uniform", "k": args.k},
+            "max_rounds": args.max_rounds,
+        },
+        grid={"algorithm": list(ALGORITHMS)},
+        seeds=(args.seed,),
+    )
+    result = run_sweep(sweep, jobs=args.jobs)
     rows = []
-    for algorithm in ALGORITHMS:
-        tau = 0 if algorithm == "crowdedbin" else args.tau
-        topo = _build_topology(args.graph, args.n, args.seed)
-        if tau == 0:
-            graph = StaticDynamicGraph(topo)
-        else:
-            graph = RelabelingAdversary(topo, tau=tau, seed=args.seed)
-        instance = uniform_instance(n=topo.n, k=args.k, seed=args.seed)
-        result = run_gossip(
-            algorithm=algorithm,
-            dynamic_graph=graph,
-            instance=instance,
-            seed=args.seed,
-            max_rounds=args.max_rounds,
-        )
+    for summary in result.points:
+        # CrowdedBin's τ = ∞ substitution is recorded in the run notes;
+        # surface it so side-by-side numbers aren't silently apples/oranges.
+        substituted = bool(summary.notes)
+        tau = "inf" if args.tau == 0 or substituted else args.tau
+        median = summary.median_rounds
         rows.append(
             (
-                algorithm,
-                "inf" if tau == 0 else tau,
-                result.rounds,
-                "yes" if result.solved else "no",
+                summary.point["algorithm"],
+                tau,
+                int(median) if median == int(median) else median,
+                "yes" if summary.all_solved else "no",
+                "; ".join(summary.notes) or "-",
             )
         )
     print(
         render_table(
-            headers=("algorithm", "tau", "rounds", "solved"),
+            headers=("algorithm", "tau", "rounds", "solved", "notes"),
             rows=rows,
             title=f"gossip comparison: {args.graph}, n={args.n}, k={args.k}",
         )
     )
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    spec_text = Path(args.spec).read_text()
+    sweep = SweepSpec.from_json(spec_text)
+    progress = print if args.verbose else None
+    result = run_sweep(
+        sweep,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+    print(result.table())
+    if args.cache_dir:
+        print(
+            f"cache: {result.cache_hits} hits, "
+            f"{result.cache_misses} misses ({args.cache_dir})"
+        )
+    if args.out:
+        Path(args.out).write_text(result.to_json(indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if all(summary.all_solved for summary in result.points) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,7 +201,24 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--tau", type=int, default=1)
     cmp_p.add_argument("--seed", type=int, default=0)
     cmp_p.add_argument("--max-rounds", type=int, default=400_000)
+    cmp_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the comparison runs")
     cmp_p.set_defaults(func=_cmd_compare)
+
+    sw_p = sub.add_parser(
+        "sweep", help="run a declarative sweep from a JSON spec file"
+    )
+    sw_p.add_argument("--spec", required=True,
+                      help="path to a SweepSpec JSON file")
+    sw_p.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (1 = in-process serial)")
+    sw_p.add_argument("--cache-dir", default=None,
+                      help="on-disk result cache keyed by run-spec hash")
+    sw_p.add_argument("--out", default=None,
+                      help="write the aggregated results as JSON here")
+    sw_p.add_argument("--verbose", action="store_true",
+                      help="print one line per completed run")
+    sw_p.set_defaults(func=_cmd_sweep)
 
     return parser
 

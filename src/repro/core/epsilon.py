@@ -74,6 +74,7 @@ def run_epsilon_gossip(
     config: SharedBitConfig | None = None,
     upper_n: int | None = None,
     termination_every: int = 4,
+    trace_sample_every: int = 1,
 ) -> EpsilonGossipResult:
     """Run SharedBit on a k = n instance until ε-gossip is solved.
 
@@ -106,6 +107,7 @@ def run_epsilon_gossip(
         seed=seed,
         channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
         termination_every=termination_every,
+        trace_sample_every=trace_sample_every,
     )
     result = sim.run(
         max_rounds=max_rounds, termination=epsilon_termination(epsilon)

@@ -1,0 +1,260 @@
+"""Sweep results: per-run records, per-point aggregates, reports, cache.
+
+The runner produces one JSON-able *run record* per (grid point, seed);
+:func:`aggregate` folds records into :class:`PointSummary` rows (median /
+percentile round counts, solve rates) and :class:`SweepResult` renders the
+sweep table and serializes everything for EXPERIMENTS.md to quote.
+
+:class:`ResultCache` is the on-disk memo: one JSON file per run, keyed by
+the stable spec hash, so re-running a sweep only pays for cells whose spec
+actually changed.  Corrupt or unreadable entries degrade to cache misses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.tables import render_table
+from repro.errors import ConfigurationError
+from repro.experiments.specs import SweepSpec, canonical_json
+
+__all__ = [
+    "PointSummary",
+    "ResultCache",
+    "SweepResult",
+    "aggregate",
+    "percentile",
+    "write_report",
+]
+
+#: Result-format version; bump to invalidate every cached run record.
+RESULT_FORMAT = 1
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) of a small sample."""
+    if not values:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class ResultCache:
+    """One JSON file per run record under ``cache_dir``, keyed by run hash."""
+
+    def __init__(self, cache_dir):
+        self.dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != RESULT_FORMAT
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["record"]
+
+    def put(self, key: str, record: dict) -> None:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps({"format": RESULT_FORMAT, "record": record})
+        )
+        tmp.replace(path)
+
+
+@dataclass
+class PointSummary:
+    """Aggregated outcome of one grid cell across its seeds."""
+
+    point: dict                 # dotted grid keys -> values for this cell
+    seeds: tuple
+    rounds: tuple               # per-seed round counts, in seed order
+    solved: tuple               # per-seed solved flags, in seed order
+    notes: tuple = ()           # deduplicated run notes (e.g. τ substitution)
+    runs: tuple = ()            # the full per-seed run records, in seed order
+
+    @property
+    def median_rounds(self) -> float:
+        return percentile(self.rounds, 50)
+
+    @property
+    def p90_rounds(self) -> float:
+        return percentile(self.rounds, 90)
+
+    @property
+    def min_rounds(self) -> int:
+        return min(self.rounds)
+
+    @property
+    def max_rounds(self) -> int:
+        return max(self.rounds)
+
+    @property
+    def all_solved(self) -> bool:
+        return all(self.solved)
+
+    def to_payload(self) -> dict:
+        payload = {
+            "point": dict(self.point),
+            "seeds": list(self.seeds),
+            "rounds": list(self.rounds),
+            "solved": list(self.solved),
+            "median_rounds": self.median_rounds,
+            "p90_rounds": self.p90_rounds,
+            "notes": list(self.notes),
+        }
+        # Gauge series the spec asked the engine to collect travel with
+        # the serialized result (one entry per seed, in seed order).
+        gauges = [record.get("gauges") for record in self.runs]
+        if any(gauges):
+            payload["gauges"] = [g or {} for g in gauges]
+        return payload
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced, renderable and serializable."""
+
+    spec: SweepSpec
+    points: list = field(default_factory=list)   # PointSummary, sweep order
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+
+    def point_for(self, **match) -> PointSummary:
+        """The summary whose grid cell contains all of ``match``.
+
+        Keys may be full dotted axes or their last segment (``k`` for
+        ``instance.k``) when unambiguous.
+        """
+        def cell_view(point: dict) -> dict:
+            view = dict(point)
+            for dotted, value in point.items():
+                view.setdefault(dotted.rsplit(".", 1)[-1], value)
+            return view
+
+        found = [
+            summary
+            for summary in self.points
+            if all(
+                cell_view(summary.point).get(key) == value
+                for key, value in match.items()
+            )
+        ]
+        if len(found) != 1:
+            raise ConfigurationError(
+                f"{len(found)} grid cells match {match!r}"
+            )
+        return found[0]
+
+    def table(self, title: str | None = None) -> str:
+        """The sweep as a fixed-width table (one row per grid cell)."""
+        axes = self.spec.axes
+        short = [axis.rsplit(".", 1)[-1] for axis in axes]
+        headers = tuple(short) + (
+            "median rounds", "p90", "solved", "notes",
+        )
+        rows = []
+        for summary in self.points:
+            solved = f"{sum(summary.solved)}/{len(summary.solved)}"
+            rows.append(
+                tuple(summary.point[axis] for axis in axes)
+                + (
+                    summary.median_rounds,
+                    summary.p90_rounds,
+                    solved,
+                    "; ".join(summary.notes) or "-",
+                )
+            )
+        return render_table(
+            headers=headers,
+            rows=rows,
+            title=title
+            or f"sweep {self.spec.name} ({len(self.spec.seeds)} seeds/cell)",
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "sweep": self.spec.to_payload(),
+            "sweep_hash": self.spec.spec_hash(),
+            "points": [summary.to_payload() for summary in self.points],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Canonical JSON (byte-identical for identical sweep outcomes)."""
+        if indent is None:
+            return canonical_json(self.to_payload())
+        return json.dumps(self.to_payload(), sort_keys=True, indent=indent)
+
+
+def aggregate(
+    spec: SweepSpec, records_by_index: dict, runs: list | None = None
+) -> SweepResult:
+    """Fold per-run records into per-point summaries, in sweep order.
+
+    ``records_by_index`` maps the flat run index (the order of
+    ``spec.runs()``) to that run's record dict.  Pass the already-expanded
+    ``runs`` list to avoid re-expanding (and re-validating) the grid.
+    """
+    if runs is None:
+        runs = spec.runs()
+    by_point: dict[int, list] = {}
+    points: dict[int, dict] = {}
+    for flat_index, (point_index, point, seed, _payload) in enumerate(runs):
+        record = records_by_index[flat_index]
+        points[point_index] = point
+        by_point.setdefault(point_index, []).append((seed, record))
+    summaries = []
+    for point_index in sorted(by_point):
+        cell = by_point[point_index]
+        notes: list[str] = []
+        for _seed, record in cell:
+            for note in record.get("notes", ()):
+                if note not in notes:
+                    notes.append(note)
+        summaries.append(
+            PointSummary(
+                point=points[point_index],
+                seeds=tuple(seed for seed, _ in cell),
+                rounds=tuple(record["rounds"] for _, record in cell),
+                solved=tuple(record["solved"] for _, record in cell),
+                notes=tuple(notes),
+                runs=tuple(record for _, record in cell),
+            )
+        )
+    return SweepResult(spec=spec, points=summaries)
+
+
+def write_report(name: str, text: str, output_dir) -> Path:
+    """Persist a sweep table (the files EXPERIMENTS.md quotes)."""
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,211 @@
+"""Execute runs and sweeps: serial, process-parallel, and cached.
+
+:func:`execute_run` is the worker: it takes one JSON-able run payload,
+rebuilds the topology / dynamic graph / instance / config *inside the
+worker process* (nothing unpicklable ever crosses the process boundary),
+runs the simulation, and returns a JSON-able record.
+
+:func:`run_sweep` fans a :class:`~repro.experiments.specs.SweepSpec` out
+over a ``ProcessPoolExecutor`` (``jobs > 1``) or runs it inline
+(``jobs = 1``).  Results are keyed by each run's stable spec hash, so an
+optional on-disk :class:`~repro.experiments.results.ResultCache` makes
+re-runs free, and aggregation happens in sweep order — the aggregated
+output is byte-identical whatever ``jobs`` was.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.epsilon import run_epsilon_gossip
+from repro.core.runner import coverage_gauge, potential_gauge, run_gossip
+from repro.errors import ConfigurationError
+from repro.experiments.results import (
+    ResultCache,
+    SweepResult,
+    aggregate,
+)
+from repro.experiments.specs import (
+    RunSpec,
+    SweepSpec,
+    build_config,
+    build_dynamic_graph,
+    build_instance,
+    build_topology,
+    run_hash,
+)
+
+__all__ = ["execute_run", "normalize_payload", "run_sweep"]
+
+#: The note attached when CrowdedBin's τ = ∞ requirement forces a
+#: substitution (also surfaced by ``repro-gossip compare``).
+CROWDEDBIN_TAU_NOTE = "tau=inf substituted (crowdedbin needs stable topology)"
+
+_NAMED_GAUGES = {
+    "coverage": coverage_gauge,
+    "potential": potential_gauge,
+}
+
+
+def normalize_payload(payload: dict) -> tuple[dict, list[str]]:
+    """Apply model-rule substitutions a spec author may have missed.
+
+    CrowdedBin assumes τ = ∞; a sweep whose grid puts it on a changing
+    topology gets the static version of the same shape, with a note
+    recorded in the run record so comparison tables aren't misleading.
+    """
+    notes: list[str] = []
+    if (
+        payload.get("algorithm") == "crowdedbin"
+        and payload.get("dynamic", {}).get("kind", "static") != "static"
+    ):
+        payload = dict(payload)
+        payload["dynamic"] = {"kind": "static"}
+        notes.append(CROWDEDBIN_TAU_NOTE)
+    return payload, notes
+
+
+def execute_run(payload) -> dict:
+    """Run one spec to completion and return its JSON-able record.
+
+    Accepts a :class:`RunSpec` or its payload dict.  This is the function
+    worker processes execute; everything it needs is rebuilt locally from
+    the spec.
+    """
+    if isinstance(payload, RunSpec):
+        payload = payload.to_payload()
+    payload, notes = normalize_payload(payload)
+    spec = RunSpec.from_payload(payload)
+    engine = spec.engine
+    gauge_names = tuple(engine.get("gauges", ()))
+    for name in gauge_names:
+        if name not in _NAMED_GAUGES:
+            raise ConfigurationError(
+                f"unknown gauge {name!r}; choose from {sorted(_NAMED_GAUGES)}"
+            )
+
+    dynamic_graph = build_dynamic_graph(spec.graph, spec.dynamic, spec.seed)
+
+    if spec.algorithm == "epsilon":
+        if gauge_names:
+            raise ConfigurationError(
+                "named gauges are not supported for epsilon runs"
+            )
+        epsilon = (spec.config or {}).get("epsilon", 0.5)
+        result = run_epsilon_gossip(
+            dynamic_graph,
+            epsilon=epsilon,
+            seed=spec.seed,
+            max_rounds=spec.max_rounds,
+            config=build_config("epsilon", spec.config),
+            upper_n=spec.instance.get("upper_n"),
+            termination_every=engine.get("termination_every", 4),
+            trace_sample_every=engine.get("trace_sample_every", 1024),
+        )
+        record = {
+            "rounds": result.rounds,
+            "solved": result.solved,
+            "core_size": result.core_size,
+        }
+    else:
+        instance = build_instance(spec.instance, dynamic_graph.n, spec.seed)
+        gauges = {
+            name: _NAMED_GAUGES[name](instance.token_ids)
+            for name in gauge_names
+        }
+        result = run_gossip(
+            algorithm=spec.algorithm,
+            dynamic_graph=dynamic_graph,
+            instance=instance,
+            seed=spec.seed,
+            max_rounds=spec.max_rounds,
+            config=build_config(spec.algorithm, spec.config),
+            gauges=gauges or None,
+            gauge_every=engine.get("gauge_every", 64),
+            trace_sample_every=engine.get("trace_sample_every", 1024),
+            termination_every=engine.get("termination_every", 1),
+        )
+        record = {
+            "rounds": result.rounds,
+            "solved": result.solved,
+        }
+        if gauge_names:
+            record["gauges"] = {
+                name: [
+                    [round_index, value]
+                    for round_index, value in result.trace.gauge_series(name)
+                ]
+                for name in gauge_names
+            }
+
+    record["connections"] = result.trace.total_connections
+    record["tokens_moved"] = result.trace.total_tokens_moved
+    record["control_bits"] = result.trace.total_control_bits
+    record["notes"] = notes
+    return record
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache_dir=None,
+    progress=None,
+) -> SweepResult:
+    """Run every cell × seed of ``spec`` and aggregate in sweep order.
+
+    ``jobs > 1`` fans cache-missing runs out over a process pool; because
+    every run is independently seeded and results are re-ordered by their
+    position in the sweep, the aggregated result is identical for any
+    ``jobs``.  ``progress`` (optional) is called with one status line per
+    completed run.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    runs = spec.runs()
+    hashes = [run_hash(payload) for _, _, _, payload in runs]
+
+    records: dict[int, dict] = {}
+    pending: list[int] = []
+    for index, key in enumerate(hashes):
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            records[index] = cached
+        else:
+            pending.append(index)
+
+    def note_done(index: int, record: dict) -> None:
+        if progress is not None:
+            _, point, seed, _ = runs[index]
+            cell = ", ".join(f"{k}={v}" for k, v in point.items()) or "base"
+            progress(
+                f"[{len(records)}/{len(runs)}] {cell} seed={seed}: "
+                f"{record['rounds']} rounds"
+            )
+
+    def consume(fresh) -> None:
+        for index, record in zip(pending, fresh):
+            records[index] = record
+            if cache is not None:
+                cache.put(hashes[index], record)
+            note_done(index, record)
+
+    if pending:
+        payloads = [runs[index][3] for index in pending]
+        if jobs == 1 or len(pending) == 1:
+            consume(map(execute_run, payloads))
+        else:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+            try:
+                consume(pool.map(execute_run, payloads))
+            finally:
+                # On a worker error, drop the queued runs instead of
+                # silently simulating them to completion first.
+                pool.shutdown(cancel_futures=True)
+
+    result = aggregate(spec, records, runs=runs)
+    result.jobs = jobs
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+    return result

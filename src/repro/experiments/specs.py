@@ -1,0 +1,435 @@
+"""Declarative experiment specs: what to run, serialized as plain JSON.
+
+A :class:`RunSpec` names one execution completely — algorithm, graph
+family, dynamic-graph recipe, instance recipe, seed, round budget, config
+overrides — using only JSON-able values, so a run is reproducible from its
+spec alone and a spec can cross a process boundary without pickling any
+simulator object (workers rebuild graphs and instances locally).
+
+A :class:`SweepSpec` is a named family of runs: a ``base`` run-spec dict,
+a ``grid`` of dotted-key parameter axes expanded as a cartesian product,
+declarative ``overrides`` for per-cell adjustments (e.g. CrowdedBin's
+τ = ∞ requirement), and the seeds averaged per grid point.  Both layers
+round-trip through JSON, and :func:`run_hash` / :meth:`SweepSpec.spec_hash`
+give stable content hashes used as cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+
+from repro.core.blindmatch import BlindMatchConfig
+from repro.core.crowdedbin import CrowdedBinConfig
+from repro.core.multibit import MultiBitConfig
+from repro.core.problem import (
+    GossipInstance,
+    everyone_starts_instance,
+    skewed_instance,
+    uniform_instance,
+)
+from repro.core.sharedbit import SharedBitConfig
+from repro.core.simsharedbit import SimSharedBitConfig
+from repro.core.tokens import Token
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import (
+    DynamicGraph,
+    PeriodicRewireGraph,
+    RelabelingAdversary,
+    StaticDynamicGraph,
+)
+from repro.graphs.topologies import TOPOLOGY_FAMILIES, Topology
+
+__all__ = [
+    "EXPERIMENT_ALGORITHMS",
+    "RunSpec",
+    "SweepSpec",
+    "build_config",
+    "build_dynamic_graph",
+    "build_instance",
+    "build_topology",
+    "canonical_json",
+    "run_hash",
+]
+
+#: Algorithms the experiment runner accepts: the five gossip algorithms of
+#: :data:`repro.core.runner.ALGORITHMS` plus the §7 ε-gossip harness.
+EXPERIMENT_ALGORITHMS = (
+    "blindmatch", "sharedbit", "simsharedbit", "crowdedbin", "multibit",
+    "epsilon",
+)
+
+_CONFIG_CLASSES = {
+    "blindmatch": BlindMatchConfig,
+    "sharedbit": SharedBitConfig,
+    "simsharedbit": SimSharedBitConfig,
+    "crowdedbin": CrowdedBinConfig,
+    "multibit": MultiBitConfig,
+    "epsilon": SharedBitConfig,  # ε-gossip runs SharedBit underneath
+}
+
+_ENGINE_KEYS = frozenset(
+    {"trace_sample_every", "termination_every", "gauge_every", "gauges"}
+)
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def run_hash(payload) -> str:
+    """Stable content hash of a run payload (the result-cache key)."""
+    digest = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+    return f"run-{digest[:20]}"
+
+
+def _set_dotted(target: dict, dotted: str, value) -> None:
+    """Assign ``value`` at a dotted path, creating nested dicts on the way."""
+    keys = dotted.split(".")
+    for key in keys[:-1]:
+        node = target.setdefault(key, {})
+        if not isinstance(node, dict):
+            raise ConfigurationError(
+                f"cannot descend into {key!r} of {dotted!r}: not a mapping"
+            )
+        target = node
+    target[keys[-1]] = value
+
+
+def _get_dotted(source: dict, dotted: str, default=None):
+    node = source
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return default
+        node = node[key]
+    return node
+
+
+def _deep_copy_jsonable(value):
+    """Copy a JSON-able structure (dicts/lists/scalars) without pickling."""
+    if isinstance(value, dict):
+        return {k: _deep_copy_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_deep_copy_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class RunSpec:
+    """One fully-specified execution, built from JSON-able parts only.
+
+    ``graph``    — ``{"family": <TOPOLOGY_FAMILIES key>, "params": {...}}``
+    ``dynamic``  — ``{"kind": "static"}``,
+                   ``{"kind": "relabeling", "tau": t}``,
+                   ``{"kind": "resampled_regular", "tau": t, "degree": d}`` or
+                   ``{"kind": "resampled_gnp", "tau": t, "p": p}``
+    ``instance`` — ``{"kind": "uniform", "k": k[, "upper_n": N]}``,
+                   ``{"kind": "everyone"}``,
+                   ``{"kind": "skewed", "k": k, "holders": h}`` or
+                   ``{"kind": "token_at", "vertex": v}``
+    ``config``   — algorithm-config overrides; an optional ``"preset"`` key
+                   selects a classmethod preset (``paper`` / ``practical``)
+                   before field overrides apply.  For ``epsilon`` runs the
+                   ``"epsilon"`` key holds the coverage fraction.
+    ``engine``   — ``trace_sample_every`` / ``termination_every`` /
+                   ``gauge_every`` / ``gauges`` (named gauges, e.g.
+                   ``["coverage"]``, serialized into the run result).
+    """
+
+    algorithm: str
+    graph: dict
+    seed: int
+    max_rounds: int
+    dynamic: dict = field(default_factory=lambda: {"kind": "static"})
+    instance: dict = field(default_factory=lambda: {"kind": "uniform", "k": 1})
+    config: dict | None = None
+    engine: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.algorithm not in EXPERIMENT_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; choose from "
+                f"{EXPERIMENT_ALGORITHMS}"
+            )
+        if self.max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
+        family = self.graph.get("family")
+        if family not in TOPOLOGY_FAMILIES:
+            raise ConfigurationError(
+                f"unknown topology family {family!r}; choose from "
+                f"{sorted(TOPOLOGY_FAMILIES)}"
+            )
+        unknown = set(self.engine) - _ENGINE_KEYS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown engine keys {sorted(unknown)}; legal keys are "
+                f"{sorted(_ENGINE_KEYS)}"
+            )
+
+    def to_payload(self) -> dict:
+        """The JSON-able dict form (what workers and the cache see)."""
+        return {
+            "algorithm": self.algorithm,
+            "graph": _deep_copy_jsonable(self.graph),
+            "dynamic": _deep_copy_jsonable(self.dynamic),
+            "instance": _deep_copy_jsonable(self.instance),
+            "seed": self.seed,
+            "max_rounds": self.max_rounds,
+            "config": _deep_copy_jsonable(self.config),
+            "engine": _deep_copy_jsonable(self.engine),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunSpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
+        if unknown:
+            raise ConfigurationError(f"unknown run-spec keys {sorted(unknown)}")
+        return cls(**_deep_copy_jsonable(payload))
+
+    def spec_hash(self) -> str:
+        return run_hash(self.to_payload())
+
+
+def build_topology(graph_spec: dict) -> Topology:
+    """Instantiate the named topology family from its params dict."""
+    family = graph_spec["family"]
+    params = graph_spec.get("params", {})
+    try:
+        return TOPOLOGY_FAMILIES[family](**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad params for topology family {family!r}: {exc}"
+        ) from exc
+
+
+def build_dynamic_graph(
+    graph_spec: dict, dynamic_spec: dict, seed: int
+) -> DynamicGraph:
+    """Build the dynamic graph a run spec describes."""
+    kind = dynamic_spec.get("kind", "static")
+    topo = build_topology(graph_spec)
+    if kind == "static":
+        return StaticDynamicGraph(topo)
+    if kind == "relabeling":
+        return RelabelingAdversary(
+            topo, tau=dynamic_spec.get("tau", 1), seed=seed
+        )
+    if kind == "resampled_regular":
+        return PeriodicRewireGraph.resampled_regular(
+            n=topo.n,
+            degree=dynamic_spec["degree"],
+            tau=dynamic_spec.get("tau", 1),
+            seed=seed,
+        )
+    if kind == "resampled_gnp":
+        return PeriodicRewireGraph.resampled_gnp(
+            n=topo.n,
+            p=dynamic_spec["p"],
+            tau=dynamic_spec.get("tau", 1),
+            seed=seed,
+        )
+    raise ConfigurationError(
+        f"unknown dynamic kind {kind!r}; choose from "
+        "('static', 'relabeling', 'resampled_regular', 'resampled_gnp')"
+    )
+
+
+def build_instance(instance_spec: dict, n: int, seed: int) -> GossipInstance:
+    """Build the gossip instance a run spec describes (n from the graph)."""
+    kind = instance_spec.get("kind", "uniform")
+    upper_n = instance_spec.get("upper_n")
+    if kind == "uniform":
+        return uniform_instance(
+            n=n, k=instance_spec.get("k", 1), seed=seed, upper_n=upper_n
+        )
+    if kind == "everyone":
+        return everyone_starts_instance(n=n, seed=seed, upper_n=upper_n)
+    if kind == "skewed":
+        return skewed_instance(
+            n=n,
+            k=instance_spec.get("k", 1),
+            seed=seed,
+            upper_n=upper_n,
+            holders=instance_spec.get("holders", 1),
+        )
+    if kind == "token_at":
+        # A k = 1 instance whose token starts at a chosen vertex (the
+        # double-star lower-bound setup: the rumor must cross the bridge).
+        import random
+
+        vertex = instance_spec["vertex"]
+        rng = random.Random(seed)
+        upper = upper_n or n
+        uids = tuple(rng.sample(range(1, upper + 1), n))
+        return GossipInstance(
+            n=n,
+            upper_n=upper,
+            uids=uids,
+            initial_tokens={vertex: (Token(uids[vertex]),)},
+        )
+    raise ConfigurationError(
+        f"unknown instance kind {kind!r}; choose from "
+        "('uniform', 'everyone', 'skewed', 'token_at')"
+    )
+
+
+def build_config(algorithm: str, config_spec: dict | None):
+    """Materialize an algorithm config from preset name + field overrides."""
+    if config_spec is None:
+        return None
+    spec = dict(config_spec)
+    spec.pop("epsilon", None)  # ε-gossip's own knob, not a config field
+    cls = _CONFIG_CLASSES[algorithm]
+    preset = spec.pop("preset", None)
+    if preset is not None:
+        factory = getattr(cls, preset, None)
+        if factory is None:
+            raise ConfigurationError(
+                f"config class {cls.__name__} has no preset {preset!r}"
+            )
+        base = factory()
+    else:
+        base = cls()
+    if not spec:
+        return base
+    try:
+        return dataclasses.replace(base, **spec)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad config overrides for {cls.__name__}: {exc}"
+        ) from exc
+
+
+@dataclass
+class SweepSpec:
+    """A named, serializable family of runs.
+
+    ``base``      — a :class:`RunSpec`-shaped dict without ``seed``;
+    ``grid``      — dotted-key axes (``{"instance.k": [1, 2, 4]}``) expanded
+                    as a cartesian product in declaration order;
+    ``seeds``     — seeds run (and aggregated over) per grid point;
+    ``overrides`` — declarative per-cell patches: each entry's ``when``
+                    dotted-key conditions are matched against the expanded
+                    run, and on a match its ``set`` patches apply.  This is
+                    how a sweep over algorithms states "CrowdedBin rows run
+                    static with the practical preset" inside the spec.
+    """
+
+    name: str
+    base: dict
+    grid: dict = field(default_factory=dict)
+    seeds: tuple = (11, 23, 37)
+    overrides: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("a sweep needs a name")
+        self.seeds = tuple(self.seeds)
+        if not self.seeds:
+            raise ConfigurationError("a sweep needs at least one seed")
+        if "seed" in self.base or "seed" in self.grid:
+            raise ConfigurationError(
+                "seeds belong in SweepSpec.seeds, not base/grid"
+            )
+        for axis, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ConfigurationError(
+                    f"grid axis {axis!r} must be a non-empty list"
+                )
+        for entry in self.overrides:
+            if not isinstance(entry, dict) or "set" not in entry:
+                raise ConfigurationError(
+                    "each override must be a dict with a 'set' mapping "
+                    "(and an optional 'when' mapping)"
+                )
+            # Overrides apply after the per-seed assignment; letting one
+            # assign "seed" would silently collapse every seed of a cell
+            # onto the same run.
+            if any(
+                dotted == "seed" or dotted.startswith("seed.")
+                for dotted in entry["set"]
+            ):
+                raise ConfigurationError(
+                    "overrides must not set 'seed'; seeds belong in "
+                    "SweepSpec.seeds"
+                )
+
+    @property
+    def axes(self) -> tuple:
+        return tuple(self.grid)
+
+    def points(self) -> list[dict]:
+        """Grid cells in deterministic (declaration) order."""
+        if not self.grid:
+            return [{}]
+        axes = list(self.grid)
+        return [
+            dict(zip(axes, combo))
+            for combo in itertools.product(*(self.grid[a] for a in axes))
+        ]
+
+    def run_payload(self, point: dict, seed: int) -> dict:
+        """The fully-merged run payload for one grid cell and seed."""
+        payload = _deep_copy_jsonable(self.base)
+        for dotted, value in point.items():
+            _set_dotted(payload, dotted, _deep_copy_jsonable(value))
+        payload["seed"] = seed
+        for entry in self.overrides:
+            when = entry.get("when", {})
+            if all(
+                _get_dotted(payload, dotted) == expected
+                for dotted, expected in when.items()
+            ):
+                for dotted, value in entry["set"].items():
+                    _set_dotted(payload, dotted, _deep_copy_jsonable(value))
+        # Validate eagerly so malformed cells fail before dispatch.
+        RunSpec.from_payload(payload)
+        return payload
+
+    def runs(self) -> list[tuple[int, dict, int, dict]]:
+        """All (point_index, point, seed, run_payload) in sweep order."""
+        out = []
+        for index, point in enumerate(self.points()):
+            for seed in self.seeds:
+                out.append((index, point, seed, self.run_payload(point, seed)))
+        return out
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "base": _deep_copy_jsonable(self.base),
+            "grid": _deep_copy_jsonable(self.grid),
+            "seeds": list(self.seeds),
+            "overrides": _deep_copy_jsonable(self.overrides),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_payload(), indent=indent)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SweepSpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
+        if unknown:
+            raise ConfigurationError(
+                f"unknown sweep-spec keys {sorted(unknown)}"
+            )
+        return cls(**_deep_copy_jsonable(payload))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_payload(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Content hash of the whole sweep (reports embed it)."""
+        digest = hashlib.sha256(
+            canonical_json(self.to_payload()).encode()
+        ).hexdigest()
+        return f"sweep-{digest[:20]}"

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 __all__ = ["NeighborView"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NeighborView:
     """What a node sees of one neighbor after the scan: UID and tag."""
 

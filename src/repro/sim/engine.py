@@ -118,12 +118,22 @@ class Simulation:
             node.uid: vertex for vertex, node in self.protocols.items()
         }
         self._round = 0
+        # Vertices are dense 0..n-1 (validated above), so the hot loop
+        # walks lists instead of dict lookups.
+        self._nodes = [self.protocols[vertex] for vertex in range(self.n)]
+        self._tags = [0] * self.n
         # Adjacency caches are keyed on the graph object identity; dynamic
         # graphs return the same object for every round of an epoch, so this
-        # rebuilds only when the topology actually changes.
+        # rebuilds only when the topology actually changes.  The cached
+        # NeighborView skeletons (and their tuples) live for a whole epoch:
+        # each round only the views whose tag actually changed are replaced,
+        # and a vertex's tuple is rebuilt only if any of its views changed.
         self._adjacency_for: nx.Graph | None = None
-        self._neighbor_uids: dict[int, tuple[int, ...]] = {}
-        self._neighbor_vertices: dict[int, tuple[int, ...]] = {}
+        self._neighbor_vertices: list[tuple[int, ...]] = []
+        self._neighbor_uids: list[tuple[int, ...]] = []
+        self._neighbor_uid_sets: list[frozenset] = []
+        self._views: list[list[NeighborView]] = []
+        self._view_tuples: list[tuple[NeighborView, ...]] = []
 
     @property
     def n(self) -> int:
@@ -163,35 +173,53 @@ class Simulation:
             nodes=self.protocols,
         )
 
-    def step(self) -> RoundRecord:
-        """Execute one full round and return its record."""
+    def step(self) -> RoundRecord | None:
+        """Execute one full round.
+
+        Returns the round's :class:`RoundRecord` when the trace keeps it
+        (always with ``trace_sample_every=1``); unsampled rounds update the
+        trace totals through a light path and return ``None``.
+        """
         self._round += 1
         rnd = self._round
         graph = self.dynamic_graph.graph_at(rnd)
         self._refresh_adjacency(graph)
 
+        nodes = self._nodes
+        tags = self._tags
+        max_tag = self.max_tag
+
         # Stage 1: scan + tag selection.
-        tags: dict[int, int] = {}
-        for vertex, node in self.protocols.items():
+        for vertex, node in enumerate(nodes):
             tag = node.advertise(rnd, self._neighbor_uids[vertex])
-            if not isinstance(tag, int) or not 0 <= tag <= self.max_tag:
+            if not isinstance(tag, int) or not 0 <= tag <= max_tag:
                 raise ProtocolViolationError(
                     f"node uid={node.uid} advertised tag {tag!r}; "
                     f"legal range with b={self.b} is [0, {self.max_tag}]"
                 )
             tags[vertex] = tag
 
-        # Stage 2: proposals, with each node seeing neighbor tags.
+        # Stage 2: proposals, with each node seeing neighbor tags.  Views
+        # come from the per-epoch skeleton cache; only views whose tag
+        # changed since the previous round are replaced.
         proposals: dict[int, int] = {}
-        for vertex, node in self.protocols.items():
-            views = tuple(
-                NeighborView(uid=self.protocols[nv].uid, tag=tags[nv])
-                for nv in self._neighbor_vertices[vertex]
-            )
-            target = node.propose(rnd, views)
+        neighbor_vertices = self._neighbor_vertices
+        view_tuples = self._view_tuples
+        for vertex, node in enumerate(nodes):
+            views = self._views[vertex]
+            stale = False
+            for i, nv in enumerate(neighbor_vertices[vertex]):
+                tag = tags[nv]
+                view = views[i]
+                if view.tag != tag:
+                    views[i] = NeighborView(uid=view.uid, tag=tag)
+                    stale = True
+            if stale:
+                view_tuples[vertex] = tuple(views)
+            target = node.propose(rnd, view_tuples[vertex])
             if target is None:
                 continue
-            if target not in self._neighbor_uids[vertex]:
+            if target not in self._neighbor_uid_sets[vertex]:
                 raise ProtocolViolationError(
                     f"node uid={node.uid} proposed to uid={target}, "
                     f"not a neighbor in round {rnd}"
@@ -218,8 +246,18 @@ class Simulation:
             tokens_moved += channel.tokens_moved
             control_bits += channel.bits.total_bits
 
+        # Record keeping: unsampled rounds skip the RoundRecord/gauge-dict
+        # churn entirely and only bump the trace totals.
+        gauges_due = bool(self.gauges) and rnd % self.gauge_every == 0
+        if not (
+            gauges_due or rnd == 1 or rnd % self.trace.sample_every == 0
+        ):
+            self.trace.observe(
+                rnd, len(proposals), len(matches), tokens_moved, control_bits
+            )
+            return None
         gauges = {}
-        if self.gauges and rnd % self.gauge_every == 0:
+        if gauges_due:
             gauges = {
                 name: fn(self.protocols, rnd) for name, fn in self.gauges.items()
             }
@@ -238,13 +276,25 @@ class Simulation:
         if graph is self._adjacency_for:
             return
         self._adjacency_for = graph
-        self._neighbor_vertices = {
-            vertex: tuple(sorted(graph.neighbors(vertex)))
+        nodes = self._nodes
+        self._neighbor_vertices = [
+            tuple(sorted(graph.neighbors(vertex)))
             for vertex in range(self.n)
-        }
-        self._neighbor_uids = {
-            vertex: tuple(
-                self.protocols[nv].uid for nv in self._neighbor_vertices[vertex]
-            )
-            for vertex in range(self.n)
-        }
+        ]
+        self._neighbor_uids = [
+            tuple(nodes[nv].uid for nv in nvs)
+            for nvs in self._neighbor_vertices
+        ]
+        self._neighbor_uid_sets = [
+            frozenset(uids) for uids in self._neighbor_uids
+        ]
+        # Per-epoch view skeletons.  UIDs are fixed for the epoch; tags
+        # start at 0 (already correct for b = 0 protocols, so their view
+        # tuples are built once per epoch and reused verbatim) and are
+        # refreshed in place by :meth:`step` as nodes change what they
+        # advertise.
+        self._views = [
+            [NeighborView(uid=uid, tag=0) for uid in uids]
+            for uids in self._neighbor_uids
+        ]
+        self._view_tuples = [tuple(views) for views in self._views]

@@ -44,12 +44,33 @@ class Trace:
         self.total_tokens_moved = 0
         self.total_control_bits = 0
 
+    def observe(
+        self,
+        round_index: int,
+        proposals: int,
+        connections: int,
+        tokens_moved: int,
+        control_bits: int,
+    ) -> None:
+        """Fold one round into the totals without materializing a record.
+
+        The engine's light path for unsampled rounds; totals stay exact
+        while no :class:`RoundRecord` (or its gauges dict) is allocated.
+        """
+        self.total_rounds = max(self.total_rounds, round_index)
+        self.total_proposals += proposals
+        self.total_connections += connections
+        self.total_tokens_moved += tokens_moved
+        self.total_control_bits += control_bits
+
     def record(self, record: RoundRecord) -> None:
-        self.total_rounds = max(self.total_rounds, record.round_index)
-        self.total_proposals += record.proposals
-        self.total_connections += record.connections
-        self.total_tokens_moved += record.tokens_moved
-        self.total_control_bits += record.control_bits
+        self.observe(
+            record.round_index,
+            record.proposals,
+            record.connections,
+            record.tokens_moved,
+            record.control_bits,
+        )
         keep = (
             record.round_index % self.sample_every == 0
             or record.round_index == 1

@@ -196,6 +196,91 @@ class TestDynamicTopology:
         assert run_once() == run_once()
 
 
+class ViewCaptureNode(CountingNode):
+    """Records the exact view tuples the engine passes to propose."""
+
+    def __init__(self, uid, tag=0):
+        super().__init__(uid, tag=tag)
+        self.seen_views = []
+
+    def propose(self, round_index, neighbors):
+        self.seen_views.append(neighbors)
+        return super().propose(round_index, neighbors)
+
+
+class TogglingNode(CountingNode):
+    """Advertises the round's parity — tags change every round."""
+
+    def advertise(self, round_index, neighbor_uids):
+        return round_index % 2
+
+
+class TestHotPathCaches:
+    """The per-epoch NeighborView skeleton cache and the trace light path."""
+
+    def test_view_tuple_reused_verbatim_when_tags_stable(self):
+        sim, nodes = simple_sim(cycle(4), lambda v: ViewCaptureNode(v + 1))
+        for _ in range(4):
+            sim.step()
+        seen = nodes[0].seen_views
+        # Constant b=0-style tags on a static graph: after the first round
+        # settles the tags, every later round must hand propose the same
+        # tuple object (no per-round reallocation).
+        assert seen[1] is seen[2] is seen[3]
+
+    def test_views_refresh_when_tags_change(self):
+        sim, nodes = simple_sim(path(3), lambda v: TogglingNode(v + 1))
+        sim.step()
+        assert nodes[1].seen_neighbor_tags == {1: 1, 3: 1}
+        sim.step()
+        assert nodes[1].seen_neighbor_tags == {1: 0, 3: 0}
+        sim.step()
+        assert nodes[1].seen_neighbor_tags == {1: 1, 3: 1}
+
+    def test_views_track_epoch_changes(self):
+        topo = cycle(6)
+        dg = RelabelingAdversary(topo, tau=1, seed=3)
+        nodes = {v: CountingNode(v + 1, tag=1) for v in range(6)}
+        sim = Simulation(dg, nodes, b=1, seed=0)
+        for rnd in range(1, 6):
+            graph = dg.graph_at(rnd)
+            sim.step()
+            for vertex in range(6):
+                expected = {
+                    nodes[nv].uid: 1 for nv in graph.neighbors(vertex)
+                }
+                assert nodes[vertex].seen_neighbor_tags == expected, (
+                    f"round {rnd}, vertex {vertex}"
+                )
+
+    def test_unsampled_rounds_skip_records_but_keep_totals(self):
+        sim, _ = simple_sim(
+            path(2),
+            lambda v: CountingNode(v + 1, propose_when_odd=True),
+            trace_sample_every=4,
+        )
+        records = [sim.step() for _ in range(8)]
+        # Round 1 and multiples of sample_every materialize records; the
+        # rest take the light path and return None.
+        assert [r.round_index for r in records if r is not None] == [1, 4, 8]
+        assert [r.round_index for r in sim.trace.records] == [1, 4, 8]
+        # Totals stay exact regardless of sampling.
+        assert sim.trace.total_rounds == 8
+        assert sim.trace.total_connections == 8
+        assert sim.trace.total_control_bits == 8 * 8
+
+    def test_gauge_rounds_always_materialize(self):
+        sim, _ = simple_sim(
+            cycle(4),
+            lambda v: CountingNode(v + 1),
+            gauges={"round_echo": lambda nodes, r: r},
+            gauge_every=3,
+            trace_sample_every=1000,
+        )
+        sim.run(max_rounds=7)
+        assert sim.trace.gauge_series("round_echo") == [(3, 3), (6, 6)]
+
+
 class TestTerminationHelpers:
     def test_any_of(self):
         cond = any_of(lambda n, r: r >= 5, lambda n, r: r == 2)
