@@ -1,0 +1,48 @@
+"""The fluent API: one chained expression per experiment.
+
+Runs one SharedBit execution, then widens the same setup into a small
+k-scaling sweep — both through ``repro.Experiment``, the registry-backed
+builder that validates every name (algorithm, graph family, dynamics
+kind, instance kind) at the line that uses it.
+
+Run:  python examples/fluent_api.py
+"""
+
+from repro import Experiment
+
+N, SEED = 16, 7
+
+
+def main() -> None:
+    record = (
+        Experiment("sharedbit")
+        .on_graph("cycle", n=N)
+        .with_dynamics("relabeling", tau=2)
+        .with_instance("uniform", k=2)
+        .with_engine(trace_sample_every=1024)
+        .seeded(SEED)
+        .rounds(60_000)
+        .run()
+    )
+    print(
+        f"single run: sharedbit on a relabeled cycle (n={N}, k=2) -> "
+        f"{record['rounds']} rounds, solved={record['solved']}"
+    )
+
+    result = (
+        Experiment("sharedbit")
+        .on_graph("cycle", n=N)
+        .with_instance("uniform", k=1)
+        .with_engine(trace_sample_every=1024)
+        .rounds(60_000)
+        .sweep("fluent-k-scaling")
+        .vary("instance.k", [1, 2, 4])
+        .seeds(11, 23)
+        .run()
+    )
+    print()
+    print(result.table())
+
+
+if __name__ == "__main__":
+    main()

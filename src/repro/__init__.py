@@ -6,26 +6,32 @@ services), the communication-complexity subroutines (EQTest, Transfer,
 the Newman-style shared-string family), leader election, and all the
 gossip algorithms with their analyses turned into measurable experiments.
 
-Quickstart::
+Quickstart (the fluent facade — see :mod:`repro.api`)::
 
-    from repro import graphs, core
-    from repro.graphs.dynamic import StaticDynamicGraph
+    from repro import Experiment
 
-    topo = graphs.expander(n=32, degree=4, seed=1)
-    result = core.run_gossip(
-        algorithm="sharedbit",
-        dynamic_graph=StaticDynamicGraph(topo),
-        instance=core.uniform_instance(n=32, k=4, seed=7),
-        seed=7,
-        max_rounds=20_000,
+    record = (
+        Experiment("sharedbit")
+        .on_graph("expander", n=32, degree=4, seed=1)
+        .with_instance("uniform", k=4)
+        .seeded(7)
+        .rounds(20_000)
+        .run()
     )
-    print(result.rounds, result.solved)
+    print(record["rounds"], record["solved"])
+
+Every algorithm, topology family, dynamics kind, instance kind, and
+scenario is a named registration in :mod:`repro.registry`; plugins extend
+all of them (including the CLI) without editing repro itself.  The lower
+layers remain available: :func:`repro.core.run_gossip` for direct runs,
+node classes + :class:`repro.sim.engine.Simulation` for custom setups.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every experiment.
 """
 
 from repro import (
+    registry,
     graphs,
     sim,
     commcplx,
@@ -34,7 +40,9 @@ from repro import (
     analysis,
     workloads,
     experiments,
+    api,
 )
+from repro.api import Experiment
 from repro.core import (
     run_gossip,
     run_epsilon_gossip,
@@ -55,6 +63,9 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "registry",
+    "api",
+    "Experiment",
     "graphs",
     "sim",
     "commcplx",

@@ -1,0 +1,188 @@
+"""The documented entry point: a fluent builder over the registry.
+
+:class:`Experiment` assembles a :class:`~repro.experiments.specs.RunSpec`
+step by step, validating every name against :mod:`repro.registry` at call
+time (so typos fail at the line that made them, with the registered set
+in the message), and either runs it directly or widens it into a
+:class:`~repro.experiments.specs.SweepSpec` via :meth:`Experiment.sweep`.
+
+Quickstart::
+
+    from repro import Experiment
+
+    record = (
+        Experiment("sharedbit")
+        .on_graph("expander", n=32, degree=4, seed=1)
+        .with_instance("uniform", k=4)
+        .seeded(7)
+        .rounds(20_000)
+        .run()
+    )
+    print(record["rounds"], record["solved"])
+
+    result = (
+        Experiment("sharedbit")
+        .on_graph("cycle", n=16)
+        .sweep("k-scaling")
+        .vary("instance.k", [1, 2, 4])
+        .seeds(11, 23, 37)
+        .run(jobs=4)
+    )
+    print(result.table())
+
+Everything the builder produces is an ordinary spec object: call
+:meth:`Experiment.run_spec` / :meth:`SweepBuilder.spec` to get the
+JSON-able artifact and drop down to :mod:`repro.experiments` directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import execute_run, run_sweep
+from repro.experiments.specs import RunSpec, SweepSpec, _deep_copy_jsonable
+from repro.registry import (
+    ALGORITHM_REGISTRY,
+    DYNAMICS_REGISTRY,
+    INSTANCE_REGISTRY,
+    TOPOLOGY_REGISTRY,
+)
+
+__all__ = ["Experiment", "SweepBuilder"]
+
+
+class Experiment:
+    """Fluent builder for one gossip execution.
+
+    Every ``with_*``/``on_graph`` call validates its name against the
+    registry immediately and returns ``self`` for chaining.
+    """
+
+    def __init__(self, algorithm: str):
+        ALGORITHM_REGISTRY.get(algorithm)
+        self._algorithm = algorithm
+        self._graph: dict | None = None
+        self._dynamic: dict = {"kind": "static"}
+        self._instance: dict = {"kind": "uniform", "k": 1}
+        self._config: dict | None = None
+        self._engine: dict = {}
+        self._seed = 0
+        self._max_rounds = 200_000
+
+    def on_graph(self, family: str, **params) -> "Experiment":
+        """Choose the topology family and its parameters."""
+        TOPOLOGY_REGISTRY.get(family)
+        self._graph = {"family": family, "params": params}
+        return self
+
+    def with_dynamics(self, kind: str, **params) -> "Experiment":
+        """Choose how the topology evolves (default: static)."""
+        DYNAMICS_REGISTRY.get(kind)
+        self._dynamic = {"kind": kind, **params}
+        return self
+
+    def with_instance(self, kind: str, **params) -> "Experiment":
+        """Choose the initial token assignment (default: uniform, k=1)."""
+        INSTANCE_REGISTRY.get(kind)
+        self._instance = {"kind": kind, **params}
+        return self
+
+    def with_config(self, preset: str | None = None, **fields) -> "Experiment":
+        """Set algorithm-config preset and/or field overrides."""
+        config: dict = {}
+        if preset is not None:
+            config["preset"] = preset
+        config.update(fields)
+        self._config = config or None
+        return self
+
+    def with_engine(self, **fields) -> "Experiment":
+        """Set engine knobs (trace_sample_every, gauges, ...)."""
+        self._engine = dict(fields)
+        return self
+
+    def seeded(self, seed: int) -> "Experiment":
+        self._seed = seed
+        return self
+
+    def rounds(self, max_rounds: int) -> "Experiment":
+        self._max_rounds = max_rounds
+        return self
+
+    def _base_payload(self) -> dict:
+        if self._graph is None:
+            raise ConfigurationError(
+                "no graph chosen; call .on_graph(family, **params) first"
+            )
+        payload = {
+            "algorithm": self._algorithm,
+            "graph": _deep_copy_jsonable(self._graph),
+            "dynamic": _deep_copy_jsonable(self._dynamic),
+            "instance": _deep_copy_jsonable(self._instance),
+            "max_rounds": self._max_rounds,
+        }
+        if self._config is not None:
+            payload["config"] = _deep_copy_jsonable(self._config)
+        if self._engine:
+            payload["engine"] = _deep_copy_jsonable(self._engine)
+        return payload
+
+    def run_spec(self) -> RunSpec:
+        """The validated, JSON-able spec this builder describes."""
+        return RunSpec.from_payload(dict(self._base_payload(),
+                                         seed=self._seed))
+
+    def run(self) -> dict:
+        """Execute the run and return its JSON-able record."""
+        return execute_run(self.run_spec())
+
+    def sweep(self, name: str) -> "SweepBuilder":
+        """Widen into a sweep; the current settings become its base."""
+        return SweepBuilder(name, self._base_payload())
+
+
+class SweepBuilder:
+    """Fluent builder for a :class:`SweepSpec` (made by Experiment.sweep)."""
+
+    def __init__(self, name: str, base: dict):
+        self._name = name
+        self._base = base
+        self._grid: dict = {}
+        self._seeds: tuple = (11, 23, 37)
+        self._overrides: list = []
+
+    def vary(self, axis: str, values) -> "SweepBuilder":
+        """Add a dotted-key grid axis (e.g. ``"instance.k", [1, 2, 4]``)."""
+        self._grid[axis] = list(values)
+        return self
+
+    def seeds(self, *seeds: int) -> "SweepBuilder":
+        self._seeds = tuple(seeds)
+        return self
+
+    def override(self, set: dict, when: dict | None = None) -> "SweepBuilder":
+        """Add a declarative per-cell patch (dotted keys, like SweepSpec)."""
+        entry: dict = {"set": dict(set)}
+        if when is not None:
+            entry["when"] = dict(when)
+        self._overrides.append(entry)
+        return self
+
+    def spec(self) -> SweepSpec:
+        """The validated, JSON-able sweep spec."""
+        return SweepSpec(
+            name=self._name,
+            base=_deep_copy_jsonable(self._base),
+            grid=_deep_copy_jsonable(self._grid),
+            seeds=self._seeds,
+            overrides=_deep_copy_jsonable(self._overrides),
+        )
+
+    def run(self, jobs: int = 1, cache_dir=None, progress=None, plugins=()):
+        """Execute the sweep (see :func:`repro.experiments.run_sweep`)."""
+        return run_sweep(
+            self.spec(),
+            jobs=jobs,
+            cache_dir=cache_dir,
+            progress=progress,
+            plugins=plugins,
+        )

@@ -6,7 +6,14 @@ Examples::
     repro-gossip scenario --name festival
     repro-gossip compare --n 24 --k 3
     repro-gossip sweep --spec examples/specs/tiny.json --jobs 4
+    repro-gossip list
+    repro-gossip --plugin my_plugin.py run --algorithm my_gossip --n 16
     python -m repro.cli run --algorithm blindmatch --n 16 --k 2 --graph star
+
+Every choice list (algorithms, graph families, scenarios) is derived from
+:mod:`repro.registry`, so ``--plugin`` files that register out-of-tree
+definitions extend the CLI without any edit here.  ``--plugin`` is a
+top-level flag and must precede the subcommand.
 """
 
 from __future__ import annotations
@@ -15,55 +22,60 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.problem import uniform_instance
-from repro.core.runner import ALGORITHMS, run_gossip
-from repro.experiments import SweepSpec, run_sweep
-from repro.graphs.dynamic import (
-    RelabelingAdversary,
-    StaticDynamicGraph,
-    TAU_INFINITY,
-)
-from repro.graphs.topologies import TOPOLOGY_FAMILIES
 from repro.analysis.tables import render_table
-from repro.workloads.scenarios import SCENARIOS
+from repro.core.runner import ALGORITHMS, run_gossip
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    SweepSpec,
+    build_dynamic_graph,
+    build_instance,
+    run_sweep,
+)
+from repro.registry import (
+    ALGORITHM_REGISTRY,
+    DYNAMICS_REGISTRY,
+    INSTANCE_REGISTRY,
+    SCENARIO_REGISTRY,
+    TOPOLOGY_REGISTRY,
+    load_plugin,
+)
 
 __all__ = ["main"]
 
-_GRAPH_CHOICES = ("expander", "star", "path", "cycle", "complete", "grid")
+
+def _sized_graph_choices() -> tuple:
+    """Families usable via a bare ``--n`` (those declaring ``from_size``)."""
+    return tuple(
+        defn.name
+        for defn in TOPOLOGY_REGISTRY.values()
+        if defn.from_size is not None
+    )
 
 
 def _graph_spec(name: str, n: int, seed: int) -> dict:
     """The experiments-layer graph spec matching this CLI's conventions."""
-    if name == "expander":
-        degree = min(6, n - 1)
-        if (n * degree) % 2:
-            degree -= 1
-        return {
-            "family": "expander",
-            "params": {"n": n, "degree": max(degree, 2), "seed": seed},
-        }
-    if name == "grid":
-        cols = max(2, int(n**0.5))
-        rows = max(2, n // cols)
-        return {"family": "grid", "params": {"rows": rows, "cols": cols}}
-    return {"family": name, "params": {"n": n}}
-
-
-def _build_topology(name: str, n: int, seed: int):
-    spec = _graph_spec(name, n, seed)
-    return TOPOLOGY_FAMILIES[spec["family"]](**spec["params"])
+    defn = TOPOLOGY_REGISTRY.get(name)
+    if defn.from_size is None:
+        raise ConfigurationError(
+            f"topology family {name!r} declares no --n sizing rule; "
+            f"choose from {sorted(_sized_graph_choices())}"
+        )
+    return {"family": name, "params": defn.from_size(n, seed)}
 
 
 def _build_graph(args):
-    topo = _build_topology(args.graph, args.n, args.seed)
+    spec = _graph_spec(args.graph, args.n, args.seed)
     if args.tau == 0:  # 0 encodes tau = infinity on the command line
-        return StaticDynamicGraph(topo), topo.n
-    return RelabelingAdversary(topo, tau=args.tau, seed=args.seed), topo.n
+        dynamic = {"kind": "static"}
+    else:
+        dynamic = {"kind": "relabeling", "tau": args.tau}
+    graph = build_dynamic_graph(spec, dynamic, args.seed)
+    return graph, graph.n
 
 
 def _cmd_run(args) -> int:
     graph, n = _build_graph(args)
-    instance = uniform_instance(n=n, k=args.k, seed=args.seed)
+    instance = build_instance({"kind": "uniform", "k": args.k}, n, args.seed)
     result = run_gossip(
         algorithm=args.algorithm,
         dynamic_graph=graph,
@@ -86,7 +98,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_scenario(args) -> int:
-    scenario = SCENARIOS[args.name](seed=args.seed)
+    scenario = SCENARIO_REGISTRY.get(args.name).factory(seed=args.seed)
     result = run_gossip(
         algorithm=args.algorithm or scenario.recommended_algorithm,
         dynamic_graph=scenario.dynamic_graph,
@@ -108,23 +120,24 @@ def _cmd_compare(args) -> int:
         dynamic = {"kind": "static"}
     else:
         dynamic = {"kind": "relabeling", "tau": args.tau}
+    algorithms = list(ALGORITHMS)
     sweep = SweepSpec(
         name=f"compare-{args.graph}-n{args.n}-k{args.k}",
         base={
-            "algorithm": ALGORITHMS[0],
+            "algorithm": algorithms[0],
             "graph": _graph_spec(args.graph, args.n, args.seed),
             "dynamic": dynamic,
             "instance": {"kind": "uniform", "k": args.k},
             "max_rounds": args.max_rounds,
         },
-        grid={"algorithm": list(ALGORITHMS)},
+        grid={"algorithm": algorithms},
         seeds=(args.seed,),
     )
-    result = run_sweep(sweep, jobs=args.jobs)
+    result = run_sweep(sweep, jobs=args.jobs, plugins=args.plugin)
     rows = []
     for summary in result.points:
-        # CrowdedBin's τ = ∞ substitution is recorded in the run notes;
-        # surface it so side-by-side numbers aren't silently apples/oranges.
+        # A τ = ∞ substitution is recorded in the run notes; surface it
+        # so side-by-side numbers aren't silently apples/oranges.
         substituted = bool(summary.notes)
         tau = "inf" if args.tau == 0 or substituted else args.tau
         median = summary.median_rounds
@@ -156,6 +169,7 @@ def _cmd_sweep(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         progress=progress,
+        plugins=args.plugin,
     )
     print(result.table())
     if args.cache_dir:
@@ -169,16 +183,81 @@ def _cmd_sweep(args) -> int:
     return 0 if all(summary.all_solved for summary in result.points) else 1
 
 
+def _cmd_list(args) -> int:
+    """Print every registered definition with its one-line description."""
+
+    def section(title: str, rows) -> None:
+        print(f"{title}:")
+        for row in rows:
+            print(f"  {row}")
+        print()
+
+    section(
+        "algorithms",
+        (
+            f"{defn.name:<14} b={defn.tag_length_label:<3} "
+            f"{defn.model_label:<8} "
+            f"{'[experiments-layer only] ' if not defn.runnable else ''}"
+            f"{defn.description}"
+            for defn in ALGORITHM_REGISTRY.values()
+        ),
+    )
+    section(
+        "topology families",
+        (
+            f"{defn.name:<14} "
+            f"{'[--graph choice] ' if defn.from_size is not None else ''}"
+            f"{defn.description}"
+            for defn in TOPOLOGY_REGISTRY.values()
+        ),
+    )
+    section(
+        "dynamics kinds",
+        (
+            f"{defn.name:<18} {defn.description}"
+            for defn in DYNAMICS_REGISTRY.values()
+        ),
+    )
+    section(
+        "instance kinds",
+        (
+            f"{defn.name:<10} {defn.description}"
+            for defn in INSTANCE_REGISTRY.values()
+        ),
+    )
+    section(
+        "scenarios",
+        (
+            f"{defn.name:<12} {defn.description}"
+            for defn in SCENARIO_REGISTRY.values()
+        ),
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gossip",
         description="Gossip in the mobile telephone model (Newport, PODC 2017)",
     )
+    parser.add_argument(
+        "--plugin",
+        action="append",
+        default=[],
+        metavar="MODULE_OR_FILE",
+        help="plugin module name or .py file registering out-of-tree "
+             "definitions (repeatable; must precede the subcommand)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    graph_choices = sorted(_sized_graph_choices())
+    algorithm_choices = list(ALGORITHMS)
+    scenario_choices = sorted(SCENARIO_REGISTRY.names())
+
     run_p = sub.add_parser("run", help="run one algorithm on one graph")
-    run_p.add_argument("--algorithm", choices=ALGORITHMS, required=True)
-    run_p.add_argument("--graph", choices=_GRAPH_CHOICES, default="expander")
+    run_p.add_argument("--algorithm", choices=algorithm_choices,
+                       required=True)
+    run_p.add_argument("--graph", choices=graph_choices, default="expander")
     run_p.add_argument("--n", type=int, default=32)
     run_p.add_argument("--k", type=int, default=4)
     run_p.add_argument("--tau", type=int, default=0,
@@ -188,14 +267,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.set_defaults(func=_cmd_run)
 
     sc_p = sub.add_parser("scenario", help="run a motivating workload")
-    sc_p.add_argument("--name", choices=sorted(SCENARIOS), required=True)
-    sc_p.add_argument("--algorithm", choices=ALGORITHMS, default=None)
+    sc_p.add_argument("--name", choices=scenario_choices, required=True)
+    sc_p.add_argument("--algorithm", choices=algorithm_choices, default=None)
     sc_p.add_argument("--seed", type=int, default=0)
     sc_p.add_argument("--max-rounds", type=int, default=200_000)
     sc_p.set_defaults(func=_cmd_scenario)
 
     cmp_p = sub.add_parser("compare", help="run all algorithms side by side")
-    cmp_p.add_argument("--graph", choices=_GRAPH_CHOICES, default="expander")
+    cmp_p.add_argument("--graph", choices=graph_choices, default="expander")
     cmp_p.add_argument("--n", type=int, default=24)
     cmp_p.add_argument("--k", type=int, default=3)
     cmp_p.add_argument("--tau", type=int, default=1)
@@ -220,10 +299,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print one line per completed run")
     sw_p.set_defaults(func=_cmd_sweep)
 
+    ls_p = sub.add_parser(
+        "list",
+        help="print registered algorithms, graphs, dynamics, instances, "
+             "and scenarios",
+    )
+    ls_p.set_defaults(func=_cmd_list)
+
     return parser
 
 
+def _preload_plugins(argv) -> None:
+    """Load ``--plugin`` values before the parser is built.
+
+    Choice lists are computed at parser-build time, so a plugin's
+    registrations must land first for its names to be accepted.
+    """
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--plugin" and index + 1 < len(argv):
+            load_plugin(argv[index + 1])
+            index += 2
+            continue
+        if arg.startswith("--plugin="):
+            load_plugin(arg.split("=", 1)[1])
+        index += 1
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    _preload_plugins(argv)
     args = build_parser().parse_args(argv)
     return args.func(args)
 

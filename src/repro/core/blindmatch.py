@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.commcplx.transfer import TransferProtocol
 from repro.core.problem import GossipNode
 from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.sim.channel import Channel
 from repro.sim.context import NeighborView
 
@@ -84,3 +85,16 @@ class BlindMatchNode(GossipNode):
     def interact(self, responder: "BlindMatchNode", channel: Channel,
                  round_index: int) -> None:
         self.run_transfer(responder, self._transfer, channel)
+
+
+@register_algorithm(
+    name="blindmatch",
+    description="no advertising bits, any tau; O((1/a)*k*D^2*log^2 n) (Thm 4.1)",
+    config_class=BlindMatchConfig,
+    tag_length=0,
+)
+def _build_blindmatch_nodes(ctx):
+    return {
+        vertex: BlindMatchNode(config=ctx.config, **ctx.common(vertex))
+        for vertex in ctx.vertices()
+    }

@@ -39,6 +39,7 @@ from repro.core.problem import GossipNode
 from repro.core.schedule import CrowdedBinSchedule, SchedulePosition
 from repro.core.tokens import Token
 from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.sim.channel import Channel
 from repro.sim.context import NeighborView
 
@@ -387,4 +388,21 @@ def configuration_report(nodes, schedule: CrowdedBinSchedule, k: int) -> dict:
         "target_instance": target,
         "target_estimate": None if target is None else schedule.estimate_of(target),
         "good": good,
+    }
+
+
+@register_algorithm(
+    name="crowdedbin",
+    description="stable-topology gossip, O((k/a)*log^6 n) (Thm 6.10)",
+    config_class=CrowdedBinConfig,
+    tag_length=1,
+    requires_stable_topology=True,
+)
+def _build_crowdedbin_nodes(ctx):
+    schedule = ctx.config.schedule(ctx.instance.upper_n)
+    return {
+        vertex: CrowdedBinNode(
+            config=ctx.config, schedule=schedule, **ctx.common(vertex)
+        )
+        for vertex in ctx.vertices()
     }

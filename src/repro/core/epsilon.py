@@ -20,6 +20,7 @@ from repro.core.potential import epsilon_gossip_solved, mutual_knowledge_core, p
 from repro.core.problem import GossipInstance, everyone_starts_instance
 from repro.core.sharedbit import SharedBitConfig, SharedBitNode
 from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.rng import SeedTree, SharedRandomness
 from repro.sim.channel import ChannelPolicy
 from repro.sim.engine import Simulation
@@ -122,3 +123,39 @@ def run_epsilon_gossip(
         trace=result.trace,
         instance=instance,
     )
+
+
+@register_algorithm(
+    name="epsilon",
+    description="eps-gossip harness: SharedBit until an eps-fraction core "
+                "mutually knows (Thm 7.4)",
+    config_class=SharedBitConfig,
+    tag_length=1,
+    config_extra_keys=("epsilon",),
+    experiment_only=True,
+)
+def _execute_epsilon_run(spec, dynamic_graph, config):
+    """Experiments-layer executor: the whole run, recorded JSON-ably."""
+    engine = spec.engine
+    if engine.get("gauges"):
+        raise ConfigurationError(
+            "named gauges are not supported for epsilon runs"
+        )
+    result = run_epsilon_gossip(
+        dynamic_graph,
+        epsilon=(spec.config or {}).get("epsilon", 0.5),
+        seed=spec.seed,
+        max_rounds=spec.max_rounds,
+        config=config,
+        upper_n=spec.instance.get("upper_n"),
+        termination_every=engine.get("termination_every", 4),
+        trace_sample_every=engine.get("trace_sample_every", 1024),
+    )
+    return {
+        "rounds": result.rounds,
+        "solved": result.solved,
+        "core_size": result.core_size,
+        "connections": result.trace.total_connections,
+        "tokens_moved": result.trace.total_tokens_moved,
+        "control_bits": result.trace.total_control_bits,
+    }

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.commcplx.transfer import TransferProtocol
 from repro.core.problem import GossipNode
 from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.rng import SharedRandomness
 from repro.sim.channel import Channel
 from repro.sim.context import NeighborView
@@ -117,3 +118,21 @@ class MultiBitSharedBitNode(GossipNode):
     def interact(self, responder: "MultiBitSharedBitNode", channel: Channel,
                  round_index: int) -> None:
         self.run_transfer(responder, self._transfer, channel)
+
+
+@register_algorithm(
+    name="multibit",
+    description="SharedBit generalized to tag length b >= 1 (the b-ablation)",
+    config_class=MultiBitConfig,
+    tag_length=lambda config: config.bits,
+)
+def _build_multibit_nodes(ctx):
+    shared = SharedRandomness(
+        ctx.tree.key("shared-string"), ctx.instance.upper_n
+    )
+    return {
+        vertex: MultiBitSharedBitNode(
+            shared=shared, config=ctx.config, **ctx.common(vertex)
+        )
+        for vertex in ctx.vertices()
+    }

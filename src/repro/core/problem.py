@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.commcplx.transfer import TransferOutcome, TransferProtocol
 from repro.errors import ConfigurationError
 from repro.core.tokens import Token
+from repro.registry import register_instance
 from repro.sim.channel import Channel
 from repro.sim.protocol import NodeProtocol
 
@@ -202,3 +203,48 @@ class GossipNode(NodeProtocol):
         elif outcome.moved_to_b:
             peer.store_token(self.token(outcome.token_id))
         return outcome
+
+
+@register_instance(
+    name="uniform",
+    description="k tokens at uniformly chosen distinct starting nodes",
+)
+def _build_uniform_instance(n, seed, *, k=1, upper_n=None):
+    return uniform_instance(n=n, k=k, seed=seed, upper_n=upper_n)
+
+
+@register_instance(
+    name="everyone",
+    description="k = n: every node starts holding its own token",
+)
+def _build_everyone_instance(n, seed, *, upper_n=None):
+    return everyone_starts_instance(n=n, seed=seed, upper_n=upper_n)
+
+
+@register_instance(
+    name="skewed",
+    description="k tokens concentrated on a few holder nodes",
+)
+def _build_skewed_instance(n, seed, *, k=1, holders=1, upper_n=None):
+    return skewed_instance(
+        n=n, k=k, seed=seed, upper_n=upper_n, holders=holders
+    )
+
+
+@register_instance(
+    name="token_at",
+    description="one token at a chosen vertex (the double-star lower-bound "
+                "setup)",
+)
+def _build_token_at_instance(n, seed, *, vertex, upper_n=None):
+    # A k = 1 instance whose token starts at a chosen vertex: the rumor
+    # must cross the double-star bridge.
+    upper = upper_n or n
+    rng = random.Random(seed)
+    uids = _draw_uids(n, upper, rng)
+    return GossipInstance(
+        n=n,
+        upper_n=upper,
+        uids=uids,
+        initial_tokens={vertex: (Token(uids[vertex]),)},
+    )

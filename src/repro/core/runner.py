@@ -1,11 +1,17 @@
 """One-call experiment harness: build nodes, run, measure.
 
 :func:`run_gossip` wires together an instance, a dynamic graph, one of the
-paper's algorithms, and the standard termination condition (all nodes know
-all k tokens), returning the measured round count plus the trace.  This is
-what the examples, benchmarks and integration tests call; direct use of
-the node classes with :class:`repro.sim.engine.Simulation` remains
+registered algorithms, and the standard termination condition (all nodes
+know all k tokens), returning the measured round count plus the trace.
+This is what the examples, benchmarks and integration tests call; direct
+use of the node classes with :class:`repro.sim.engine.Simulation` remains
 available for custom setups.
+
+Dispatch is entirely registry-driven: the algorithm name resolves to an
+:class:`repro.registry.AlgorithmDef` whose declaration carries the node
+builder, the default config class, the tag length ``b``, and model
+requirements like ``requires_stable_topology`` — so an algorithm
+registered by a plugin runs here with zero edits to this module.
 """
 
 from __future__ import annotations
@@ -13,17 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.commcplx.newman import SharedStringFamily
-from repro.core.blindmatch import BlindMatchConfig, BlindMatchNode
-from repro.core.crowdedbin import CrowdedBinConfig, CrowdedBinNode
-from repro.core.multibit import MultiBitConfig, MultiBitSharedBitNode
 from repro.core.potential import potential
 from repro.core.problem import GossipInstance
-from repro.core.sharedbit import SharedBitConfig, SharedBitNode
-from repro.core.simsharedbit import SimSharedBitConfig, SimSharedBitNode
 from repro.errors import ConfigurationError
 from repro.graphs.dynamic import DynamicGraph, TAU_INFINITY
-from repro.rng import SeedTree, SharedRandomness
+from repro.registry import (
+    ALGORITHM_REGISTRY,
+    NodeBuildContext,
+    RegistryNames,
+)
+from repro.rng import SeedTree
 from repro.sim.channel import ChannelPolicy
 from repro.sim.engine import Simulation
 from repro.sim.protocol import NodeProtocol
@@ -33,27 +38,22 @@ from repro.sim.trace import Trace
 __all__ = ["ALGORITHMS", "GossipRunResult", "build_nodes", "run_gossip",
            "coverage_gauge", "potential_gauge"]
 
-#: Algorithms runnable through :func:`run_gossip`.  "multibit" is the b≥1
-#: generalization of SharedBit (see repro.core.multibit); the other four
-#: are the paper's Figure 1 algorithms.
-ALGORITHMS = ("blindmatch", "sharedbit", "simsharedbit", "crowdedbin",
-              "multibit")
-
-_DEFAULT_CONFIGS = {
-    "blindmatch": BlindMatchConfig,
-    "sharedbit": SharedBitConfig,
-    "simsharedbit": SimSharedBitConfig,
-    "crowdedbin": CrowdedBinConfig,
-    "multibit": MultiBitConfig,
-}
+#: Algorithms runnable through :func:`run_gossip` — a live view over the
+#: registry (experiments-layer-only entries like ε-gossip are filtered
+#: out; plugin registrations appear automatically).
+ALGORITHMS = RegistryNames(ALGORITHM_REGISTRY, lambda defn: defn.runnable)
 
 
-def _tag_length(algorithm: str, config) -> int:
-    if algorithm == "blindmatch":
-        return 0
-    if algorithm == "multibit":
-        return config.bits
-    return 1
+def _runnable_def(algorithm: str):
+    """Resolve ``algorithm`` to a definition run_gossip can execute."""
+    defn = ALGORITHM_REGISTRY.get(algorithm)
+    if not defn.runnable:
+        raise ConfigurationError(
+            f"algorithm {algorithm!r} runs only through the experiments "
+            "layer (repro.experiments.execute_run); choose from "
+            f"{tuple(ALGORITHMS)}"
+        )
+    return defn
 
 
 @dataclass
@@ -84,57 +84,13 @@ def build_nodes(
     config=None,
 ) -> dict[int, NodeProtocol]:
     """Construct one protocol object per vertex for the named algorithm."""
-    if algorithm not in ALGORITHMS:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
-        )
+    defn = _runnable_def(algorithm)
     if config is None:
-        config = _DEFAULT_CONFIGS[algorithm]()
-    tree = SeedTree(seed)
-
-    def common(vertex: int) -> dict:
-        return {
-            "uid": instance.uid_of(vertex),
-            "upper_n": instance.upper_n,
-            "initial_tokens": instance.tokens_for(vertex),
-            "rng": tree.stream("node", instance.uid_of(vertex)),
-        }
-
-    if algorithm == "blindmatch":
-        return {
-            vertex: BlindMatchNode(config=config, **common(vertex))
-            for vertex in range(instance.n)
-        }
-    if algorithm == "sharedbit":
-        shared = SharedRandomness(tree.key("shared-string"), instance.upper_n)
-        return {
-            vertex: SharedBitNode(shared=shared, config=config, **common(vertex))
-            for vertex in range(instance.n)
-        }
-    if algorithm == "simsharedbit":
-        family = SharedStringFamily(
-            master_seed=tree.stream("family-master").randrange(2**31),
-            capacity_n=instance.upper_n,
-            family_size=config.family_size,
-        )
-        return {
-            vertex: SimSharedBitNode(family=family, config=config, **common(vertex))
-            for vertex in range(instance.n)
-        }
-    if algorithm == "multibit":
-        shared = SharedRandomness(tree.key("shared-string"), instance.upper_n)
-        return {
-            vertex: MultiBitSharedBitNode(
-                shared=shared, config=config, **common(vertex)
-            )
-            for vertex in range(instance.n)
-        }
-    # crowdedbin
-    schedule = config.schedule(instance.upper_n)
-    return {
-        vertex: CrowdedBinNode(config=config, schedule=schedule, **common(vertex))
-        for vertex in range(instance.n)
-    }
+        config = defn.make_config()
+    ctx = NodeBuildContext(
+        instance=instance, tree=SeedTree(seed), config=config
+    )
+    return defn.build_nodes(ctx)
 
 
 def coverage_gauge(token_ids):
@@ -172,25 +128,29 @@ def run_gossip(
 ) -> GossipRunResult:
     """Run ``algorithm`` on ``instance`` over ``dynamic_graph`` to completion.
 
-    Raises :class:`ConfigurationError` when the algorithm's model
-    assumptions are violated (CrowdedBin on a changing topology).
+    Raises :class:`ConfigurationError` when the algorithm's declared model
+    requirements are violated (``requires_stable_topology`` on a changing
+    topology — CrowdedBin's τ = ∞ assumption).
     """
+    defn = _runnable_def(algorithm)
     if dynamic_graph.n != instance.n:
         raise ConfigurationError(
             f"graph has n={dynamic_graph.n} but instance has n={instance.n}"
         )
-    if algorithm == "crowdedbin" and dynamic_graph.tau != TAU_INFINITY:
+    if defn.requires_stable_topology and dynamic_graph.tau != TAU_INFINITY:
         raise ConfigurationError(
-            "CrowdedBin assumes a stable topology (tau = infinity); got "
+            f"{algorithm} assumes a stable topology (tau = infinity); got "
             f"tau={dynamic_graph.tau}"
         )
+    # Resolve the default config exactly once; build_nodes receives it
+    # already materialized.
     if config is None:
-        config = _DEFAULT_CONFIGS[algorithm]()
+        config = defn.make_config()
     nodes = build_nodes(algorithm, instance, seed, config)
     sim = Simulation(
         dynamic_graph=dynamic_graph,
         protocols=nodes,
-        b=_tag_length(algorithm, config),
+        b=defn.resolve_tag_length(config),
         seed=seed,
         channel_policy=channel_policy
         or ChannelPolicy.for_upper_n(instance.upper_n),

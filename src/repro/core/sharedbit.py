@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.commcplx.transfer import TransferProtocol
 from repro.core.problem import GossipNode
 from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.rng import SharedRandomness
 from repro.sim.channel import Channel
 from repro.sim.context import NeighborView
@@ -113,3 +114,21 @@ class SharedBitNode(GossipNode):
     def interact(self, responder: "SharedBitNode", channel: Channel,
                  round_index: int) -> None:
         self.run_transfer(responder, self._transfer, channel)
+
+
+@register_algorithm(
+    name="sharedbit",
+    description="one bit + shared randomness; O(k*n), any tau (Thm 5.1)",
+    config_class=SharedBitConfig,
+    tag_length=1,
+)
+def _build_sharedbit_nodes(ctx):
+    shared = SharedRandomness(
+        ctx.tree.key("shared-string"), ctx.instance.upper_n
+    )
+    return {
+        vertex: SharedBitNode(
+            shared=shared, config=ctx.config, **ctx.common(vertex)
+        )
+        for vertex in ctx.vertices()
+    }

@@ -30,6 +30,7 @@ from repro.core.problem import GossipNode
 from repro.core.sharedbit import SharedBitConfig
 from repro.errors import ConfigurationError
 from repro.leader.bitconvergence import BitConvergence, LeaderConfig
+from repro.registry import register_algorithm
 from repro.rng import SharedRandomness
 from repro.sim.channel import Channel
 from repro.sim.context import NeighborView
@@ -140,3 +141,24 @@ class SimSharedBitNode(GossipNode):
             self.election.interact(responder.election, channel)
         else:
             self.run_transfer(responder, self._transfer, channel)
+
+
+@register_algorithm(
+    name="simsharedbit",
+    description="SharedBit w/o shared randomness, via leader election "
+                "(Thm 5.6)",
+    config_class=SimSharedBitConfig,
+    tag_length=1,
+)
+def _build_simsharedbit_nodes(ctx):
+    family = SharedStringFamily(
+        master_seed=ctx.tree.stream("family-master").randrange(2**31),
+        capacity_n=ctx.instance.upper_n,
+        family_size=ctx.config.family_size,
+    )
+    return {
+        vertex: SimSharedBitNode(
+            family=family, config=ctx.config, **ctx.common(vertex)
+        )
+        for vertex in ctx.vertices()
+    }

@@ -51,6 +51,7 @@ from repro.experiments.runner import (
     execute_run,
     normalize_payload,
     run_sweep,
+    stable_topology_note,
 )
 from repro.experiments.specs import (
     EXPERIMENT_ALGORITHMS,
@@ -86,5 +87,6 @@ __all__ = [
     "percentile",
     "run_hash",
     "run_sweep",
+    "stable_topology_note",
     "write_report",
 ]

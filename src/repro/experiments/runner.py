@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.core.epsilon import run_epsilon_gossip
 from repro.core.runner import coverage_gauge, potential_gauge, run_gossip
 from repro.errors import ConfigurationError
 from repro.experiments.results import (
@@ -34,12 +33,20 @@ from repro.experiments.specs import (
     build_topology,
     run_hash,
 )
+from repro.registry import ALGORITHM_REGISTRY, load_plugin
 
-__all__ = ["execute_run", "normalize_payload", "run_sweep"]
+__all__ = ["execute_run", "normalize_payload", "run_sweep",
+           "stable_topology_note"]
+
+
+def stable_topology_note(algorithm: str) -> str:
+    """The note recorded when a τ = ∞ model rule forces a substitution."""
+    return f"tau=inf substituted ({algorithm} needs stable topology)"
+
 
 #: The note attached when CrowdedBin's τ = ∞ requirement forces a
 #: substitution (also surfaced by ``repro-gossip compare``).
-CROWDEDBIN_TAU_NOTE = "tau=inf substituted (crowdedbin needs stable topology)"
+CROWDEDBIN_TAU_NOTE = stable_topology_note("crowdedbin")
 
 _NAMED_GAUGES = {
     "coverage": coverage_gauge,
@@ -50,18 +57,24 @@ _NAMED_GAUGES = {
 def normalize_payload(payload: dict) -> tuple[dict, list[str]]:
     """Apply model-rule substitutions a spec author may have missed.
 
-    CrowdedBin assumes τ = ∞; a sweep whose grid puts it on a changing
-    topology gets the static version of the same shape, with a note
-    recorded in the run record so comparison tables aren't misleading.
+    Any algorithm whose registration declares
+    ``requires_stable_topology`` (CrowdedBin's τ = ∞ assumption) gets the
+    static version of the same shape when a sweep's grid puts it on a
+    changing topology, with a note recorded in the run record so
+    comparison tables aren't misleading.  Unknown algorithm names pass
+    through untouched — :class:`RunSpec` validation rejects them with the
+    registered set.
     """
     notes: list[str] = []
+    defn = ALGORITHM_REGISTRY.find(payload.get("algorithm"))
     if (
-        payload.get("algorithm") == "crowdedbin"
+        defn is not None
+        and defn.requires_stable_topology
         and payload.get("dynamic", {}).get("kind", "static") != "static"
     ):
         payload = dict(payload)
         payload["dynamic"] = {"kind": "static"}
-        notes.append(CROWDEDBIN_TAU_NOTE)
+        notes.append(stable_topology_note(defn.name))
     return payload, notes
 
 
@@ -70,12 +83,15 @@ def execute_run(payload) -> dict:
 
     Accepts a :class:`RunSpec` or its payload dict.  This is the function
     worker processes execute; everything it needs is rebuilt locally from
-    the spec.
+    the spec.  Algorithms whose registration carries a custom ``execute``
+    hook (the ε-gossip harness) own their whole run; everything else goes
+    through :func:`repro.core.runner.run_gossip`.
     """
     if isinstance(payload, RunSpec):
         payload = payload.to_payload()
     payload, notes = normalize_payload(payload)
     spec = RunSpec.from_payload(payload)
+    defn = ALGORITHM_REGISTRY.get(spec.algorithm)
     engine = spec.engine
     gauge_names = tuple(engine.get("gauges", ()))
     for name in gauge_names:
@@ -86,27 +102,10 @@ def execute_run(payload) -> dict:
 
     dynamic_graph = build_dynamic_graph(spec.graph, spec.dynamic, spec.seed)
 
-    if spec.algorithm == "epsilon":
-        if gauge_names:
-            raise ConfigurationError(
-                "named gauges are not supported for epsilon runs"
-            )
-        epsilon = (spec.config or {}).get("epsilon", 0.5)
-        result = run_epsilon_gossip(
-            dynamic_graph,
-            epsilon=epsilon,
-            seed=spec.seed,
-            max_rounds=spec.max_rounds,
-            config=build_config("epsilon", spec.config),
-            upper_n=spec.instance.get("upper_n"),
-            termination_every=engine.get("termination_every", 4),
-            trace_sample_every=engine.get("trace_sample_every", 1024),
+    if defn.execute is not None:
+        record = defn.execute(
+            spec, dynamic_graph, build_config(spec.algorithm, spec.config)
         )
-        record = {
-            "rounds": result.rounds,
-            "solved": result.solved,
-            "core_size": result.core_size,
-        }
     else:
         instance = build_instance(spec.instance, dynamic_graph.n, spec.seed)
         gauges = {
@@ -137,12 +136,23 @@ def execute_run(payload) -> dict:
                 ]
                 for name in gauge_names
             }
+        record["connections"] = result.trace.total_connections
+        record["tokens_moved"] = result.trace.total_tokens_moved
+        record["control_bits"] = result.trace.total_control_bits
 
-    record["connections"] = result.trace.total_connections
-    record["tokens_moved"] = result.trace.total_tokens_moved
-    record["control_bits"] = result.trace.total_control_bits
     record["notes"] = notes
     return record
+
+
+def _init_worker_plugins(plugins: tuple) -> None:
+    """Process-pool initializer: re-register plugin definitions.
+
+    Worker processes import repro fresh, so out-of-tree registrations
+    made in the parent (``--plugin`` files, imported plugin modules) must
+    be replayed before any run referencing them is dispatched.
+    """
+    for plugin in plugins:
+        load_plugin(plugin)
 
 
 def run_sweep(
@@ -150,6 +160,7 @@ def run_sweep(
     jobs: int = 1,
     cache_dir=None,
     progress=None,
+    plugins=(),
 ) -> SweepResult:
     """Run every cell × seed of ``spec`` and aggregate in sweep order.
 
@@ -157,10 +168,16 @@ def run_sweep(
     every run is independently seeded and results are re-ordered by their
     position in the sweep, the aggregated result is identical for any
     ``jobs``.  ``progress`` (optional) is called with one status line per
-    completed run.
+    completed run.  ``plugins`` (optional) names plugin modules or files
+    (see :func:`repro.registry.load_plugin`) loaded both here and in
+    every worker process, so a sweep over an out-of-tree algorithm
+    parallelizes like any other.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    plugins = tuple(plugins)
+    for plugin in plugins:
+        load_plugin(plugin)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     runs = spec.runs()
     hashes = [run_hash(payload) for _, _, _, payload in runs]
@@ -195,7 +212,11 @@ def run_sweep(
         if jobs == 1 or len(pending) == 1:
             consume(map(execute_run, payloads))
         else:
-            pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                initializer=_init_worker_plugins if plugins else None,
+                initargs=(plugins,) if plugins else (),
+            )
             try:
                 consume(pool.map(execute_run, payloads))
             finally:

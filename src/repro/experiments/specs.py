@@ -22,26 +22,17 @@ import itertools
 import json
 from dataclasses import dataclass, field
 
-from repro.core.blindmatch import BlindMatchConfig
-from repro.core.crowdedbin import CrowdedBinConfig
-from repro.core.multibit import MultiBitConfig
-from repro.core.problem import (
-    GossipInstance,
-    everyone_starts_instance,
-    skewed_instance,
-    uniform_instance,
-)
-from repro.core.sharedbit import SharedBitConfig
-from repro.core.simsharedbit import SimSharedBitConfig
-from repro.core.tokens import Token
+from repro.core.problem import GossipInstance
 from repro.errors import ConfigurationError
-from repro.graphs.dynamic import (
-    DynamicGraph,
-    PeriodicRewireGraph,
-    RelabelingAdversary,
-    StaticDynamicGraph,
+from repro.graphs.dynamic import DynamicGraph
+from repro.graphs.topologies import Topology
+from repro.registry import (
+    ALGORITHM_REGISTRY,
+    DYNAMICS_REGISTRY,
+    INSTANCE_REGISTRY,
+    RegistryNames,
+    TOPOLOGY_REGISTRY,
 )
-from repro.graphs.topologies import TOPOLOGY_FAMILIES, Topology
 
 __all__ = [
     "EXPERIMENT_ALGORITHMS",
@@ -55,21 +46,10 @@ __all__ = [
     "run_hash",
 ]
 
-#: Algorithms the experiment runner accepts: the five gossip algorithms of
-#: :data:`repro.core.runner.ALGORITHMS` plus the §7 ε-gossip harness.
-EXPERIMENT_ALGORITHMS = (
-    "blindmatch", "sharedbit", "simsharedbit", "crowdedbin", "multibit",
-    "epsilon",
-)
-
-_CONFIG_CLASSES = {
-    "blindmatch": BlindMatchConfig,
-    "sharedbit": SharedBitConfig,
-    "simsharedbit": SimSharedBitConfig,
-    "crowdedbin": CrowdedBinConfig,
-    "multibit": MultiBitConfig,
-    "epsilon": SharedBitConfig,  # ε-gossip runs SharedBit underneath
-}
+#: Algorithms the experiment runner accepts — every registered algorithm,
+#: including experiments-layer-only ones (the §7 ε-gossip harness).  A
+#: live registry view: plugin registrations appear automatically.
+EXPERIMENT_ALGORITHMS = RegistryNames(ALGORITHM_REGISTRY)
 
 _ENGINE_KEYS = frozenset(
     {"trace_sample_every", "termination_every", "gauge_every", "gauges"}
@@ -150,20 +130,15 @@ class RunSpec:
     engine: dict = field(default_factory=dict)
 
     def __post_init__(self):
-        if self.algorithm not in EXPERIMENT_ALGORITHMS:
-            raise ConfigurationError(
-                f"unknown algorithm {self.algorithm!r}; choose from "
-                f"{EXPERIMENT_ALGORITHMS}"
-            )
+        # Eager name resolution: a malformed spec fails here, with the
+        # registry enumerating what *is* registered, before any dispatch.
+        ALGORITHM_REGISTRY.get(self.algorithm)
+        TOPOLOGY_REGISTRY.get(self.graph.get("family"))
+        DYNAMICS_REGISTRY.get(self.dynamic.get("kind", "static"))
+        INSTANCE_REGISTRY.get(self.instance.get("kind", "uniform"))
         if self.max_rounds < 1:
             raise ConfigurationError(
                 f"max_rounds must be >= 1, got {self.max_rounds}"
-            )
-        family = self.graph.get("family")
-        if family not in TOPOLOGY_FAMILIES:
-            raise ConfigurationError(
-                f"unknown topology family {family!r}; choose from "
-                f"{sorted(TOPOLOGY_FAMILIES)}"
             )
         unknown = set(self.engine) - _ENGINE_KEYS
         if unknown:
@@ -199,13 +174,13 @@ class RunSpec:
 
 def build_topology(graph_spec: dict) -> Topology:
     """Instantiate the named topology family from its params dict."""
-    family = graph_spec["family"]
+    defn = TOPOLOGY_REGISTRY.get(graph_spec.get("family"))
     params = graph_spec.get("params", {})
     try:
-        return TOPOLOGY_FAMILIES[family](**params)
+        return defn.factory(**params)
     except TypeError as exc:
         raise ConfigurationError(
-            f"bad params for topology family {family!r}: {exc}"
+            f"bad params for topology family {defn.name!r}: {exc}"
         ) from exc
 
 
@@ -213,80 +188,47 @@ def build_dynamic_graph(
     graph_spec: dict, dynamic_spec: dict, seed: int
 ) -> DynamicGraph:
     """Build the dynamic graph a run spec describes."""
-    kind = dynamic_spec.get("kind", "static")
+    defn = DYNAMICS_REGISTRY.get(dynamic_spec.get("kind", "static"))
     topo = build_topology(graph_spec)
-    if kind == "static":
-        return StaticDynamicGraph(topo)
-    if kind == "relabeling":
-        return RelabelingAdversary(
-            topo, tau=dynamic_spec.get("tau", 1), seed=seed
-        )
-    if kind == "resampled_regular":
-        return PeriodicRewireGraph.resampled_regular(
-            n=topo.n,
-            degree=dynamic_spec["degree"],
-            tau=dynamic_spec.get("tau", 1),
-            seed=seed,
-        )
-    if kind == "resampled_gnp":
-        return PeriodicRewireGraph.resampled_gnp(
-            n=topo.n,
-            p=dynamic_spec["p"],
-            tau=dynamic_spec.get("tau", 1),
-            seed=seed,
-        )
-    raise ConfigurationError(
-        f"unknown dynamic kind {kind!r}; choose from "
-        "('static', 'relabeling', 'resampled_regular', 'resampled_gnp')"
-    )
+    params = {key: value for key, value in dynamic_spec.items()
+              if key != "kind"}
+    try:
+        return defn.build(topo, seed, **params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad params for dynamics kind {defn.name!r}: {exc}"
+        ) from exc
 
 
 def build_instance(instance_spec: dict, n: int, seed: int) -> GossipInstance:
     """Build the gossip instance a run spec describes (n from the graph)."""
-    kind = instance_spec.get("kind", "uniform")
-    upper_n = instance_spec.get("upper_n")
-    if kind == "uniform":
-        return uniform_instance(
-            n=n, k=instance_spec.get("k", 1), seed=seed, upper_n=upper_n
-        )
-    if kind == "everyone":
-        return everyone_starts_instance(n=n, seed=seed, upper_n=upper_n)
-    if kind == "skewed":
-        return skewed_instance(
-            n=n,
-            k=instance_spec.get("k", 1),
-            seed=seed,
-            upper_n=upper_n,
-            holders=instance_spec.get("holders", 1),
-        )
-    if kind == "token_at":
-        # A k = 1 instance whose token starts at a chosen vertex (the
-        # double-star lower-bound setup: the rumor must cross the bridge).
-        import random
-
-        vertex = instance_spec["vertex"]
-        rng = random.Random(seed)
-        upper = upper_n or n
-        uids = tuple(rng.sample(range(1, upper + 1), n))
-        return GossipInstance(
-            n=n,
-            upper_n=upper,
-            uids=uids,
-            initial_tokens={vertex: (Token(uids[vertex]),)},
-        )
-    raise ConfigurationError(
-        f"unknown instance kind {kind!r}; choose from "
-        "('uniform', 'everyone', 'skewed', 'token_at')"
-    )
+    defn = INSTANCE_REGISTRY.get(instance_spec.get("kind", "uniform"))
+    params = {key: value for key, value in instance_spec.items()
+              if key != "kind"}
+    try:
+        return defn.build(n, seed, **params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad params for instance kind {defn.name!r}: {exc}"
+        ) from exc
 
 
 def build_config(algorithm: str, config_spec: dict | None):
     """Materialize an algorithm config from preset name + field overrides."""
+    defn = ALGORITHM_REGISTRY.get(algorithm)
     if config_spec is None:
         return None
     spec = dict(config_spec)
-    spec.pop("epsilon", None)  # ε-gossip's own knob, not a config field
-    cls = _CONFIG_CLASSES[algorithm]
+    for key in defn.config_extra_keys:  # run parameters, not config fields
+        spec.pop(key, None)
+    cls = defn.config_class
+    if cls is None:
+        if spec:
+            raise ConfigurationError(
+                f"algorithm {algorithm!r} takes no config; got keys "
+                f"{sorted(spec)}"
+            )
+        return None
     preset = spec.pop("preset", None)
     if preset is not None:
         factory = getattr(cls, preset, None)

@@ -29,6 +29,7 @@ import networkx as nx
 from repro.errors import ConfigurationError, TopologyError
 from repro.graphs.metrics import vertex_expansion_estimate, max_degree
 from repro.graphs.topologies import Topology
+from repro.registry import register_dynamics
 from repro.rng import SeedTree
 
 __all__ = [
@@ -338,3 +339,52 @@ def dynamic_expansion_estimate(
             break
         round_index += dynamic_graph.tau
     return best
+
+
+@register_dynamics(
+    name="static",
+    description="one fixed topology for the whole execution (tau = infinity)",
+)
+def _build_static_dynamics(topology, seed):
+    return StaticDynamicGraph(topology)
+
+
+@register_dynamics(
+    name="relabeling",
+    description="same shape, vertex labels permuted every tau rounds "
+                "(alpha, Delta, D preserved)",
+)
+def _build_relabeling_dynamics(topology, seed, *, tau=1):
+    return RelabelingAdversary(topology, tau=tau, seed=seed)
+
+
+@register_dynamics(
+    name="resampled_regular",
+    description="a fresh random degree-regular graph every tau rounds",
+)
+def _build_resampled_regular_dynamics(topology, seed, *, degree, tau=1):
+    return PeriodicRewireGraph.resampled_regular(
+        n=topology.n, degree=degree, tau=tau, seed=seed
+    )
+
+
+@register_dynamics(
+    name="resampled_gnp",
+    description="a fresh connected G(n, p) sample every tau rounds",
+)
+def _build_resampled_gnp_dynamics(topology, seed, *, p, tau=1):
+    return PeriodicRewireGraph.resampled_gnp(
+        n=topology.n, p=p, tau=tau, seed=seed
+    )
+
+
+@register_dynamics(
+    name="geometric",
+    description="random-waypoint mobility on the unit square (tau-stable "
+                "unit-disk graph, bridged into connectivity)",
+)
+def _build_geometric_dynamics(topology, seed, *, radius=0.35, step=0.05,
+                              tau=1):
+    return GeometricMobilityGraph(
+        n=topology.n, radius=radius, step=step, tau=tau, seed=seed
+    )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 
 from repro.errors import ConfigurationError
+from repro.registry import RegistryMapping, TOPOLOGY_REGISTRY, register_topology
 
 __all__ = [
     "Topology",
@@ -94,6 +95,31 @@ def _check_n(n: int, minimum: int = 2) -> None:
         raise ConfigurationError(f"need n >= {minimum}, got n={n}")
 
 
+def _size_only(n: int, seed: int) -> dict:
+    """``from_size`` hook for families parameterized by ``n`` alone."""
+    return {"n": n}
+
+
+def _expander_from_size(n: int, seed: int) -> dict:
+    """Near-6-regular expander params for a bare ``--n`` (CLI convention)."""
+    degree = min(6, n - 1)
+    if (n * degree) % 2:
+        degree -= 1
+    return {"n": n, "degree": max(degree, 2), "seed": seed}
+
+
+def _grid_from_size(n: int, seed: int) -> dict:
+    """A roughly square grid of about ``n`` vertices (CLI convention)."""
+    cols = max(2, int(n**0.5))
+    rows = max(2, n // cols)
+    return {"rows": rows, "cols": cols}
+
+
+@register_topology(
+    name="star",
+    description="one hub, n-1 leaves; alpha = 1/floor(n/2), D = 2",
+    from_size=_size_only,
+)
 def star(n: int) -> Topology:
     """A star: vertex 0 is the hub, 1..n-1 are leaves.
 
@@ -111,6 +137,10 @@ def star(n: int) -> Topology:
     )
 
 
+@register_topology(
+    name="double_star",
+    description="two bridged hubs; the Omega(D^2/sqrt(a)) lower-bound shape",
+)
 def double_star(points: int) -> Topology:
     """Two hubs joined by an edge, each with ``points`` leaves.
 
@@ -141,6 +171,11 @@ def double_star(points: int) -> Topology:
     )
 
 
+@register_topology(
+    name="path",
+    description="worst-case expansion alpha = Theta(1/n), D = n-1",
+    from_size=_size_only,
+)
 def path(n: int) -> Topology:
     """A path on n vertices. α = 1/⌊n/2⌋, Δ = 2, D = n-1."""
     _check_n(n)
@@ -153,6 +188,11 @@ def path(n: int) -> Topology:
     )
 
 
+@register_topology(
+    name="cycle",
+    description="ring; alpha = Theta(1/n), Delta = 2",
+    from_size=_size_only,
+)
 def cycle(n: int) -> Topology:
     """A cycle on n vertices. α = 2/⌊n/2⌋, Δ = 2, D = ⌊n/2⌋."""
     _check_n(n, 3)
@@ -165,6 +205,11 @@ def cycle(n: int) -> Topology:
     )
 
 
+@register_topology(
+    name="complete",
+    description="K_n, best-case expansion (alpha >= 1)",
+    from_size=_size_only,
+)
 def complete(n: int) -> Topology:
     """The complete graph K_n. α = ⌈n/2⌉/⌊n/2⌋ ≥ 1, Δ = n-1, D = 1."""
     _check_n(n)
@@ -177,6 +222,10 @@ def complete(n: int) -> Topology:
     )
 
 
+@register_topology(
+    name="hypercube",
+    description="dim-dimensional hypercube (n = 2^dim)",
+)
 def hypercube(dim: int) -> Topology:
     """The ``dim``-dimensional hypercube (n = 2^dim, Δ = dim, D = dim).
 
@@ -197,6 +246,10 @@ def hypercube(dim: int) -> Topology:
     )
 
 
+@register_topology(
+    name="random_regular",
+    description="connected random d-regular graph (expander w.h.p.)",
+)
 def random_regular(n: int, degree: int, seed: int) -> Topology:
     """A connected random ``degree``-regular graph.
 
@@ -225,6 +278,11 @@ def random_regular(n: int, degree: int, seed: int) -> Topology:
     )
 
 
+@register_topology(
+    name="expander",
+    description="random_regular alias emphasizing constant alpha",
+    from_size=_expander_from_size,
+)
 def expander(n: int, degree: int = 6, seed: int = 0) -> Topology:
     """Alias for :func:`random_regular` emphasizing its role: constant α."""
     topo = random_regular(n, degree, seed)
@@ -236,6 +294,10 @@ def expander(n: int, degree: int = 6, seed: int = 0) -> Topology:
     )
 
 
+@register_topology(
+    name="erdos_renyi",
+    description="connected G(n, p) sample",
+)
 def erdos_renyi(n: int, p: float, seed: int) -> Topology:
     """A connected G(n, p) sample (resamples until connected)."""
     _check_n(n)
@@ -254,6 +316,11 @@ def erdos_renyi(n: int, p: float, seed: int) -> Topology:
     )
 
 
+@register_topology(
+    name="grid",
+    description="rows x cols street grid; alpha = Theta(1/max(rows, cols))",
+    from_size=_grid_from_size,
+)
 def grid(rows: int, cols: int) -> Topology:
     """A rows×cols grid. Δ = 4, D = rows+cols-2, α = Θ(1/max(rows, cols))."""
     if rows < 1 or cols < 1 or rows * cols < 2:
@@ -269,6 +336,10 @@ def grid(rows: int, cols: int) -> Topology:
     )
 
 
+@register_topology(
+    name="barbell",
+    description="two cliques joined by a path; alpha = Theta(1/clique_size)",
+)
 def barbell(clique_size: int, bridge_length: int = 0) -> Topology:
     """Two cliques of ``clique_size`` joined by a path of ``bridge_length``.
 
@@ -286,6 +357,10 @@ def barbell(clique_size: int, bridge_length: int = 0) -> Topology:
     )
 
 
+@register_topology(
+    name="lollipop",
+    description="a clique with a path attached",
+)
 def lollipop(clique_size: int, path_length: int) -> Topology:
     """A clique with a path attached (the lollipop graph)."""
     if clique_size < 3:
@@ -300,6 +375,10 @@ def lollipop(clique_size: int, path_length: int) -> Topology:
     )
 
 
+@register_topology(
+    name="binary_tree",
+    description="complete binary tree of the given depth",
+)
 def binary_tree(depth: int) -> Topology:
     """A complete binary tree of the given depth (n = 2^(depth+1) - 1)."""
     if depth < 1:
@@ -313,19 +392,9 @@ def binary_tree(depth: int) -> Topology:
     )
 
 
-#: Families usable by name from the CLI and the workload generators.
-TOPOLOGY_FAMILIES = {
-    "star": star,
-    "double_star": double_star,
-    "path": path,
-    "cycle": cycle,
-    "complete": complete,
-    "hypercube": hypercube,
-    "random_regular": random_regular,
-    "erdos_renyi": erdos_renyi,
-    "grid": grid,
-    "barbell": barbell,
-    "lollipop": lollipop,
-    "binary_tree": binary_tree,
-    "expander": expander,
-}
+#: Name -> factory, a live view over the topology registry — third-party
+#: families registered via :func:`repro.registry.register_topology` appear
+#: here without any edit to this module.
+TOPOLOGY_FAMILIES = RegistryMapping(
+    TOPOLOGY_REGISTRY, lambda defn: defn.factory
+)

@@ -1,0 +1,534 @@
+"""The one extension surface: registries of first-class definition objects.
+
+Everything runnable in this repo — gossip algorithms, topology families,
+dynamic-graph kinds, instance kinds, and motivating scenarios — is
+described by a definition object registered here and resolved *by name*
+from every layer: :func:`repro.core.runner.run_gossip`, the declarative
+specs in :mod:`repro.experiments`, and the ``repro-gossip`` CLI.  The
+paper's model is deliberately open-ended (follow-up work swaps in new
+gossip processes and connectivity regimes on the same round structure),
+and the registry is how that openness survives in code: adding an
+algorithm is one registration in one file, not parallel edits to four
+dispatch tables.
+
+Model requirements live in the declaration, not in scattered checks:
+``AlgorithmDef.requires_stable_topology`` is the single statement of
+CrowdedBin's τ = ∞ assumption — ``run_gossip`` enforces it, the sweep
+normalization pass substitutes for it, and ``repro-gossip list`` prints
+it, all from the same field.
+
+Third-party extension needs no edits to repro itself::
+
+    # my_plugin.py — an out-of-tree algorithm
+    from repro.registry import register_algorithm
+    from repro.core.sharedbit import SharedBitConfig, SharedBitNode
+    from repro.rng import SharedRandomness
+
+    @register_algorithm(
+        name="my_gossip",
+        description="SharedBit with my twist",
+        config_class=SharedBitConfig,
+        tag_length=1,
+    )
+    def build_my_gossip(ctx):
+        shared = SharedRandomness(
+            ctx.tree.key("shared-string"), ctx.instance.upper_n
+        )
+        return {
+            v: SharedBitNode(shared=shared, config=ctx.config,
+                             **ctx.common(v))
+            for v in ctx.vertices()
+        }
+
+then ``repro-gossip --plugin my_plugin.py run --algorithm my_gossip ...``
+or ``import my_plugin`` before using the Python API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import importlib.util
+import sys
+from collections.abc import Mapping, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AlgorithmDef",
+    "TopologyDef",
+    "DynamicsDef",
+    "InstanceDef",
+    "ScenarioDef",
+    "NodeBuildContext",
+    "Registry",
+    "RegistryNames",
+    "RegistryMapping",
+    "ALGORITHM_REGISTRY",
+    "TOPOLOGY_REGISTRY",
+    "DYNAMICS_REGISTRY",
+    "INSTANCE_REGISTRY",
+    "SCENARIO_REGISTRY",
+    "register_algorithm",
+    "register_topology",
+    "register_dynamics",
+    "register_instance",
+    "register_scenario",
+    "ensure_builtins",
+    "load_plugin",
+]
+
+
+@dataclass
+class NodeBuildContext:
+    """What an algorithm's node builder gets to work with.
+
+    ``instance`` is the :class:`~repro.core.problem.GossipInstance`,
+    ``tree`` the run's root :class:`~repro.rng.SeedTree` (derive shared
+    objects from named child streams so adding a consumer never perturbs
+    existing ones), and ``config`` the already-resolved algorithm config
+    (never ``None`` when the definition has a ``config_class``).
+    """
+
+    instance: Any
+    tree: Any
+    config: Any
+
+    def vertices(self) -> range:
+        return range(self.instance.n)
+
+    def common(self, vertex: int) -> dict:
+        """The constructor kwargs every :class:`GossipNode` shares."""
+        uid = self.instance.uid_of(vertex)
+        return {
+            "uid": uid,
+            "upper_n": self.instance.upper_n,
+            "initial_tokens": self.instance.tokens_for(vertex),
+            "rng": self.tree.stream("node", uid),
+        }
+
+
+@dataclass(frozen=True)
+class AlgorithmDef:
+    """A gossip algorithm, declared once.
+
+    ``build_nodes(ctx)`` returns one protocol object per vertex;
+    ``tag_length`` is the advertising-bit count ``b`` — an int, or a
+    callable on the config for algorithms whose ``b`` is a tunable
+    (MultiBit).  ``requires_stable_topology`` is the declarative home of
+    τ = ∞ model assumptions (CrowdedBin): ``run_gossip`` rejects, sweeps
+    substitute-and-note, the CLI prints it.  ``config_extra_keys`` names
+    config-spec keys that are run parameters rather than config fields
+    (ε-gossip's ``"epsilon"``).  Experiments-layer-only algorithms set
+    ``execute`` instead of ``build_nodes``: a callable
+    ``execute(spec, dynamic_graph, config) -> record`` that owns the
+    whole run (ε-gossip's coverage-fraction harness).
+    """
+
+    name: str
+    description: str
+    config_class: type | None = None
+    build_nodes: Callable[[NodeBuildContext], dict] | None = None
+    tag_length: int | Callable[[Any], int] = 1
+    requires_stable_topology: bool = False
+    config_extra_keys: tuple = ()
+    execute: Callable | None = None
+
+    @property
+    def runnable(self) -> bool:
+        """Whether :func:`repro.core.runner.run_gossip` can run it."""
+        return self.build_nodes is not None
+
+    def make_config(self):
+        return self.config_class() if self.config_class is not None else None
+
+    def resolve_tag_length(self, config) -> int:
+        if callable(self.tag_length):
+            return self.tag_length(config)
+        return self.tag_length
+
+    @property
+    def tag_length_label(self) -> str:
+        return "cfg" if callable(self.tag_length) else str(self.tag_length)
+
+    @property
+    def model_label(self) -> str:
+        return "tau=inf" if self.requires_stable_topology else "tau>=1"
+
+
+@dataclass(frozen=True)
+class TopologyDef:
+    """A named static topology family.
+
+    ``factory(**params)`` returns a :class:`~repro.graphs.topologies.Topology`.
+    ``from_size(n, seed) -> params`` is the optional CLI convention: a
+    family that knows how to size itself from a single ``--n`` appears as
+    a ``--graph`` choice.
+    """
+
+    name: str
+    description: str
+    factory: Callable[..., Any]
+    from_size: Callable[[int, int], dict] | None = None
+
+
+@dataclass(frozen=True)
+class DynamicsDef:
+    """A dynamic-graph kind: how a topology evolves over rounds.
+
+    ``build(topology, seed, **params)`` returns a
+    :class:`~repro.graphs.dynamic.DynamicGraph`.  Kinds that resample
+    their own shapes each epoch still receive the built topology and read
+    ``topology.n`` from it, so every spec names its size the same way.
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class InstanceDef:
+    """An initial token-assignment recipe.
+
+    ``build(n, seed, **params)`` returns a
+    :class:`~repro.core.problem.GossipInstance` (``n`` comes from the
+    built graph).
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class ScenarioDef:
+    """A motivating workload: ``factory(seed=..., **kw)`` -> Scenario."""
+
+    name: str
+    description: str
+    factory: Callable[..., Any]
+
+
+class Registry:
+    """Name -> definition, with duplicate protection and enumerated errors."""
+
+    def __init__(self, kind: str, plural: str):
+        self.kind = kind
+        self.plural = plural
+        self._defs: dict[str, Any] = {}
+
+    def register(self, defn):
+        """Add a definition; duplicate names are an error, never a shadow."""
+        if not getattr(defn, "name", ""):
+            raise ConfigurationError(
+                f"a {self.kind} definition needs a non-empty name"
+            )
+        if defn.name in self._defs:
+            raise ConfigurationError(
+                f"{self.kind} {defn.name!r} is already registered"
+            )
+        self._defs[defn.name] = defn
+        return defn
+
+    def unregister(self, name: str) -> None:
+        if name not in self._defs:
+            raise ConfigurationError(
+                f"cannot unregister unknown {self.kind} {name!r}"
+            )
+        del self._defs[name]
+
+    @contextmanager
+    def temporary(self, defn):
+        """Register for the duration of a ``with`` block (test fixtures)."""
+        self.register(defn)
+        try:
+            yield defn
+        finally:
+            if self._defs.get(defn.name) is defn:
+                del self._defs[defn.name]
+
+    def find(self, name):
+        """The definition, or ``None`` — never raises on unknown names."""
+        ensure_builtins()
+        return self._defs.get(name)
+
+    def get(self, name):
+        """The definition; unknown names raise with the registered set."""
+        defn = self.find(name)
+        if defn is None:
+            known = ", ".join(sorted(self._defs)) or "(none)"
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; registered {self.plural}: "
+                f"{known}"
+            )
+        return defn
+
+    def names(self) -> tuple:
+        """Registered names in registration order."""
+        ensure_builtins()
+        return tuple(self._defs)
+
+    def values(self) -> tuple:
+        ensure_builtins()
+        return tuple(self._defs.values())
+
+    def __contains__(self, name) -> bool:
+        ensure_builtins()
+        return name in self._defs
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        ensure_builtins()
+        return len(self._defs)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind}, {len(self._defs)} registered)"
+
+
+class RegistryNames(Sequence):
+    """A live, ordered view of a registry's names (optionally filtered).
+
+    Stands in for the old hard-coded name tuples (``ALGORITHMS``,
+    ``EXPERIMENT_ALGORITHMS``): indexing, iteration, ``in``, and ``len``
+    all reflect the registry *now*, so third-party registrations appear
+    without any edit to the modules exporting these views.
+    """
+
+    def __init__(self, registry: Registry, predicate=None):
+        self._registry = registry
+        self._predicate = predicate
+
+    def _names(self) -> tuple:
+        if self._predicate is None:
+            return self._registry.names()
+        return tuple(
+            defn.name
+            for defn in self._registry.values()
+            if self._predicate(defn)
+        )
+
+    def __getitem__(self, index):
+        return self._names()[index]
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __contains__(self, name) -> bool:
+        return name in self._names()
+
+    def __iter__(self):
+        return iter(self._names())
+
+    def __repr__(self) -> str:
+        return repr(self._names())
+
+
+class RegistryMapping(Mapping):
+    """A live name -> ``project(defn)`` mapping view over a registry.
+
+    Keeps dict-shaped legacy surfaces (``TOPOLOGY_FAMILIES``,
+    ``SCENARIOS``) alive while the registry stays the single source of
+    truth.  Missing names raise ``KeyError`` per the Mapping contract.
+    """
+
+    def __init__(self, registry: Registry, project=None):
+        self._registry = registry
+        self._project = project or (lambda defn: defn)
+
+    def __getitem__(self, name):
+        defn = self._registry.find(name)
+        if defn is None:
+            raise KeyError(name)
+        return self._project(defn)
+
+    def __iter__(self):
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __repr__(self) -> str:
+        return f"RegistryMapping({self._registry.kind}: {list(self)})"
+
+
+ALGORITHM_REGISTRY = Registry("algorithm", "algorithms")
+TOPOLOGY_REGISTRY = Registry("topology family", "topology families")
+DYNAMICS_REGISTRY = Registry("dynamics kind", "dynamics kinds")
+INSTANCE_REGISTRY = Registry("instance kind", "instance kinds")
+SCENARIO_REGISTRY = Registry("scenario", "scenarios")
+
+
+def register_algorithm(
+    *,
+    name: str,
+    description: str,
+    config_class: type | None = None,
+    tag_length: int | Callable[[Any], int] = 1,
+    requires_stable_topology: bool = False,
+    config_extra_keys: tuple = (),
+    experiment_only: bool = False,
+):
+    """Decorator registering an :class:`AlgorithmDef`.
+
+    Decorates the node builder (``fn(ctx) -> {vertex: node}``) — or, with
+    ``experiment_only=True``, the experiments-layer executor
+    (``fn(spec, dynamic_graph, config) -> record``).
+    """
+
+    def decorate(fn):
+        ALGORITHM_REGISTRY.register(
+            AlgorithmDef(
+                name=name,
+                description=description,
+                config_class=config_class,
+                build_nodes=None if experiment_only else fn,
+                tag_length=tag_length,
+                requires_stable_topology=requires_stable_topology,
+                config_extra_keys=tuple(config_extra_keys),
+                execute=fn if experiment_only else None,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def register_topology(*, name: str, description: str, from_size=None):
+    """Decorator registering a topology-family factory."""
+
+    def decorate(fn):
+        TOPOLOGY_REGISTRY.register(
+            TopologyDef(
+                name=name,
+                description=description,
+                factory=fn,
+                from_size=from_size,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def register_dynamics(*, name: str, description: str):
+    """Decorator registering a dynamic-graph builder."""
+
+    def decorate(fn):
+        DYNAMICS_REGISTRY.register(
+            DynamicsDef(name=name, description=description, build=fn)
+        )
+        return fn
+
+    return decorate
+
+
+def register_instance(*, name: str, description: str):
+    """Decorator registering an instance-recipe builder."""
+
+    def decorate(fn):
+        INSTANCE_REGISTRY.register(
+            InstanceDef(name=name, description=description, build=fn)
+        )
+        return fn
+
+    return decorate
+
+
+def register_scenario(*, name: str, description: str):
+    """Decorator registering a scenario factory."""
+
+    def decorate(fn):
+        SCENARIO_REGISTRY.register(
+            ScenarioDef(name=name, description=description, factory=fn)
+        )
+        return fn
+
+    return decorate
+
+
+#: Modules whose import registers the built-in definitions.  Algorithm
+#: order here fixes the display/grid order of the name views (the paper's
+#: Figure 1 order, MultiBit — our b ≥ 1 generalization — last).
+_BUILTIN_MODULES = (
+    "repro.graphs.topologies",
+    "repro.graphs.dynamic",
+    "repro.core.problem",
+    "repro.core.blindmatch",
+    "repro.core.sharedbit",
+    "repro.core.simsharedbit",
+    "repro.core.crowdedbin",
+    "repro.core.multibit",
+    "repro.core.epsilon",
+    "repro.workloads.scenarios",
+)
+
+_builtins_loaded = False
+_builtins_loading = False
+
+
+def ensure_builtins() -> None:
+    """Import every module that registers built-in definitions (once).
+
+    Normal package imports do this implicitly; the guard exists so that
+    resolving names works even when only ``repro.registry`` was imported.
+    A separate in-progress flag stops recursion from registration calls
+    made during those imports; the loaded flag is only set after every
+    import succeeded, so a failed import surfaces again on the next
+    lookup instead of leaving the registries half-empty for good.
+    """
+    global _builtins_loaded, _builtins_loading
+    if _builtins_loaded or _builtins_loading:
+        return
+    _builtins_loading = True
+    try:
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+    finally:
+        _builtins_loading = False
+    _builtins_loaded = True
+
+
+def load_plugin(spec: str):
+    """Import a plugin module that registers out-of-tree definitions.
+
+    ``spec`` is either an importable module name or a path to a ``.py``
+    file.  File plugins are loaded under a stable synthetic module name
+    derived from their resolved path, so loading the same file twice
+    (e.g. two CLI invocations in one process) is a no-op rather than a
+    duplicate registration.
+    """
+    path = Path(spec)
+    if path.suffix == ".py":
+        if not path.exists():
+            raise ConfigurationError(f"plugin file {spec!r} does not exist")
+        resolved = str(path.resolve())
+        digest = hashlib.sha1(resolved.encode()).hexdigest()[:8]
+        module_name = f"repro_plugin_{path.stem}_{digest}"
+        if module_name in sys.modules:
+            return sys.modules[module_name]
+        module_spec = importlib.util.spec_from_file_location(
+            module_name, resolved
+        )
+        if module_spec is None or module_spec.loader is None:
+            raise ConfigurationError(f"cannot load plugin file {spec!r}")
+        module = importlib.util.module_from_spec(module_spec)
+        sys.modules[module_name] = module
+        try:
+            module_spec.loader.exec_module(module)
+        except BaseException:
+            del sys.modules[module_name]
+            raise
+        return module
+    try:
+        return importlib.import_module(spec)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"cannot import plugin module {spec!r}: {exc}"
+        ) from exc

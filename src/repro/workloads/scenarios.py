@@ -13,6 +13,11 @@ from repro.graphs.dynamic import (
     StaticDynamicGraph,
 )
 from repro.graphs.topologies import expander, grid
+from repro.registry import (
+    RegistryMapping,
+    SCENARIO_REGISTRY,
+    register_scenario,
+)
 
 __all__ = [
     "Scenario",
@@ -35,6 +40,10 @@ class Scenario:
     recommended_algorithm: str
 
 
+@register_scenario(
+    name="protest",
+    description="mobile crowd, censored infrastructure, few sources",
+)
 def protest_scenario(n: int = 40, k: int = 5, seed: int = 0,
                      tau: int = 4) -> Scenario:
     """A moving crowd under censored infrastructure.
@@ -59,6 +68,10 @@ def protest_scenario(n: int = 40, k: int = 5, seed: int = 0,
     )
 
 
+@register_scenario(
+    name="festival",
+    description="dense stable mesh, no infrastructure, several sources",
+)
 def festival_scenario(n: int = 48, k: int = 8, seed: int = 0) -> Scenario:
     """A dense, mostly-stationary festival crowd (Burning Man, far from towers).
 
@@ -76,6 +89,10 @@ def festival_scenario(n: int = 48, k: int = 8, seed: int = 0) -> Scenario:
     )
 
 
+@register_scenario(
+    name="disaster",
+    description="sparse grid mesh, one staging source with k messages",
+)
 def disaster_scenario(n: int = 36, k: int = 3, seed: int = 0) -> Scenario:
     """Post-disaster relay: sparse, elongated topology, few working phones.
 
@@ -97,6 +114,10 @@ def disaster_scenario(n: int = 36, k: int = 3, seed: int = 0) -> Scenario:
     )
 
 
+@register_scenario(
+    name="rural_mesh",
+    description="periodically rewired mesh, cellular-data-free gossip",
+)
 def rural_mesh_scenario(n: int = 32, k: int = 4, seed: int = 0,
                         tau: int = 8) -> Scenario:
     """Data-budget conservation: periodic rewiring as phones come and go.
@@ -115,9 +136,7 @@ def rural_mesh_scenario(n: int = 32, k: int = 4, seed: int = 0,
     )
 
 
-SCENARIOS = {
-    "protest": protest_scenario,
-    "festival": festival_scenario,
-    "disaster": disaster_scenario,
-    "rural_mesh": rural_mesh_scenario,
-}
+#: Name -> factory, a live view over the scenario registry — scenarios
+#: registered via :func:`repro.registry.register_scenario` (including
+#: out-of-tree plugins) appear here without edits to this module.
+SCENARIOS = RegistryMapping(SCENARIO_REGISTRY, lambda defn: defn.factory)
