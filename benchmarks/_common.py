@@ -23,7 +23,9 @@ about shapes — scaling exponents, orderings, crossovers.
 
 from __future__ import annotations
 
+import json
 import statistics
+import time
 from pathlib import Path
 
 from repro.core.crowdedbin import CrowdedBinConfig
@@ -35,6 +37,12 @@ from repro.graphs.dynamic import RelabelingAdversary, StaticDynamicGraph
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
+#: Machine-readable perf ledger at the repo root: every bench sweep (and
+#: bench_engine's throughput measurements) merges one entry here, so
+#: successive PRs can diff rounds/s and round-count medians instead of
+#: re-reading prose reports.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
 #: Seeds averaged per sweep point (median, robust to lucky runs).
 DEFAULT_SEEDS = (11, 23, 37)
 
@@ -44,17 +52,69 @@ def write_report(name: str, text: str) -> Path:
     return _write_report(name, text, OUTPUT_DIR)
 
 
+def record_bench(name: str, payload: dict) -> Path:
+    """Merge one named entry into the repo-root ``BENCH_engine.json``.
+
+    Read-modify-write keyed by ``name``: re-running one bench refreshes
+    its entry without clobbering the others, so the file accumulates the
+    whole suite's trajectory.  A corrupt ledger degrades to a fresh one.
+    """
+    data: dict = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            data = json.loads(BENCH_JSON_PATH.read_text())
+        except ValueError:
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+    data[name] = payload
+    BENCH_JSON_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
+    return BENCH_JSON_PATH
+
+
+def _point_label(point: dict) -> str:
+    return ",".join(
+        f"{key.rsplit('.', 1)[-1]}={value}" for key, value in point.items()
+    ) or "base"
+
+
 def run_bench_sweep(
     sweep: SweepSpec, require_solved: bool = True
 ):
-    """Run a bench sweep serially and sanity-check every cell solved."""
+    """Run a bench sweep serially and sanity-check every cell solved.
+
+    Every sweep also records a machine-readable entry (wall time, total
+    simulated rounds, rounds/s, per-cell round-count medians) in the
+    repo-root ``BENCH_engine.json`` via :func:`record_bench`.
+    """
+    started = time.perf_counter()
     result = run_sweep(sweep)
+    elapsed = time.perf_counter() - started
     if require_solved:
         for summary in result.points:
             assert summary.all_solved, (
                 f"sweep {sweep.name} cell {summary.point} did not solve: "
                 f"rounds={summary.rounds}, solved={summary.solved}"
             )
+    total_rounds = sum(
+        rounds for summary in result.points for rounds in summary.rounds
+    )
+    record_bench(
+        f"sweep:{sweep.name}",
+        {
+            "kind": "sweep",
+            "elapsed_s": round(elapsed, 3),
+            "total_simulated_rounds": total_rounds,
+            "rounds_per_s": round(total_rounds / elapsed, 1)
+            if elapsed > 0 else None,
+            "median_rounds": {
+                _point_label(summary.point): summary.median_rounds
+                for summary in result.points
+            },
+        },
+    )
     return result
 
 

@@ -1,33 +1,49 @@
-"""ENG-HOT: engine round-throughput and the neighbor-view skeleton cache.
+"""ENG-HOT / ENG-ARRAY: engine round-throughput and the array fast path.
 
-``Simulation.step`` used to rebuild every node's ``NeighborView`` tuple
-from scratch each round; :meth:`_refresh_adjacency` now caches per-epoch
-view skeletons and the engine only replaces views whose tag actually
-changed (for b = 0 protocols on a stable epoch that is *zero* churn —
-the cached tuples are passed to ``propose`` verbatim).  Unsampled rounds
-also skip the RoundRecord/gauge dict churn via ``Trace.observe``.
+Two engine generations are tracked here:
 
-This bench pins both properties down:
+* **ENG-HOT** (PR 1): per-epoch NeighborView skeleton cache — ``propose``
+  receives the *same tuple object* across rounds of an epoch when tags
+  are stable (asserted below), ~2.3x over the seed engine.
+* **ENG-ARRAY** (this PR): the flat-array fast path — per-epoch CSR
+  adjacency snapshots (``DynamicGraph.csr_at``), bulk
+  ``advertise_all``/``propose_all`` protocol hooks, and the array
+  proposal resolver.  The contract is byte-identical traces against the
+  object path (:func:`check_fastpath_divergence` verifies it end to end;
+  tests/test_fastpath.py is the full matrix), with throughput measured by
+  :func:`run_engine_bench` and recorded in the repo-root
+  ``BENCH_engine.json``.
 
-* a wall-clock number (rounds/second on the blind static-star hot path,
-  where the skeleton cache removes all per-round view allocation) that
-  pytest-benchmark tracks across commits — on the reference container the
-  overhaul measured ~2.3x over the seed engine (2.9k -> 6.8k rounds/s);
-* a correctness-of-the-optimization assertion: across rounds of one epoch
-  with constant tags, ``propose`` must receive the *same tuple object*.
+Where the speedup lives: SharedBit's scan stage re-derives each token's
+shared PRF bit per (node, token) pair on the object path; the bulk hook
+derives each distinct token's bit once per round and shares it — >=3x at
+n = 2000 (the acceptance bar), growing with n·k.  BlindMatch is bounded
+by its n private Mersenne draws per round (byte-identity forbids
+batching those), so its gain is the engine overhead only (~1.5x).
+
+Run directly for the CI gate / perf ledger::
+
+    python benchmarks/bench_engine.py --quick   # divergence gate only
+    python benchmarks/bench_engine.py           # + throughput, BENCH_engine.json
 """
 
-import pytest
+from __future__ import annotations
+
+import argparse
+import sys
+import time
 
 from repro.core.problem import uniform_instance
 from repro.core.runner import build_nodes
+from repro.experiments.fastpath import check_fastpath_divergence
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.graphs.topologies import star
+from repro.registry import ALGORITHM_REGISTRY
 from repro.sim.channel import ChannelPolicy
 from repro.sim.engine import Simulation
 from repro.sim.termination import all_hold_tokens
-from repro.graphs.dynamic import StaticDynamicGraph
-from repro.graphs.topologies import star
 
-from _common import gossip_rounds, static_graph, write_report
+from _common import gossip_rounds, record_bench, static_graph, write_report
 
 N = 64
 
@@ -37,6 +53,72 @@ def _blind_static_run(seed: int) -> int:
         "blindmatch", static_graph(star(N)), n=N, k=2, seed=seed,
         max_rounds=400_000,
     )
+
+
+# --------------------------------------------------------------------------
+# Differential gate: the array path must not diverge from the reference.
+# One shared implementation (repro.experiments.fastpath) backs this gate,
+# tests/test_fastpath.py and CI's bench-smoke job alike.
+# --------------------------------------------------------------------------
+# Throughput: object vs array rounds/s on the hot paths.
+
+def measure_throughput(algorithm: str, n: int, k: int, rounds: int,
+                       engine_mode: str, seed: int = 11) -> float:
+    """rounds/s for a fixed-round run on the static-star hot path."""
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    nodes = build_nodes(algorithm, instance, seed=seed)
+    defn = ALGORITHM_REGISTRY.get(algorithm)
+    sim = Simulation(
+        StaticDynamicGraph(star(n)), nodes,
+        b=defn.resolve_tag_length(defn.make_config()), seed=seed,
+        channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+        trace_sample_every=1024, engine_mode=engine_mode,
+    )
+    started = time.perf_counter()
+    sim.run(max_rounds=rounds)
+    return rounds / (time.perf_counter() - started)
+
+
+def run_engine_bench(n: int = 2000) -> dict:
+    """Measure object vs array throughput and update BENCH_engine.json."""
+    cases = {"sharedbit": 400, "blindmatch": 1000}
+    results: dict = {"n": n, "kind": "engine-throughput",
+                     "topology": "static star", "k": 2}
+    for algorithm, rounds in cases.items():
+        object_rps = measure_throughput(algorithm, n, 2, rounds, "object")
+        array_rps = measure_throughput(algorithm, n, 2, rounds, "array")
+        results[algorithm] = {
+            "rounds": rounds,
+            "object_rounds_per_s": round(object_rps, 1),
+            "array_rounds_per_s": round(array_rps, 1),
+            "speedup": round(array_rps / object_rps, 2),
+        }
+    record_bench("engine:fastpath", results)
+    return results
+
+
+# --------------------------------------------------------------------------
+# pytest entry points (wall clock via pytest-benchmark, plus assertions).
+
+def test_engine_round_throughput(benchmark):
+    rounds = benchmark.pedantic(
+        lambda: _blind_static_run(11), rounds=1, iterations=3
+    )
+    note = (
+        f"ENG-HOT: blind static star n={N}, k=2: {rounds} rounds/run; "
+        "wall time tracked by pytest-benchmark.  Per-epoch NeighborView "
+        "skeletons mean b=0 rounds allocate no view objects at all "
+        "(seed engine rebuilt every tuple every round).  ENG-ARRAY: see "
+        "BENCH_engine.json for object vs array rounds/s."
+    )
+    write_report("eng_hot_engine", note)
+    benchmark.extra_info["rounds_per_run"] = rounds
+
+
+def test_fastpath_no_divergence_quick():
+    """The CI gate's in-suite twin: fast path == reference, trace for
+    trace, on a small matrix."""
+    assert check_fastpath_divergence(n=16, rounds=25) == []
 
 
 class _ViewProbe:
@@ -53,20 +135,6 @@ class _ViewProbe:
         return self._inner(round_index, neighbors)
 
 
-def test_engine_round_throughput(benchmark):
-    rounds = benchmark.pedantic(
-        lambda: _blind_static_run(11), rounds=1, iterations=3
-    )
-    note = (
-        f"ENG-HOT: blind static star n={N}, k=2: {rounds} rounds/run; "
-        "wall time tracked by pytest-benchmark.  Per-epoch NeighborView "
-        "skeletons mean b=0 rounds allocate no view objects at all "
-        "(seed engine rebuilt every tuple every round)."
-    )
-    write_report("eng_hot_engine", note)
-    benchmark.extra_info["rounds_per_run"] = rounds
-
-
 def test_skeleton_cache_reuses_view_tuples():
     """Benchmark-visible assertion: stable epoch + stable tags => the
     engine hands ``propose`` the cached tuple, not a fresh rebuild."""
@@ -79,6 +147,7 @@ def test_skeleton_cache_reuses_view_tuples():
         b=0,
         seed=3,
         channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+        engine_mode="object",
     )
     sim.run(max_rounds=5, termination=all_hold_tokens(instance.token_ids))
     assert len(probe.seen) >= 2
@@ -87,3 +156,55 @@ def test_skeleton_cache_reuses_view_tuples():
         "expected the per-epoch skeleton tuple to be reused verbatim for "
         "b=0 on a static graph"
     )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: small divergence matrix + reduced-round "
+             "throughput probe; skips the >=3x assertion and does not "
+             "touch BENCH_engine.json",
+    )
+    parser.add_argument("--n", type=int, default=2000,
+                        help="population size for the throughput bench")
+    args = parser.parse_args(argv)
+
+    print("checking fast-path vs reference traces ...", flush=True)
+    failures = check_fastpath_divergence(
+        n=16 if args.quick else 24, rounds=25 if args.quick else 40
+    )
+    for failure in failures:
+        print(f"DIVERGENCE: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("fast path byte-identical to reference "
+          "(3 algorithms x 3 dynamics x 4 acceptance rules)")
+
+    if args.quick:
+        probe = measure_throughput("sharedbit", 256, 2, 60, "array")
+        print(f"throughput probe ok ({probe:.0f} rounds/s, "
+              "sharedbit array, n=256)")
+        return 0
+
+    results = run_engine_bench(n=args.n)
+    for algorithm in ("sharedbit", "blindmatch"):
+        row = results[algorithm]
+        print(
+            f"{algorithm:10s} n={args.n}: object "
+            f"{row['object_rounds_per_s']:8.1f} r/s -> array "
+            f"{row['array_rounds_per_s']:8.1f} r/s  "
+            f"({row['speedup']:.2f}x)"
+        )
+    best = max(results["sharedbit"]["speedup"],
+               results["blindmatch"]["speedup"])
+    if args.n >= 2000 and best < 3.0:
+        print(f"FAIL: best hot-path speedup {best:.2f}x < 3x",
+              file=sys.stderr)
+        return 1
+    print(f"recorded BENCH_engine.json (best speedup {best:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

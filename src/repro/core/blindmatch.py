@@ -16,6 +16,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.commcplx.transfer import TransferProtocol
 from repro.core.problem import GossipNode
 from repro.errors import ConfigurationError
@@ -85,6 +87,29 @@ class BlindMatchNode(GossipNode):
     def interact(self, responder: "BlindMatchNode", channel: Channel,
                  round_index: int) -> None:
         self.run_transfer(responder, self._transfer, channel)
+
+    # -- bulk hooks (array fast path) ------------------------------------
+    # Byte-identical to looping the scalar hooks over vertices 0..n-1:
+    # every node's coin comes off its own rng in vertex order, and
+    # rng.choice over the CSR row consumes exactly what rng.choice over
+    # the NeighborView tuple would (same length, same one _randbelow).
+
+    @classmethod
+    def advertise_all(cls, nodes, round_index, csr) -> np.ndarray:
+        for node in nodes:
+            node._sender_this_round = node.rng.random() < 0.5
+        return np.zeros(len(nodes), dtype=np.int64)
+
+    @classmethod
+    def propose_all(cls, nodes, round_index, csr, tags) -> np.ndarray:
+        rows = csr.uid_rows()
+        targets = [-1] * len(nodes)
+        for vertex, node in enumerate(nodes):
+            if node._sender_this_round:
+                row = rows[vertex]
+                if row:
+                    targets[vertex] = node.rng.choice(row)
+        return np.asarray(targets, dtype=np.int64)
 
 
 @register_algorithm(

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 from repro.bits import ceil_log2
 from repro.core.tokens import Token
 from repro.sim.channel import Channel
@@ -65,3 +67,24 @@ class PPushNode(NodeProtocol):
         if not responder.informed:
             responder.rumor = self.rumor
             responder.informed_at_round = round_index
+
+    # -- bulk hooks (array fast path) ------------------------------------
+    # Byte-identical to the scalar hooks looped over vertices 0..n-1: a
+    # node draws from its rng only when informed *and* it has at least one
+    # uninformed neighbor (exactly when the scalar propose reaches
+    # rng.choice), and the candidate array is the same sorted-UID list.
+
+    @classmethod
+    def advertise_all(cls, nodes, round_index, csr) -> np.ndarray:
+        return np.fromiter(
+            (1 if node.rumor is not None else 0 for node in nodes),
+            dtype=np.int64,
+            count=len(nodes),
+        )
+
+    @classmethod
+    def propose_all(cls, nodes, round_index, csr, tags) -> np.ndarray:
+        targets = np.full(len(nodes), -1, dtype=np.int64)
+        for vertex, uninformed in csr.candidate_rows(tags):
+            targets[vertex] = nodes[vertex].rng.choice(uninformed)
+        return targets

@@ -125,12 +125,19 @@ def run_gossip(
     gauge_every: int = 64,
     trace_sample_every: int = 1,
     termination_every: int = 1,
+    engine_mode: str = "auto",
 ) -> GossipRunResult:
     """Run ``algorithm`` on ``instance`` over ``dynamic_graph`` to completion.
 
     Raises :class:`ConfigurationError` when the algorithm's declared model
     requirements are violated (``requires_stable_topology`` on a changing
     topology — CrowdedBin's τ = ∞ assumption).
+
+    ``engine_mode`` selects the engine front half: ``"auto"`` (the
+    default) takes the array fast path when the algorithm's nodes provide
+    bulk hooks, ``"object"`` forces the per-node reference path, and
+    ``"array"`` requires the fast path.  Both paths produce byte-identical
+    traces; the knob exists for differential tests and benchmarks.
     """
     defn = _runnable_def(algorithm)
     if dynamic_graph.n != instance.n:
@@ -158,6 +165,7 @@ def run_gossip(
         gauge_every=gauge_every,
         trace_sample_every=trace_sample_every,
         termination_every=termination_every,
+        engine_mode=engine_mode,
     )
     result = sim.run(
         max_rounds=max_rounds,

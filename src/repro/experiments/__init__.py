@@ -33,6 +33,9 @@ Quickstart::
     print(result.table())
 """
 
+from repro.experiments.fastpath import (
+    check_fastpath_divergence,
+)
 from repro.experiments.figures import (
     FIGURE1_ROW_KEYS,
     argv_flag,
@@ -82,6 +85,7 @@ __all__ = [
     "build_instance",
     "build_topology",
     "canonical_json",
+    "check_fastpath_divergence",
     "execute_run",
     "normalize_payload",
     "percentile",

@@ -1,0 +1,153 @@
+"""Differential harness: the array fast path vs the object reference path.
+
+One implementation of the byte-identity check, shared by the test suite
+(tests/test_fastpath.py), the benchmark gate (benchmarks/bench_engine.py)
+and CI's bench-smoke job — so there is a single notion of "byte-identical"
+and it cannot drift between surfaces.
+
+A *case* is (algorithm, dynamics kind, acceptance rule, engine mode); its
+outcome is a hashable signature covering everything an execution
+observably did: every sampled trace record (gauges included), every
+running total, the final round, and the algorithm's end state (who got
+informed when / who knows which tokens).  Two engine modes agree iff
+their signatures are equal.
+"""
+
+from __future__ import annotations
+
+from repro.core.ppush import PPushNode
+from repro.core.problem import uniform_instance
+from repro.core.runner import build_nodes
+from repro.core.tokens import Token
+from repro.graphs.dynamic import (
+    GeometricMobilityGraph,
+    RelabelingAdversary,
+    StaticDynamicGraph,
+)
+from repro.graphs.topologies import cycle, star
+from repro.registry import ALGORITHM_REGISTRY
+from repro.rng import SeedTree
+from repro.sim.channel import ChannelPolicy
+from repro.sim.engine import Simulation
+
+__all__ = [
+    "CHECK_ALGORITHMS",
+    "CHECK_ACCEPTANCES",
+    "CHECK_DYNAMICS",
+    "check_fastpath_divergence",
+    "make_dynamics",
+    "run_case",
+    "trace_signature",
+]
+
+CHECK_ALGORITHMS = ("ppush", "blindmatch", "sharedbit")
+CHECK_DYNAMICS = ("static", "relabeling", "geometric")
+CHECK_ACCEPTANCES = ("uniform", "lowest_uid", "highest_uid", "unbounded")
+
+
+def trace_signature(rounds: int, trace) -> tuple:
+    """Everything a trace observed, ready for exact comparison."""
+    records = tuple(
+        (r.round_index, r.proposals, r.connections, r.tokens_moved,
+         r.control_bits, tuple(sorted(r.gauges.items())))
+        for r in trace.records
+    )
+    return (
+        rounds,
+        trace.total_rounds,
+        trace.total_proposals,
+        trace.total_connections,
+        trace.total_tokens_moved,
+        trace.total_control_bits,
+        records,
+    )
+
+
+def make_dynamics(kind: str, n: int, seed: int):
+    """One fresh dynamic graph per execution (GeometricMobilityGraph
+    carries evolving state and must be walked forward once per run)."""
+    if kind == "static":
+        return StaticDynamicGraph(star(n))
+    if kind == "relabeling":
+        return RelabelingAdversary(cycle(n), tau=2, seed=seed)
+    if kind == "geometric":
+        return GeometricMobilityGraph(n=n, radius=0.4, step=0.05, tau=3,
+                                      seed=seed)
+    raise ValueError(f"unknown differential dynamics kind {kind!r}")
+
+
+def _ppush_nodes(n: int, seed: int) -> dict:
+    tree = SeedTree(seed)
+    return {
+        vertex: PPushNode(
+            uid=vertex + 1,
+            upper_n=n,
+            rng=tree.stream("node", vertex + 1),
+            rumor=Token(1) if vertex == 0 else None,
+        )
+        for vertex in range(n)
+    }
+
+
+def run_case(
+    algorithm: str,
+    dynamics_kind: str,
+    acceptance: str,
+    engine_mode: str,
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+) -> tuple:
+    """Run one differential case; returns (trace signature, final state)."""
+    if algorithm == "ppush":
+        nodes = _ppush_nodes(n, seed)
+        b = 1
+        policy = None
+    else:
+        instance = uniform_instance(n=n, k=3, seed=seed)
+        nodes = build_nodes(algorithm, instance, seed=seed)
+        defn = ALGORITHM_REGISTRY.get(algorithm)
+        b = defn.resolve_tag_length(defn.make_config())
+        policy = ChannelPolicy.for_upper_n(instance.upper_n)
+    sim = Simulation(
+        make_dynamics(dynamics_kind, n, seed), nodes, b=b, seed=seed,
+        channel_policy=policy, acceptance=acceptance,
+        engine_mode=engine_mode,
+    )
+    sim.run(max_rounds=rounds)
+    if algorithm == "ppush":
+        state = tuple(
+            (node.uid, node.informed_at_round)
+            for node in sim.protocols.values()
+        )
+    else:
+        state = tuple(
+            tuple(sorted(node.known_tokens))
+            for node in sim.protocols.values()
+        )
+    return trace_signature(sim.current_round, sim.trace), state
+
+
+def check_fastpath_divergence(
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+    algorithms=CHECK_ALGORITHMS,
+    dynamics=CHECK_DYNAMICS,
+    acceptances=CHECK_ACCEPTANCES,
+) -> list[str]:
+    """Run every case both ways; report mismatches (empty = identical)."""
+    failures = []
+    for algorithm in algorithms:
+        for kind in dynamics:
+            for acceptance in acceptances:
+                reference = run_case(algorithm, kind, acceptance, "object",
+                                     n, seed, rounds)
+                fast = run_case(algorithm, kind, acceptance, "array",
+                                n, seed, rounds)
+                if reference != fast:
+                    failures.append(
+                        f"{algorithm}/{kind}/{acceptance}: fast path "
+                        "diverged from reference trace"
+                    )
+    return failures

@@ -25,6 +25,7 @@ import random
 from abc import ABC, abstractmethod
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.graphs.metrics import vertex_expansion_estimate, max_degree
@@ -72,6 +73,10 @@ class DynamicGraph(ABC):
             )
         self.n = n
         self.tau = tau
+        # Per-epoch CSR snapshot cache, keyed on the graph object identity
+        # (graph_at returns the same object for every round of an epoch).
+        self._csr_cache_key = None
+        self._csr_cache = None
 
     def epoch_of(self, round_index: int) -> int:
         """The index of the stability window containing ``round_index``."""
@@ -84,6 +89,26 @@ class DynamicGraph(ABC):
         """The (connected) topology for round ``round_index`` (1-indexed)."""
         _check_round(round_index)
         return self._graph_for_epoch(self.epoch_of(round_index))
+
+    def csr_at(self, round_index: int):
+        """The round's topology as a :class:`~repro.sim.adjacency.CSRAdjacency`.
+
+        The hook the engine's array fast path calls instead of
+        :meth:`graph_at`.  This default converts the epoch's ``nx.Graph``
+        once and caches the snapshot for the rest of the epoch; dynamics
+        that can produce arrays without materializing a graph object
+        override it (:class:`RelabelingAdversary` permutes the base
+        shape's CSR directly).  Overrides must keep every row's neighbors
+        in ascending vertex order — the object engine's neighbor order —
+        or fast-path traces diverge from the reference.
+        """
+        graph = self.graph_at(round_index)
+        if self._csr_cache_key is not graph:
+            from repro.sim.adjacency import CSRAdjacency
+
+            self._csr_cache = CSRAdjacency.from_graph(graph)
+            self._csr_cache_key = graph
+        return self._csr_cache
 
     @abstractmethod
     def _graph_for_epoch(self, epoch: int) -> nx.Graph:
@@ -193,16 +218,46 @@ class RelabelingAdversary(DynamicGraph):
         _check_graph(topology.graph, topology.n, topology.name)
         self._tree = SeedTree(seed).child("relabeling")
         self._cache = _EpochCache()
+        self._base_csr = None
+        self._csr_epoch: int | None = None
 
     def _graph_for_epoch(self, epoch: int) -> nx.Graph:
         return self._cache.get(epoch, self._build)
 
-    def _build(self, epoch: int) -> nx.Graph:
+    def _epoch_permutation(self, epoch: int) -> list[int]:
+        # One shared derivation for both representations: graph_at and
+        # csr_at draw the same labels from the same per-epoch stream, so
+        # mixing the two paths (or running them side by side, as the
+        # differential tests do) always sees the same topology.
         rng = self._tree.stream("epoch", epoch)
         labels = list(range(self.n))
         rng.shuffle(labels)
-        mapping = dict(zip(range(self.n), labels))
+        return labels
+
+    def _build(self, epoch: int) -> nx.Graph:
+        mapping = dict(enumerate(self._epoch_permutation(epoch)))
         return nx.relabel_nodes(self.topology.graph, mapping)
+
+    def csr_at(self, round_index: int):
+        """Permute the base shape's CSR arrays — no ``nx.Graph`` built.
+
+        The fast path's epoch turnover is a numpy permutation + lexsort
+        instead of ``nx.relabel_nodes`` allocating a fresh graph object
+        every τ rounds.
+        """
+        epoch = self.epoch_of(round_index)
+        if self._csr_epoch != epoch:
+            from repro.sim.adjacency import CSRAdjacency
+
+            if self._base_csr is None:
+                self._base_csr = CSRAdjacency.from_graph(self.topology.graph)
+            base = self._base_csr
+            perm = np.asarray(self._epoch_permutation(epoch), dtype=np.int64)
+            self._csr_cache = CSRAdjacency.from_edge_lists(
+                perm[base.edge_sources()], perm[base.indices], self.n
+            )
+            self._csr_epoch = epoch
+        return self._csr_cache
 
 
 class GeometricMobilityGraph(DynamicGraph):
@@ -274,15 +329,28 @@ class GeometricMobilityGraph(DynamicGraph):
                 self._positions[i] = (x + dx * scale, y + dy * scale)
 
     def _disk_graph(self) -> nx.Graph:
+        # Edges come from a blocked numpy pairwise-distance sweep (the
+        # former per-pair Python loop was the epoch-build bottleneck); the
+        # block keeps peak memory at O(block * n) instead of O(n^2).
+        # Edge insertion order is (i, j) lexicographic with i < j, exactly
+        # the loop's order, so the graph — and the component iteration the
+        # bridging step depends on — is unchanged.
         g = nx.Graph()
         g.add_nodes_from(range(self.n))
         r2 = self.radius * self.radius
-        for i in range(self.n):
-            xi, yi = self._positions[i]
-            for j in range(i + 1, self.n):
-                xj, yj = self._positions[j]
-                if (xi - xj) ** 2 + (yi - yj) ** 2 <= r2:
-                    g.add_edge(i, j)
+        pos = np.asarray(self._positions)
+        xs, ys = pos[:, 0], pos[:, 1]
+        block = 512
+        for start in range(0, self.n, block):
+            stop = min(start + block, self.n)
+            d2 = (xs[start:stop, None] - xs[None, :]) ** 2
+            d2 += (ys[start:stop, None] - ys[None, :]) ** 2
+            rows, cols = np.nonzero(d2 <= r2)
+            rows += start
+            upper = cols > rows
+            g.add_edges_from(
+                zip(rows[upper].tolist(), cols[upper].tolist())
+            )
         self._bridge_components(g)
         return g
 

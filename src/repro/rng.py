@@ -29,6 +29,7 @@ __all__ = [
     "SharedRandomness",
     "prf_bytes",
     "prf_bits",
+    "prf_bits_many",
     "prf_uniform_int",
 ]
 
@@ -68,6 +69,21 @@ def prf_bits(key: bytes, index: tuple[int, ...], nbits: int) -> int:
         raise ValueError(f"nbits must be positive, got {nbits}")
     raw = prf_bytes(key, index, (nbits + 7) // 8)
     return int.from_bytes(raw, "big") >> ((8 * len(raw)) - nbits)
+
+
+def prf_bits_many(
+    key: bytes, indices, nbits: int, prefix: tuple[int, ...] = (),
+    suffix: tuple[int, ...] = (),
+) -> list[int]:
+    """``prf_bits(key, prefix + (i,) + suffix, nbits)`` for many ``i``.
+
+    The batched form the engine's array fast path uses: hashing is still
+    one BLAKE2b per index (the PRF is inherently per-input), but the
+    caller pays Python call overhead once per *batch* instead of once per
+    (node, token) pair — and, crucially, shares the batch result across
+    all nodes in a round instead of re-deriving identical bits per node.
+    """
+    return [prf_bits(key, prefix + (i,) + suffix, nbits) for i in indices]
 
 
 def prf_uniform_int(key: bytes, index: tuple[int, ...], bound: int) -> int:
@@ -165,6 +181,22 @@ class SharedRandomness:
         """Bit assigned to token/UID ``bundle`` in round-group ``group``."""
         self._check(group, bundle)
         return prf_bits(self._key, (group, bundle, 0), 1)
+
+    def token_bits(self, group: int, bundles) -> dict[int, int]:
+        """``{bundle: token_bit(group, bundle)}`` for many bundles at once.
+
+        Each bit equals :meth:`token_bit` exactly (same PRF inputs); the
+        batched form exists so SharedBit's bulk hooks can derive each
+        round's token bits *once* and share them across all n nodes —
+        the object path recomputes them per (node, token), which is the
+        sharedbit hot path's dominant cost at scale.
+        """
+        bundles = list(bundles)
+        for bundle in bundles:
+            self._check(group, bundle)
+        bits = prf_bits_many(self._key, bundles, 1, prefix=(group,),
+                             suffix=(0,))
+        return dict(zip(bundles, bits))
 
     def selection_index(self, group: int, bundle: int, bound: int) -> int:
         """Uniform value in ``[0, bound)`` from bundle ``bundle`` of ``group``."""

@@ -15,10 +15,11 @@ A round proceeds in the model's three stages (§2 of the paper):
 :class:`~repro.sim.protocol.NodeProtocol`.
 """
 
+from repro.sim.adjacency import CSRAdjacency
 from repro.sim.context import NeighborView
 from repro.sim.channel import Channel, ChannelPolicy
-from repro.sim.protocol import NodeProtocol, TokenHolder
-from repro.sim.matching import resolve_proposals
+from repro.sim.protocol import NodeProtocol, TokenHolder, bulk_hooks
+from repro.sim.matching import resolve_proposals, resolve_proposals_arrays
 from repro.sim.trace import RoundRecord, Trace
 from repro.sim.engine import Simulation, SimulationResult
 from repro.sim.termination import (
@@ -29,12 +30,15 @@ from repro.sim.termination import (
 )
 
 __all__ = [
+    "CSRAdjacency",
     "NeighborView",
     "Channel",
     "ChannelPolicy",
     "NodeProtocol",
     "TokenHolder",
+    "bulk_hooks",
     "resolve_proposals",
+    "resolve_proposals_arrays",
     "RoundRecord",
     "Trace",
     "Simulation",

@@ -1,0 +1,163 @@
+"""CSR adjacency snapshots — the flat-array view of one epoch's topology.
+
+The object engine hands protocols per-vertex ``NeighborView`` tuples; the
+array fast path instead hands bulk protocol hooks one
+:class:`CSRAdjacency` per epoch: the topology in compressed-sparse-row
+form (``indptr``/``indices`` as numpy int64 arrays), with each row's
+neighbors **sorted by vertex** — exactly the order the object engine's
+``_refresh_adjacency`` produces, which is what keeps the two paths'
+random-stream consumption aligned.
+
+A CSR snapshot is built once per τ-epoch.  :meth:`DynamicGraph.csr_at
+<repro.graphs.dynamic.DynamicGraph.csr_at>` is the producing hook: the
+default implementation converts ``graph_at``'s ``nx.Graph``, while
+dynamics that can do better (``RelabelingAdversary``) permute arrays
+directly and never materialize a graph object on the fast path.
+
+UIDs are simulation-side knowledge (the dynamic graph only knows
+vertices), so the engine *binds* its per-vertex UID array onto the epoch
+snapshot with :meth:`CSRAdjacency.bind_uids`; bulk hooks then read
+``csr.uids`` (per-edge neighbor UIDs) and ``csr.vertex_uids`` without any
+per-round translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CSRAdjacency"]
+
+
+# eq=False: a generated __eq__ over array fields raises on comparison;
+# snapshots compare by identity (the engine's epoch key), and
+# same_structure() is the content comparison.
+@dataclass(eq=False)
+class CSRAdjacency:
+    """One epoch's topology as flat arrays.
+
+    ``indices[indptr[v]:indptr[v + 1]]`` are vertex ``v``'s neighbors in
+    ascending vertex order.  ``uids``/``vertex_uids`` are populated only
+    on snapshots returned by :meth:`bind_uids` (the engine's view);
+    ``base`` then points at the unbound epoch snapshot, which the engine
+    uses as the epoch-change identity key.
+    """
+
+    n: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    uids: np.ndarray | None = None
+    vertex_uids: np.ndarray | None = None
+    base: "CSRAdjacency | None" = None
+    _edge_sources: np.ndarray | None = field(default=None, repr=False)
+    _uid_rows: list | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_graph(cls, graph) -> "CSRAdjacency":
+        """Snapshot an ``nx.Graph`` over vertices ``0..n-1``."""
+        n = graph.number_of_nodes()
+        adj = graph.adj
+        counts = [len(adj[vertex]) for vertex in range(n)]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for vertex in range(n):
+            row = sorted(adj[vertex])
+            indices[indptr[vertex]:indptr[vertex + 1]] = row
+        return cls(n=n, indptr=indptr, indices=indices)
+
+    @classmethod
+    def from_edge_lists(cls, sources, targets, n: int) -> "CSRAdjacency":
+        """Snapshot from parallel per-edge arrays (both directions listed).
+
+        Rows come out sorted by neighbor vertex whatever order the edges
+        arrive in — the contract every snapshot shares.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        order = np.lexsort((targets, sources))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=n), out=indptr[1:])
+        return cls(n=n, indptr=indptr, indices=targets[order])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self.indptr[1:] - self.indptr[:-1]
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.indices[self.indptr[vertex]:self.indptr[vertex + 1]]
+
+    def edge_sources(self) -> np.ndarray:
+        """Per-edge source vertex (``rows`` of the CSR), built lazily."""
+        if self._edge_sources is None:
+            self._edge_sources = np.repeat(
+                np.arange(self.n, dtype=np.int64), self.degrees
+            )
+        return self._edge_sources
+
+    def uid_rows(self) -> list:
+        """Per-vertex neighbor-UID tuples (UID-bound snapshots only).
+
+        Cached for the epoch.  Bulk hooks that hand whole rows to
+        ``random.Random.choice`` use these: ``choice`` on a small tuple is
+        measurably cheaper than on a numpy slice, and the draw is
+        identical (same length, same one ``_randbelow``).
+        """
+        if self._uid_rows is None:
+            if self.uids is None:
+                raise ValueError("uid_rows needs a UID-bound snapshot")
+            flat = self.uids.tolist()
+            indptr = self.indptr.tolist()
+            self._uid_rows = [
+                tuple(flat[indptr[v]:indptr[v + 1]]) for v in range(self.n)
+            ]
+        return self._uid_rows
+
+    def candidate_rows(self, tags, source_tag: int = 1,
+                       neighbor_tag: int = 0):
+        """Yield ``(vertex, sorted neighbor UIDs)`` for proposal rounds.
+
+        The b = 1 bulk-hook scaffold shared by PPUSH and SharedBit: every
+        vertex advertising ``source_tag`` that has at least one neighbor
+        advertising ``neighbor_tag``, in ascending vertex order (the
+        scalar hooks' iteration order), each with that neighbor subset's
+        UIDs sorted ascending (the scalar hooks' candidate order).
+        UID-bound snapshots only.  The eligibility count is a bincount
+        over edge sources, not a reduceat over indptr segments, so
+        zero-degree vertices (possible under out-of-tree dynamics) are
+        handled correctly.
+        """
+        if self.uids is None:
+            raise ValueError("candidate_rows needs a UID-bound snapshot")
+        mask = tags[self.indices] == neighbor_tag
+        counts = np.bincount(self.edge_sources()[mask], minlength=self.n)
+        indptr, uids = self.indptr, self.uids
+        for vertex in np.nonzero((tags == source_tag) & (counts > 0))[0].tolist():
+            start, end = indptr[vertex], indptr[vertex + 1]
+            yield vertex, np.sort(uids[start:end][mask[start:end]])
+
+    def bind_uids(self, vertex_uids: np.ndarray) -> "CSRAdjacency":
+        """Return a snapshot with UID arrays attached (engine-side)."""
+        return CSRAdjacency(
+            n=self.n,
+            indptr=self.indptr,
+            indices=self.indices,
+            uids=vertex_uids[self.indices],
+            vertex_uids=vertex_uids,
+            base=self,
+            _edge_sources=self._edge_sources,
+        )
+
+    def same_structure(self, other: "CSRAdjacency") -> bool:
+        return (
+            self.n == other.n
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRAdjacency(n={self.n}, edges={len(self.indices) // 2}, "
+            f"bound={self.uids is not None})"
+        )

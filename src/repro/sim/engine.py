@@ -13,14 +13,33 @@ that protocols cannot cheat:
 Everything is deterministic given the seed: topology evolution, acceptance
 draws, and protocol-internal randomness (protocols are constructed with
 streams from the same :class:`~repro.rng.SeedTree`).
+
+Two interchangeable front halves drive Stages 1–2 of each round:
+
+* the **object path** (the reference): per-node ``advertise``/``propose``
+  calls over cached :class:`~repro.sim.context.NeighborView` skeletons;
+* the **array path**: when every node provides the bulk hooks
+  (:func:`repro.sim.protocol.bulk_hooks`), the engine feeds them one
+  UID-bound CSR snapshot per epoch
+  (:class:`~repro.sim.adjacency.CSRAdjacency` via
+  ``DynamicGraph.csr_at``) and resolves matching with
+  :func:`repro.sim.matching.resolve_proposals_arrays`.
+
+The two paths are **byte-identical**: same tags, same proposals, same
+random-stream consumption, same matching, same traces (pinned by
+tests/test_fastpath.py across algorithms × dynamics × acceptance rules).
+``engine_mode`` selects: ``"auto"`` (array when available), ``"object"``
+(force the reference), ``"array"`` (require the fast path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Mapping
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import (
     ConfigurationError,
@@ -34,15 +53,18 @@ from repro.sim.context import NeighborView
 from repro.sim.matching import (
     ACCEPTANCE_RULES,
     resolve_proposals,
+    resolve_proposals_arrays,
     resolve_proposals_unbounded,
 )
-from repro.sim.protocol import NodeProtocol
+from repro.sim.protocol import NodeProtocol, bulk_hooks
 from repro.sim.termination import TerminationCondition, never
 from repro.sim.trace import RoundRecord, Trace
 
 __all__ = ["Simulation", "SimulationResult"]
 
 Gauge = Callable[[Mapping[int, NodeProtocol], int], object]
+
+ENGINE_MODES = ("auto", "array", "object")
 
 
 @dataclass
@@ -54,8 +76,10 @@ class SimulationResult:
     trace: Trace
     nodes: Mapping[int, NodeProtocol]
 
-    @property
+    @cached_property
     def nodes_by_uid(self) -> dict[int, NodeProtocol]:
+        # Built once and cached: analysis code reads this in loops, and
+        # the node set never changes after the run.
         return {node.uid: node for node in self.nodes.values()}
 
 
@@ -79,6 +103,7 @@ class Simulation:
         trace_sample_every: int = 1,
         termination_every: int = 1,
         acceptance: str = "uniform",
+        engine_mode: str = "auto",
     ):
         if b < 0:
             raise ConfigurationError(f"tag length b must be >= 0, got {b}")
@@ -86,6 +111,11 @@ class Simulation:
             raise ConfigurationError(
                 f"unknown acceptance mode {acceptance!r}; choose from "
                 f"{sorted(ACCEPTANCE_RULES) + ['unbounded']}"
+            )
+        if engine_mode not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"unknown engine_mode {engine_mode!r}; choose from "
+                f"{ENGINE_MODES}"
             )
         if set(protocols) != set(range(dynamic_graph.n)):
             raise ConfigurationError(
@@ -135,6 +165,20 @@ class Simulation:
         self._views: list[list[NeighborView]] = []
         self._view_tuples: list[tuple[NeighborView, ...]] = []
 
+        # Array fast path: elected at construction, fixed for the run.
+        self._bulk = None if engine_mode == "object" else bulk_hooks(self._nodes)
+        if engine_mode == "array" and self._bulk is None:
+            raise ConfigurationError(
+                "engine_mode='array' but the node population does not "
+                "provide equivalent bulk hooks (see repro.sim.protocol."
+                "bulk_hooks); use 'auto' or 'object'"
+            )
+        self.engine_mode = "array" if self._bulk is not None else "object"
+        self._uid_array = np.fromiter(
+            (node.uid for node in self._nodes), dtype=np.int64, count=self.n
+        )
+        self._csr_bound = None  # UID-bound CSR for the current epoch
+
     @property
     def n(self) -> int:
         return self.dynamic_graph.n
@@ -182,6 +226,52 @@ class Simulation:
         """
         self._round += 1
         rnd = self._round
+        if self._bulk is not None:
+            proposal_count, matches = self._stages12_array(rnd)
+        else:
+            proposal_count, matches = self._stages12_object(rnd)
+
+        # Stage 3: bounded pairwise interaction over metered channels.
+        tokens_moved = 0
+        control_bits = 0
+        for initiator_uid, responder_uid in matches:
+            initiator = self.protocols[self._vertex_of_uid[initiator_uid]]
+            responder = self.protocols[self._vertex_of_uid[responder_uid]]
+            channel = Channel(rnd, initiator_uid, responder_uid,
+                              self.channel_policy)
+            initiator.interact(responder, channel, rnd)
+            channel.close()
+            tokens_moved += channel.tokens_moved
+            control_bits += channel.bits.total_bits
+
+        # Record keeping: unsampled rounds skip the RoundRecord/gauge-dict
+        # churn entirely and only bump the trace totals.
+        gauges_due = bool(self.gauges) and rnd % self.gauge_every == 0
+        if not (
+            gauges_due or rnd == 1 or rnd % self.trace.sample_every == 0
+        ):
+            self.trace.observe(
+                rnd, proposal_count, len(matches), tokens_moved, control_bits
+            )
+            return None
+        gauges = {}
+        if gauges_due:
+            gauges = {
+                name: fn(self.protocols, rnd) for name, fn in self.gauges.items()
+            }
+        record = RoundRecord(
+            round_index=rnd,
+            proposals=proposal_count,
+            connections=len(matches),
+            tokens_moved=tokens_moved,
+            control_bits=control_bits,
+            gauges=gauges,
+        )
+        self.trace.record(record)
+        return record
+
+    def _stages12_object(self, rnd: int) -> tuple[int, list[tuple[int, int]]]:
+        """Stages 1–2 through per-node hooks (the reference path)."""
         graph = self.dynamic_graph.graph_at(rnd)
         self._refresh_adjacency(graph)
 
@@ -226,7 +316,6 @@ class Simulation:
                 )
             proposals[node.uid] = target
 
-        # Stage 3: matching and bounded pairwise interaction.
         if self.acceptance == "unbounded":
             matches = resolve_proposals_unbounded(proposals)
         else:
@@ -234,43 +323,88 @@ class Simulation:
                 proposals, self._tree.stream("match", rnd),
                 rule=self.acceptance,
             )
-        tokens_moved = 0
-        control_bits = 0
-        for initiator_uid, responder_uid in matches:
-            initiator = self.protocols[self._vertex_of_uid[initiator_uid]]
-            responder = self.protocols[self._vertex_of_uid[responder_uid]]
-            channel = Channel(rnd, initiator_uid, responder_uid,
-                              self.channel_policy)
-            initiator.interact(responder, channel, rnd)
-            channel.close()
-            tokens_moved += channel.tokens_moved
-            control_bits += channel.bits.total_bits
+        return len(proposals), matches
 
-        # Record keeping: unsampled rounds skip the RoundRecord/gauge-dict
-        # churn entirely and only bump the trace totals.
-        gauges_due = bool(self.gauges) and rnd % self.gauge_every == 0
-        if not (
-            gauges_due or rnd == 1 or rnd % self.trace.sample_every == 0
-        ):
-            self.trace.observe(
-                rnd, len(proposals), len(matches), tokens_moved, control_bits
+    def _stages12_array(self, rnd: int) -> tuple[int, list[tuple[int, int]]]:
+        """Stages 1–2 through bulk hooks over the epoch's CSR snapshot."""
+        csr = self.dynamic_graph.csr_at(rnd)
+        bound = self._csr_bound
+        if bound is None or bound.base is not csr:
+            bound = self._csr_bound = csr.bind_uids(self._uid_array)
+        advertise_all, propose_all = self._bulk
+
+        # Stage 1: every tag at once, then one vectorized range check.
+        tags = self._as_int_array(advertise_all(self._nodes, rnd, bound),
+                                  "advertise_all")
+        if tags.shape != (self.n,):
+            raise ProtocolViolationError(
+                f"advertise_all returned shape {tags.shape}; expected "
+                f"({self.n},)"
             )
-            return None
-        gauges = {}
-        if gauges_due:
-            gauges = {
-                name: fn(self.protocols, rnd) for name, fn in self.gauges.items()
-            }
-        record = RoundRecord(
-            round_index=rnd,
-            proposals=len(proposals),
-            connections=len(matches),
-            tokens_moved=tokens_moved,
-            control_bits=control_bits,
-            gauges=gauges,
+        if ((tags < 0) | (tags > self.max_tag)).any():
+            vertex = int(np.nonzero((tags < 0) | (tags > self.max_tag))[0][0])
+            raise ProtocolViolationError(
+                f"node uid={self._nodes[vertex].uid} advertised tag "
+                f"{int(tags[vertex])!r}; legal range with b={self.b} is "
+                f"[0, {self.max_tag}]"
+            )
+
+        # Stage 2: every proposal at once (-1 = no proposal), then one
+        # vectorized is-it-a-neighbor check — the same model rule the
+        # object path enforces per node.
+        targets = self._as_int_array(
+            propose_all(self._nodes, rnd, bound, tags), "propose_all"
         )
-        self.trace.record(record)
-        return record
+        if targets.shape != (self.n,):
+            raise ProtocolViolationError(
+                f"propose_all returned shape {targets.shape}; expected "
+                f"({self.n},)"
+            )
+        proposer_mask = targets >= 0
+        if proposer_mask.any():
+            # Scatter per-edge hits to their source vertex: unlike a
+            # reduceat over indptr segments this stays correct for
+            # zero-degree vertices (possible under out-of-tree dynamics
+            # even though in-tree graphs are connected).
+            sources = bound.edge_sources()
+            hit = bound.uids == targets[sources]
+            legal = np.zeros(self.n, dtype=bool)
+            legal[sources[hit]] = True
+            bad = proposer_mask & ~legal
+            if bad.any():
+                vertex = int(np.nonzero(bad)[0][0])
+                raise ProtocolViolationError(
+                    f"node uid={self._nodes[vertex].uid} proposed to "
+                    f"uid={int(targets[vertex])}, not a neighbor in round "
+                    f"{rnd}"
+                )
+
+        proposer_uids = self._uid_array[proposer_mask]
+        target_uids = targets[proposer_mask]
+        if self.acceptance == "unbounded":
+            matches = resolve_proposals_arrays(
+                proposer_uids, target_uids, rule="unbounded"
+            )
+        else:
+            matches = resolve_proposals_arrays(
+                proposer_uids, target_uids,
+                self._tree.stream("match", rnd), rule=self.acceptance,
+            )
+        return int(proposer_mask.sum()), matches
+
+    @staticmethod
+    def _as_int_array(values, hook: str) -> np.ndarray:
+        """Coerce a bulk-hook result to int64, refusing non-integer
+        dtypes — the array twin of the object path's ``isinstance(tag,
+        int)`` check (a silent float->int cast would let through values
+        the reference path rejects)."""
+        array = np.asarray(values)
+        if not np.issubdtype(array.dtype, np.integer):
+            raise ProtocolViolationError(
+                f"{hook} returned dtype {array.dtype}; bulk hooks must "
+                "return integer arrays"
+            )
+        return array.astype(np.int64, copy=False)
 
     def _refresh_adjacency(self, graph: nx.Graph) -> None:
         if graph is self._adjacency_for:

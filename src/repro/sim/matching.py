@@ -25,10 +25,13 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import ConfigurationError, ProtocolViolationError
 
 __all__ = [
     "resolve_proposals",
+    "resolve_proposals_arrays",
     "resolve_proposals_unbounded",
     "ACCEPTANCE_RULES",
     "AcceptanceRule",
@@ -104,6 +107,76 @@ def resolve_proposals(
         senders = sorted(incoming[target])
         matches.append((accept(senders, rng), target))
     return matches
+
+
+def resolve_proposals_arrays(
+    proposer_uids,
+    target_uids,
+    rng: random.Random | None = None,
+    rule: str = "uniform",
+) -> list[tuple[int, int]]:
+    """Array-based twin of :func:`resolve_proposals` (and the unbounded
+    baseline, via ``rule="unbounded"``).
+
+    ``proposer_uids``/``target_uids`` are parallel int arrays: proposer
+    ``proposer_uids[i]`` proposed to ``target_uids[i]``.  Proposer UIDs
+    must be distinct (each node sends at most one proposal).
+
+    **Byte-identical matching guarantee**: the result — pair values *and*
+    list order — equals the dict resolver's on the same proposals, and the
+    acceptance draw consumes ``rng`` in the same sorted-target order,
+    drawing only for targets with two or more surviving proposals.  The
+    engine's array fast path relies on this to keep traces identical to
+    the reference path; tests/test_matching.py pins it property-style.
+    """
+    if rule != "unbounded" and rule not in ACCEPTANCE_RULES:
+        raise ConfigurationError(
+            f"unknown acceptance rule {rule!r}; choose from "
+            f"{sorted(ACCEPTANCE_RULES) + ['unbounded']}"
+        )
+    if rule == "uniform" and rng is None:
+        raise ConfigurationError("the uniform rule needs an rng")
+    proposer_uids = np.asarray(proposer_uids, dtype=np.int64)
+    target_uids = np.asarray(target_uids, dtype=np.int64)
+    if proposer_uids.shape != target_uids.shape:
+        raise ConfigurationError(
+            "proposer_uids and target_uids must have matching shapes"
+        )
+    if proposer_uids.size == 0:
+        return []
+    self_loops = proposer_uids == target_uids
+    if self_loops.any():
+        offender = int(proposer_uids[self_loops][0])
+        raise ProtocolViolationError(f"node {offender} proposed to itself")
+    if np.unique(proposer_uids).size != proposer_uids.size:
+        raise ProtocolViolationError("duplicate proposer UIDs")
+
+    # Proposals aimed at a proposer are lost (§2).
+    keep = ~np.isin(target_uids, proposer_uids)
+    senders = proposer_uids[keep]
+    targets = target_uids[keep]
+    if senders.size == 0:
+        return []
+    # Sort by (target, sender): groups come out in sorted-target order
+    # with each group's senders ascending — the dict resolver's order.
+    order = np.lexsort((senders, targets))
+    senders = senders[order]
+    targets = targets[order]
+    if rule == "unbounded":
+        return list(zip(senders.tolist(), targets.tolist()))
+    group_targets, starts = np.unique(targets, return_index=True)
+    bounds = np.append(starts, senders.size)
+    if rule == "lowest_uid":
+        initiators = senders[starts]
+    elif rule == "highest_uid":
+        initiators = senders[bounds[1:] - 1]
+    else:  # uniform
+        initiators = senders[starts].copy()
+        sizes = np.diff(bounds)
+        for g in np.nonzero(sizes > 1)[0]:
+            group = senders[bounds[g]:bounds[g + 1]]
+            initiators[g] = rng.choice(group)
+    return list(zip(initiators.tolist(), group_targets.tolist()))
 
 
 def resolve_proposals_unbounded(

@@ -24,7 +24,7 @@ from typing import Iterable, Protocol, runtime_checkable
 from repro.sim.channel import Channel
 from repro.sim.context import NeighborView
 
-__all__ = ["NodeProtocol", "TokenHolder"]
+__all__ = ["NodeProtocol", "TokenHolder", "bulk_hooks"]
 
 
 class NodeProtocol(ABC):
@@ -64,6 +64,90 @@ class NodeProtocol(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(uid={self.uid})"
+
+
+def _defining_class(node_type: type, name: str) -> type | None:
+    for base in node_type.__mro__:
+        if name in base.__dict__:
+            return base
+    return None
+
+
+def bulk_hooks(nodes) -> tuple | None:
+    """Detect the optional *bulk* protocol hooks for the array fast path.
+
+    A protocol class may implement, alongside the scalar per-node hooks,
+    two classmethods operating on the whole population at once:
+
+    * ``advertise_all(nodes, round_index, csr) -> numpy int array`` —
+      Stage 1 for every vertex; entry ``v`` is vertex ``v``'s tag.
+    * ``propose_all(nodes, round_index, csr, tags) -> numpy int array`` —
+      Stage 2 for every vertex; entry ``v`` is the *UID* vertex ``v``
+      proposes to, or ``-1`` for no proposal.
+
+    ``csr`` is the epoch's UID-bound
+    :class:`~repro.sim.adjacency.CSRAdjacency`.  The contract is strict
+    equivalence: a bulk hook must produce exactly what looping the scalar
+    hook over vertices ``0..n-1`` would — including consuming each node's
+    private ``random.Random`` in that same vertex order and updating any
+    per-round node state the other hooks read.  The engine picks the
+    fast path only when this function approves the whole population:
+
+    * every node is the *same concrete class* (mixed populations fall
+      back to the object path);
+    * both hooks exist, and each is defined at least as deep in the MRO
+      as its scalar twin — a subclass that overrides ``propose`` but
+      inherits ``propose_all`` would silently diverge, so it is refused;
+    * no class below the bulk hooks' defining classes overrides anything
+      else (``__init__``-style dunders excepted) — a subclass overriding
+      a *helper* the scalar hooks call (e.g. SharedBit's
+      ``advertisement_bit``) would be invisible to the inherited bulk
+      hooks, so such populations fall back to the object path; a
+      subclass opts back in by re-declaring both bulk hooks;
+    * an optional ``bulk_ready(nodes)`` classmethod (shared-state
+      homogeneity checks, e.g. one ``SharedRandomness`` instance for all
+      of SharedBit) returns True.
+
+    Returns ``(advertise_all, propose_all)`` or ``None``.
+    """
+    node_type = type(nodes[0])
+    if any(type(node) is not node_type for node in nodes):
+        return None
+    advertise_all = getattr(node_type, "advertise_all", None)
+    propose_all = getattr(node_type, "propose_all", None)
+    if advertise_all is None or propose_all is None:
+        return None
+    for scalar, bulk in (
+        ("advertise", "advertise_all"),
+        ("propose", "propose_all"),
+    ):
+        scalar_owner = _defining_class(node_type, scalar)
+        bulk_owner = _defining_class(node_type, bulk)
+        if scalar_owner is None or bulk_owner is None:
+            return None
+        if not issubclass(bulk_owner, scalar_owner):
+            return None
+    # Helper-override guard: anything a subclass defines below the bulk
+    # hooks' classes (other than dunders and the hook names themselves,
+    # which the pair rule above already polices) could change what the
+    # scalar hooks do without the inherited bulk hooks noticing.
+    mro = node_type.__mro__
+    guard_depth = max(
+        mro.index(_defining_class(node_type, "advertise_all")),
+        mro.index(_defining_class(node_type, "propose_all")),
+    )
+    harmless = {"advertise", "propose", "advertise_all", "propose_all",
+                "bulk_ready", "_abc_impl"}  # _abc_impl: ABCMeta bookkeeping
+    for cls in mro[:guard_depth]:
+        for name in cls.__dict__:
+            if name not in harmless and not (
+                name.startswith("__") and name.endswith("__")
+            ):
+                return None
+    ready = getattr(node_type, "bulk_ready", None)
+    if ready is not None and not ready(nodes):
+        return None
+    return advertise_all, propose_all
 
 
 @runtime_checkable

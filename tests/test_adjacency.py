@@ -1,0 +1,134 @@
+"""Tests for CSR adjacency snapshots and the ``csr_at`` dynamics hook."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.dynamic import (
+    GeometricMobilityGraph,
+    PeriodicRewireGraph,
+    RelabelingAdversary,
+    StaticDynamicGraph,
+)
+from repro.graphs.topologies import cycle, expander, path, star
+from repro.sim.adjacency import CSRAdjacency
+
+
+def assert_matches_graph(csr: CSRAdjacency, graph) -> None:
+    assert csr.n == graph.number_of_nodes()
+    for vertex in range(csr.n):
+        assert csr.neighbors(vertex).tolist() == sorted(graph.adj[vertex])
+
+
+class TestFromGraph:
+    def test_star_rows(self):
+        csr = CSRAdjacency.from_graph(star(5).graph)
+        assert csr.neighbors(0).tolist() == [1, 2, 3, 4]
+        for leaf in range(1, 5):
+            assert csr.neighbors(leaf).tolist() == [0]
+        assert csr.degrees.tolist() == [4, 1, 1, 1, 1]
+
+    def test_rows_sorted_by_vertex(self):
+        graph = expander(24, degree=4, seed=2).graph
+        csr = CSRAdjacency.from_graph(graph)
+        assert_matches_graph(csr, graph)
+
+    def test_edge_sources(self):
+        csr = CSRAdjacency.from_graph(path(3).graph)
+        assert csr.edge_sources().tolist() == [0, 1, 1, 2]
+
+    def test_equality_is_identity(self):
+        # eq=False: dataclass-generated == over array fields would raise;
+        # snapshots compare by identity, same_structure() by content.
+        a = CSRAdjacency.from_graph(star(4).graph)
+        b = CSRAdjacency.from_graph(star(4).graph)
+        assert a == a
+        assert a != b
+        assert a.same_structure(b)
+
+    def test_from_edge_lists_matches_from_graph(self):
+        graph = expander(16, degree=4, seed=5).graph
+        direct = CSRAdjacency.from_graph(graph)
+        sources, targets = [], []
+        for u, v in graph.edges:
+            sources += [u, v]
+            targets += [v, u]
+        rebuilt = CSRAdjacency.from_edge_lists(sources, targets, 16)
+        assert direct.same_structure(rebuilt)
+
+
+class TestBindUids:
+    def test_uid_translation(self):
+        csr = CSRAdjacency.from_graph(star(4).graph)
+        bound = csr.bind_uids(np.array([10, 20, 30, 40]))
+        assert bound.base is csr
+        assert bound.uids[bound.indptr[0]:bound.indptr[1]].tolist() == \
+            [20, 30, 40]
+        assert bound.uid_rows()[0] == (20, 30, 40)
+        assert bound.uid_rows()[1] == (10,)
+
+    def test_uid_rows_requires_binding(self):
+        csr = CSRAdjacency.from_graph(star(4).graph)
+        with pytest.raises(ValueError):
+            csr.uid_rows()
+
+
+class TestCsrAtHook:
+    def test_static_snapshot_cached_per_epoch(self):
+        dynamic = StaticDynamicGraph(cycle(6))
+        first = dynamic.csr_at(1)
+        assert dynamic.csr_at(50) is first
+        assert_matches_graph(first, dynamic.graph_at(1))
+
+    def test_periodic_rewire_matches_graph_at(self):
+        dynamic = PeriodicRewireGraph.resampled_regular(
+            n=12, degree=3, tau=4, seed=9
+        )
+        for round_index in (1, 4, 5, 9):
+            assert_matches_graph(
+                dynamic.csr_at(round_index), dynamic.graph_at(round_index)
+            )
+
+    def test_relabeling_arrays_match_graph_path(self):
+        # The adversary's csr_at permutes arrays directly; it must agree
+        # with the nx.relabel_nodes graph for every epoch — that equality
+        # is what keeps fast-path traces byte-identical under relabeling.
+        dynamic = RelabelingAdversary(expander(18, degree=4, seed=1),
+                                      tau=2, seed=13)
+        for round_index in (1, 2, 3, 5, 7):
+            assert_matches_graph(
+                dynamic.csr_at(round_index), dynamic.graph_at(round_index)
+            )
+
+    def test_relabeling_csr_changes_across_epochs(self):
+        dynamic = RelabelingAdversary(star(10), tau=1, seed=3)
+        assert not dynamic.csr_at(1).same_structure(dynamic.csr_at(2))
+
+    def test_geometric_matches_graph_at(self):
+        dynamic = GeometricMobilityGraph(n=20, radius=0.4, step=0.05,
+                                         tau=2, seed=5)
+        for round_index in (1, 3, 5):
+            assert_matches_graph(
+                dynamic.csr_at(round_index), dynamic.graph_at(round_index)
+            )
+
+
+class TestGeometricVectorizedBuild:
+    def test_disk_edges_match_bruteforce(self):
+        dynamic = GeometricMobilityGraph(n=30, radius=0.3, step=0.05,
+                                         tau=1, seed=8)
+        graph = dynamic.graph_at(1)
+        positions = dynamic._positions
+        r2 = dynamic.radius ** 2
+        expected = set()
+        for i in range(30):
+            xi, yi = positions[i]
+            for j in range(i + 1, 30):
+                xj, yj = positions[j]
+                if (xi - xj) ** 2 + (yi - yj) ** 2 <= r2:
+                    expected.add((i, j))
+        proximity = {
+            tuple(sorted(edge)) for edge in graph.edges
+        }
+        # Every brute-force edge is present; anything extra is a bridge.
+        assert expected <= proximity
+        assert len(proximity) - len(expected) == dynamic.bridges_added

@@ -3,12 +3,18 @@
 import random
 from collections import Counter
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ProtocolViolationError
-from repro.sim.matching import resolve_proposals
+from repro.errors import ConfigurationError, ProtocolViolationError
+from repro.sim.matching import (
+    ACCEPTANCE_RULES,
+    resolve_proposals,
+    resolve_proposals_arrays,
+    resolve_proposals_unbounded,
+)
 
 
 class TestBasicRules:
@@ -54,6 +60,149 @@ class TestAcceptanceUniformity:
             counts[matches[0][0]] += 1
         assert set(counts) == {1, 2, 3}
         assert min(counts.values()) > 800  # each ~1000 of 3000
+
+
+class TestDeterministicRules:
+    """Direct coverage for lowest_uid/highest_uid (previously only
+    exercised through the engine's acceptance plumbing)."""
+
+    def test_lowest_uid_picks_minimum_sender(self):
+        matches = resolve_proposals(
+            {8: 1, 3: 1, 5: 1}, random.Random(0), rule="lowest_uid"
+        )
+        assert matches == [(3, 1)]
+
+    def test_highest_uid_picks_maximum_sender(self):
+        matches = resolve_proposals(
+            {8: 1, 3: 1, 5: 1}, random.Random(0), rule="highest_uid"
+        )
+        assert matches == [(8, 1)]
+
+    def test_rules_consume_no_randomness(self):
+        # Deterministic rules must leave the rng untouched so runs with
+        # different rules stay comparable draw-for-draw downstream.
+        for rule in ("lowest_uid", "highest_uid"):
+            rng = random.Random(99)
+            resolve_proposals({1: 9, 2: 9, 3: 8}, rng, rule=rule)
+            assert rng.random() == random.Random(99).random()
+
+    def test_multiple_targets_sorted_output(self):
+        matches = resolve_proposals(
+            {5: 2, 6: 2, 7: 4, 8: 4}, random.Random(0), rule="lowest_uid"
+        )
+        assert matches == [(5, 2), (7, 4)]
+
+
+class TestUnboundedBaseline:
+    def test_all_proposals_to_idle_target_connect(self):
+        matches = resolve_proposals_unbounded({1: 9, 2: 9, 3: 9})
+        assert matches == [(1, 9), (2, 9), (3, 9)]
+
+    def test_output_ordered_by_target_then_sender(self):
+        matches = resolve_proposals_unbounded({7: 2, 1: 4, 3: 2, 5: 4})
+        assert matches == [(3, 2), (7, 2), (1, 4), (5, 4)]
+
+    def test_proposer_targets_lost(self):
+        # 3 proposed, so proposals aimed at 3 die; 3's own survives.
+        matches = resolve_proposals_unbounded({1: 3, 2: 3, 3: 9})
+        assert matches == [(3, 9)]
+
+    def test_self_proposal_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            resolve_proposals_unbounded({4: 4})
+
+    def test_empty(self):
+        assert resolve_proposals_unbounded({}) == []
+
+
+def _as_arrays(proposals: dict):
+    proposers = np.array(sorted(proposals), dtype=np.int64)
+    targets = np.array([proposals[p] for p in sorted(proposals)],
+                       dtype=np.int64)
+    return proposers, targets
+
+
+class TestArrayResolver:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_proposals_arrays([1], [2], random.Random(0), rule="fifo")
+
+    def test_uniform_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            resolve_proposals_arrays([1], [2], None, rule="uniform")
+
+    def test_self_proposal_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            resolve_proposals_arrays([3], [3], random.Random(0))
+
+    def test_duplicate_proposers_rejected(self):
+        with pytest.raises(ProtocolViolationError):
+            resolve_proposals_arrays([3, 3], [1, 2], random.Random(0))
+
+    def test_returns_python_ints(self):
+        matches = resolve_proposals_arrays([1], [2], random.Random(0))
+        assert matches == [(1, 2)]
+        assert all(
+            type(x) is int for pair in matches for x in pair
+        )
+
+    @pytest.mark.parametrize(
+        "rule", sorted(ACCEPTANCE_RULES) + ["unbounded"]
+    )
+    def test_agrees_with_dict_resolver_on_fixed_cases(self, rule):
+        cases = [
+            {},
+            {1: 2},
+            {1: 9, 2: 9, 3: 9},
+            {1: 2, 2: 3},
+            {5: 2, 6: 2, 7: 4, 8: 4, 2: 6},
+        ]
+        for proposals in cases:
+            if rule == "unbounded":
+                expected = resolve_proposals_unbounded(proposals)
+                got = resolve_proposals_arrays(
+                    *_as_arrays(proposals), rule="unbounded"
+                )
+            else:
+                expected = resolve_proposals(
+                    proposals, random.Random(17), rule=rule
+                )
+                got = resolve_proposals_arrays(
+                    *_as_arrays(proposals), random.Random(17), rule=rule
+                )
+            assert got == expected, (rule, proposals)
+
+
+@given(
+    st.dictionaries(
+        keys=st.integers(min_value=0, max_value=30),
+        values=st.integers(min_value=0, max_value=30),
+        min_size=0,
+        max_size=25,
+    ),
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from(sorted(ACCEPTANCE_RULES) + ["unbounded"]),
+)
+@settings(max_examples=200, deadline=None)
+def test_array_resolver_agrees_with_dict_resolver(proposals, seed, rule):
+    """Property: on any proposal map, the array resolver returns the dict
+    resolver's matches exactly — pair values, list order — *and* leaves
+    the shared random stream in the same state (the byte-identical
+    matching guarantee the engine's fast path is built on)."""
+    proposals = {p: t for p, t in proposals.items() if p != t}
+    proposers, targets = _as_arrays(proposals)
+    if rule == "unbounded":
+        expected = resolve_proposals_unbounded(proposals)
+        got = resolve_proposals_arrays(proposers, targets, rule="unbounded")
+    else:
+        rng_dict = random.Random(seed)
+        rng_array = random.Random(seed)
+        expected = resolve_proposals(proposals, rng_dict, rule=rule)
+        got = resolve_proposals_arrays(proposers, targets, rng_array,
+                                       rule=rule)
+        # Same post-resolution stream state: the next draw agrees.
+        assert rng_array.random() == rng_dict.random()
+    assert got == expected
 
 
 @given(
