@@ -35,12 +35,17 @@ import time
 
 from repro.core.problem import uniform_instance
 from repro.core.runner import build_nodes
-from repro.experiments.fastpath import check_fastpath_divergence
+from repro.experiments.fastpath import (
+    CHECK_FAULTS,
+    check_fastpath_divergence,
+    check_null_fault_identity,
+)
 from repro.graphs.dynamic import StaticDynamicGraph
 from repro.graphs.topologies import star
 from repro.registry import ALGORITHM_REGISTRY
 from repro.sim.channel import ChannelPolicy
 from repro.sim.engine import Simulation
+from repro.sim.faults import SleepCycle
 from repro.sim.termination import all_hold_tokens
 
 from _common import gossip_rounds, record_bench, static_graph, write_report
@@ -63,7 +68,8 @@ def _blind_static_run(seed: int) -> int:
 # Throughput: object vs array rounds/s on the hot paths.
 
 def measure_throughput(algorithm: str, n: int, k: int, rounds: int,
-                       engine_mode: str, seed: int = 11) -> float:
+                       engine_mode: str, seed: int = 11,
+                       fault=None) -> float:
     """rounds/s for a fixed-round run on the static-star hot path."""
     instance = uniform_instance(n=n, k=k, seed=seed)
     nodes = build_nodes(algorithm, instance, seed=seed)
@@ -73,10 +79,18 @@ def measure_throughput(algorithm: str, n: int, k: int, rounds: int,
         b=defn.resolve_tag_length(defn.make_config()), seed=seed,
         channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
         trace_sample_every=1024, engine_mode=engine_mode,
+        faults=fault(n, seed) if fault is not None else None,
     )
     started = time.perf_counter()
     sim.run(max_rounds=rounds)
     return rounds / (time.perf_counter() - started)
+
+
+def _sleep_fault(n: int, seed: int) -> SleepCycle:
+    """The faulty throughput configuration: a 6-of-8 duty cycle, masks
+    changing every round (the masked stage-1/2 paths, not the cached
+    no-fault fast path)."""
+    return SleepCycle(n=n, seed=seed, period=8, duty=6)
 
 
 def run_engine_bench(n: int = 2000) -> dict:
@@ -93,6 +107,20 @@ def run_engine_bench(n: int = 2000) -> dict:
             "array_rounds_per_s": round(array_rps, 1),
             "speedup": round(array_rps / object_rps, 2),
         }
+    # The faulty configuration: the array path must keep its advantage
+    # when every round runs the masked stages (sleep duty cycle).
+    faulty_rounds = 200
+    object_rps = measure_throughput("sharedbit", n, 2, faulty_rounds,
+                                    "object", fault=_sleep_fault)
+    array_rps = measure_throughput("sharedbit", n, 2, faulty_rounds,
+                                   "array", fault=_sleep_fault)
+    results["sharedbit_sleep_6of8"] = {
+        "rounds": faulty_rounds,
+        "fault": "sleep(period=8, duty=6)",
+        "object_rounds_per_s": round(object_rps, 1),
+        "array_rounds_per_s": round(array_rps, 1),
+        "speedup": round(array_rps / object_rps, 2),
+    }
     record_bench("engine:fastpath", results)
     return results
 
@@ -174,24 +202,39 @@ def main(argv=None) -> int:
     failures = check_fastpath_divergence(
         n=16 if args.quick else 24, rounds=25 if args.quick else 40
     )
+    # Fault-regime gate: one faulty configuration through the full
+    # (dynamics x acceptance) matrix per fault kind, plus the null-model
+    # identity (NoFaults must be free).
+    failures += check_fastpath_divergence(
+        n=16 if args.quick else 24, rounds=25 if args.quick else 40,
+        algorithms=("sharedbit",),
+        faults=tuple(f for f in CHECK_FAULTS if f != "none"),
+    )
+    failures += check_null_fault_identity(
+        n=16 if args.quick else 24, rounds=25 if args.quick else 40
+    )
     for failure in failures:
         print(f"DIVERGENCE: {failure}", file=sys.stderr)
     if failures:
         return 1
     print("fast path byte-identical to reference "
-          "(3 algorithms x 3 dynamics x 4 acceptance rules)")
+          "(3 algorithms x 3 dynamics x 4 acceptance rules, plus "
+          "sleep/churn/lossy fault regimes and the NoFaults identity)")
 
     if args.quick:
         probe = measure_throughput("sharedbit", 256, 2, 60, "array")
-        print(f"throughput probe ok ({probe:.0f} rounds/s, "
+        faulty_probe = measure_throughput("sharedbit", 256, 2, 60, "array",
+                                          fault=_sleep_fault)
+        print(f"throughput probe ok ({probe:.0f} rounds/s clean, "
+              f"{faulty_probe:.0f} rounds/s under sleep(6/8), "
               "sharedbit array, n=256)")
         return 0
 
     results = run_engine_bench(n=args.n)
-    for algorithm in ("sharedbit", "blindmatch"):
-        row = results[algorithm]
+    for case in ("sharedbit", "blindmatch", "sharedbit_sleep_6of8"):
+        row = results[case]
         print(
-            f"{algorithm:10s} n={args.n}: object "
+            f"{case:22s} n={args.n}: object "
             f"{row['object_rounds_per_s']:8.1f} r/s -> array "
             f"{row['array_rounds_per_s']:8.1f} r/s  "
             f"({row['speedup']:.2f}x)"
@@ -201,6 +244,10 @@ def main(argv=None) -> int:
     if args.n >= 2000 and best < 3.0:
         print(f"FAIL: best hot-path speedup {best:.2f}x < 3x",
               file=sys.stderr)
+        return 1
+    if args.n >= 2000 and results["sharedbit_sleep_6of8"]["speedup"] <= 1.0:
+        print("FAIL: array path lost its advantage under the faulty "
+              "configuration", file=sys.stderr)
         return 1
     print(f"recorded BENCH_engine.json (best speedup {best:.2f}x)")
     return 0

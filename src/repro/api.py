@@ -43,6 +43,7 @@ from repro.experiments.specs import RunSpec, SweepSpec, _deep_copy_jsonable
 from repro.registry import (
     ALGORITHM_REGISTRY,
     DYNAMICS_REGISTRY,
+    FAULT_REGISTRY,
     INSTANCE_REGISTRY,
     TOPOLOGY_REGISTRY,
 )
@@ -63,6 +64,7 @@ class Experiment:
         self._graph: dict | None = None
         self._dynamic: dict = {"kind": "static"}
         self._instance: dict = {"kind": "uniform", "k": 1}
+        self._fault: dict = {"kind": "none"}
         self._config: dict | None = None
         self._engine: dict = {}
         self._seed = 0
@@ -84,6 +86,12 @@ class Experiment:
         """Choose the initial token assignment (default: uniform, k=1)."""
         INSTANCE_REGISTRY.get(kind)
         self._instance = {"kind": kind, **params}
+        return self
+
+    def with_fault(self, kind: str, **params) -> "Experiment":
+        """Choose the fault regime degrading the run (default: none)."""
+        FAULT_REGISTRY.get(kind)
+        self._fault = {"kind": kind, **params}
         return self
 
     def with_config(self, preset: str | None = None, **fields) -> "Experiment":
@@ -120,6 +128,8 @@ class Experiment:
             "instance": _deep_copy_jsonable(self._instance),
             "max_rounds": self._max_rounds,
         }
+        if self._fault.get("kind", "none") != "none":
+            payload["fault"] = _deep_copy_jsonable(self._fault)
         if self._config is not None:
             payload["config"] = _deep_copy_jsonable(self._config)
         if self._engine:

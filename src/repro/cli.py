@@ -34,6 +34,7 @@ from repro.experiments import (
 from repro.registry import (
     ALGORITHM_REGISTRY,
     DYNAMICS_REGISTRY,
+    FAULT_REGISTRY,
     INSTANCE_REGISTRY,
     SCENARIO_REGISTRY,
     TOPOLOGY_REGISTRY,
@@ -82,17 +83,24 @@ def _cmd_run(args) -> int:
         instance=instance,
         seed=args.seed,
         max_rounds=args.max_rounds,
+        fault=None if args.fault == "none" else args.fault,
     )
     status = "solved" if result.solved else "NOT solved (round limit)"
+    fault_label = "" if args.fault == "none" else f", fault={args.fault}"
     print(
         f"{args.algorithm} on {args.graph} (n={n}, k={args.k}, "
-        f"tau={'inf' if args.tau == 0 else args.tau}): "
+        f"tau={'inf' if args.tau == 0 else args.tau}{fault_label}): "
         f"{result.rounds} rounds, {status}"
     )
     print(
         f"connections={result.trace.total_connections} "
         f"tokens_moved={result.trace.total_tokens_moved} "
         f"control_bits={result.trace.total_control_bits}"
+        + (
+            f" dropped_connections="
+            f"{result.trace.total_dropped_connections}"
+            if args.fault != "none" else ""
+        )
     )
     return 0 if result.solved else 1
 
@@ -105,9 +113,16 @@ def _cmd_scenario(args) -> int:
         instance=scenario.instance,
         seed=args.seed,
         max_rounds=args.max_rounds,
+        fault=scenario.fault,
     )
     status = "solved" if result.solved else "NOT solved (round limit)"
     print(f"scenario {scenario.name}: {scenario.description}")
+    if scenario.fault is not None:
+        print(
+            f"fault regime: {scenario.fault!r} "
+            f"(dropped_connections="
+            f"{result.trace.total_dropped_connections})"
+        )
     print(
         f"{result.algorithm}: {result.rounds} rounds, {status} "
         f"(n={scenario.instance.n}, k={scenario.instance.k})"
@@ -226,9 +241,16 @@ def _cmd_list(args) -> int:
         ),
     )
     section(
+        "fault models",
+        (
+            f"{defn.name:<8} {defn.description}"
+            for defn in FAULT_REGISTRY.values()
+        ),
+    )
+    section(
         "scenarios",
         (
-            f"{defn.name:<12} {defn.description}"
+            f"{defn.name:<18} {defn.description}"
             for defn in SCENARIO_REGISTRY.values()
         ),
     )
@@ -264,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stability factor; 0 means infinity")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--max-rounds", type=int, default=200_000)
+    run_p.add_argument(
+        "--fault", choices=sorted(FAULT_REGISTRY.names()), default="none",
+        help="fault regime degrading the run (default parameters; "
+             "use sweep specs for tuned fault params)",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     sc_p = sub.add_parser("scenario", help="run a motivating workload")
@@ -302,7 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     ls_p = sub.add_parser(
         "list",
         help="print registered algorithms, graphs, dynamics, instances, "
-             "and scenarios",
+             "fault models, and scenarios",
     )
     ls_p.set_defaults(func=_cmd_list)
 

@@ -162,8 +162,9 @@ class GossipNode(NodeProtocol):
             raise ConfigurationError(f"upper_n must be >= 2, got {upper_n}")
         self.upper_n = upper_n
         self.rng = rng
+        self._initial_tokens = tuple(initial_tokens)
         self._tokens: dict[int, Token] = {}
-        for token in initial_tokens:
+        for token in self._initial_tokens:
             self.store_token(token)
 
     @property
@@ -176,6 +177,14 @@ class GossipNode(NodeProtocol):
 
     def has_token(self, token_id: int) -> bool:
         return token_id in self._tokens
+
+    def reset_tokens(self) -> None:
+        """Crash-reset hook for the fault layer: drop every learned token
+        and return to the initial assignment (a phone that lost its app
+        state; see :class:`repro.sim.faults.CrashChurn`)."""
+        self._tokens = {}
+        for token in self._initial_tokens:
+            self.store_token(token)
 
     def store_token(self, token: Token) -> None:
         if not 1 <= token.token_id <= self.upper_n:

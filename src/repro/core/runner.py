@@ -31,6 +31,7 @@ from repro.registry import (
 from repro.rng import SeedTree
 from repro.sim.channel import ChannelPolicy
 from repro.sim.engine import Simulation
+from repro.sim.faults import build_fault
 from repro.sim.protocol import NodeProtocol
 from repro.sim.termination import all_hold_tokens
 from repro.sim.trace import Trace
@@ -113,6 +114,22 @@ def potential_gauge(token_ids):
     return gauge
 
 
+def _resolve_fault(fault, n: int, seed: int):
+    """Materialize ``run_gossip``'s ``fault`` argument.
+
+    Accepts a built :class:`~repro.sim.faults.FaultModel`, a registered
+    fault name (built with default parameters), a spec dict
+    (``{"kind": ..., **params}``), or ``None`` (the clean model).
+    """
+    if fault is None:
+        return None
+    if isinstance(fault, str):
+        fault = {"kind": fault}
+    if isinstance(fault, dict):
+        return build_fault(fault, n, seed)
+    return None if fault.is_null else fault
+
+
 def run_gossip(
     algorithm: str,
     dynamic_graph: DynamicGraph,
@@ -121,6 +138,7 @@ def run_gossip(
     max_rounds: int,
     config=None,
     channel_policy: ChannelPolicy | None = None,
+    fault=None,
     gauges: dict | None = None,
     gauge_every: int = 64,
     trace_sample_every: int = 1,
@@ -132,6 +150,13 @@ def run_gossip(
     Raises :class:`ConfigurationError` when the algorithm's declared model
     requirements are violated (``requires_stable_topology`` on a changing
     topology — CrowdedBin's τ = ∞ assumption).
+
+    ``fault`` selects the fault regime degrading the run: a built
+    :class:`~repro.sim.faults.FaultModel`, a registered fault name
+    (``"sleep"``, ``"churn"``, ``"lossy"`` — built with default
+    parameters), or a ``{"kind": ..., **params}`` dict.  ``None`` (the
+    default) is the paper's clean model and is byte-identical to runs
+    from before the fault layer existed.
 
     ``engine_mode`` selects the engine front half: ``"auto"`` (the
     default) takes the array fast path when the algorithm's nodes provide
@@ -161,6 +186,7 @@ def run_gossip(
         seed=seed,
         channel_policy=channel_policy
         or ChannelPolicy.for_upper_n(instance.upper_n),
+        faults=_resolve_fault(fault, dynamic_graph.n, seed),
         gauges=gauges,
         gauge_every=gauge_every,
         trace_sample_every=trace_sample_every,

@@ -5,12 +5,18 @@ One implementation of the byte-identity check, shared by the test suite
 and CI's bench-smoke job — so there is a single notion of "byte-identical"
 and it cannot drift between surfaces.
 
-A *case* is (algorithm, dynamics kind, acceptance rule, engine mode); its
-outcome is a hashable signature covering everything an execution
-observably did: every sampled trace record (gauges included), every
-running total, the final round, and the algorithm's end state (who got
-informed when / who knows which tokens).  Two engine modes agree iff
-their signatures are equal.
+A *case* is (algorithm, dynamics kind, acceptance rule, fault regime,
+engine mode); its outcome is a hashable signature covering everything an
+execution observably did: every sampled trace record (gauges and the
+fault columns included), every running total, the final round, and the
+algorithm's end state (who got informed when / who knows which tokens).
+Two engine modes agree iff their signatures are equal.
+
+The fault layer adds a second invariant:
+:func:`check_null_fault_identity` pins that the null model
+(:class:`~repro.sim.faults.NoFaults`) is byte-identical to running with
+no fault model at all — on both paths, the layer costs nothing and
+consumes zero randomness unless a real regime is selected.
 """
 
 from __future__ import annotations
@@ -29,13 +35,17 @@ from repro.registry import ALGORITHM_REGISTRY
 from repro.rng import SeedTree
 from repro.sim.channel import ChannelPolicy
 from repro.sim.engine import Simulation
+from repro.sim.faults import CrashChurn, LossyLinks, SleepCycle
 
 __all__ = [
     "CHECK_ALGORITHMS",
     "CHECK_ACCEPTANCES",
     "CHECK_DYNAMICS",
+    "CHECK_FAULTS",
     "check_fastpath_divergence",
+    "check_null_fault_identity",
     "make_dynamics",
+    "make_fault",
     "run_case",
     "trace_signature",
 ]
@@ -43,13 +53,16 @@ __all__ = [
 CHECK_ALGORITHMS = ("ppush", "blindmatch", "sharedbit")
 CHECK_DYNAMICS = ("static", "relabeling", "geometric")
 CHECK_ACCEPTANCES = ("uniform", "lowest_uid", "highest_uid", "unbounded")
+#: Fault regimes the differential matrix exercises ("none" = no model).
+CHECK_FAULTS = ("none", "sleep", "churn", "lossy")
 
 
 def trace_signature(rounds: int, trace) -> tuple:
     """Everything a trace observed, ready for exact comparison."""
     records = tuple(
         (r.round_index, r.proposals, r.connections, r.tokens_moved,
-         r.control_bits, tuple(sorted(r.gauges.items())))
+         r.control_bits, r.active_nodes, r.dropped_connections,
+         tuple(sorted(r.gauges.items())))
         for r in trace.records
     )
     return (
@@ -59,6 +72,7 @@ def trace_signature(rounds: int, trace) -> tuple:
         trace.total_connections,
         trace.total_tokens_moved,
         trace.total_control_bits,
+        trace.total_dropped_connections,
         records,
     )
 
@@ -74,6 +88,25 @@ def make_dynamics(kind: str, n: int, seed: int):
         return GeometricMobilityGraph(n=n, radius=0.4, step=0.05, tau=3,
                                       seed=seed)
     raise ValueError(f"unknown differential dynamics kind {kind!r}")
+
+
+def make_fault(kind, n: int, seed: int):
+    """One fresh fault model per execution, sized for short differential
+    runs (aggressive rates so a few dozen rounds actually exercise the
+    masked paths and the drop branch).  An already-built
+    :class:`~repro.sim.faults.FaultModel` passes through unchanged."""
+    if not isinstance(kind, str):
+        return kind
+    if kind == "none":
+        return None
+    if kind == "sleep":
+        return SleepCycle(n=n, seed=seed, period=4, duty=2)
+    if kind == "churn":
+        return CrashChurn(n=n, seed=seed, cycle=12, crash_prob=0.5,
+                          min_outage=3, max_outage=6, reset_tokens=True)
+    if kind == "lossy":
+        return LossyLinks(n=n, seed=seed, drop_prob=0.3)
+    raise ValueError(f"unknown differential fault kind {kind!r}")
 
 
 def _ppush_nodes(n: int, seed: int) -> dict:
@@ -97,6 +130,7 @@ def run_case(
     n: int = 24,
     seed: int = 7,
     rounds: int = 40,
+    fault="none",
 ) -> tuple:
     """Run one differential case; returns (trace signature, final state)."""
     if algorithm == "ppush":
@@ -112,7 +146,7 @@ def run_case(
     sim = Simulation(
         make_dynamics(dynamics_kind, n, seed), nodes, b=b, seed=seed,
         channel_policy=policy, acceptance=acceptance,
-        engine_mode=engine_mode,
+        engine_mode=engine_mode, faults=make_fault(fault, n, seed),
     )
     sim.run(max_rounds=rounds)
     if algorithm == "ppush":
@@ -135,19 +169,54 @@ def check_fastpath_divergence(
     algorithms=CHECK_ALGORITHMS,
     dynamics=CHECK_DYNAMICS,
     acceptances=CHECK_ACCEPTANCES,
+    faults=("none",),
 ) -> list[str]:
     """Run every case both ways; report mismatches (empty = identical)."""
     failures = []
     for algorithm in algorithms:
         for kind in dynamics:
             for acceptance in acceptances:
-                reference = run_case(algorithm, kind, acceptance, "object",
-                                     n, seed, rounds)
-                fast = run_case(algorithm, kind, acceptance, "array",
+                for fault in faults:
+                    reference = run_case(algorithm, kind, acceptance,
+                                         "object", n, seed, rounds,
+                                         fault=fault)
+                    fast = run_case(algorithm, kind, acceptance, "array",
+                                    n, seed, rounds, fault=fault)
+                    if reference != fast:
+                        failures.append(
+                            f"{algorithm}/{kind}/{acceptance}/{fault}: "
+                            "fast path diverged from reference trace"
+                        )
+    return failures
+
+
+def check_null_fault_identity(
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+    algorithms=CHECK_ALGORITHMS,
+    dynamics=CHECK_DYNAMICS,
+) -> list[str]:
+    """The fault layer's load-bearing invariant: ``NoFaults`` == no model.
+
+    Runs each case twice per engine mode — once with no fault model at
+    all, once with the registered null model — and reports any case where
+    the two differ in any observable way (empty = the null model is free).
+    """
+    from repro.sim.faults import NoFaults
+
+    failures = []
+    for algorithm in algorithms:
+        for kind in dynamics:
+            for engine_mode in ("object", "array"):
+                bare = run_case(algorithm, kind, "uniform", engine_mode,
                                 n, seed, rounds)
-                if reference != fast:
+                null = run_case(algorithm, kind, "uniform", engine_mode,
+                                n, seed, rounds,
+                                fault=NoFaults(n, seed))
+                if bare != null:
                     failures.append(
-                        f"{algorithm}/{kind}/{acceptance}: fast path "
-                        "diverged from reference trace"
+                        f"{algorithm}/{kind}/{engine_mode}: NoFaults "
+                        "perturbed the trace (the null model must be free)"
                     )
     return failures

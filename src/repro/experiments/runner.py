@@ -29,6 +29,7 @@ from repro.experiments.specs import (
     SweepSpec,
     build_config,
     build_dynamic_graph,
+    build_fault,
     build_instance,
     build_topology,
     run_hash,
@@ -101,8 +102,15 @@ def execute_run(payload) -> dict:
             )
 
     dynamic_graph = build_dynamic_graph(spec.graph, spec.dynamic, spec.seed)
+    fault = build_fault(spec.fault, dynamic_graph.n, spec.seed)
 
     if defn.execute is not None:
+        if fault is not None:
+            raise ConfigurationError(
+                f"algorithm {spec.algorithm!r} runs through a custom "
+                "experiments-layer executor, which does not support fault "
+                "injection; use fault kind 'none'"
+            )
         record = defn.execute(
             spec, dynamic_graph, build_config(spec.algorithm, spec.config)
         )
@@ -119,6 +127,7 @@ def execute_run(payload) -> dict:
             seed=spec.seed,
             max_rounds=spec.max_rounds,
             config=build_config(spec.algorithm, spec.config),
+            fault=fault,
             gauges=gauges or None,
             gauge_every=engine.get("gauge_every", 64),
             trace_sample_every=engine.get("trace_sample_every", 1024),
@@ -139,6 +148,9 @@ def execute_run(payload) -> dict:
         record["connections"] = result.trace.total_connections
         record["tokens_moved"] = result.trace.total_tokens_moved
         record["control_bits"] = result.trace.total_control_bits
+        record["dropped_connections"] = (
+            result.trace.total_dropped_connections
+        )
 
     record["notes"] = notes
     return record

@@ -29,6 +29,7 @@ from repro.graphs.topologies import Topology
 from repro.registry import (
     ALGORITHM_REGISTRY,
     DYNAMICS_REGISTRY,
+    FAULT_REGISTRY,
     INSTANCE_REGISTRY,
     RegistryNames,
     TOPOLOGY_REGISTRY,
@@ -40,6 +41,7 @@ __all__ = [
     "SweepSpec",
     "build_config",
     "build_dynamic_graph",
+    "build_fault",
     "build_instance",
     "build_topology",
     "canonical_json",
@@ -111,6 +113,12 @@ class RunSpec:
                    ``{"kind": "everyone"}``,
                    ``{"kind": "skewed", "k": k, "holders": h}`` or
                    ``{"kind": "token_at", "vertex": v}``
+    ``fault``    — ``{"kind": "none"}`` (the clean model, default),
+                   ``{"kind": "sleep", "period": p, "duty": d}``,
+                   ``{"kind": "churn", "cycle": c, "crash_prob": q, ...}`` or
+                   ``{"kind": "lossy", "drop_prob": q}`` — the fault regime
+                   degrading the run (sweepable like any dotted key, e.g.
+                   ``{"fault.duty": [2, 4, 6]}``)
     ``config``   — algorithm-config overrides; an optional ``"preset"`` key
                    selects a classmethod preset (``paper`` / ``practical``)
                    before field overrides apply.  For ``epsilon`` runs the
@@ -126,6 +134,7 @@ class RunSpec:
     max_rounds: int
     dynamic: dict = field(default_factory=lambda: {"kind": "static"})
     instance: dict = field(default_factory=lambda: {"kind": "uniform", "k": 1})
+    fault: dict = field(default_factory=lambda: {"kind": "none"})
     config: dict | None = None
     engine: dict = field(default_factory=dict)
 
@@ -136,6 +145,7 @@ class RunSpec:
         TOPOLOGY_REGISTRY.get(self.graph.get("family"))
         DYNAMICS_REGISTRY.get(self.dynamic.get("kind", "static"))
         INSTANCE_REGISTRY.get(self.instance.get("kind", "uniform"))
+        FAULT_REGISTRY.get(self.fault.get("kind", "none"))
         if self.max_rounds < 1:
             raise ConfigurationError(
                 f"max_rounds must be >= 1, got {self.max_rounds}"
@@ -154,6 +164,7 @@ class RunSpec:
             "graph": _deep_copy_jsonable(self.graph),
             "dynamic": _deep_copy_jsonable(self.dynamic),
             "instance": _deep_copy_jsonable(self.instance),
+            "fault": _deep_copy_jsonable(self.fault),
             "seed": self.seed,
             "max_rounds": self.max_rounds,
             "config": _deep_copy_jsonable(self.config),
@@ -211,6 +222,17 @@ def build_instance(instance_spec: dict, n: int, seed: int) -> GossipInstance:
         raise ConfigurationError(
             f"bad params for instance kind {defn.name!r}: {exc}"
         ) from exc
+
+
+def build_fault(fault_spec: dict | None, n: int, seed: int):
+    """Build the fault model a run spec describes (``n`` from the graph).
+
+    Returns ``None`` for the clean model (kind ``"none"``).  Delegates to
+    the one shared constructor in :mod:`repro.sim.faults`.
+    """
+    from repro.sim.faults import build_fault as build_fault_model
+
+    return build_fault_model(fault_spec, n, seed)
 
 
 def build_config(algorithm: str, config_spec: dict | None):

@@ -53,10 +53,17 @@ def _check_round(round_index: int) -> None:
         raise ConfigurationError(f"rounds are 1-indexed, got {round_index}")
 
 
-def _check_graph(graph: nx.Graph, n: int, context: str) -> nx.Graph:
+def _check_graph(
+    graph: nx.Graph, n: int, context: str, require_connected: bool = True
+) -> nx.Graph:
+    """Validate an epoch graph.  Connectivity is *policy*, not an
+    invariant: the paper's clean model requires every ``G_r`` connected
+    (the default), but fault-era workloads may deliberately run on a
+    fragmented topology (e.g. an unbridged mobility mesh), where only the
+    vertex-set check applies."""
     if graph.number_of_nodes() != n or sorted(graph.nodes) != list(range(n)):
         raise TopologyError(f"{context}: graph must use vertices 0..{n - 1}")
-    if not nx.is_connected(graph):
+    if require_connected and not nx.is_connected(graph):
         raise TopologyError(f"{context}: graph must be connected")
     return graph
 
@@ -120,7 +127,14 @@ class DynamicGraph(ABC):
 
 
 class StaticDynamicGraph(DynamicGraph):
-    """τ = ∞: the same topology in every round."""
+    """τ = ∞: the same topology in every round.
+
+    Always connected — :class:`~repro.graphs.topologies.Topology` itself
+    enforces connectivity, so there is no fragmented-static variant; the
+    fault-era fragmentation knobs live on the dynamics that build raw
+    graphs (``PeriodicRewireGraph(require_connected=False)``,
+    ``GeometricMobilityGraph(bridge=False)``).
+    """
 
     def __init__(self, topology: Topology):
         super().__init__(n=topology.n, tau=TAU_INFINITY)
@@ -156,9 +170,11 @@ class PeriodicRewireGraph(DynamicGraph):
     sequence is fixed in advance).
     """
 
-    def __init__(self, n: int, tau, seed: int, factory):
+    def __init__(self, n: int, tau, seed: int, factory,
+                 require_connected: bool = True):
         super().__init__(n=n, tau=tau)
         self.seed = seed
+        self.require_connected = require_connected
         self._factory = factory
         self._tree = SeedTree(seed).child("periodic-rewire")
         self._cache = _EpochCache()
@@ -169,7 +185,8 @@ class PeriodicRewireGraph(DynamicGraph):
     def _build(self, epoch: int) -> nx.Graph:
         rng = self._tree.stream("epoch", epoch)
         graph = self._factory(epoch, rng)
-        return _check_graph(graph, self.n, f"epoch {epoch}")
+        return _check_graph(graph, self.n, f"epoch {epoch}",
+                            require_connected=self.require_connected)
 
     @classmethod
     def resampled_regular(cls, n: int, degree: int, tau, seed: int):
@@ -187,19 +204,27 @@ class PeriodicRewireGraph(DynamicGraph):
         return cls(n=n, tau=tau, seed=seed, factory=factory)
 
     @classmethod
-    def resampled_gnp(cls, n: int, p: float, tau, seed: int):
-        """Fresh connected G(n, p) sample each epoch."""
+    def resampled_gnp(cls, n: int, p: float, tau, seed: int,
+                      require_connected: bool = True):
+        """Fresh G(n, p) sample each epoch.
+
+        With ``require_connected=False`` the first sample is taken as-is
+        — possibly fragmented, the fault-era regime where raw proximity
+        is all there is (clean-model runs keep the default: resample
+        until connected).
+        """
 
         def factory(epoch: int, rng: random.Random) -> nx.Graph:
-            for attempt in range(256):
+            for attempt in range(256 if require_connected else 1):
                 g = nx.gnp_random_graph(n, p, seed=rng.randrange(2**31))
-                if nx.is_connected(g):
+                if not require_connected or nx.is_connected(g):
                     return g
             raise TopologyError(
                 f"failed to sample connected G({n},{p}) (epoch {epoch})"
             )
 
-        return cls(n=n, tau=tau, seed=seed, factory=factory)
+        return cls(n=n, tau=tau, seed=seed, factory=factory,
+                   require_connected=require_connected)
 
 
 class RelabelingAdversary(DynamicGraph):
@@ -265,17 +290,28 @@ class GeometricMobilityGraph(DynamicGraph):
 
     Nodes live on the unit square; each epoch every node drifts toward a
     waypoint by ``step`` and the topology is the unit-disk graph of radius
-    ``radius``.  Because the model requires connectivity, disconnected
-    components are bridged by adding an edge between the closest pair of
-    nodes across components (recorded in ``bridges_added``); this keeps the
-    workload honest about when raw proximity alone fails.
+    ``radius``.  Because the clean model requires connectivity,
+    disconnected components are bridged by adding an edge between the
+    closest pair of nodes across components (recorded in
+    ``bridges_added``); this keeps the workload honest about when raw
+    proximity alone fails.  ``bridge=False`` disables that repair —
+    connectivity as *policy* — for fault-era workloads that want the raw
+    fragmented proximity mesh (the engine tolerates isolated vertices on
+    both paths).
+
+    Epochs are **re-derivable**: positions are a pure function of (seed,
+    epoch), so any past epoch can be replayed from scratch — sequential
+    engine access walks forward incrementally, while post-run consumers
+    (``dynamic_max_degree``, ``dynamic_expansion_estimate``) revisit old
+    epochs and get the exact graphs the run saw.
 
     This is the substitute for real smartphone mobility traces (DESIGN.md
     §4): it exercises exactly the same code paths — a τ-stable dynamic
     graph with evolving neighborhoods.
     """
 
-    def __init__(self, n: int, radius: float, step: float, tau, seed: int):
+    def __init__(self, n: int, radius: float, step: float, tau, seed: int,
+                 bridge: bool = True):
         super().__init__(n=n, tau=tau)
         if not 0 < radius <= 1.5:
             raise ConfigurationError(f"need 0 < radius <= 1.5, got {radius}")
@@ -284,51 +320,75 @@ class GeometricMobilityGraph(DynamicGraph):
         self.radius = radius
         self.step = step
         self.seed = seed
+        self.bridge = bridge
         self.bridges_added = 0
         self._tree = SeedTree(seed).child("mobility")
         self._cache = _EpochCache()
-        rng = self._tree.stream("init")
-        self._positions = [
-            (rng.random(), rng.random()) for _ in range(n)
-        ]
-        self._waypoints = [
-            (rng.random(), rng.random()) for _ in range(n)
-        ]
+        self._positions, self._waypoints = self._initial_state()
         self._built_through = -1
 
+    def _initial_state(self) -> tuple[list, list]:
+        """Epoch-0 positions and waypoints, re-derivable from the seed."""
+        rng = self._tree.stream("init")
+        positions = [(rng.random(), rng.random()) for _ in range(self.n)]
+        waypoints = [(rng.random(), rng.random()) for _ in range(self.n)]
+        return positions, waypoints
+
     def _graph_for_epoch(self, epoch: int) -> nx.Graph:
-        # Positions evolve sequentially; replaying from scratch would be
-        # wasteful, so mobility graphs must be accessed in non-decreasing
-        # epoch order (the engine always does).
-        if epoch < self._built_through:
-            raise ConfigurationError(
-                "GeometricMobilityGraph must be accessed in forward order "
-                f"(asked for epoch {epoch}, already at {self._built_through})"
-            )
+        # Sequential access (the engine's pattern) advances the live
+        # position state; revisiting an older epoch replays it from the
+        # seed instead — same graphs, no mutation of the live state.
+        if epoch <= self._built_through:
+            return self._cache.get(epoch, self._replay)
         return self._cache.get(epoch, self._advance_to)
 
     def _advance_to(self, epoch: int) -> nx.Graph:
         while self._built_through < epoch:
             self._built_through += 1
             if self._built_through > 0:
-                self._move(self._built_through)
-        return self._disk_graph()
+                self._move(self._positions, self._waypoints,
+                           self._built_through)
+        return self._disk_graph(self._positions, record_bridges=True)
 
-    def _move(self, epoch: int) -> None:
+    def positions_at(self, epoch: int) -> list:
+        """The node positions of ``epoch``, replayed from the seed.
+
+        A pure function — it never touches the live forward state, so
+        analysis code can sample any epoch's geometry at any time.
+        """
+        if epoch < 0:
+            raise ConfigurationError(f"epochs are 0-indexed, got {epoch}")
+        positions, waypoints = self._initial_state()
+        for past in range(1, epoch + 1):
+            self._move(positions, waypoints, past)
+        return positions
+
+    def _replay(self, epoch: int) -> nx.Graph:
+        """Rebuild a past epoch's graph from scratch (pure in the seed).
+
+        Bridges added during replay are *not* re-counted in
+        ``bridges_added`` — the counter records what the forward pass
+        built, and a replayed epoch's bridges were already counted when
+        the run first reached it."""
+        return self._disk_graph(self.positions_at(epoch),
+                                record_bridges=False)
+
+    def _move(self, positions: list, waypoints: list, epoch: int) -> None:
         rng = self._tree.stream("epoch", epoch)
         for i in range(self.n):
-            x, y = self._positions[i]
-            wx, wy = self._waypoints[i]
+            x, y = positions[i]
+            wx, wy = waypoints[i]
             dx, dy = wx - x, wy - y
             dist = math.hypot(dx, dy)
             if dist <= self.step:
-                self._positions[i] = (wx, wy)
-                self._waypoints[i] = (rng.random(), rng.random())
+                positions[i] = (wx, wy)
+                waypoints[i] = (rng.random(), rng.random())
             else:
                 scale = self.step / dist
-                self._positions[i] = (x + dx * scale, y + dy * scale)
+                positions[i] = (x + dx * scale, y + dy * scale)
 
-    def _disk_graph(self) -> nx.Graph:
+    def _disk_graph(self, positions: list,
+                    record_bridges: bool) -> nx.Graph:
         # Edges come from a blocked numpy pairwise-distance sweep (the
         # former per-pair Python loop was the epoch-build bottleneck); the
         # block keeps peak memory at O(block * n) instead of O(n^2).
@@ -338,7 +398,7 @@ class GeometricMobilityGraph(DynamicGraph):
         g = nx.Graph()
         g.add_nodes_from(range(self.n))
         r2 = self.radius * self.radius
-        pos = np.asarray(self._positions)
+        pos = np.asarray(positions)
         xs, ys = pos[:, 0], pos[:, 1]
         block = 512
         for start in range(0, self.n, block):
@@ -351,25 +411,41 @@ class GeometricMobilityGraph(DynamicGraph):
             g.add_edges_from(
                 zip(rows[upper].tolist(), cols[upper].tolist())
             )
-        self._bridge_components(g)
+        if self.bridge:
+            self._bridge_components(g, positions, record_bridges)
         return g
 
-    def _bridge_components(self, g: nx.Graph) -> None:
+    def _bridge_components(self, g: nx.Graph, positions: list,
+                           record_bridges: bool) -> None:
+        # Nearest-pair search per component pair is a numpy pairwise
+        # reduction (the former quadruple Python loop dominated epoch
+        # builds on fragmented meshes).  np.argmin's first-minimum,
+        # row-major tie-break reproduces the loop's strict-< update order
+        # (u outer, v inner), and the distance arithmetic is the same
+        # IEEE double ops — so the chosen bridge edges are identical,
+        # pinned by tests/test_dynamic.py against a reference loop.
         components = [list(c) for c in nx.connected_components(g)]
+        if len(components) <= 1:
+            return
+        pos = np.asarray(positions)
+        xs, ys = pos[:, 0], pos[:, 1]
         while len(components) > 1:
             base = components[0]
+            bx = xs[base]
+            by = ys[base]
             best = None
             for other_idx, other in enumerate(components[1:], start=1):
-                for u in base:
-                    xu, yu = self._positions[u]
-                    for v in other:
-                        xv, yv = self._positions[v]
-                        d = (xu - xv) ** 2 + (yu - yv) ** 2
-                        if best is None or d < best[0]:
-                            best = (d, u, v, other_idx)
+                d2 = (bx[:, None] - xs[other][None, :]) ** 2
+                d2 += (by[:, None] - ys[other][None, :]) ** 2
+                flat = int(np.argmin(d2))
+                u_index, v_index = divmod(flat, len(other))
+                d = float(d2[u_index, v_index])
+                if best is None or d < best[0]:
+                    best = (d, base[u_index], other[v_index], other_idx)
             _, u, v, other_idx = best
             g.add_edge(u, v)
-            self.bridges_added += 1
+            if record_bridges:
+                self.bridges_added += 1
             base.extend(components.pop(other_idx))
 
 
@@ -438,21 +514,25 @@ def _build_resampled_regular_dynamics(topology, seed, *, degree, tau=1):
 
 @register_dynamics(
     name="resampled_gnp",
-    description="a fresh connected G(n, p) sample every tau rounds",
+    description="a fresh G(n, p) sample every tau rounds (connected by "
+                "default; require_connected=False allows fragments)",
 )
-def _build_resampled_gnp_dynamics(topology, seed, *, p, tau=1):
+def _build_resampled_gnp_dynamics(topology, seed, *, p, tau=1,
+                                  require_connected=True):
     return PeriodicRewireGraph.resampled_gnp(
-        n=topology.n, p=p, tau=tau, seed=seed
+        n=topology.n, p=p, tau=tau, seed=seed,
+        require_connected=require_connected,
     )
 
 
 @register_dynamics(
     name="geometric",
     description="random-waypoint mobility on the unit square (tau-stable "
-                "unit-disk graph, bridged into connectivity)",
+                "unit-disk graph; bridge=False allows fragmentation)",
 )
 def _build_geometric_dynamics(topology, seed, *, radius=0.35, step=0.05,
-                              tau=1):
+                              tau=1, bridge=True):
     return GeometricMobilityGraph(
-        n=topology.n, radius=radius, step=step, tau=tau, seed=seed
+        n=topology.n, radius=radius, step=step, tau=tau, seed=seed,
+        bridge=bridge,
     )

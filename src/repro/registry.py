@@ -1,8 +1,9 @@
 """The one extension surface: registries of first-class definition objects.
 
 Everything runnable in this repo — gossip algorithms, topology families,
-dynamic-graph kinds, instance kinds, and motivating scenarios — is
-described by a definition object registered here and resolved *by name*
+dynamic-graph kinds, instance kinds, fault regimes, and motivating
+scenarios — is described by a definition object registered here and
+resolved *by name*
 from every layer: :func:`repro.core.runner.run_gossip`, the declarative
 specs in :mod:`repro.experiments`, and the ``repro-gossip`` CLI.  The
 paper's model is deliberately open-ended (follow-up work swaps in new
@@ -64,6 +65,7 @@ __all__ = [
     "DynamicsDef",
     "InstanceDef",
     "ScenarioDef",
+    "FaultDef",
     "NodeBuildContext",
     "Registry",
     "RegistryNames",
@@ -73,11 +75,13 @@ __all__ = [
     "DYNAMICS_REGISTRY",
     "INSTANCE_REGISTRY",
     "SCENARIO_REGISTRY",
+    "FAULT_REGISTRY",
     "register_algorithm",
     "register_topology",
     "register_dynamics",
     "register_instance",
     "register_scenario",
+    "register_fault",
     "ensure_builtins",
     "load_plugin",
 ]
@@ -212,6 +216,21 @@ class ScenarioDef:
     name: str
     description: str
     factory: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class FaultDef:
+    """A fault regime: how the clean model degrades during a run.
+
+    ``build(n, seed, **params)`` returns a
+    :class:`~repro.sim.faults.FaultModel` bound to the run's population
+    size and seed (the model derives its own ``("faults", kind)`` streams
+    from the seed, so fault draws never perturb engine or node streams).
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Any]
 
 
 class Registry:
@@ -363,6 +382,7 @@ TOPOLOGY_REGISTRY = Registry("topology family", "topology families")
 DYNAMICS_REGISTRY = Registry("dynamics kind", "dynamics kinds")
 INSTANCE_REGISTRY = Registry("instance kind", "instance kinds")
 SCENARIO_REGISTRY = Registry("scenario", "scenarios")
+FAULT_REGISTRY = Registry("fault model", "fault models")
 
 
 def register_algorithm(
@@ -453,12 +473,25 @@ def register_scenario(*, name: str, description: str):
     return decorate
 
 
+def register_fault(*, name: str, description: str):
+    """Decorator registering a fault-model builder."""
+
+    def decorate(fn):
+        FAULT_REGISTRY.register(
+            FaultDef(name=name, description=description, build=fn)
+        )
+        return fn
+
+    return decorate
+
+
 #: Modules whose import registers the built-in definitions.  Algorithm
 #: order here fixes the display/grid order of the name views (the paper's
 #: Figure 1 order, MultiBit — our b ≥ 1 generalization — last).
 _BUILTIN_MODULES = (
     "repro.graphs.topologies",
     "repro.graphs.dynamic",
+    "repro.sim.faults",
     "repro.core.problem",
     "repro.core.blindmatch",
     "repro.core.sharedbit",

@@ -18,6 +18,14 @@ A round proceeds in the model's three stages (§2 of the paper):
 from repro.sim.adjacency import CSRAdjacency
 from repro.sim.context import NeighborView
 from repro.sim.channel import Channel, ChannelPolicy
+from repro.sim.faults import (
+    CrashChurn,
+    FaultModel,
+    LossyLinks,
+    NoFaults,
+    SleepCycle,
+    build_fault,
+)
 from repro.sim.protocol import NodeProtocol, TokenHolder, bulk_hooks
 from repro.sim.matching import resolve_proposals, resolve_proposals_arrays
 from repro.sim.trace import RoundRecord, Trace
@@ -34,6 +42,12 @@ __all__ = [
     "NeighborView",
     "Channel",
     "ChannelPolicy",
+    "FaultModel",
+    "NoFaults",
+    "SleepCycle",
+    "CrashChurn",
+    "LossyLinks",
+    "build_fault",
     "NodeProtocol",
     "TokenHolder",
     "bulk_hooks",

@@ -137,6 +137,27 @@ class CSRAdjacency:
             start, end = indptr[vertex], indptr[vertex + 1]
             yield vertex, np.sort(uids[start:end][mask[start:end]])
 
+    def masked(self, active: np.ndarray) -> "CSRAdjacency":
+        """The active-subgraph snapshot under a boolean vertex mask.
+
+        Keeps exactly the edges whose *both* endpoints are active:
+        inactive vertices come out with empty rows, and active vertices
+        lose their sleeping neighbors.  Row order is preserved, so rows
+        stay sorted by vertex — the invariant every snapshot shares.
+        This is how the fault layer's per-round activity mask reaches
+        the array fast path (the object path filters its neighbor lists
+        with the same mask).
+        """
+        sources = self.edge_sources()
+        keep = active[sources] & active[self.indices]
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(sources[keep], minlength=self.n), out=indptr[1:]
+        )
+        return CSRAdjacency(
+            n=self.n, indptr=indptr, indices=self.indices[keep]
+        )
+
     def bind_uids(self, vertex_uids: np.ndarray) -> "CSRAdjacency":
         """Return a snapshot with UID arrays attached (engine-side)."""
         return CSRAdjacency(

@@ -30,6 +30,15 @@ random-stream consumption, same matching, same traces (pinned by
 tests/test_fastpath.py across algorithms × dynamics × acceptance rules).
 ``engine_mode`` selects: ``"auto"`` (array when available), ``"object"``
 (force the reference), ``"array"`` (require the fast path).
+
+An optional :class:`~repro.sim.faults.FaultModel` degrades the clean
+model deterministically: its per-round activity mask removes sleeping
+vertices from the round's topology on *both* paths (they do not
+advertise, cannot be proposed to, and see no neighbors), and its
+per-match drop decisions make accepted connections fail before Stage 3.
+The null model (:class:`~repro.sim.faults.NoFaults`, the default)
+consumes zero randomness and leaves every trace byte-identical to an
+engine without the layer.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ from repro.graphs.dynamic import DynamicGraph
 from repro.rng import SeedTree
 from repro.sim.channel import Channel, ChannelPolicy
 from repro.sim.context import NeighborView
+from repro.sim.faults import FaultModel, NoFaults
 from repro.sim.matching import (
     ACCEPTANCE_RULES,
     resolve_proposals,
@@ -104,6 +114,7 @@ class Simulation:
         termination_every: int = 1,
         acceptance: str = "uniform",
         engine_mode: str = "auto",
+        faults: FaultModel | None = None,
     ):
         if b < 0:
             raise ConfigurationError(f"tag length b must be >= 0, got {b}")
@@ -127,6 +138,15 @@ class Simulation:
         if gauge_every < 1 or termination_every < 1:
             raise ConfigurationError(
                 "gauge_every and termination_every must be >= 1"
+            )
+        if (
+            faults is not None
+            and not faults.is_null
+            and faults.n != dynamic_graph.n
+        ):
+            raise ConfigurationError(
+                f"fault model is bound to n={faults.n} but the graph has "
+                f"n={dynamic_graph.n}"
             )
 
         self.dynamic_graph = dynamic_graph
@@ -179,6 +199,16 @@ class Simulation:
         )
         self._csr_bound = None  # UID-bound CSR for the current epoch
 
+        # Fault layer: when the model is null the per-round fault branch
+        # is skipped entirely — no mask, no stream, byte-identical traces
+        # to an engine without the layer.
+        self.faults = faults if faults is not None else NoFaults(self.n)
+        self._fault_active = not self.faults.is_null
+        self._masked_bound = None   # UID-bound active-subgraph CSR
+        self._masked_for = None     # ... built from this epoch snapshot
+        self._masked_bytes = None   # ... under this activity mask
+        self._prev_mask = None      # last round's mask (None = all awake)
+
     @property
     def n(self) -> int:
         return self.dynamic_graph.n
@@ -226,10 +256,51 @@ class Simulation:
         """
         self._round += 1
         rnd = self._round
+        # Fault layer, decision 1: who participates this round.  An
+        # all-awake mask is normalized to None so degenerate masks (and
+        # mask-free models like LossyLinks) stay on the cached hot paths.
+        mask = None
+        if self._fault_active:
+            mask = self.faults.active_mask(rnd)
+            if mask is not None:
+                mask = np.asarray(mask, dtype=bool)
+                if mask.shape != (self.n,):
+                    raise ConfigurationError(
+                        f"fault model returned a mask of shape "
+                        f"{mask.shape}; expected ({self.n},)"
+                    )
+                if mask.all():
+                    mask = None
+            if self.faults.resets_state:
+                self._apply_crash_resets(rnd, mask)
+
         if self._bulk is not None:
-            proposal_count, matches = self._stages12_array(rnd)
+            if mask is None:
+                proposal_count, matches = self._stages12_array(rnd)
+            else:
+                proposal_count, matches = self._stages12_array_masked(
+                    rnd, mask
+                )
         else:
-            proposal_count, matches = self._stages12_object(rnd)
+            if mask is None:
+                proposal_count, matches = self._stages12_object(rnd)
+            else:
+                proposal_count, matches = self._stages12_object_masked(
+                    rnd, mask
+                )
+
+        # Fault layer, decision 2: accepted matches whose connection
+        # fails.  Dropped matches never become connections: they skip
+        # Stage 3 and are counted in the dropped_connections column.
+        dropped = 0
+        if self._fault_active and matches:
+            surviving = []
+            for pair in matches:
+                if self.faults.drop_connection(rnd, pair[0], pair[1]):
+                    dropped += 1
+                else:
+                    surviving.append(pair)
+            matches = surviving
 
         # Stage 3: bounded pairwise interaction over metered channels.
         tokens_moved = 0
@@ -251,7 +322,8 @@ class Simulation:
             gauges_due or rnd == 1 or rnd % self.trace.sample_every == 0
         ):
             self.trace.observe(
-                rnd, proposal_count, len(matches), tokens_moved, control_bits
+                rnd, proposal_count, len(matches), tokens_moved,
+                control_bits, dropped,
             )
             return None
         gauges = {}
@@ -266,9 +338,37 @@ class Simulation:
             tokens_moved=tokens_moved,
             control_bits=control_bits,
             gauges=gauges,
+            active_nodes=self.n if mask is None else int(mask.sum()),
+            dropped_connections=dropped,
         )
         self.trace.record(record)
         return record
+
+    def _apply_crash_resets(
+        self, rnd: int, mask: np.ndarray | None
+    ) -> None:
+        """Reset protocols that crashed this round (fault models with
+        ``resets_state``): every crashing vertex loses its learned state
+        via ``reset_tokens()`` where the protocol provides it.  The
+        model's own ``crashed_this_round`` report is authoritative when
+        available — it sees a crash that starts the instant a previous
+        outage ends, which the mask-transition fallback cannot.  Applied
+        in vertex order before the stages, so both engine paths see
+        identical post-crash state."""
+        prev = self._prev_mask
+        self._prev_mask = mask
+        reported = self.faults.crashed_this_round(rnd)
+        if reported is not None:
+            crashed_vertices = np.asarray(reported, dtype=np.int64)
+        elif mask is None:
+            return
+        else:
+            crashed = ~mask if prev is None else prev & ~mask
+            crashed_vertices = np.nonzero(crashed)[0]
+        for vertex in crashed_vertices.tolist():
+            reset = getattr(self._nodes[vertex], "reset_tokens", None)
+            if reset is not None:
+                reset()
 
     def _stages12_object(self, rnd: int) -> tuple[int, list[tuple[int, int]]]:
         """Stages 1–2 through per-node hooks (the reference path)."""
@@ -325,12 +425,109 @@ class Simulation:
             )
         return len(proposals), matches
 
+    def _stages12_object_masked(
+        self, rnd: int, mask: np.ndarray
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Stages 1–2 on the active subgraph (the fault layer's mask).
+
+        Every node's hooks still run — in the same vertex order as the
+        unmasked path and as a bulk hook's scalar-equivalent loop — but
+        an inactive vertex sees an empty neighborhood and an active
+        vertex sees only its awake neighbors.  Views are built fresh per
+        round (masks change round to round, so the per-epoch skeleton
+        cache does not apply); the cached skeletons are left untouched
+        for the next unmasked round.
+        """
+        graph = self.dynamic_graph.graph_at(rnd)
+        self._refresh_adjacency(graph)
+
+        nodes = self._nodes
+        tags = self._tags
+        max_tag = self.max_tag
+        active = mask.tolist()
+        masked_vertices: list[tuple[int, ...]] = [
+            tuple(nv for nv in self._neighbor_vertices[vertex] if active[nv])
+            if active[vertex]
+            else ()
+            for vertex in range(self.n)
+        ]
+        masked_uids = [
+            tuple(nodes[nv].uid for nv in nvs) for nvs in masked_vertices
+        ]
+
+        # Stage 1: scan + tag selection over awake neighbors only.
+        for vertex, node in enumerate(nodes):
+            tag = node.advertise(rnd, masked_uids[vertex])
+            if not isinstance(tag, int) or not 0 <= tag <= max_tag:
+                raise ProtocolViolationError(
+                    f"node uid={node.uid} advertised tag {tag!r}; "
+                    f"legal range with b={self.b} is [0, {self.max_tag}]"
+                )
+            tags[vertex] = tag
+
+        # Stage 2: proposals against the masked views.
+        proposals: dict[int, int] = {}
+        for vertex, node in enumerate(nodes):
+            views = tuple(
+                NeighborView(uid=nodes[nv].uid, tag=tags[nv])
+                for nv in masked_vertices[vertex]
+            )
+            target = node.propose(rnd, views)
+            if target is None:
+                continue
+            if target not in masked_uids[vertex]:
+                raise ProtocolViolationError(
+                    f"node uid={node.uid} proposed to uid={target}, "
+                    f"not an active neighbor in round {rnd}"
+                )
+            proposals[node.uid] = target
+
+        # Plain resolution suffices: the neighbor checks above already
+        # guarantee every surviving proposal has both endpoints active,
+        # so the masked resolver twins (the public API for callers
+        # without that guarantee) would filter nothing here.
+        if self.acceptance == "unbounded":
+            matches = resolve_proposals_unbounded(proposals)
+        else:
+            matches = resolve_proposals(
+                proposals, self._tree.stream("match", rnd),
+                rule=self.acceptance,
+            )
+        return len(proposals), matches
+
     def _stages12_array(self, rnd: int) -> tuple[int, list[tuple[int, int]]]:
         """Stages 1–2 through bulk hooks over the epoch's CSR snapshot."""
         csr = self.dynamic_graph.csr_at(rnd)
         bound = self._csr_bound
         if bound is None or bound.base is not csr:
             bound = self._csr_bound = csr.bind_uids(self._uid_array)
+        return self._stages12_array_on(rnd, bound)
+
+    def _stages12_array_masked(
+        self, rnd: int, mask: np.ndarray
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """The array path on the active subgraph: same bulk hooks, fed a
+        masked CSR snapshot (inactive rows empty, sleeping neighbors
+        removed) — the flat-array twin of
+        :meth:`_stages12_object_masked`.  The masked bound snapshot is
+        cached by (epoch snapshot, mask bytes), so periodic masks
+        (SleepCycle) rebuild only when the mask actually changes."""
+        csr = self.dynamic_graph.csr_at(rnd)
+        mask_bytes = mask.tobytes()
+        if (
+            self._masked_bound is None
+            or self._masked_for is not csr
+            or self._masked_bytes != mask_bytes
+        ):
+            self._masked_bound = csr.masked(mask).bind_uids(self._uid_array)
+            self._masked_for = csr
+            self._masked_bytes = mask_bytes
+        return self._stages12_array_on(rnd, self._masked_bound)
+
+    def _stages12_array_on(
+        self, rnd: int, bound
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Shared body of the array front half over one bound snapshot."""
         advertise_all, propose_all = self._bulk
 
         # Stage 1: every tag at once, then one vectorized range check.
@@ -379,6 +576,9 @@ class Simulation:
                     f"{rnd}"
                 )
 
+        # Masked rounds need no masked resolver: `bound` is already the
+        # active subgraph, so the legality check above left only
+        # proposals with both endpoints active.
         proposer_uids = self._uid_array[proposer_mask]
         target_uids = targets[proposer_mask]
         if self.acceptance == "unbounded":

@@ -1,0 +1,350 @@
+"""Deterministic fault injection: sleep, churn, and lossy connections.
+
+The paper's mobile telephone model idealizes the smartphone crowd: every
+phone is awake every round, every accepted connection succeeds, and the
+population never changes.  The motivating settings (protests, disasters,
+festivals) are exactly where phones duty-cycle their radios, drop links,
+and churn — follow-up work in this line (Newport & Weaver's random gossip
+processes, Newport/Weaver/Zheng's asynchronous gossip) studies gossip
+under precisely this kind of unreliable behavior.  This module is the
+simulator's home for that axis.
+
+A :class:`FaultModel` makes two kinds of decisions, both *pure functions
+of (seed, round)* so that every consumer — either engine front half, any
+``run_sweep --jobs`` value, a metrics pass replaying old rounds — derives
+the same faults:
+
+* :meth:`FaultModel.active_mask` — which vertices participate this round.
+  An inactive vertex is invisible for the round: it does not advertise,
+  cannot be proposed to, and sees no neighbors (the engine masks it out
+  of the round's topology on both the object and the array path).
+* :meth:`FaultModel.drop_connection` — whether a resolved match fails
+  after acceptance (the link-layer handshake breaking down).  Dropped
+  matches skip Stage 3 entirely and are counted in the trace's
+  ``dropped_connections`` column.
+
+All randomness comes from a dedicated :class:`~repro.rng.SeedTree`
+subtree (``("faults", <kind>)``), so fault draws never perturb the
+engine's acceptance stream or any node's private stream.  The null model
+:class:`NoFaults` consumes **zero** randomness and leaves the engine's
+behavior byte-identical to a run with no fault model at all — enforced by
+:func:`repro.experiments.fastpath.check_null_fault_identity`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.registry import FAULT_REGISTRY, register_fault
+from repro.rng import SeedTree
+
+__all__ = [
+    "FaultModel",
+    "NoFaults",
+    "SleepCycle",
+    "CrashChurn",
+    "LossyLinks",
+    "build_fault",
+]
+
+
+def build_fault(spec: dict | None, n: int, seed: int) -> "FaultModel | None":
+    """Build a fault model from a ``{"kind": ..., **params}`` spec dict.
+
+    The one constructor every layer shares (``run_gossip``, the
+    experiments builders, the CLI).  ``None`` or kind ``"none"`` returns
+    ``None`` — the clean model — so callers hand the result straight to
+    :class:`~repro.sim.engine.Simulation` without special-casing.
+    """
+    spec = spec or {}
+    defn = FAULT_REGISTRY.get(spec.get("kind", "none"))
+    params = {key: value for key, value in spec.items() if key != "kind"}
+    try:
+        model = defn.build(n, seed, **params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad params for fault model {defn.name!r}: {exc}"
+        ) from exc
+    return None if model.is_null else model
+
+
+class FaultModel:
+    """Per-round activity masks plus per-match drop decisions.
+
+    Subclasses draw from ``self._tree`` (a ``("faults", kind)`` subtree of
+    the run seed) and must keep every decision a pure function of the
+    seed and the round index — never of call order or call count — so the
+    object and array engine paths, re-runs, and parallel sweep workers
+    all see identical faults.
+    """
+
+    #: True only on :class:`NoFaults`: the engine skips the fault branch
+    #: entirely, keeping the no-fault hot paths untouched.
+    is_null = False
+
+    #: When True, the engine calls ``reset_tokens()`` (where a protocol
+    #: provides it) on every vertex that crashes, modeling a phone that
+    #: loses app state instead of resuming where it left off.
+    resets_state = False
+
+    def __init__(self, n: int, seed: int, kind: str):
+        if n < 1:
+            raise ConfigurationError(f"fault models need n >= 1, got {n}")
+        self.n = n
+        self.seed = seed
+        self.kind = kind
+        self._tree = SeedTree(seed).child("faults", kind)
+
+    def active_mask(self, round_index: int) -> np.ndarray | None:
+        """Boolean vertex mask for ``round_index`` (``None`` = all active).
+
+        Must be derivable for any round in any order.
+        """
+        return None
+
+    def drop_connection(
+        self, round_index: int, initiator_uid: int, responder_uid: int
+    ) -> bool:
+        """Whether the resolved match ``(initiator, responder)`` fails."""
+        return False
+
+    def crashed_this_round(self, round_index: int):
+        """Vertices whose crash *starts* at ``round_index`` (reset hook).
+
+        Models with ``resets_state`` should override this so the engine
+        resets exactly the crashes the model knows about — including one
+        that begins the instant a previous outage ends, which a
+        mask-transition diff cannot see.  ``None`` (the default) tells
+        the engine to fall back to diffing consecutive activity masks.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class NoFaults(FaultModel):
+    """The null model: the paper's clean execution, zero randomness.
+
+    The engine treats this exactly like having no fault model: no mask is
+    computed, no stream is consumed, and traces are byte-identical to the
+    pre-fault-layer engine on both paths (the load-bearing invariant the
+    differential harness pins).
+    """
+
+    is_null = True
+
+    def __init__(self, n: int = 1, seed: int = 0):
+        # No SeedTree: the null model must not even derive a stream.
+        self.n = n
+        self.seed = seed
+        self.kind = "none"
+
+    def active_mask(self, round_index: int) -> None:
+        return None
+
+
+class SleepCycle(FaultModel):
+    """Duty-cycled radios: each node is awake ``duty`` of every ``period``
+    rounds.
+
+    Phones conserve battery by sleeping their peer-to-peer radio on a
+    fixed cycle.  With ``stagger=True`` (default) each node draws a
+    uniform phase offset once at construction, so at any instant roughly
+    ``duty/period`` of the crowd is awake; with ``stagger=False`` the
+    whole crowd sleeps in lockstep (the adversarial variant: the network
+    is empty for ``period - duty`` consecutive rounds).
+
+    After the one-time phase draw the mask is fully deterministic — a
+    sleep schedule, not a coin flip per round.
+    """
+
+    def __init__(self, n: int, seed: int, period: int = 8, duty: int = 6,
+                 stagger: bool = True):
+        super().__init__(n, seed, "sleep")
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if not 1 <= duty <= period:
+            raise ConfigurationError(
+                f"duty must be in [1, period={period}], got {duty}"
+            )
+        self.period = period
+        self.duty = duty
+        self.stagger = stagger
+        if stagger:
+            rng = self._tree.stream("phase")
+            self._phases = np.fromiter(
+                (rng.randrange(period) for _ in range(n)),
+                dtype=np.int64, count=n,
+            )
+        else:
+            self._phases = np.zeros(n, dtype=np.int64)
+
+    def active_mask(self, round_index: int) -> np.ndarray | None:
+        if self.duty == self.period:
+            return None
+        return ((round_index - 1 + self._phases) % self.period) < self.duty
+
+    def __repr__(self) -> str:
+        return (
+            f"SleepCycle(n={self.n}, duty={self.duty}/{self.period}, "
+            f"stagger={self.stagger})"
+        )
+
+
+class CrashChurn(FaultModel):
+    """Nodes crash and rejoin: outages drawn per (node, window).
+
+    Rounds are partitioned into windows of ``cycle`` rounds.  In each
+    window a node crashes with probability ``crash_prob``; a crash starts
+    at a uniform offset within the window and lasts a uniform number of
+    rounds in ``[min_outage, max_outage]`` (truncated at the window edge,
+    so every window's schedule is self-contained and re-derivable).  All
+    draws come from a per-(node, window) stream, making the mask a pure
+    function of (seed, node, window) whatever order rounds are visited.
+
+    ``reset_tokens=True`` models full app-state loss: on the crash round
+    the engine calls ``reset_tokens()`` on protocols that provide it
+    (:class:`~repro.core.problem.GossipNode` does), dropping every learned
+    token back to the node's initial assignment.  The default models a
+    phone whose storage survives the reboot.
+    """
+
+    def __init__(self, n: int, seed: int, cycle: int = 64,
+                 crash_prob: float = 0.15, min_outage: int = 8,
+                 max_outage: int = 24, reset_tokens: bool = False):
+        super().__init__(n, seed, "churn")
+        if cycle < 2:
+            raise ConfigurationError(f"cycle must be >= 2, got {cycle}")
+        if not 0 <= crash_prob <= 1:
+            raise ConfigurationError(
+                f"crash_prob must be in [0, 1], got {crash_prob}"
+            )
+        if not 1 <= min_outage <= max_outage:
+            raise ConfigurationError(
+                f"need 1 <= min_outage <= max_outage, got "
+                f"[{min_outage}, {max_outage}]"
+            )
+        self.cycle = cycle
+        self.crash_prob = crash_prob
+        self.min_outage = min_outage
+        self.max_outage = max_outage
+        self.resets_state = bool(reset_tokens)
+        # Two cached window schedules (engine access is sequential, but
+        # any window can be re-derived from scratch for replays).
+        self._schedules: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _window_schedule(self, window: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex ``(start, stop)`` outage offsets for one window.
+
+        ``start == cycle`` encodes "no crash this window"; otherwise the
+        vertex is inactive for offsets in ``[start, stop)``.
+        """
+        if window not in self._schedules:
+            starts = np.full(self.n, self.cycle, dtype=np.int64)
+            stops = np.full(self.n, self.cycle, dtype=np.int64)
+            for vertex in range(self.n):
+                rng = self._tree.stream("window", window, vertex)
+                if rng.random() >= self.crash_prob:
+                    continue
+                start = rng.randrange(self.cycle)
+                length = rng.randint(self.min_outage, self.max_outage)
+                starts[vertex] = start
+                stops[vertex] = min(start + length, self.cycle)
+            if len(self._schedules) >= 2:
+                del self._schedules[min(self._schedules)]
+            self._schedules[window] = (starts, stops)
+        return self._schedules[window]
+
+    def active_mask(self, round_index: int) -> np.ndarray:
+        window, offset = divmod(round_index - 1, self.cycle)
+        starts, stops = self._window_schedule(window)
+        return ~((starts <= offset) & (offset < stops))
+
+    def crashed_this_round(self, round_index: int) -> np.ndarray:
+        """Vertices whose outage *starts* at ``round_index`` (reset hook)."""
+        window, offset = divmod(round_index - 1, self.cycle)
+        starts, stops = self._window_schedule(window)
+        return np.nonzero((starts == offset) & (stops > offset))[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"CrashChurn(n={self.n}, cycle={self.cycle}, "
+            f"crash_prob={self.crash_prob}, "
+            f"outage=[{self.min_outage}, {self.max_outage}], "
+            f"reset_tokens={self.resets_state})"
+        )
+
+
+class LossyLinks(FaultModel):
+    """Probabilistic connection failure after matching.
+
+    Every vertex stays awake; instead, each resolved match independently
+    fails with probability ``drop_prob`` — the accepted connection's
+    handshake breaking down at the link layer.  The drop draw is keyed by
+    (round, initiator UID, responder UID), so it does not depend on how
+    many other matches the round produced or in what order they are
+    examined.
+    """
+
+    def __init__(self, n: int, seed: int, drop_prob: float = 0.2):
+        super().__init__(n, seed, "lossy")
+        if not 0 <= drop_prob <= 1:
+            raise ConfigurationError(
+                f"drop_prob must be in [0, 1], got {drop_prob}"
+            )
+        self.drop_prob = drop_prob
+
+    def drop_connection(
+        self, round_index: int, initiator_uid: int, responder_uid: int
+    ) -> bool:
+        if self.drop_prob == 0:
+            return False
+        draw = self._tree.stream(
+            "drop", round_index, initiator_uid, responder_uid
+        ).random()
+        return draw < self.drop_prob
+
+    def __repr__(self) -> str:
+        return f"LossyLinks(n={self.n}, drop_prob={self.drop_prob})"
+
+
+@register_fault(
+    name="none",
+    description="the paper's clean model: every node awake, every "
+                "connection succeeds (zero randomness consumed)",
+)
+def _build_no_faults(n, seed):
+    return NoFaults(n=n, seed=seed)
+
+
+@register_fault(
+    name="sleep",
+    description="duty-cycled radios: each node awake duty-of-period "
+                "rounds on a per-node phase",
+)
+def _build_sleep_cycle(n, seed, *, period=8, duty=6, stagger=True):
+    return SleepCycle(n=n, seed=seed, period=period, duty=duty,
+                      stagger=stagger)
+
+
+@register_fault(
+    name="churn",
+    description="crash/rejoin churn: per-window outages, token state "
+                "retained or reset on crash",
+)
+def _build_crash_churn(n, seed, *, cycle=64, crash_prob=0.15, min_outage=8,
+                       max_outage=24, reset_tokens=False):
+    return CrashChurn(n=n, seed=seed, cycle=cycle, crash_prob=crash_prob,
+                      min_outage=min_outage, max_outage=max_outage,
+                      reset_tokens=reset_tokens)
+
+
+@register_fault(
+    name="lossy",
+    description="lossy connections: each resolved match independently "
+                "fails with drop_prob after acceptance",
+)
+def _build_lossy_links(n, seed, *, drop_prob=0.2):
+    return LossyLinks(n=n, seed=seed, drop_prob=drop_prob)

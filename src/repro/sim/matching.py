@@ -32,6 +32,8 @@ from repro.errors import ConfigurationError, ProtocolViolationError
 __all__ = [
     "resolve_proposals",
     "resolve_proposals_arrays",
+    "resolve_proposals_arrays_masked",
+    "resolve_proposals_masked",
     "resolve_proposals_unbounded",
     "ACCEPTANCE_RULES",
     "AcceptanceRule",
@@ -177,6 +179,67 @@ def resolve_proposals_arrays(
             group = senders[bounds[g]:bounds[g + 1]]
             initiators[g] = rng.choice(group)
     return list(zip(initiators.tolist(), group_targets.tolist()))
+
+
+def resolve_proposals_masked(
+    proposals: dict[int, int],
+    active_uids,
+    rng: random.Random | None = None,
+    rule: str = "uniform",
+) -> list[tuple[int, int]]:
+    """Masked twin of :func:`resolve_proposals` for fault-layer rounds.
+
+    Proposals whose proposer *or* target UID is not in ``active_uids``
+    (a set-like of awake nodes) are discarded before resolution — a
+    sleeping node neither sends nor accepts.  The acceptance draw then
+    consumes ``rng`` exactly as the unmasked resolver would on the
+    surviving proposals, so with every endpoint active the result — and
+    the stream consumption — is identical to :func:`resolve_proposals`.
+    ``rule="unbounded"`` delegates to the classical-model resolver.
+    """
+    active = (
+        active_uids
+        if isinstance(active_uids, (set, frozenset))
+        else frozenset(active_uids)
+    )
+    surviving = {
+        proposer: target
+        for proposer, target in proposals.items()
+        if proposer in active and target in active
+    }
+    if rule == "unbounded":
+        return resolve_proposals_unbounded(surviving)
+    return resolve_proposals(surviving, rng, rule=rule)
+
+
+def resolve_proposals_arrays_masked(
+    proposer_uids,
+    target_uids,
+    active_uids,
+    rng: random.Random | None = None,
+    rule: str = "uniform",
+) -> list[tuple[int, int]]:
+    """Masked twin of :func:`resolve_proposals_arrays`.
+
+    ``active_uids`` is an int array of awake UIDs; proposals with an
+    inactive endpoint are dropped before resolution.  Matches
+    :func:`resolve_proposals_masked` pair-for-pair (same survivors, same
+    sorted-target draw order), which keeps the engine's two front halves
+    byte-identical under any activity mask.
+    """
+    proposer_uids = np.asarray(proposer_uids, dtype=np.int64)
+    target_uids = np.asarray(target_uids, dtype=np.int64)
+    if proposer_uids.shape != target_uids.shape:
+        raise ConfigurationError(
+            "proposer_uids and target_uids must have matching shapes"
+        )
+    active_uids = np.asarray(active_uids, dtype=np.int64)
+    keep = np.isin(proposer_uids, active_uids) & np.isin(
+        target_uids, active_uids
+    )
+    return resolve_proposals_arrays(
+        proposer_uids[keep], target_uids[keep], rng, rule=rule
+    )
 
 
 def resolve_proposals_unbounded(

@@ -16,7 +16,14 @@ __all__ = ["RoundRecord", "Trace"]
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """What happened in one round."""
+    """What happened in one round.
+
+    ``connections`` counts connections that actually carried the Stage 3
+    exchange; matches the fault layer dropped after acceptance are in
+    ``dropped_connections`` instead.  ``active_nodes`` is how many
+    vertices participated in the round (``None`` when the producer does
+    not track activity — the engine always fills it in).
+    """
 
     round_index: int
     proposals: int
@@ -24,6 +31,8 @@ class RoundRecord:
     tokens_moved: int
     control_bits: int
     gauges: dict = field(default_factory=dict)
+    active_nodes: int | None = None
+    dropped_connections: int = 0
 
 
 class Trace:
@@ -43,6 +52,7 @@ class Trace:
         self.total_connections = 0
         self.total_tokens_moved = 0
         self.total_control_bits = 0
+        self.total_dropped_connections = 0
 
     def observe(
         self,
@@ -51,6 +61,7 @@ class Trace:
         connections: int,
         tokens_moved: int,
         control_bits: int,
+        dropped_connections: int = 0,
     ) -> None:
         """Fold one round into the totals without materializing a record.
 
@@ -62,6 +73,7 @@ class Trace:
         self.total_connections += connections
         self.total_tokens_moved += tokens_moved
         self.total_control_bits += control_bits
+        self.total_dropped_connections += dropped_connections
 
     def record(self, record: RoundRecord) -> None:
         self.observe(
@@ -70,6 +82,7 @@ class Trace:
             record.connections,
             record.tokens_moved,
             record.control_bits,
+            record.dropped_connections,
         )
         keep = (
             record.round_index % self.sample_every == 0
@@ -78,6 +91,13 @@ class Trace:
         )
         if keep:
             self.records.append(record)
+
+    def column_series(self, name: str) -> list[tuple[int, object]]:
+        """(round, value) pairs for one :class:`RoundRecord` field
+        (e.g. ``"active_nodes"`` or ``"dropped_connections"``)."""
+        return [
+            (rec.round_index, getattr(rec, name)) for rec in self.records
+        ]
 
     def gauge_series(self, name: str) -> list[tuple[int, object]]:
         """(round, value) pairs for one named gauge."""

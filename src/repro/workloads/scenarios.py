@@ -1,4 +1,12 @@
-"""Concrete (dynamic graph, instance) pairs for the paper's motivating settings."""
+"""Concrete (dynamic graph, instance, fault regime) triples for the
+paper's motivating settings.
+
+The clean scenarios model the paper's idealized crowd; the faulty
+variants (``subway``, ``protest_lossy``, ``festival_nightfall``) add the
+degradation those settings actually exhibit — churn, lossy links,
+duty-cycled radios — through the fault layer
+(:mod:`repro.sim.faults`), so the same algorithms run under both regimes.
+"""
 
 from __future__ import annotations
 
@@ -18,6 +26,7 @@ from repro.registry import (
     SCENARIO_REGISTRY,
     register_scenario,
 )
+from repro.sim.faults import CrashChurn, FaultModel, LossyLinks, SleepCycle
 
 __all__ = [
     "Scenario",
@@ -25,19 +34,24 @@ __all__ = [
     "festival_scenario",
     "disaster_scenario",
     "rural_mesh_scenario",
+    "subway_scenario",
+    "protest_lossy_scenario",
+    "festival_nightfall_scenario",
     "SCENARIOS",
 ]
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named workload: topology dynamics plus a token assignment."""
+    """A named workload: topology dynamics, a token assignment, and an
+    optional fault regime (``None`` = the paper's clean model)."""
 
     name: str
     description: str
     dynamic_graph: DynamicGraph
     instance: GossipInstance
     recommended_algorithm: str
+    fault: FaultModel | None = None
 
 
 @register_scenario(
@@ -133,6 +147,94 @@ def rural_mesh_scenario(n: int = 32, k: int = 4, seed: int = 0,
         dynamic_graph=graph,
         instance=instance,
         recommended_algorithm="sharedbit",
+    )
+
+
+@register_scenario(
+    name="subway",
+    description="commuter churn: riders board and alight mid-gossip, "
+                "phones crash and rejoin",
+)
+def subway_scenario(n: int = 36, k: int = 4, seed: int = 0,
+                    tau: int = 3) -> Scenario:
+    """A subway platform at rush hour.
+
+    A moving crowd (random-waypoint mobility, bridged into connectivity)
+    whose members keep leaving and arriving: every few dozen rounds a
+    fraction of the phones drop out for a stretch — a rider stepping onto
+    a train, a phone dying in a pocket — and rejoin with their tokens
+    intact.  The first scenario built on the fault layer's churn model.
+    """
+    if n < 8:
+        raise ConfigurationError(f"subway needs n >= 8, got {n}")
+    graph = GeometricMobilityGraph(
+        n=n, radius=0.35, step=0.06, tau=tau, seed=seed
+    )
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    return Scenario(
+        name="subway",
+        description="commuter churn: riders board and alight mid-gossip, "
+                    "phones crash and rejoin",
+        dynamic_graph=graph,
+        instance=instance,
+        recommended_algorithm="sharedbit",
+        fault=CrashChurn(n=n, seed=seed, cycle=48, crash_prob=0.25,
+                         min_outage=6, max_outage=18),
+    )
+
+
+@register_scenario(
+    name="protest_lossy",
+    description="the protest crowd under interference: connections "
+                "fail after acceptance",
+)
+def protest_lossy_scenario(n: int = 40, k: int = 5, seed: int = 0,
+                           tau: int = 4,
+                           drop_prob: float = 0.25) -> Scenario:
+    """The protest workload with a hostile RF environment.
+
+    Same mobility and token assignment as :func:`protest_scenario`, but a
+    quarter of accepted connections fail before any data moves — jammed
+    or congested spectrum at street level.
+    """
+    clean = protest_scenario(n=n, k=k, seed=seed, tau=tau)
+    return Scenario(
+        name="protest_lossy",
+        description="the protest crowd under interference: connections "
+                    "fail after acceptance",
+        dynamic_graph=clean.dynamic_graph,
+        instance=clean.instance,
+        recommended_algorithm=clean.recommended_algorithm,
+        fault=LossyLinks(n=n, seed=seed, drop_prob=drop_prob),
+    )
+
+
+@register_scenario(
+    name="festival_nightfall",
+    description="the festival mesh on overnight battery rations: "
+                "duty-cycled radios",
+)
+def festival_nightfall_scenario(n: int = 48, k: int = 8, seed: int = 0,
+                                period: int = 8,
+                                duty: int = 5) -> Scenario:
+    """The festival workload after dark, phones conserving battery.
+
+    Same stable expander and sources as :func:`festival_scenario`, but
+    every phone sleeps its radio ``period - duty`` of every ``period``
+    rounds on a staggered schedule.  The stable-topology assumption still
+    holds (τ = ∞ — the *graph* never changes; the fault layer masks who
+    is awake on it), but the effective per-round degree shrinks, so the
+    recommendation moves to SharedBit, which tolerates sparse rounds.
+    """
+    clean = festival_scenario(n=n, k=k, seed=seed)
+    return Scenario(
+        name="festival_nightfall",
+        description="the festival mesh on overnight battery rations: "
+                    "duty-cycled radios",
+        dynamic_graph=clean.dynamic_graph,
+        instance=clean.instance,
+        recommended_algorithm="sharedbit",
+        fault=SleepCycle(n=n, seed=seed, period=period, duty=duty),
     )
 
 

@@ -126,18 +126,137 @@ class TestGeometricMobility:
         seqs = {edges_at(dg, r) for r in range(1, 10)}
         assert len(seqs) > 1
 
-    def test_forward_access_only(self):
+    def test_old_epochs_replayable(self):
+        # Regression: metrics revisit early epochs after a run walked the
+        # graph forward; replays must reproduce the exact graphs the run
+        # saw (epochs are a pure function of the seed).
         dg = GeometricMobilityGraph(n=10, radius=0.4, step=0.1, tau=1, seed=1)
-        dg.graph_at(10)
-        dg.graph_at(11)
-        with pytest.raises(ConfigurationError):
-            dg.graph_at(1)
+        seen = {r: edges_at(dg, r) for r in range(1, 12)}
+        for r in (1, 5, 11):
+            assert edges_at(dg, r) == seen[r]
+
+    def test_replay_does_not_disturb_forward_state(self):
+        fresh = GeometricMobilityGraph(n=12, radius=0.35, step=0.08, tau=1,
+                                       seed=4)
+        expected = {r: edges_at(fresh, r) for r in range(1, 9)}
+        dg = GeometricMobilityGraph(n=12, radius=0.35, step=0.08, tau=1,
+                                    seed=4)
+        dg.graph_at(5)
+        assert edges_at(dg, 1) == expected[1]  # replay of an old epoch
+        for r in (6, 7, 8):  # forward motion continues from live state
+            assert edges_at(dg, r) == expected[r]
+
+    def test_replay_does_not_recount_bridges(self):
+        dg = GeometricMobilityGraph(n=16, radius=0.18, step=0.05, tau=1,
+                                    seed=2)
+        for r in range(1, 8):
+            dg.graph_at(r)
+        counted = dg.bridges_added
+        assert counted > 0  # a radius this small needs bridging
+        dg.graph_at(1)
+        dg.graph_at(3)
+        assert dg.bridges_added == counted
+
+    def test_metrics_after_run(self):
+        # The original crash: dynamic_max_degree re-reads epoch 0 after
+        # the engine walked the mobility graph forward.
+        dg = GeometricMobilityGraph(n=14, radius=0.4, step=0.1, tau=2,
+                                    seed=3)
+        dg.graph_at(30)
+        assert dynamic_max_degree(dg, horizon=30) >= 1
+        assert dynamic_expansion_estimate(dg, horizon=10, samples=8) > 0
 
     def test_parameter_validation(self):
         with pytest.raises(ConfigurationError):
             GeometricMobilityGraph(n=10, radius=0.0, step=0.1, tau=1, seed=1)
         with pytest.raises(ConfigurationError):
             GeometricMobilityGraph(n=10, radius=0.3, step=2.0, tau=1, seed=1)
+
+    def test_bridging_matches_reference_loop(self):
+        # Pin the vectorized nearest-pair bridging against the original
+        # pure-Python quadruple loop: identical bridge edges (including
+        # tie-break order) on meshes fragmented enough to need several.
+        def reference_bridges(g, positions):
+            bridges = []
+            components = [list(c) for c in nx.connected_components(g)]
+            while len(components) > 1:
+                base = components[0]
+                best = None
+                for other_idx, other in enumerate(components[1:], start=1):
+                    for u in base:
+                        xu, yu = positions[u]
+                        for v in other:
+                            xv, yv = positions[v]
+                            d = (xu - xv) ** 2 + (yu - yv) ** 2
+                            if best is None or d < best[0]:
+                                best = (d, u, v, other_idx)
+            # reference adds the edge, records it, merges, repeats
+                _, u, v, other_idx = best
+                g.add_edge(u, v)
+                bridges.append((u, v))
+                base.extend(components.pop(other_idx))
+            return bridges
+
+        for seed in (1, 2, 3, 9):
+            dg = GeometricMobilityGraph(n=30, radius=0.12, step=0.05,
+                                        tau=1, seed=seed, bridge=False)
+            for r in (1, 4, 7):
+                raw = dg.graph_at(r).copy()
+                positions = dg.positions_at(dg.epoch_of(r))
+                expected_g = raw.copy()
+                expected = reference_bridges(expected_g, positions)
+                actual_g = raw.copy()
+                dg._bridge_components(actual_g, positions,
+                                      record_bridges=False)
+                actual = [
+                    e for e in actual_g.edges if e not in set(raw.edges)
+                ]
+                assert nx.utils.graphs_equal(actual_g, expected_g)
+                assert sorted(map(tuple, map(sorted, actual))) == sorted(
+                    map(tuple, map(sorted, expected))
+                )
+
+    def test_fragmented_gnp_runs_on_both_engine_paths(self):
+        # require_connected=False: the first sample stands, fragments and
+        # all; the engine tolerates isolated vertices on both paths and
+        # the two front halves stay byte-identical.
+        from repro.core.problem import uniform_instance
+        from repro.core.runner import build_nodes
+        from repro.experiments.fastpath import trace_signature
+        from repro.sim.channel import ChannelPolicy
+        from repro.sim.engine import Simulation
+
+        def fragmented():
+            return PeriodicRewireGraph.resampled_gnp(
+                n=16, p=0.08, tau=2, seed=3, require_connected=False
+            )
+
+        assert any(
+            not nx.is_connected(fragmented().graph_at(r))
+            for r in range(1, 12, 2)
+        )
+        signatures = []
+        for engine_mode in ("object", "array"):
+            instance = uniform_instance(n=16, k=2, seed=3)
+            nodes = build_nodes("sharedbit", instance, seed=3)
+            sim = Simulation(
+                fragmented(), nodes, b=1, seed=3,
+                channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+                engine_mode=engine_mode,
+            )
+            sim.run(max_rounds=30)
+            signatures.append(trace_signature(sim.current_round, sim.trace))
+        assert signatures[0] == signatures[1]
+
+    def test_unbridged_mesh_may_fragment(self):
+        # bridge=False: connectivity is policy now, and a tiny radius
+        # leaves the proximity mesh in pieces.
+        dg = GeometricMobilityGraph(n=30, radius=0.08, step=0.05, tau=1,
+                                    seed=1, bridge=False)
+        assert any(
+            not nx.is_connected(dg.graph_at(r)) for r in range(1, 6)
+        )
+        assert dg.bridges_added == 0
 
 
 class TestDynamicMetrics:

@@ -25,6 +25,8 @@ from repro.errors import ConfigurationError
 from repro.experiments.fastpath import (
     CHECK_ACCEPTANCES,
     CHECK_DYNAMICS,
+    CHECK_FAULTS,
+    check_null_fault_identity,
     make_dynamics,
     run_case,
     trace_signature,
@@ -65,6 +67,45 @@ class TestTraceForTraceEquality:
             == run_case("sharedbit", dynamics, acceptance, "array",
                         rounds=120)
         )
+
+
+class TestTraceForTraceEqualityUnderFaults:
+    """The fault-regime axis of the differential matrix: masked stages
+    and the drop branch must stay byte-identical across both paths."""
+
+    @pytest.mark.parametrize("fault", [f for f in CHECK_FAULTS
+                                       if f != "none"])
+    @pytest.mark.parametrize("dynamics", CHECK_DYNAMICS)
+    def test_sharedbit(self, dynamics, fault):
+        assert (
+            run_case("sharedbit", dynamics, "uniform", "object",
+                     rounds=60, fault=fault)
+            == run_case("sharedbit", dynamics, "uniform", "array",
+                        rounds=60, fault=fault)
+        )
+
+    @pytest.mark.parametrize("fault", [f for f in CHECK_FAULTS
+                                       if f != "none"])
+    @pytest.mark.parametrize("algorithm", ("ppush", "blindmatch"))
+    def test_other_algorithms(self, algorithm, fault):
+        assert (
+            run_case(algorithm, "relabeling", "uniform", "object",
+                     rounds=60, fault=fault)
+            == run_case(algorithm, "relabeling", "uniform", "array",
+                        rounds=60, fault=fault)
+        )
+
+    @pytest.mark.parametrize("acceptance", CHECK_ACCEPTANCES)
+    def test_acceptance_rules_under_sleep(self, acceptance):
+        assert (
+            run_case("sharedbit", "static", acceptance, "object",
+                     rounds=60, fault="sleep")
+            == run_case("sharedbit", "static", acceptance, "array",
+                        rounds=60, fault="sleep")
+        )
+
+    def test_null_fault_model_is_free(self):
+        assert check_null_fault_identity(n=16, rounds=25) == []
 
 
 class TestRunGossipEquality:

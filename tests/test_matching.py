@@ -13,6 +13,8 @@ from repro.sim.matching import (
     ACCEPTANCE_RULES,
     resolve_proposals,
     resolve_proposals_arrays,
+    resolve_proposals_arrays_masked,
+    resolve_proposals_masked,
     resolve_proposals_unbounded,
 )
 
@@ -232,3 +234,88 @@ def test_matching_invariants(proposals, seed):
     for target, count in incoming.items():
         if count >= 1:
             assert any(resp == target for _, resp in matches)
+
+
+class TestMaskedResolvers:
+    """The fault layer's masked twins: inactive endpoints disappear,
+    everything-active is the unmasked resolver exactly."""
+
+    PROPOSALS = {1: 5, 2: 5, 3: 6, 4: 2, 7: 6}
+
+    def test_all_active_equals_unmasked(self):
+        active = frozenset(range(1, 10))
+        for rule in sorted(ACCEPTANCE_RULES):
+            assert resolve_proposals_masked(
+                dict(self.PROPOSALS), active, random.Random(3), rule=rule
+            ) == resolve_proposals(
+                dict(self.PROPOSALS), random.Random(3), rule=rule
+            )
+
+    def test_all_active_consumes_rng_identically(self):
+        active = frozenset(range(1, 10))
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        resolve_proposals_masked(dict(self.PROPOSALS), active, rng_a)
+        resolve_proposals(dict(self.PROPOSALS), rng_b)
+        assert rng_a.random() == rng_b.random()  # same stream position
+
+    def test_inactive_proposer_and_target_removed(self):
+        # 5 asleep: proposals 1->5 and 2->5 vanish; 3 asleep: 3->6 gone.
+        active = frozenset({1, 2, 4, 6, 7})
+        matches = resolve_proposals_masked(
+            dict(self.PROPOSALS), active, random.Random(1)
+        )
+        assert matches == [(4, 2), (7, 6)]
+
+    def test_arrays_masked_matches_dict_masked(self):
+        active = {1, 2, 4, 6, 7}
+        for rule in sorted(ACCEPTANCE_RULES) + ["unbounded"]:
+            expected = resolve_proposals_masked(
+                dict(self.PROPOSALS), frozenset(active),
+                random.Random(5), rule=rule,
+            )
+            got = resolve_proposals_arrays_masked(
+                np.array(sorted(self.PROPOSALS)),
+                np.array([self.PROPOSALS[p]
+                          for p in sorted(self.PROPOSALS)]),
+                np.array(sorted(active)),
+                random.Random(5), rule=rule,
+            )
+            assert got == expected
+
+    def test_nobody_active_means_no_matches(self):
+        assert resolve_proposals_masked(
+            dict(self.PROPOSALS), frozenset(), random.Random(1)
+        ) == []
+        assert resolve_proposals_arrays_masked(
+            np.array([1, 2]), np.array([5, 5]), np.array([], dtype=int),
+            random.Random(1),
+        ) == []
+
+
+@given(
+    st.dictionaries(
+        keys=st.integers(min_value=0, max_value=30),
+        values=st.integers(min_value=0, max_value=30),
+        min_size=0,
+        max_size=25,
+    ),
+    st.sets(st.integers(min_value=0, max_value=30)),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=150, deadline=None)
+def test_masked_resolvers_agree(proposals, active, seed):
+    proposals = {p: t for p, t in proposals.items() if p != t}
+    active = frozenset(active)
+    expected = resolve_proposals_masked(
+        proposals, active, random.Random(seed)
+    )
+    got = resolve_proposals_arrays_masked(
+        np.array(sorted(proposals), dtype=int),
+        np.array([proposals[p] for p in sorted(proposals)], dtype=int),
+        np.array(sorted(active), dtype=int),
+        random.Random(seed),
+    )
+    assert got == expected
+    # Masked matches only ever involve active nodes.
+    flat = {node for pair in expected for node in pair}
+    assert flat <= active
