@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import json
 import statistics
+import subprocess
 import time
+from datetime import date
 from pathlib import Path
 
 from repro.core.crowdedbin import CrowdedBinConfig
@@ -52,12 +54,38 @@ def write_report(name: str, text: str) -> Path:
     return _write_report(name, text, OUTPUT_DIR)
 
 
+def _provenance() -> dict:
+    """Git revision + ISO date stamped onto every ledger entry, so the
+    perf trajectory is comparable across PRs (which rev produced which
+    number, and when)."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_JSON_PATH.parent, capture_output=True, text=True,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+        if rev != "unknown":
+            dirty = subprocess.run(
+                ["git", "status", "--porcelain"],
+                cwd=BENCH_JSON_PATH.parent, capture_output=True,
+                text=True, timeout=10,
+            ).stdout.strip()
+            if dirty:
+                # Numbers from uncommitted code must not be attributed
+                # to the commit they happen to sit on.
+                rev += "-dirty"
+    except (OSError, subprocess.SubprocessError):
+        rev = "unknown"
+    return {"git_rev": rev, "date": date.today().isoformat()}
+
+
 def record_bench(name: str, payload: dict) -> Path:
     """Merge one named entry into the repo-root ``BENCH_engine.json``.
 
     Read-modify-write keyed by ``name``: re-running one bench refreshes
     its entry without clobbering the others, so the file accumulates the
-    whole suite's trajectory.  A corrupt ledger degrades to a fresh one.
+    whole suite's trajectory.  Entries are stamped with the producing
+    git revision and ISO date.  A corrupt ledger degrades to a fresh one.
     """
     data: dict = {}
     if BENCH_JSON_PATH.exists():
@@ -67,7 +95,7 @@ def record_bench(name: str, payload: dict) -> Path:
             data = {}
         if not isinstance(data, dict):
             data = {}
-    data[name] = payload
+    data[name] = dict(payload, **_provenance())
     BENCH_JSON_PATH.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n"
     )

@@ -33,10 +33,13 @@ import argparse
 import sys
 import time
 
+from repro.asynchrony import AsyncSimulation, UniformJitter
 from repro.core.problem import uniform_instance
 from repro.core.runner import build_nodes
 from repro.experiments.fastpath import (
     CHECK_FAULTS,
+    check_async_determinism,
+    check_async_sync_identity,
     check_fastpath_divergence,
     check_null_fault_identity,
 )
@@ -93,6 +96,31 @@ def _sleep_fault(n: int, seed: int) -> SleepCycle:
     return SleepCycle(n=n, seed=seed, period=8, duty=6)
 
 
+def measure_async_throughput(algorithm: str, n: int, k: int, rounds: int,
+                             seed: int = 11,
+                             jitter: float = 0.5) -> float:
+    """rounds/s for a fixed-window async run (jittered, event engine).
+
+    The asynchronous twin of :func:`measure_throughput`: same protocols,
+    same topology, same round budget, but every round window is one full
+    sweep of per-event cohorts through the event queue — the generic
+    per-node path, since jittered cohorts are partial by construction.
+    """
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    nodes = build_nodes(algorithm, instance, seed=seed)
+    defn = ALGORITHM_REGISTRY.get(algorithm)
+    sim = AsyncSimulation(
+        StaticDynamicGraph(star(n)), nodes,
+        b=defn.resolve_tag_length(defn.make_config()), seed=seed,
+        channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+        trace_sample_every=1024,
+        timing=UniformJitter(n=n, seed=seed, jitter=jitter),
+    )
+    started = time.perf_counter()
+    sim.run(max_rounds=rounds)
+    return rounds / (time.perf_counter() - started)
+
+
 def run_engine_bench(n: int = 2000) -> dict:
     """Measure object vs array throughput and update BENCH_engine.json."""
     cases = {"sharedbit": 400, "blindmatch": 1000}
@@ -120,6 +148,20 @@ def run_engine_bench(n: int = 2000) -> dict:
         "object_rounds_per_s": round(object_rps, 1),
         "array_rounds_per_s": round(array_rps, 1),
         "speedup": round(array_rps / object_rps, 2),
+    }
+    # The async-vs-sync row: the event engine's cost over the round
+    # engine on the same per-node (object) semantics.  Partial cohorts
+    # forbid bulk hooks, so the honest comparison is against the object
+    # path; the ratio prices what unsynchronized clocks cost per round.
+    async_rounds = 200
+    sync_rps = measure_throughput("sharedbit", n, 2, async_rounds, "object")
+    async_rps = measure_async_throughput("sharedbit", n, 2, async_rounds)
+    results["sharedbit_async_jitter"] = {
+        "rounds": async_rounds,
+        "timing": "jitter(0.5)",
+        "sync_object_rounds_per_s": round(sync_rps, 1),
+        "async_event_rounds_per_s": round(async_rps, 1),
+        "async_over_sync": round(async_rps / sync_rps, 2),
     }
     record_bench("engine:fastpath", results)
     return results
@@ -213,13 +255,24 @@ def main(argv=None) -> int:
     failures += check_null_fault_identity(
         n=16 if args.quick else 24, rounds=25 if args.quick else 40
     )
+    # ASYNC axis gate: the event-driven engine under synchronous timing
+    # must reproduce the round engine event for event on both paths, and
+    # jittered timing models must be seed-deterministic.
+    failures += check_async_sync_identity(
+        n=16 if args.quick else 24, rounds=25 if args.quick else 40
+    )
+    failures += check_async_determinism(
+        n=16 if args.quick else 24, rounds=25 if args.quick else 40
+    )
     for failure in failures:
         print(f"DIVERGENCE: {failure}", file=sys.stderr)
     if failures:
         return 1
     print("fast path byte-identical to reference "
           "(3 algorithms x 3 dynamics x 4 acceptance rules, plus "
-          "sleep/churn/lossy fault regimes and the NoFaults identity)")
+          "sleep/churn/lossy fault regimes, the NoFaults identity, "
+          "the ASYNC synchronous-timing identity, and async "
+          "seed-determinism)")
 
     if args.quick:
         probe = measure_throughput("sharedbit", 256, 2, 60, "array")
@@ -239,6 +292,13 @@ def main(argv=None) -> int:
             f"{row['array_rounds_per_s']:8.1f} r/s  "
             f"({row['speedup']:.2f}x)"
         )
+    async_row = results["sharedbit_async_jitter"]
+    print(
+        f"{'sharedbit_async_jitter':22s} n={args.n}: sync-object "
+        f"{async_row['sync_object_rounds_per_s']:8.1f} r/s -> async "
+        f"{async_row['async_event_rounds_per_s']:8.1f} r/s  "
+        f"({async_row['async_over_sync']:.2f}x)"
+    )
     best = max(results["sharedbit"]["speedup"],
                results["blindmatch"]["speedup"])
     if args.n >= 2000 and best < 3.0:

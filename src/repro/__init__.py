@@ -20,7 +20,8 @@ Quickstart (the fluent facade — see :mod:`repro.api`)::
     )
     print(record["rounds"], record["solved"])
 
-Every algorithm, topology family, dynamics kind, instance kind, and
+Every algorithm, topology family, dynamics kind, instance kind, fault
+regime, timing regime, and
 scenario is a named registration in :mod:`repro.registry`; plugins extend
 all of them (including the CLI) without editing repro itself.  The lower
 layers remain available: :func:`repro.core.run_gossip` for direct runs,
@@ -34,6 +35,7 @@ from repro import (
     registry,
     graphs,
     sim,
+    asynchrony,
     commcplx,
     core,
     leader,
@@ -68,6 +70,7 @@ __all__ = [
     "Experiment",
     "graphs",
     "sim",
+    "asynchrony",
     "commcplx",
     "core",
     "leader",

@@ -45,6 +45,7 @@ from repro.registry import (
     DYNAMICS_REGISTRY,
     FAULT_REGISTRY,
     INSTANCE_REGISTRY,
+    TIMING_REGISTRY,
     TOPOLOGY_REGISTRY,
 )
 
@@ -65,6 +66,7 @@ class Experiment:
         self._dynamic: dict = {"kind": "static"}
         self._instance: dict = {"kind": "uniform", "k": 1}
         self._fault: dict = {"kind": "none"}
+        self._timing: dict = {"kind": "synchronous"}
         self._config: dict | None = None
         self._engine: dict = {}
         self._seed = 0
@@ -92,6 +94,13 @@ class Experiment:
         """Choose the fault regime degrading the run (default: none)."""
         FAULT_REGISTRY.get(kind)
         self._fault = {"kind": kind, **params}
+        return self
+
+    def with_timing(self, kind: str, **params) -> "Experiment":
+        """Choose the timing regime scheduling per-node cycles
+        (default: synchronous — the paper's lock-step rounds)."""
+        TIMING_REGISTRY.get(kind)
+        self._timing = {"kind": kind, **params}
         return self
 
     def with_config(self, preset: str | None = None, **fields) -> "Experiment":
@@ -130,6 +139,8 @@ class Experiment:
         }
         if self._fault.get("kind", "none") != "none":
             payload["fault"] = _deep_copy_jsonable(self._fault)
+        if self._timing.get("kind", "synchronous") != "synchronous":
+            payload["timing"] = _deep_copy_jsonable(self._timing)
         if self._config is not None:
             payload["config"] = _deep_copy_jsonable(self._config)
         if self._engine:

@@ -1,0 +1,440 @@
+"""The event-driven front half: the mobile telephone model, unsynchronized.
+
+:class:`AsyncSimulation` runs the *same* protocols, acceptance rules,
+channels, traces, and termination conditions as the round engine
+(:class:`~repro.sim.engine.Simulation`), but drives them from a
+deterministic event queue instead of a lock-step round loop: a
+:class:`~repro.asynchrony.timing.TimingModel` assigns every node a
+schedule of activation instants (integer virtual ticks, one synchronous
+round = :data:`~repro.asynchrony.timing.TICKS_PER_ROUND` ticks), and each
+activation executes one local **scan → propose → accept → connect**
+cycle:
+
+1. **scan** — the node refreshes its advertisement
+   (``advertise(cycle, ...)``, indexed by the node's *local* cycle
+   counter, not a global round) and reads its neighbors' *current*
+   advertisements — whatever each neighbor last wrote, however stale;
+2. **propose** — it may propose to one visible neighbor;
+3. **accept** — proposals from nodes activating at the *same instant*
+   (a *cohort*) are resolved against each other by the model's
+   one-connection matching rule
+   (:func:`~repro.sim.matching.resolve_proposals` — the exact resolver
+   the round engine uses); proposal targets need not be activating (a
+   phone's radio accepts incoming connections between app-level scans);
+4. **connect** — matched pairs run the bounded Stage 3 exchange over a
+   metered channel, instantaneously.
+
+Trace records aggregate by *round window* (ticks
+``[r·TPR, (r+1)·TPR)`` belong to window ``r``), so round-indexed curves
+stay comparable across timing models;
+the async columns (``virtual_time``, ``clock_skew_max``, ``events``)
+record what the window looked like in event terms.  Termination is
+checked at window boundaries — the same instants the round engine checks.
+
+**The null-model invariant** (the subsystem's load-bearing contract):
+under :class:`~repro.asynchrony.timing.Synchronous` timing every cohort
+contains all ``n`` nodes at the exact instants ``1·TPR, 2·TPR, ...``,
+and the execution is event-for-event identical to the round engine —
+same tags, same proposals, same random-stream consumption, same matches,
+same traces — on *both* engine paths.  On the object path this falls out
+of the generic per-event cohort code (the equivalence the differential
+harness :func:`~repro.experiments.fastpath.check_async_sync_identity`
+actually proves); on the array path a synchronous full cohort reuses the
+round engine's bulk-hook stages wholesale.  Jittered timing models are
+restricted to the object path: bulk hooks consume the whole population's
+random streams at once, which only a full synchronized cohort may do.
+
+The fault layer composes: masks and drop decisions are evaluated per
+node at the node's *local* cycle (a duty-cycled phone skips cycles by
+its own clock), crash resets fire when a node's own schedule crosses
+into an outage, and visibility is judged from the scanning node's clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolViolationError,
+    RoundLimitExceeded,
+)
+from repro.asynchrony.events import EventQueue
+from repro.asynchrony.timing import TICKS_PER_ROUND, Synchronous, TimingModel
+from repro.sim.channel import Channel
+from repro.sim.context import NeighborView
+from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.matching import resolve_proposals, resolve_proposals_unbounded
+from repro.sim.termination import TerminationCondition, never
+
+__all__ = ["AsyncSimulation"]
+
+
+class AsyncSimulation(Simulation):
+    """Drive node protocols from per-node clocks over an event queue.
+
+    Accepts everything :class:`~repro.sim.engine.Simulation` does plus
+    ``timing`` (a built :class:`~repro.asynchrony.timing.TimingModel`;
+    ``None`` means the synchronous null model).  ``engine_mode="array"``
+    requires synchronous timing — see the module docstring.
+    """
+
+    def __init__(self, dynamic_graph, protocols, b: int, seed: int,
+                 timing: TimingModel | None = None, **engine_kwargs):
+        timing = timing if timing is not None else Synchronous(
+            dynamic_graph.n, seed
+        )
+        if not timing.is_null:
+            mode = engine_kwargs.get("engine_mode", "auto")
+            if mode == "array":
+                raise ConfigurationError(
+                    "engine_mode='array' requires synchronous timing: bulk "
+                    "hooks consume the whole population's streams at once, "
+                    "which only full synchronized cohorts may do; use "
+                    "'auto' or 'object'"
+                )
+            if timing.n != dynamic_graph.n:
+                raise ConfigurationError(
+                    f"timing model is bound to n={timing.n} but the graph "
+                    f"has n={dynamic_graph.n}"
+                )
+            # Force the scalar hooks: partial cohorts activate node
+            # subsets, so per-node calls are the only correct shape.
+            engine_kwargs["engine_mode"] = "object"
+        super().__init__(dynamic_graph, protocols, b, seed, **engine_kwargs)
+        self.timing = timing
+        self._queue = EventQueue()
+        self._seeded = False
+        #: Per-vertex activation totals (the per-node event counts).
+        self.event_counts = np.zeros(self.n, dtype=np.int64)
+        # Per-vertex local cycle counter (0 = not yet activated) and the
+        # node's activity at its last cycle (for per-node crash detection
+        # mirroring the round engine's mask-transition fallback).
+        self._local_cycle = [0] * self.n
+        self._node_active = [True] * self.n
+        # Current-window accumulators, flushed into one RoundRecord per
+        # window so round-indexed curves stay comparable across timings.
+        self._acc_events = 0
+        self._acc_active = 0
+        self._acc_proposals = 0
+        self._acc_connections = 0
+        self._acc_tokens = 0
+        self._acc_bits = 0
+        self._acc_dropped = 0
+        self._acc_last_ticks: int | None = None
+
+    def step(self):  # pragma: no cover - guard against misuse
+        raise ConfigurationError(
+            "AsyncSimulation advances by events, not rounds; use run()"
+        )
+
+    def run(
+        self,
+        max_rounds: int,
+        termination: TerminationCondition | None = None,
+        raise_on_limit: bool = False,
+    ) -> SimulationResult:
+        """Run until ``termination`` fires at a window boundary or the
+        virtual clock passes ``max_rounds`` rounds."""
+        if max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1, got {max_rounds}"
+            )
+        condition = termination or never()
+        if not self._seeded:
+            for vertex in range(self.n):
+                self._queue.push(
+                    self.timing.activation_ticks(vertex, 1), vertex, 1
+                )
+            self._seeded = True
+
+        terminated = False
+        while not terminated:
+            next_ticks = self._queue.peek_ticks()
+            if next_ticks is None:
+                break
+            window = next_ticks // TICKS_PER_ROUND
+            if window > max_rounds:
+                break
+            # Close out every window that precedes this cohort's (empty
+            # windows — bursty pauses — still get their zero records and
+            # their termination checks, like the round engine's rounds).
+            while not terminated and self._round < window - 1:
+                terminated = self._flush_window(condition, max_rounds)
+            if terminated:
+                break
+            ticks, members = self._queue.pop_cohort()
+            if self._bulk is not None:
+                self._process_cohort_synchronous(ticks, members)
+            else:
+                self._process_cohort(ticks, members)
+            for vertex, cycle in members:
+                self._queue.push(
+                    self.timing.activation_ticks(vertex, cycle + 1),
+                    vertex, cycle + 1,
+                )
+        # Drain: flush the window holding the final cohorts, then any
+        # trailing empty windows up to the round budget.
+        while not terminated and self._round < max_rounds:
+            terminated = self._flush_window(condition, max_rounds)
+        if not terminated and raise_on_limit:
+            raise RoundLimitExceeded(
+                f"no termination within {max_rounds} rounds",
+                trace=self.trace,
+            )
+        return SimulationResult(
+            rounds=self._round,
+            terminated=terminated,
+            trace=self.trace,
+            nodes=self.protocols,
+            event_counts=self.event_counts.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Window bookkeeping
+
+    def _flush_window(
+        self, condition: TerminationCondition, max_rounds: int
+    ) -> bool:
+        """Emit window ``self._round + 1``'s record; True if terminated."""
+        rnd = self._round + 1
+        cycles = self._local_cycle
+        self._observe_round(
+            rnd,
+            self._acc_proposals,
+            self._acc_connections,
+            self._acc_tokens,
+            self._acc_bits,
+            self._acc_dropped,
+            self._acc_active,
+            virtual_time=(
+                self._acc_last_ticks / TICKS_PER_ROUND
+                if self._acc_last_ticks is not None
+                else float(rnd)
+            ),
+            clock_skew_max=max(cycles) - min(cycles),
+            events=self._acc_events,
+        )
+        self._acc_events = 0
+        self._acc_active = 0
+        self._acc_proposals = 0
+        self._acc_connections = 0
+        self._acc_tokens = 0
+        self._acc_bits = 0
+        self._acc_dropped = 0
+        self._acc_last_ticks = None
+        self._round = rnd
+        return bool(
+            (rnd % self.termination_every == 0 or rnd == max_rounds)
+            and condition(self.protocols, rnd)
+        )
+
+    def _accumulate(self, ticks: int, events: int, active: int,
+                    proposals: int, connections: int, tokens: int,
+                    bits: int, dropped: int) -> None:
+        self._acc_events += events
+        self._acc_active += active
+        self._acc_proposals += proposals
+        self._acc_connections += connections
+        self._acc_tokens += tokens
+        self._acc_bits += bits
+        self._acc_dropped += dropped
+        self._acc_last_ticks = ticks
+
+    # ------------------------------------------------------------------
+    # Cohort execution
+
+    def _process_cohort_synchronous(self, ticks: int, members) -> None:
+        """A full synchronized cohort through the round engine's bulk
+        stages (array path; null timing only — enforced in __init__)."""
+        rnd = ticks // TICKS_PER_ROUND
+        proposal_count, matches, dropped, mask = self._round_stages(rnd)
+        tokens, bits = self._stage3(rnd, matches)
+        for vertex, cycle in members:
+            self._local_cycle[vertex] = cycle
+        self.event_counts += 1
+        self._accumulate(
+            ticks, len(members),
+            self.n if mask is None else int(mask.sum()),
+            proposal_count, len(matches), tokens, bits, dropped,
+        )
+
+    def _process_cohort(self, ticks: int, members) -> None:
+        """One cohort through the generic per-event path.
+
+        ``members`` is ``[(vertex, cycle), ...]`` in ascending vertex
+        order.  For a full synchronized cohort this reproduces the round
+        engine's object path decision for decision: Stage 1 for every
+        member in vertex order, then Stage 2 in the same order over the
+        freshly-stored tags, then one resolution over the cohort's
+        proposals — the equivalence the differential harness pins.
+        """
+        topo_round = ticks // TICKS_PER_ROUND
+        self._refresh_adjacency(self.dynamic_graph.graph_at(topo_round))
+        nodes = self._nodes
+        tags = self._tags
+        max_tag = self.max_tag
+
+        # Fault masks, evaluated at each member's local cycle (memoized
+        # per cohort; cohorts are usually single-cycle).
+        masks: dict[int, np.ndarray | None] = {}
+
+        def mask_for(cycle: int) -> np.ndarray | None:
+            if cycle not in masks:
+                mask = (
+                    self.faults.active_mask(cycle)
+                    if self._fault_active else None
+                )
+                if mask is not None:
+                    mask = np.asarray(mask, dtype=bool)
+                    if mask.shape != (self.n,):
+                        raise ConfigurationError(
+                            f"fault model returned a mask of shape "
+                            f"{mask.shape}; expected ({self.n},)"
+                        )
+                    if mask.all():
+                        mask = None
+                masks[cycle] = mask
+            return masks[cycle]
+
+        # Crash resets, before any stage hook runs (the round engine's
+        # ordering), detected per node against its own previous cycle.
+        if self._fault_active and self.faults.resets_state:
+            crashed_cache: dict[int, frozenset] = {}
+            for vertex, cycle in members:
+                if cycle not in crashed_cache:
+                    reported = self.faults.crashed_this_round(cycle)
+                    crashed_cache[cycle] = (
+                        None if reported is None
+                        else frozenset(np.asarray(reported).tolist())
+                    )
+                reported = crashed_cache[cycle]
+                if reported is not None:
+                    crashed = vertex in reported
+                else:
+                    mask = mask_for(cycle)
+                    crashed = (
+                        mask is not None
+                        and not mask[vertex]
+                        and self._node_active[vertex]
+                    )
+                if crashed:
+                    reset = getattr(nodes[vertex], "reset_tokens", None)
+                    if reset is not None:
+                        reset()
+
+        # Stage 1: scan — refresh each member's advertisement; a
+        # fault-inactive member still runs its hook (the round engine's
+        # masked semantics) but sees no neighbors and stays invisible.
+        member_views: list[tuple[int, ...]] = []  # visible neighbor vertices
+        active_count = 0
+        for vertex, cycle in members:
+            mask = mask_for(cycle)
+            active = mask is None or bool(mask[vertex])
+            if active:
+                active_count += 1
+                visible = (
+                    self._neighbor_vertices[vertex]
+                    if mask is None
+                    else tuple(
+                        nv for nv in self._neighbor_vertices[vertex]
+                        if mask[nv]
+                    )
+                )
+            else:
+                visible = ()
+            member_views.append(visible)
+            neighbor_uids = tuple(nodes[nv].uid for nv in visible) \
+                if mask is not None else self._neighbor_uids[vertex]
+            if not active:
+                neighbor_uids = ()
+            tag = nodes[vertex].advertise(cycle, neighbor_uids)
+            if not isinstance(tag, int) or not 0 <= tag <= max_tag:
+                raise ProtocolViolationError(
+                    f"node uid={nodes[vertex].uid} advertised tag {tag!r}; "
+                    f"legal range with b={self.b} is [0, {self.max_tag}]"
+                )
+            tags[vertex] = tag
+            self.event_counts[vertex] += 1
+            self._local_cycle[vertex] = cycle
+            self._node_active[vertex] = active
+
+        # Stage 2: propose — each member reads its visible neighbors'
+        # *current* advertisements (stale for neighbors that have not
+        # activated recently: the asynchrony the NWZ model studies).
+        proposals: dict[int, int] = {}
+        cycle_of_uid: dict[int, int] = {}
+        for (vertex, cycle), visible in zip(members, member_views):
+            views = tuple(
+                NeighborView(uid=nodes[nv].uid, tag=tags[nv])
+                for nv in visible
+            )
+            target = nodes[vertex].propose(cycle, views)
+            if target is None:
+                continue
+            if all(view.uid != target for view in views):
+                raise ProtocolViolationError(
+                    f"node uid={nodes[vertex].uid} proposed to "
+                    f"uid={target}, not a visible neighbor at virtual "
+                    f"time {ticks / TICKS_PER_ROUND:.4f}"
+                )
+            proposals[nodes[vertex].uid] = target
+            cycle_of_uid[nodes[vertex].uid] = cycle
+
+        # Accept: the cohort's proposals resolve against each other with
+        # the round engine's resolver.  The acceptance stream is keyed by
+        # the instant — a synchronized cohort at tick r·TPR draws from
+        # the exact stream the round engine uses for round r.  With at
+        # most one proposal no target can be contested, so the stream is
+        # never drawn from; skipping its derivation keeps singleton
+        # cohorts (the jittered common case) off the hashing path
+        # without any observable difference.
+        if self.acceptance == "unbounded":
+            matches = resolve_proposals_unbounded(proposals)
+        elif not proposals:
+            matches = []
+        else:
+            if len(proposals) == 1:
+                rng = None
+            elif ticks % TICKS_PER_ROUND == 0:
+                rng = self._tree.stream(
+                    "match", ticks // TICKS_PER_ROUND
+                )
+            else:
+                rng = self._tree.stream("match", "tick", ticks)
+            matches = resolve_proposals(
+                proposals, rng, rule=self.acceptance
+            )
+
+        # Fault drop decisions, keyed by the initiator's local cycle.
+        dropped = 0
+        if self._fault_active and matches:
+            surviving = []
+            for pair in matches:
+                if self.faults.drop_connection(
+                    cycle_of_uid[pair[0]], pair[0], pair[1]
+                ):
+                    dropped += 1
+                else:
+                    surviving.append(pair)
+            matches = surviving
+
+        # Connect: instantaneous bounded exchanges; the channel and the
+        # interact hook see the initiator's local cycle as their round.
+        tokens_moved = 0
+        control_bits = 0
+        for initiator_uid, responder_uid in matches:
+            cycle = cycle_of_uid[initiator_uid]
+            initiator = self.protocols[self._vertex_of_uid[initiator_uid]]
+            responder = self.protocols[self._vertex_of_uid[responder_uid]]
+            channel = Channel(cycle, initiator_uid, responder_uid,
+                              self.channel_policy)
+            initiator.interact(responder, channel, cycle)
+            channel.close()
+            tokens_moved += channel.tokens_moved
+            control_bits += channel.bits.total_bits
+
+        self._accumulate(
+            ticks, len(members), active_count, len(proposals),
+            len(matches), tokens_moved, control_bits, dropped,
+        )

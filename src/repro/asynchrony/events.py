@@ -1,0 +1,59 @@
+"""The deterministic event queue driving the asynchronous engine.
+
+A plain binary heap of ``(ticks, vertex, cycle)`` triples: virtual time
+in integer ticks first, vertex as the tiebreak.  Determinism needs
+nothing more — ticks are exact integers (no float ordering hazards),
+vertices are unique per pending event (each node has exactly one next
+activation scheduled), so the pop order is a pure function of the pushed
+schedule, which is itself a pure function of the run seed.
+
+The engine consumes events in *cohorts*: all events sharing the minimal
+tick, popped together in ascending vertex order.  Simultaneity is
+semantic, not incidental — a cohort scans the same world state and its
+proposals are resolved against each other by the model's one-connection
+matching rule, which is exactly what makes the synchronous schedule
+(every node at tick ``c·TPR``) collapse to the round engine's rounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of ``(ticks, vertex, cycle)`` activation events."""
+
+    def __init__(self):
+        self._heap: list[tuple[int, int, int]] = []
+
+    def push(self, ticks: int, vertex: int, cycle: int) -> None:
+        heapq.heappush(self._heap, (ticks, vertex, cycle))
+
+    def peek_ticks(self) -> int | None:
+        """The minimal pending tick, or ``None`` when drained."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_cohort(self) -> tuple[int, list[tuple[int, int]]]:
+        """Pop every event at the minimal tick.
+
+        Returns ``(ticks, [(vertex, cycle), ...])`` with members in
+        ascending vertex order (the heap's tiebreak) — the same vertex
+        order the round engine's stages iterate in.
+        """
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        ticks = self._heap[0][0]
+        members: list[tuple[int, int]] = []
+        while self._heap and self._heap[0][0] == ticks:
+            _, vertex, cycle = heapq.heappop(self._heap)
+            members.append((vertex, cycle))
+        return ticks, members
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        head = self._heap[0] if self._heap else None
+        return f"EventQueue(pending={len(self._heap)}, next={head})"

@@ -1,0 +1,359 @@
+"""Per-node clocks: when each device's local gossip cycle fires.
+
+The paper's mobile telephone model assumes lock-step synchronous rounds:
+every phone scans, proposes, and connects at the same global instants.
+Real smartphone P2P stacks are not like that — Newport, Weaver & Zheng's
+*Asynchronous Gossip in Smartphone Peer-to-Peer Networks* reformulates
+the model with unsynchronized per-device scan/connect timing, and the
+random gossip processes line studies spreading under relaxed pairwise
+schedules.  This module is the home of that axis: a :class:`TimingModel`
+assigns every node a schedule of *activation instants* — the virtual
+times at which the node runs one scan→propose→connect cycle — and the
+event-driven engine (:class:`~repro.asynchrony.engine.AsyncSimulation`)
+executes those cycles off a deterministic queue.
+
+Virtual time is integer **ticks**; one synchronous round spans
+:data:`TICKS_PER_ROUND` ticks, so tick arithmetic is exact (no float
+heap-ordering hazards) and the synchronous schedule lands every node on
+the exact instants ``1·TPR, 2·TPR, ...``.  Every activation time is a
+*pure function of (seed, vertex, cycle)* — never of call order — drawn
+from a dedicated ``("async", kind)`` :class:`~repro.rng.SeedTree`
+subtree, so clock jitter perturbs neither the engine's acceptance stream
+nor any node's private stream, and any consumer (either engine path, any
+``run_sweep --jobs`` value, a replay) derives the same schedule.
+
+The null model :class:`Synchronous` consumes **zero** randomness and is
+*event-for-event identical* to the round engine — enforced by
+:func:`repro.experiments.fastpath.check_async_sync_identity` on both the
+object and the array engine path.
+
+Model contract beyond purity:
+
+* ``activation_ticks(vertex, cycle)`` is strictly increasing in
+  ``cycle`` for every vertex (a device's cycles never reorder);
+* the first activation is at tick >= :data:`TICKS_PER_ROUND` (round 1 is
+  the first round — no activity happens before the topology exists).
+
+Timing composes with the fault layer: a
+:class:`~repro.sim.faults.SleepCycle` duty cycle masks *which cycles a
+node participates in* (indexed by the node's local cycle counter) while
+the timing model decides *when* those cycles fire — a phone can be both
+slow-clocked and duty-cycled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.registry import TIMING_REGISTRY, register_timing
+from repro.rng import SeedTree, prf_bits
+
+__all__ = [
+    "TICKS_PER_ROUND",
+    "TimingModel",
+    "Synchronous",
+    "UniformJitter",
+    "HeterogeneousRates",
+    "GilbertElliottPauses",
+    "build_timing",
+]
+
+#: Virtual-time resolution: one synchronous round in integer ticks.  A
+#: power of two so sub-round offsets scale exactly and ``tick // TPR``
+#: (the round-window index) is a shift.
+TICKS_PER_ROUND = 1 << 20
+
+
+def build_timing(spec: dict | None, n: int, seed: int) -> "TimingModel | None":
+    """Build a timing model from a ``{"kind": ..., **params}`` spec dict.
+
+    The one constructor every layer shares (``run_gossip``, the
+    experiments builders, the CLI).  ``None`` or kind ``"synchronous"``
+    returns ``None`` — the paper's lock-step rounds — so callers hand the
+    result straight to the runner without special-casing (a null timing
+    model runs on the round engine itself).
+    """
+    spec = spec or {}
+    defn = TIMING_REGISTRY.get(spec.get("kind", "synchronous"))
+    params = {key: value for key, value in spec.items() if key != "kind"}
+    try:
+        model = defn.build(n, seed, **params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad params for timing model {defn.name!r}: {exc}"
+        ) from exc
+    return None if model.is_null else model
+
+
+class TimingModel:
+    """When does each node's local cycle fire, in virtual ticks.
+
+    Subclasses draw from ``self._tree`` (an ``("async", kind)`` subtree
+    of the run seed) and must keep every activation time a pure function
+    of (seed, vertex, cycle), strictly increasing in cycle, and
+    >= :data:`TICKS_PER_ROUND` — see the module docstring for why.
+    """
+
+    #: True only on :class:`Synchronous`: the runner keeps null-timing
+    #: runs on the round engine, and :class:`AsyncSimulation` uses the
+    #: full-cohort fast paths.
+    is_null = False
+
+    def __init__(self, n: int, seed: int, kind: str):
+        if n < 1:
+            raise ConfigurationError(f"timing models need n >= 1, got {n}")
+        self.n = n
+        self.seed = seed
+        self.kind = kind
+        self._tree = SeedTree(seed).child("async", kind)
+
+    def activation_ticks(self, vertex: int, cycle: int) -> int:
+        """Virtual time (ticks) of ``vertex``'s ``cycle``-th activation
+        (``cycle`` counts from 1)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class Synchronous(TimingModel):
+    """The null model: the paper's lock-step rounds, zero randomness.
+
+    Every node's cycle ``c`` fires at exactly tick ``c·TPR`` — one full
+    cohort per round window, which is precisely the round engine's
+    semantics.  The runner treats this like having no timing model (runs
+    stay on :class:`~repro.sim.engine.Simulation`); the differential
+    harness constructs :class:`AsyncSimulation` with it explicitly to
+    prove the event-driven machinery reproduces the round engine
+    event for event.
+    """
+
+    is_null = True
+
+    def __init__(self, n: int = 1, seed: int = 0):
+        # No SeedTree: the null model must not even derive a stream.
+        self.n = n
+        self.seed = seed
+        self.kind = "synchronous"
+
+    def activation_ticks(self, vertex: int, cycle: int) -> int:
+        return cycle * TICKS_PER_ROUND
+
+
+class UniformJitter(TimingModel):
+    """Unsynchronized scan offsets: cycle ``c`` fires at ``c + U·jitter``.
+
+    The mildest asynchrony: every device keeps a nominal one-round cycle
+    period but its scan fires a fresh uniform offset in
+    ``[0, jitter)`` rounds late, so no two devices share instants and
+    advertisements are read stale.  ``jitter < 1`` keeps each cycle
+    inside its own round window (and the schedule strictly monotone).
+    """
+
+    def __init__(self, n: int, seed: int, jitter: float = 0.5):
+        super().__init__(n, seed, "jitter")
+        if not 0 <= jitter < 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {jitter}"
+            )
+        self.jitter = jitter
+        self._span = int(jitter * TICKS_PER_ROUND)
+        # One PRF evaluation per (vertex, cycle) is the whole schedule —
+        # this runs once per event, so it skips the SeedTree->Random
+        # construction (one blake2b + a Mersenne init per call) for a
+        # single keyed blake2b.
+        self._key = self._tree.key("jitter")
+
+    def activation_ticks(self, vertex: int, cycle: int) -> int:
+        if self._span == 0:
+            return cycle * TICKS_PER_ROUND
+        draw = prf_bits(self._key, (vertex, cycle), 53) * (2.0 ** -53)
+        return cycle * TICKS_PER_ROUND + int(draw * self._span)
+
+    def __repr__(self) -> str:
+        return f"UniformJitter(n={self.n}, jitter={self.jitter})"
+
+
+class HeterogeneousRates(TimingModel):
+    """Slow and fast device classes: per-node cycle rates.
+
+    Each vertex draws a device class once (uniformly over ``rates``, or
+    per ``weights``); a class with rate ``r`` completes ``r`` cycles per
+    synchronous round — an old phone with a throttled BLE stack scans at
+    0.6x while a flagship scans at 1.5x.  Every node also draws a phase
+    offset inside its first period so classes don't march in lockstep.
+    """
+
+    def __init__(self, n: int, seed: int, rates=(0.6, 1.0, 1.5),
+                 weights=None):
+        super().__init__(n, seed, "heterogeneous")
+        rates = tuple(float(r) for r in rates)
+        if not rates or any(r <= 0 for r in rates):
+            raise ConfigurationError(
+                f"rates must be positive and non-empty, got {rates}"
+            )
+        if weights is not None:
+            weights = tuple(float(w) for w in weights)
+            if len(weights) != len(rates) or any(w < 0 for w in weights) \
+                    or sum(weights) <= 0:
+                raise ConfigurationError(
+                    f"weights must be {len(rates)} non-negative values "
+                    f"with a positive sum, got {weights}"
+                )
+        self.rates = rates
+        self.weights = weights
+        # One-time class + phase draws, pure functions of (seed, vertex).
+        total = sum(weights) if weights is not None else len(rates)
+        cumulative = []
+        acc = 0.0
+        for i in range(len(rates)):
+            acc += (weights[i] if weights is not None else 1.0) / total
+            cumulative.append(acc)
+        self._rate_of = np.empty(n, dtype=np.float64)
+        self._phase_of = np.empty(n, dtype=np.int64)
+        for vertex in range(n):
+            rng = self._tree.stream("device", vertex)
+            draw = rng.random()
+            index = next(
+                i for i, edge in enumerate(cumulative) if draw < edge or
+                i == len(cumulative) - 1
+            )
+            rate = rates[index]
+            period = int(TICKS_PER_ROUND / rate)
+            self._rate_of[vertex] = rate
+            self._phase_of[vertex] = int(rng.random() * min(
+                period, TICKS_PER_ROUND
+            ))
+
+    def rate_of(self, vertex: int) -> float:
+        """The device class rate assigned to ``vertex`` (cycles/round)."""
+        return float(self._rate_of[vertex])
+
+    def activation_ticks(self, vertex: int, cycle: int) -> int:
+        # First cycle lands in [TPR, 2·TPR); later cycles follow at the
+        # device's own period.  Strictly monotone since rate > 0.
+        return (
+            TICKS_PER_ROUND
+            + int(self._phase_of[vertex])
+            + int((cycle - 1) * TICKS_PER_ROUND / self._rate_of[vertex])
+        )
+
+    def __repr__(self) -> str:
+        return f"HeterogeneousRates(n={self.n}, rates={self.rates})"
+
+
+class GilbertElliottPauses(TimingModel):
+    """Bursty pauses: a two-state (good/bad) gap process per device.
+
+    The Gilbert–Elliott shape familiar from bursty channel models,
+    applied to cycle gaps instead of bit errors: in the *good* state a
+    device cycles at its nominal one-round period (plus a little
+    jitter); with probability ``p_pause`` it falls into the *bad* state,
+    where the next gap stretches to ``pause_scale`` rounds (a backgrounded
+    app, a radio dropped by the OS scheduler), escaping with probability
+    ``p_resume`` per cycle.  Gaps accumulate, so activation times are
+    computed incrementally — but every transition and gap draw comes from
+    a per-(vertex, cycle) stream, so the schedule is a pure function of
+    the seed regardless of access order (the per-vertex prefix cache is
+    just memoization).
+
+    Composes with :class:`~repro.sim.faults.SleepCycle`: the fault layer
+    masks which cycles participate, this model decides when cycles fire.
+    """
+
+    def __init__(self, n: int, seed: int, p_pause: float = 0.1,
+                 p_resume: float = 0.6, pause_scale: float = 3.0,
+                 jitter: float = 0.2):
+        super().__init__(n, seed, "bursty")
+        for name, value in (("p_pause", p_pause), ("p_resume", p_resume)):
+            if not 0 <= value <= 1:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if pause_scale < 1:
+            raise ConfigurationError(
+                f"pause_scale must be >= 1, got {pause_scale}"
+            )
+        if not 0 <= jitter < 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {jitter}"
+            )
+        self.p_pause = p_pause
+        self.p_resume = p_resume
+        self.pause_scale = pause_scale
+        self.jitter = jitter
+        # Per-vertex prefix cache: _times[v][c - 1] is cycle c's tick.
+        self._times: dict[int, list[int]] = {}
+        self._states: dict[int, bool] = {}  # True = bad (paused)
+
+    def _gap(self, vertex: int, cycle: int, bad: bool) -> tuple[int, bool]:
+        """Gap before ``vertex``'s ``cycle``-th activation, plus the
+        state the transition out of this cycle leaves the device in."""
+        rng = self._tree.stream("ge", vertex, cycle)
+        if bad:
+            gap = int(TICKS_PER_ROUND * self.pause_scale
+                      * (0.5 + rng.random()))
+            next_bad = rng.random() >= self.p_resume
+        else:
+            gap = TICKS_PER_ROUND + int(
+                rng.random() * self.jitter * TICKS_PER_ROUND
+            )
+            next_bad = rng.random() < self.p_pause
+        return max(gap, 1), next_bad
+
+    def activation_ticks(self, vertex: int, cycle: int) -> int:
+        times = self._times.setdefault(vertex, [])
+        bad = self._states.setdefault(vertex, False)
+        while len(times) < cycle:
+            last = times[-1] if times else 0
+            gap, bad = self._gap(vertex, len(times) + 1, bad)
+            times.append(max(last + gap, TICKS_PER_ROUND + len(times)))
+            self._states[vertex] = bad
+        return times[cycle - 1]
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottPauses(n={self.n}, p_pause={self.p_pause}, "
+            f"p_resume={self.p_resume}, pause_scale={self.pause_scale})"
+        )
+
+
+@register_timing(
+    name="synchronous",
+    description="the paper's lock-step rounds: every node cycles at the "
+                "same global instants (zero randomness consumed)",
+)
+def _build_synchronous(n, seed):
+    return Synchronous(n=n, seed=seed)
+
+
+@register_timing(
+    name="jitter",
+    description="uniform scan offsets: each cycle fires up to jitter "
+                "rounds late on a fresh per-cycle draw",
+)
+def _build_uniform_jitter(n, seed, *, jitter=0.5):
+    return UniformJitter(n=n, seed=seed, jitter=jitter)
+
+
+@register_timing(
+    name="heterogeneous",
+    description="slow/fast device classes: per-node cycle rates drawn "
+                "once, with per-node phase offsets",
+)
+def _build_heterogeneous_rates(n, seed, *, rates=(0.6, 1.0, 1.5),
+                               weights=None):
+    return HeterogeneousRates(n=n, seed=seed, rates=rates, weights=weights)
+
+
+@register_timing(
+    name="bursty",
+    description="Gilbert-Elliott bursty pauses: nominal cycling with "
+                "occasional multi-round stalls (backgrounded apps)",
+)
+def _build_gilbert_elliott(n, seed, *, p_pause=0.1, p_resume=0.6,
+                           pause_scale=3.0, jitter=0.2):
+    return GilbertElliottPauses(n=n, seed=seed, p_pause=p_pause,
+                                p_resume=p_resume, pause_scale=pause_scale,
+                                jitter=jitter)

@@ -37,6 +37,7 @@ from repro.registry import (
     FAULT_REGISTRY,
     INSTANCE_REGISTRY,
     SCENARIO_REGISTRY,
+    TIMING_REGISTRY,
     TOPOLOGY_REGISTRY,
     load_plugin,
 )
@@ -84,13 +85,17 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         max_rounds=args.max_rounds,
         fault=None if args.fault == "none" else args.fault,
+        timing=None if args.timing == "synchronous" else args.timing,
     )
     status = "solved" if result.solved else "NOT solved (round limit)"
     fault_label = "" if args.fault == "none" else f", fault={args.fault}"
+    timing_label = (
+        "" if args.timing == "synchronous" else f", timing={args.timing}"
+    )
     print(
         f"{args.algorithm} on {args.graph} (n={n}, k={args.k}, "
-        f"tau={'inf' if args.tau == 0 else args.tau}{fault_label}): "
-        f"{result.rounds} rounds, {status}"
+        f"tau={'inf' if args.tau == 0 else args.tau}{fault_label}"
+        f"{timing_label}): {result.rounds} rounds, {status}"
     )
     print(
         f"connections={result.trace.total_connections} "
@@ -100,6 +105,10 @@ def _cmd_run(args) -> int:
             f" dropped_connections="
             f"{result.trace.total_dropped_connections}"
             if args.fault != "none" else ""
+        )
+        + (
+            f" events={int(result.event_counts.sum())}"
+            if result.event_counts is not None else ""
         )
     )
     return 0 if result.solved else 1
@@ -114,6 +123,7 @@ def _cmd_scenario(args) -> int:
         seed=args.seed,
         max_rounds=args.max_rounds,
         fault=scenario.fault,
+        timing=scenario.timing,
     )
     status = "solved" if result.solved else "NOT solved (round limit)"
     print(f"scenario {scenario.name}: {scenario.description}")
@@ -122,6 +132,11 @@ def _cmd_scenario(args) -> int:
             f"fault regime: {scenario.fault!r} "
             f"(dropped_connections="
             f"{result.trace.total_dropped_connections})"
+        )
+    if scenario.timing is not None and result.event_counts is not None:
+        print(
+            f"timing regime: {scenario.timing!r} "
+            f"(events={int(result.event_counts.sum())})"
         )
     print(
         f"{result.algorithm}: {result.rounds} rounds, {status} "
@@ -248,6 +263,13 @@ def _cmd_list(args) -> int:
         ),
     )
     section(
+        "timing models",
+        (
+            f"{defn.name:<14} {defn.description}"
+            for defn in TIMING_REGISTRY.values()
+        ),
+    )
+    section(
         "scenarios",
         (
             f"{defn.name:<18} {defn.description}"
@@ -291,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault regime degrading the run (default parameters; "
              "use sweep specs for tuned fault params)",
     )
+    run_p.add_argument(
+        "--timing", choices=sorted(TIMING_REGISTRY.names()),
+        default="synchronous",
+        help="timing regime scheduling per-node cycles (default "
+             "parameters; use sweep specs for tuned timing params)",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     sc_p = sub.add_parser("scenario", help="run a motivating workload")
@@ -329,7 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     ls_p = sub.add_parser(
         "list",
         help="print registered algorithms, graphs, dynamics, instances, "
-             "fault models, and scenarios",
+             "fault models, timing models, and scenarios",
     )
     ls_p.set_defaults(func=_cmd_list)
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.asynchrony.engine import AsyncSimulation
+from repro.asynchrony.timing import build_timing
 from repro.core.potential import potential
 from repro.core.problem import GossipInstance
 from repro.errors import ConfigurationError
@@ -59,7 +61,11 @@ def _runnable_def(algorithm: str):
 
 @dataclass
 class GossipRunResult:
-    """Outcome of one gossip execution."""
+    """Outcome of one gossip execution.
+
+    ``event_counts`` (per-vertex activation totals) is ``None`` for
+    synchronous runs; asynchronous runs fill it from the event engine.
+    """
 
     algorithm: str
     rounds: int
@@ -67,6 +73,7 @@ class GossipRunResult:
     trace: Trace
     instance: GossipInstance
     nodes: Mapping[int, NodeProtocol]
+    event_counts: object = None
 
     @property
     def residual_potential(self) -> int:
@@ -130,6 +137,25 @@ def _resolve_fault(fault, n: int, seed: int):
     return None if fault.is_null else fault
 
 
+def _resolve_timing(timing, n: int, seed: int):
+    """Materialize ``run_gossip``'s ``timing`` argument.
+
+    Accepts a built :class:`~repro.asynchrony.timing.TimingModel`, a
+    registered timing name (built with default parameters), a spec dict
+    (``{"kind": ..., **params}``), or ``None``.  Null timing
+    (``"synchronous"``) normalizes to ``None`` — the run stays on the
+    round engine, which *is* the synchronous model (the differential
+    harness proves the event-driven engine agrees with it).
+    """
+    if timing is None:
+        return None
+    if isinstance(timing, str):
+        timing = {"kind": timing}
+    if isinstance(timing, dict):
+        return build_timing(timing, n, seed)
+    return None if timing.is_null else timing
+
+
 def run_gossip(
     algorithm: str,
     dynamic_graph: DynamicGraph,
@@ -139,6 +165,7 @@ def run_gossip(
     config=None,
     channel_policy: ChannelPolicy | None = None,
     fault=None,
+    timing=None,
     gauges: dict | None = None,
     gauge_every: int = 64,
     trace_sample_every: int = 1,
@@ -157,6 +184,15 @@ def run_gossip(
     parameters), or a ``{"kind": ..., **params}`` dict.  ``None`` (the
     default) is the paper's clean model and is byte-identical to runs
     from before the fault layer existed.
+
+    ``timing`` selects the timing regime: a built
+    :class:`~repro.asynchrony.timing.TimingModel`, a registered timing
+    name (``"jitter"``, ``"heterogeneous"``, ``"bursty"``), or a
+    ``{"kind": ..., **params}`` dict.  ``None`` or ``"synchronous"``
+    (the default) is the paper's lock-step round structure and runs on
+    the round engine; anything else runs the same protocols on the
+    event-driven engine (:class:`~repro.asynchrony.engine.AsyncSimulation`)
+    with per-node clocks.
 
     ``engine_mode`` selects the engine front half: ``"auto"`` (the
     default) takes the array fast path when the algorithm's nodes provide
@@ -179,7 +215,8 @@ def run_gossip(
     if config is None:
         config = defn.make_config()
     nodes = build_nodes(algorithm, instance, seed, config)
-    sim = Simulation(
+    timing_model = _resolve_timing(timing, dynamic_graph.n, seed)
+    engine_kwargs = dict(
         dynamic_graph=dynamic_graph,
         protocols=nodes,
         b=defn.resolve_tag_length(config),
@@ -193,6 +230,10 @@ def run_gossip(
         termination_every=termination_every,
         engine_mode=engine_mode,
     )
+    if timing_model is None:
+        sim = Simulation(**engine_kwargs)
+    else:
+        sim = AsyncSimulation(timing=timing_model, **engine_kwargs)
     result = sim.run(
         max_rounds=max_rounds,
         termination=all_hold_tokens(instance.token_ids),
@@ -204,4 +245,5 @@ def run_gossip(
         trace=result.trace,
         instance=instance,
         nodes=nodes,
+        event_counts=result.event_counts,
     )

@@ -34,7 +34,10 @@ Quickstart::
 """
 
 from repro.experiments.fastpath import (
+    check_async_determinism,
+    check_async_sync_identity,
     check_fastpath_divergence,
+    check_null_fault_identity,
 )
 from repro.experiments.figures import (
     FIGURE1_ROW_KEYS,
@@ -63,6 +66,7 @@ from repro.experiments.specs import (
     build_config,
     build_dynamic_graph,
     build_instance,
+    build_timing,
     build_topology,
     canonical_json,
     run_hash,
@@ -83,9 +87,13 @@ __all__ = [
     "build_config",
     "build_dynamic_graph",
     "build_instance",
+    "build_timing",
     "build_topology",
     "canonical_json",
+    "check_async_determinism",
+    "check_async_sync_identity",
     "check_fastpath_divergence",
+    "check_null_fault_identity",
     "execute_run",
     "normalize_payload",
     "percentile",

@@ -17,10 +17,26 @@ The fault layer adds a second invariant:
 (:class:`~repro.sim.faults.NoFaults`) is byte-identical to running with
 no fault model at all — on both paths, the layer costs nothing and
 consumes zero randomness unless a real regime is selected.
+
+The asynchrony layer adds a third axis (ASYNC):
+:func:`check_async_sync_identity` pins that the event-driven engine
+(:class:`~repro.asynchrony.engine.AsyncSimulation`) under
+:class:`~repro.asynchrony.timing.Synchronous` timing is *event-for-event
+identical* to the round engine — same matches, same random-stream
+consumption, same traces, same end state — on both the object and the
+array path; :func:`check_async_determinism` pins that jittered timing
+models are seed-deterministic (same seed, twice, byte-identical).
 """
 
 from __future__ import annotations
 
+from repro.asynchrony.engine import AsyncSimulation
+from repro.asynchrony.timing import (
+    GilbertElliottPauses,
+    HeterogeneousRates,
+    Synchronous,
+    UniformJitter,
+)
 from repro.core.ppush import PPushNode
 from repro.core.problem import uniform_instance
 from repro.core.runner import build_nodes
@@ -42,10 +58,16 @@ __all__ = [
     "CHECK_ACCEPTANCES",
     "CHECK_DYNAMICS",
     "CHECK_FAULTS",
+    "CHECK_ASYNC_ALGORITHMS",
+    "CHECK_ASYNC_DYNAMICS",
+    "CHECK_TIMINGS",
     "check_fastpath_divergence",
     "check_null_fault_identity",
+    "check_async_sync_identity",
+    "check_async_determinism",
     "make_dynamics",
     "make_fault",
+    "make_timing",
     "run_case",
     "trace_signature",
 ]
@@ -55,6 +77,12 @@ CHECK_DYNAMICS = ("static", "relabeling", "geometric")
 CHECK_ACCEPTANCES = ("uniform", "lowest_uid", "highest_uid", "unbounded")
 #: Fault regimes the differential matrix exercises ("none" = no model).
 CHECK_FAULTS = ("none", "sleep", "churn", "lossy")
+#: The ASYNC identity axis: algorithms × dynamics run through both the
+#: round engine and the event engine under synchronous timing.
+CHECK_ASYNC_ALGORITHMS = ("sharedbit", "blindmatch")
+CHECK_ASYNC_DYNAMICS = ("static", "geometric")
+#: Jittered timing regimes the determinism check exercises.
+CHECK_TIMINGS = ("jitter", "heterogeneous", "bursty")
 
 
 def trace_signature(rounds: int, trace) -> tuple:
@@ -122,6 +150,25 @@ def _ppush_nodes(n: int, seed: int) -> dict:
     }
 
 
+def make_timing(kind, n: int, seed: int):
+    """One fresh timing model per execution (jittered models sized so a
+    few dozen rounds exercise partial cohorts, stale reads, and stalls).
+    An already-built :class:`~repro.asynchrony.timing.TimingModel`
+    passes through unchanged; ``None`` means the round engine."""
+    if kind is None or not isinstance(kind, str):
+        return kind
+    if kind == "synchronous":
+        return Synchronous(n, seed)
+    if kind == "jitter":
+        return UniformJitter(n=n, seed=seed, jitter=0.6)
+    if kind == "heterogeneous":
+        return HeterogeneousRates(n=n, seed=seed, rates=(0.5, 1.0, 1.7))
+    if kind == "bursty":
+        return GilbertElliottPauses(n=n, seed=seed, p_pause=0.2,
+                                    p_resume=0.5, pause_scale=2.0)
+    raise ValueError(f"unknown differential timing kind {kind!r}")
+
+
 def run_case(
     algorithm: str,
     dynamics_kind: str,
@@ -131,8 +178,13 @@ def run_case(
     seed: int = 7,
     rounds: int = 40,
     fault="none",
+    timing=None,
 ) -> tuple:
-    """Run one differential case; returns (trace signature, final state)."""
+    """Run one differential case; returns (trace signature, final state).
+
+    ``timing=None`` runs the round engine; anything else (a kind name or
+    a built model — including ``"synchronous"``) runs the event engine.
+    """
     if algorithm == "ppush":
         nodes = _ppush_nodes(n, seed)
         b = 1
@@ -143,11 +195,17 @@ def run_case(
         defn = ALGORITHM_REGISTRY.get(algorithm)
         b = defn.resolve_tag_length(defn.make_config())
         policy = ChannelPolicy.for_upper_n(instance.upper_n)
-    sim = Simulation(
-        make_dynamics(dynamics_kind, n, seed), nodes, b=b, seed=seed,
-        channel_policy=policy, acceptance=acceptance,
+    timing = make_timing(timing, n, seed)
+    engine_kwargs = dict(
+        b=b, seed=seed, channel_policy=policy, acceptance=acceptance,
         engine_mode=engine_mode, faults=make_fault(fault, n, seed),
     )
+    dynamics = make_dynamics(dynamics_kind, n, seed)
+    if timing is None:
+        sim = Simulation(dynamics, nodes, **engine_kwargs)
+    else:
+        sim = AsyncSimulation(dynamics, nodes, timing=timing,
+                              **engine_kwargs)
     sim.run(max_rounds=rounds)
     if algorithm == "ppush":
         state = tuple(
@@ -218,5 +276,69 @@ def check_null_fault_identity(
                     failures.append(
                         f"{algorithm}/{kind}/{engine_mode}: NoFaults "
                         "perturbed the trace (the null model must be free)"
+                    )
+    return failures
+
+
+def check_async_sync_identity(
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+    algorithms=CHECK_ASYNC_ALGORITHMS,
+    dynamics=CHECK_ASYNC_DYNAMICS,
+    acceptances=("uniform",),
+) -> list[str]:
+    """The ASYNC axis: synchronous timing == the round engine.
+
+    Runs each case through the round engine and through the event-driven
+    engine under the :class:`~repro.asynchrony.timing.Synchronous` null
+    model — on *both* the object and the array path — and reports any
+    case where the two differ in any observable way (matches, stream
+    consumption, traces, end state).  Empty means the event machinery
+    reproduces the round engine event for event.
+    """
+    failures = []
+    for algorithm in algorithms:
+        for kind in dynamics:
+            for acceptance in acceptances:
+                for engine_mode in ("object", "array"):
+                    round_engine = run_case(
+                        algorithm, kind, acceptance, engine_mode,
+                        n, seed, rounds,
+                    )
+                    event_engine = run_case(
+                        algorithm, kind, acceptance, engine_mode,
+                        n, seed, rounds, timing="synchronous",
+                    )
+                    if round_engine != event_engine:
+                        failures.append(
+                            f"{algorithm}/{kind}/{acceptance}/"
+                            f"{engine_mode}: event engine diverged from "
+                            "the round engine under synchronous timing"
+                        )
+    return failures
+
+
+def check_async_determinism(
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+    algorithms=CHECK_ASYNC_ALGORITHMS,
+    dynamics=CHECK_ASYNC_DYNAMICS,
+    timings=CHECK_TIMINGS,
+) -> list[str]:
+    """Jittered timing is replayable: same seed => byte-identical runs."""
+    failures = []
+    for algorithm in algorithms:
+        for kind in dynamics:
+            for timing in timings:
+                first = run_case(algorithm, kind, "uniform", "object",
+                                 n, seed, rounds, timing=timing)
+                second = run_case(algorithm, kind, "uniform", "object",
+                                  n, seed, rounds, timing=timing)
+                if first != second:
+                    failures.append(
+                        f"{algorithm}/{kind}/{timing}: two runs from the "
+                        "same seed diverged (async determinism broken)"
                     )
     return failures

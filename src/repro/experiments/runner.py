@@ -31,6 +31,7 @@ from repro.experiments.specs import (
     build_dynamic_graph,
     build_fault,
     build_instance,
+    build_timing,
     build_topology,
     run_hash,
 )
@@ -103,6 +104,7 @@ def execute_run(payload) -> dict:
 
     dynamic_graph = build_dynamic_graph(spec.graph, spec.dynamic, spec.seed)
     fault = build_fault(spec.fault, dynamic_graph.n, spec.seed)
+    timing = build_timing(spec.timing, dynamic_graph.n, spec.seed)
 
     if defn.execute is not None:
         if fault is not None:
@@ -110,6 +112,12 @@ def execute_run(payload) -> dict:
                 f"algorithm {spec.algorithm!r} runs through a custom "
                 "experiments-layer executor, which does not support fault "
                 "injection; use fault kind 'none'"
+            )
+        if timing is not None:
+            raise ConfigurationError(
+                f"algorithm {spec.algorithm!r} runs through a custom "
+                "experiments-layer executor, which does not support "
+                "asynchronous timing; use timing kind 'synchronous'"
             )
         record = defn.execute(
             spec, dynamic_graph, build_config(spec.algorithm, spec.config)
@@ -128,6 +136,7 @@ def execute_run(payload) -> dict:
             max_rounds=spec.max_rounds,
             config=build_config(spec.algorithm, spec.config),
             fault=fault,
+            timing=timing,
             gauges=gauges or None,
             gauge_every=engine.get("gauge_every", 64),
             trace_sample_every=engine.get("trace_sample_every", 1024),
@@ -151,6 +160,10 @@ def execute_run(payload) -> dict:
         record["dropped_connections"] = (
             result.trace.total_dropped_connections
         )
+        if result.event_counts is not None:
+            # Asynchronous runs: total node activations (the virtual
+            # clock's work measure, distinct from rounds).
+            record["events"] = int(result.event_counts.sum())
 
     record["notes"] = notes
     return record

@@ -32,6 +32,7 @@ from repro.registry import (
     FAULT_REGISTRY,
     INSTANCE_REGISTRY,
     RegistryNames,
+    TIMING_REGISTRY,
     TOPOLOGY_REGISTRY,
 )
 
@@ -43,6 +44,7 @@ __all__ = [
     "build_dynamic_graph",
     "build_fault",
     "build_instance",
+    "build_timing",
     "build_topology",
     "canonical_json",
     "run_hash",
@@ -119,6 +121,12 @@ class RunSpec:
                    ``{"kind": "lossy", "drop_prob": q}`` — the fault regime
                    degrading the run (sweepable like any dotted key, e.g.
                    ``{"fault.duty": [2, 4, 6]}``)
+    ``timing``   — ``{"kind": "synchronous"}`` (the paper's lock-step
+                   rounds, default), ``{"kind": "jitter", "jitter": j}``,
+                   ``{"kind": "heterogeneous", "rates": [...]}`` or
+                   ``{"kind": "bursty", "p_pause": p, ...}`` — the timing
+                   regime scheduling per-node cycles (sweepable, e.g.
+                   ``{"timing.jitter": [0.0, 0.5, 0.9]}``)
     ``config``   — algorithm-config overrides; an optional ``"preset"`` key
                    selects a classmethod preset (``paper`` / ``practical``)
                    before field overrides apply.  For ``epsilon`` runs the
@@ -135,6 +143,7 @@ class RunSpec:
     dynamic: dict = field(default_factory=lambda: {"kind": "static"})
     instance: dict = field(default_factory=lambda: {"kind": "uniform", "k": 1})
     fault: dict = field(default_factory=lambda: {"kind": "none"})
+    timing: dict = field(default_factory=lambda: {"kind": "synchronous"})
     config: dict | None = None
     engine: dict = field(default_factory=dict)
 
@@ -146,6 +155,7 @@ class RunSpec:
         DYNAMICS_REGISTRY.get(self.dynamic.get("kind", "static"))
         INSTANCE_REGISTRY.get(self.instance.get("kind", "uniform"))
         FAULT_REGISTRY.get(self.fault.get("kind", "none"))
+        TIMING_REGISTRY.get(self.timing.get("kind", "synchronous"))
         if self.max_rounds < 1:
             raise ConfigurationError(
                 f"max_rounds must be >= 1, got {self.max_rounds}"
@@ -165,6 +175,7 @@ class RunSpec:
             "dynamic": _deep_copy_jsonable(self.dynamic),
             "instance": _deep_copy_jsonable(self.instance),
             "fault": _deep_copy_jsonable(self.fault),
+            "timing": _deep_copy_jsonable(self.timing),
             "seed": self.seed,
             "max_rounds": self.max_rounds,
             "config": _deep_copy_jsonable(self.config),
@@ -233,6 +244,18 @@ def build_fault(fault_spec: dict | None, n: int, seed: int):
     from repro.sim.faults import build_fault as build_fault_model
 
     return build_fault_model(fault_spec, n, seed)
+
+
+def build_timing(timing_spec: dict | None, n: int, seed: int):
+    """Build the timing model a run spec describes (``n`` from the graph).
+
+    Returns ``None`` for the synchronous null model (the run stays on the
+    round engine).  Delegates to the one shared constructor in
+    :mod:`repro.asynchrony.timing`.
+    """
+    from repro.asynchrony.timing import build_timing as build_timing_model
+
+    return build_timing_model(timing_spec, n, seed)
 
 
 def build_config(algorithm: str, config_spec: dict | None):

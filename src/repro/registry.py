@@ -1,8 +1,8 @@
 """The one extension surface: registries of first-class definition objects.
 
 Everything runnable in this repo — gossip algorithms, topology families,
-dynamic-graph kinds, instance kinds, fault regimes, and motivating
-scenarios — is described by a definition object registered here and
+dynamic-graph kinds, instance kinds, fault regimes, timing regimes, and
+motivating scenarios — is described by a definition object registered here and
 resolved *by name*
 from every layer: :func:`repro.core.runner.run_gossip`, the declarative
 specs in :mod:`repro.experiments`, and the ``repro-gossip`` CLI.  The
@@ -66,6 +66,7 @@ __all__ = [
     "InstanceDef",
     "ScenarioDef",
     "FaultDef",
+    "TimingDef",
     "NodeBuildContext",
     "Registry",
     "RegistryNames",
@@ -76,12 +77,14 @@ __all__ = [
     "INSTANCE_REGISTRY",
     "SCENARIO_REGISTRY",
     "FAULT_REGISTRY",
+    "TIMING_REGISTRY",
     "register_algorithm",
     "register_topology",
     "register_dynamics",
     "register_instance",
     "register_scenario",
     "register_fault",
+    "register_timing",
     "ensure_builtins",
     "load_plugin",
 ]
@@ -226,6 +229,24 @@ class FaultDef:
     :class:`~repro.sim.faults.FaultModel` bound to the run's population
     size and seed (the model derives its own ``("faults", kind)`` streams
     from the seed, so fault draws never perturb engine or node streams).
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class TimingDef:
+    """A timing regime: when each node's local scan/connect cycle fires.
+
+    ``build(n, seed, **params)`` returns a
+    :class:`~repro.asynchrony.timing.TimingModel` bound to the run's
+    population size and seed (the model derives its own
+    ``("async", kind)`` streams from the seed, so clock jitter never
+    perturbs engine, fault, or node streams).  The null model
+    (``"synchronous"``) is the paper's lock-step round structure and runs
+    on the round engine itself.
     """
 
     name: str
@@ -383,6 +404,7 @@ DYNAMICS_REGISTRY = Registry("dynamics kind", "dynamics kinds")
 INSTANCE_REGISTRY = Registry("instance kind", "instance kinds")
 SCENARIO_REGISTRY = Registry("scenario", "scenarios")
 FAULT_REGISTRY = Registry("fault model", "fault models")
+TIMING_REGISTRY = Registry("timing model", "timing models")
 
 
 def register_algorithm(
@@ -485,6 +507,18 @@ def register_fault(*, name: str, description: str):
     return decorate
 
 
+def register_timing(*, name: str, description: str):
+    """Decorator registering a timing-model builder."""
+
+    def decorate(fn):
+        TIMING_REGISTRY.register(
+            TimingDef(name=name, description=description, build=fn)
+        )
+        return fn
+
+    return decorate
+
+
 #: Modules whose import registers the built-in definitions.  Algorithm
 #: order here fixes the display/grid order of the name views (the paper's
 #: Figure 1 order, MultiBit — our b ≥ 1 generalization — last).
@@ -492,6 +526,7 @@ _BUILTIN_MODULES = (
     "repro.graphs.topologies",
     "repro.graphs.dynamic",
     "repro.sim.faults",
+    "repro.asynchrony.timing",
     "repro.core.problem",
     "repro.core.blindmatch",
     "repro.core.sharedbit",

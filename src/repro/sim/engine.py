@@ -79,12 +79,18 @@ ENGINE_MODES = ("auto", "array", "object")
 
 @dataclass
 class SimulationResult:
-    """Outcome of a run: how long it took and what the system looked like."""
+    """Outcome of a run: how long it took and what the system looked like.
+
+    ``event_counts`` (per-vertex activation totals) is filled in only by
+    the asynchronous engine; the round engine activates every node once
+    per round, so the column would be redundant there.
+    """
 
     rounds: int
     terminated: bool
     trace: Trace
     nodes: Mapping[int, NodeProtocol]
+    event_counts: np.ndarray | None = None
 
     @cached_property
     def nodes_by_uid(self) -> dict[int, NodeProtocol]:
@@ -256,6 +262,23 @@ class Simulation:
         """
         self._round += 1
         rnd = self._round
+        proposal_count, matches, dropped, mask = self._round_stages(rnd)
+        tokens_moved, control_bits = self._stage3(rnd, matches)
+        return self._observe_round(
+            rnd, proposal_count, len(matches), tokens_moved, control_bits,
+            dropped, self.n if mask is None else int(mask.sum()),
+        )
+
+    def _round_stages(
+        self, rnd: int
+    ) -> tuple[int, list[tuple[int, int]], int, np.ndarray | None]:
+        """Stages 1–2 of round ``rnd`` plus both fault decisions.
+
+        Returns ``(proposal_count, surviving_matches, dropped, mask)``.
+        Shared between :meth:`step` and the asynchronous engine's
+        full-cohort path (:class:`~repro.asynchrony.engine.AsyncSimulation`
+        runs exactly this body once per synchronous cohort).
+        """
         # Fault layer, decision 1: who participates this round.  An
         # all-awake mask is normalized to None so degenerate masks (and
         # mask-free models like LossyLinks) stay on the cached hot paths.
@@ -301,8 +324,12 @@ class Simulation:
                 else:
                     surviving.append(pair)
             matches = surviving
+        return proposal_count, matches, dropped, mask
 
-        # Stage 3: bounded pairwise interaction over metered channels.
+    def _stage3(
+        self, rnd: int, matches: list[tuple[int, int]]
+    ) -> tuple[int, int]:
+        """Stage 3: bounded pairwise interaction over metered channels."""
         tokens_moved = 0
         control_bits = 0
         for initiator_uid, responder_uid in matches:
@@ -314,15 +341,32 @@ class Simulation:
             channel.close()
             tokens_moved += channel.tokens_moved
             control_bits += channel.bits.total_bits
+        return tokens_moved, control_bits
 
-        # Record keeping: unsampled rounds skip the RoundRecord/gauge-dict
-        # churn entirely and only bump the trace totals.
+    def _observe_round(
+        self,
+        rnd: int,
+        proposal_count: int,
+        connections: int,
+        tokens_moved: int,
+        control_bits: int,
+        dropped: int,
+        active_nodes: int,
+        **extra_columns,
+    ) -> RoundRecord | None:
+        """Fold one round into the trace (record or light path).
+
+        ``extra_columns`` are additional :class:`RoundRecord` fields
+        (the asynchrony layer's ``virtual_time``/``clock_skew_max``/
+        ``events``); unsampled rounds skip the RoundRecord/gauge-dict
+        churn entirely and only bump the trace totals.
+        """
         gauges_due = bool(self.gauges) and rnd % self.gauge_every == 0
         if not (
             gauges_due or rnd == 1 or rnd % self.trace.sample_every == 0
         ):
             self.trace.observe(
-                rnd, proposal_count, len(matches), tokens_moved,
+                rnd, proposal_count, connections, tokens_moved,
                 control_bits, dropped,
             )
             return None
@@ -334,12 +378,13 @@ class Simulation:
         record = RoundRecord(
             round_index=rnd,
             proposals=proposal_count,
-            connections=len(matches),
+            connections=connections,
             tokens_moved=tokens_moved,
             control_bits=control_bits,
             gauges=gauges,
-            active_nodes=self.n if mask is None else int(mask.sum()),
+            active_nodes=active_nodes,
             dropped_connections=dropped,
+            **extra_columns,
         )
         self.trace.record(record)
         return record

@@ -23,6 +23,13 @@ class RoundRecord:
     ``dropped_connections`` instead.  ``active_nodes`` is how many
     vertices participated in the round (``None`` when the producer does
     not track activity — the engine always fills it in).
+
+    The asynchrony layer's columns are ``None`` on round-engine records:
+    ``virtual_time`` is the virtual instant (in rounds, fractional) of
+    the window's last event, ``clock_skew_max`` the spread between the
+    fastest and slowest node's local cycle counter at the window's
+    close, and ``events`` how many node activations the window held (the
+    round engine activates every node exactly once per round).
     """
 
     round_index: int
@@ -33,6 +40,9 @@ class RoundRecord:
     gauges: dict = field(default_factory=dict)
     active_nodes: int | None = None
     dropped_connections: int = 0
+    virtual_time: float | None = None
+    clock_skew_max: int | None = None
+    events: int | None = None
 
 
 class Trace:

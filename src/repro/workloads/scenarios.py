@@ -1,17 +1,25 @@
-"""Concrete (dynamic graph, instance, fault regime) triples for the
-paper's motivating settings.
+"""Concrete (dynamic graph, instance, fault regime, timing regime)
+quadruples for the paper's motivating settings.
 
 The clean scenarios model the paper's idealized crowd; the faulty
 variants (``subway``, ``protest_lossy``, ``festival_nightfall``) add the
 degradation those settings actually exhibit — churn, lossy links,
-duty-cycled radios — through the fault layer
-(:mod:`repro.sim.faults`), so the same algorithms run under both regimes.
+duty-cycled radios — through the fault layer (:mod:`repro.sim.faults`);
+the asynchronous variants (``commute_mixed_devices``,
+``stadium_desync``) drop the lock-step round assumption through the
+asynchrony layer (:mod:`repro.asynchrony`), so the same algorithms run
+under every combination of regimes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.asynchrony.timing import (
+    GilbertElliottPauses,
+    HeterogeneousRates,
+    TimingModel,
+)
 from repro.core.problem import GossipInstance, uniform_instance, skewed_instance
 from repro.errors import ConfigurationError
 from repro.graphs.dynamic import (
@@ -37,14 +45,17 @@ __all__ = [
     "subway_scenario",
     "protest_lossy_scenario",
     "festival_nightfall_scenario",
+    "commute_mixed_devices_scenario",
+    "stadium_desync_scenario",
     "SCENARIOS",
 ]
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named workload: topology dynamics, a token assignment, and an
-    optional fault regime (``None`` = the paper's clean model)."""
+    """A named workload: topology dynamics, a token assignment, an
+    optional fault regime, and an optional timing regime (``None`` =
+    the paper's clean, lock-step model)."""
 
     name: str
     description: str
@@ -52,6 +63,7 @@ class Scenario:
     instance: GossipInstance
     recommended_algorithm: str
     fault: FaultModel | None = None
+    timing: TimingModel | None = None
 
 
 @register_scenario(
@@ -235,6 +247,74 @@ def festival_nightfall_scenario(n: int = 48, k: int = 8, seed: int = 0,
         instance=clean.instance,
         recommended_algorithm="sharedbit",
         fault=SleepCycle(n=n, seed=seed, period=period, duty=duty),
+    )
+
+
+@register_scenario(
+    name="commute_mixed_devices",
+    description="rush-hour commuters with mismatched phones: slow and "
+                "fast device classes on unsynchronized clocks",
+)
+def commute_mixed_devices_scenario(n: int = 36, k: int = 4, seed: int = 0,
+                                   tau: int = 4) -> Scenario:
+    """A commuting crowd whose phones disagree about time.
+
+    The same random-waypoint mobility as the protest workload, but run
+    asynchronously: device classes scan at 0.6x, 1x, and 1.5x the
+    nominal rate (old handsets with throttled BLE stacks next to
+    flagships), each with its own phase.  Advertisements are read stale
+    and no two phones share a round boundary — the asynchronous mobile
+    telephone model of Newport–Weaver–Zheng.  The first scenario built
+    on the asynchrony layer's heterogeneous-rate clocks.
+    """
+    if n < 8:
+        raise ConfigurationError(
+            f"commute_mixed_devices needs n >= 8, got {n}"
+        )
+    graph = GeometricMobilityGraph(
+        n=n, radius=0.35, step=0.05, tau=tau, seed=seed
+    )
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    return Scenario(
+        name="commute_mixed_devices",
+        description="rush-hour commuters with mismatched phones: slow "
+                    "and fast device classes on unsynchronized clocks",
+        dynamic_graph=graph,
+        instance=instance,
+        recommended_algorithm="sharedbit",
+        timing=HeterogeneousRates(n=n, seed=seed, rates=(0.6, 1.0, 1.5)),
+    )
+
+
+@register_scenario(
+    name="stadium_desync",
+    description="a stadium crowd on desynced, stalling clocks and "
+                "battery-saving radios: bursty timing + sleep cycling",
+)
+def stadium_desync_scenario(n: int = 48, k: int = 6, seed: int = 0,
+                            period: int = 8, duty: int = 6) -> Scenario:
+    """A stadium crowd streaming out after the final whistle.
+
+    A dense stable mesh, but nothing is synchronized: the OS backgrounds
+    the gossip app unpredictably (Gilbert–Elliott bursty pauses — most
+    cycles fire on time, occasional multi-round stalls), *and* phones
+    duty-cycle their radios to save battery.  Demonstrates the
+    asynchrony layer composing with the fault layer: the timing model
+    decides when a phone's cycles fire, the sleep cycle masks which of
+    those cycles participate.
+    """
+    topo = expander(n=n, degree=6, seed=seed)
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    return Scenario(
+        name="stadium_desync",
+        description="a stadium crowd on desynced, stalling clocks and "
+                    "battery-saving radios: bursty timing + sleep cycling",
+        dynamic_graph=StaticDynamicGraph(topo),
+        instance=instance,
+        recommended_algorithm="sharedbit",
+        fault=SleepCycle(n=n, seed=seed, period=period, duty=duty),
+        timing=GilbertElliottPauses(n=n, seed=seed, p_pause=0.08,
+                                    p_resume=0.6, pause_scale=2.5),
     )
 
 

@@ -24,8 +24,13 @@ from repro.core.runner import build_nodes, run_gossip
 from repro.errors import ConfigurationError
 from repro.experiments.fastpath import (
     CHECK_ACCEPTANCES,
+    CHECK_ASYNC_ALGORITHMS,
+    CHECK_ASYNC_DYNAMICS,
     CHECK_DYNAMICS,
     CHECK_FAULTS,
+    CHECK_TIMINGS,
+    check_async_determinism,
+    check_async_sync_identity,
     check_null_fault_identity,
     make_dynamics,
     run_case,
@@ -106,6 +111,73 @@ class TestTraceForTraceEqualityUnderFaults:
 
     def test_null_fault_model_is_free(self):
         assert check_null_fault_identity(n=16, rounds=25) == []
+
+
+class TestAsyncAxis:
+    """The ASYNC axis of the differential matrix: the event-driven
+    engine under the synchronous null model must reproduce the round
+    engine event for event, on both engine paths; jittered timing must
+    be seed-deterministic."""
+
+    @pytest.mark.parametrize("engine_mode", ("object", "array"))
+    @pytest.mark.parametrize("dynamics", CHECK_ASYNC_DYNAMICS)
+    @pytest.mark.parametrize("algorithm", CHECK_ASYNC_ALGORITHMS)
+    def test_synchronous_timing_matches_round_engine(
+        self, algorithm, dynamics, engine_mode
+    ):
+        assert (
+            run_case(algorithm, dynamics, "uniform", engine_mode,
+                     rounds=60)
+            == run_case(algorithm, dynamics, "uniform", engine_mode,
+                        rounds=60, timing="synchronous")
+        )
+
+    @pytest.mark.parametrize("acceptance", CHECK_ACCEPTANCES)
+    def test_synchronous_timing_across_acceptance_rules(self, acceptance):
+        assert (
+            run_case("sharedbit", "relabeling", acceptance, "object",
+                     rounds=60)
+            == run_case("sharedbit", "relabeling", acceptance, "object",
+                        rounds=60, timing="synchronous")
+        )
+
+    @pytest.mark.parametrize("fault", [f for f in CHECK_FAULTS
+                                       if f != "none"])
+    def test_synchronous_timing_composes_with_faults(self, fault):
+        # Full synchronized cohorts under a fault regime must mirror the
+        # round engine's masked stages and drop branch exactly.
+        assert (
+            run_case("sharedbit", "static", "uniform", "object",
+                     rounds=60, fault=fault)
+            == run_case("sharedbit", "static", "uniform", "object",
+                        rounds=60, fault=fault, timing="synchronous")
+        )
+
+    def test_matrix_via_shared_harness(self):
+        assert check_async_sync_identity(n=16, rounds=25) == []
+
+    @pytest.mark.parametrize("timing", CHECK_TIMINGS)
+    def test_jittered_timing_is_seed_deterministic(self, timing):
+        assert (
+            run_case("sharedbit", "geometric", "uniform", "object",
+                     rounds=40, timing=timing)
+            == run_case("sharedbit", "geometric", "uniform", "object",
+                        rounds=40, timing=timing)
+        )
+
+    def test_determinism_via_shared_harness(self):
+        assert check_async_determinism(n=16, rounds=25) == []
+
+    @pytest.mark.parametrize("timing", CHECK_TIMINGS)
+    def test_jittered_timing_changes_the_execution(self, timing):
+        # The non-null models must actually desynchronize something —
+        # otherwise the axis tests nothing.
+        assert (
+            run_case("sharedbit", "static", "uniform", "object",
+                     rounds=40, timing=timing)
+            != run_case("sharedbit", "static", "uniform", "object",
+                        rounds=40)
+        )
 
 
 class TestRunGossipEquality:

@@ -1,0 +1,143 @@
+"""Direct unit tests for the termination combinators and the Trace
+column helpers (previously only exercised indirectly through engine
+runs)."""
+
+import pytest
+
+from repro.sim.termination import (
+    all_agree_on_leader,
+    all_hold_tokens,
+    any_of,
+    never,
+)
+from repro.sim.trace import RoundRecord, Trace
+
+
+class _FakeNode:
+    def __init__(self, tokens=(), leader=None):
+        self.known_tokens = frozenset(tokens)
+        self.candidate_leader = leader
+
+
+class TestNever:
+    def test_always_false(self):
+        check = never()
+        assert check({}, 1) is False
+        assert check({0: _FakeNode()}, 10_000) is False
+
+
+class TestAllHoldTokens:
+    def test_fires_only_when_every_node_has_every_token(self):
+        check = all_hold_tokens({1, 2})
+        nodes = {0: _FakeNode({1, 2}), 1: _FakeNode({1})}
+        assert not check(nodes, 5)
+        nodes[1].known_tokens = frozenset({1, 2})
+        assert check(nodes, 6)
+
+    def test_extra_tokens_do_not_block(self):
+        check = all_hold_tokens({1})
+        assert check({0: _FakeNode({1, 7, 9})}, 1)
+
+    def test_empty_wanted_set_fires_immediately(self):
+        assert all_hold_tokens(())({0: _FakeNode()}, 1)
+
+
+class TestAllAgreeOnLeader:
+    def test_agreement_fires(self):
+        nodes = {v: _FakeNode(leader=3) for v in range(4)}
+        assert all_agree_on_leader()(nodes, 1)
+
+    def test_disagreement_blocks(self):
+        nodes = {0: _FakeNode(leader=3), 1: _FakeNode(leader=4)}
+        assert not all_agree_on_leader()(nodes, 1)
+
+    def test_agreement_on_none_counts(self):
+        # "Everyone undecided" is agreement at an instant — the
+        # stabilization guarantee is checked elsewhere (test_leader).
+        nodes = {v: _FakeNode(leader=None) for v in range(3)}
+        assert all_agree_on_leader()(nodes, 1)
+
+
+class TestAnyOf:
+    def test_empty_is_never(self):
+        assert not any_of()({}, 1)
+
+    def test_any_constituent_fires(self):
+        fired = any_of(never(), all_hold_tokens({1}))
+        assert fired({0: _FakeNode({1})}, 1)
+        assert not fired({0: _FakeNode()}, 1)
+
+    def test_short_circuits_left_to_right(self):
+        calls = []
+
+        def tracker(value):
+            def check(nodes, round_index):
+                calls.append(value)
+                return value
+            return check
+
+        assert any_of(tracker(True), tracker(False))({}, 1)
+        assert calls == [True]  # the second condition never ran
+
+    def test_composes_with_leader_and_tokens(self):
+        either = any_of(all_hold_tokens({1, 2}), all_agree_on_leader())
+        nodes = {0: _FakeNode({1}, leader=5), 1: _FakeNode({2}, leader=5)}
+        assert either(nodes, 1)  # leaders agree even though tokens short
+
+
+def _record(round_index, **overrides):
+    fields = dict(
+        round_index=round_index, proposals=4, connections=2,
+        tokens_moved=1, control_bits=8,
+    )
+    fields.update(overrides)
+    return RoundRecord(**fields)
+
+
+class TestTraceColumns:
+    def test_column_series_reads_any_record_field(self):
+        trace = Trace()
+        trace.record(_record(1, active_nodes=7, dropped_connections=1))
+        trace.record(_record(2, active_nodes=5, dropped_connections=0))
+        assert trace.column_series("active_nodes") == [(1, 7), (2, 5)]
+        assert trace.column_series("dropped_connections") == [
+            (1, 1), (2, 0),
+        ]
+
+    def test_column_series_covers_async_columns(self):
+        trace = Trace()
+        trace.record(_record(1, virtual_time=1.25, clock_skew_max=3,
+                             events=11))
+        assert trace.column_series("virtual_time") == [(1, 1.25)]
+        assert trace.column_series("clock_skew_max") == [(1, 3)]
+        assert trace.column_series("events") == [(1, 11)]
+
+    def test_column_series_unknown_field_raises(self):
+        trace = Trace()
+        trace.record(_record(1))
+        with pytest.raises(AttributeError):
+            trace.column_series("nope")
+
+    def test_column_series_respects_sampling(self):
+        trace = Trace(sample_every=2)
+        for rnd in range(1, 6):
+            trace.record(_record(rnd, active_nodes=rnd))
+        # round 1 always kept, then every second round
+        assert [rnd for rnd, _ in trace.column_series("active_nodes")] \
+            == [1, 2, 4]
+
+    def test_total_dropped_connections_exact_under_sampling(self):
+        trace = Trace(sample_every=4)
+        for rnd in range(1, 9):
+            trace.record(_record(rnd, dropped_connections=2))
+        # Totals are exact even though most records were not kept.
+        assert trace.total_dropped_connections == 16
+        assert len(trace.records) == 3  # rounds 1, 4, 8
+
+    def test_observe_light_path_counts_drops(self):
+        trace = Trace()
+        trace.observe(1, proposals=3, connections=1, tokens_moved=0,
+                      control_bits=4, dropped_connections=5)
+        assert trace.total_dropped_connections == 5
+        assert trace.total_rounds == 1
+        assert trace.records == []
