@@ -21,6 +21,15 @@ n = 2000 (the acceptance bar), growing with n·k.  BlindMatch is bounded
 by its n private Mersenne draws per round (byte-identity forbids
 batching those), so its gain is the engine overhead only (~1.5x).
 
+The ASYNC rows track the event-driven engine (jitter(0.5), star):
+``sharedbit_async_jitter`` prices the generic per-event path against the
+object engine, and ``sharedbit_async_jitter_batched`` prices the
+window-batched drain against the *array* engine — the
+``async_over_sync_array`` ratio is the tracked gap (bar: >= 0.5x at
+n = 2000), ``batched_over_event`` its speedup over the per-event path.
+``check_async_batched_identity`` gates both rows: the batched drain must
+be byte-identical to the per-event path before its throughput counts.
+
 Run directly for the CI gate / perf ledger::
 
     python benchmarks/bench_engine.py --quick   # divergence gate only
@@ -38,6 +47,7 @@ from repro.core.problem import uniform_instance
 from repro.core.runner import build_nodes
 from repro.experiments.fastpath import (
     CHECK_FAULTS,
+    check_async_batched_identity,
     check_async_determinism,
     check_async_sync_identity,
     check_fastpath_divergence,
@@ -97,14 +107,16 @@ def _sleep_fault(n: int, seed: int) -> SleepCycle:
 
 
 def measure_async_throughput(algorithm: str, n: int, k: int, rounds: int,
-                             seed: int = 11,
-                             jitter: float = 0.5) -> float:
+                             seed: int = 11, jitter: float = 0.5,
+                             async_mode: str = "auto") -> float:
     """rounds/s for a fixed-window async run (jittered, event engine).
 
     The asynchronous twin of :func:`measure_throughput`: same protocols,
-    same topology, same round budget, but every round window is one full
-    sweep of per-event cohorts through the event queue — the generic
-    per-node path, since jittered cohorts are partial by construction.
+    same topology, same round budget, every round window one full sweep
+    of jittered cohorts through the event queue.  ``async_mode`` picks
+    the window executor — ``"event"`` for the generic per-node path,
+    ``"batched"`` for the vectorized window drain (both byte-identical;
+    :func:`check_async_batched_identity` is the gate).
     """
     instance = uniform_instance(n=n, k=k, seed=seed)
     nodes = build_nodes(algorithm, instance, seed=seed)
@@ -115,6 +127,7 @@ def measure_async_throughput(algorithm: str, n: int, k: int, rounds: int,
         channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
         trace_sample_every=1024,
         timing=UniformJitter(n=n, seed=seed, jitter=jitter),
+        async_mode=async_mode,
     )
     started = time.perf_counter()
     sim.run(max_rounds=rounds)
@@ -149,19 +162,35 @@ def run_engine_bench(n: int = 2000) -> dict:
         "array_rounds_per_s": round(array_rps, 1),
         "speedup": round(array_rps / object_rps, 2),
     }
-    # The async-vs-sync row: the event engine's cost over the round
-    # engine on the same per-node (object) semantics.  Partial cohorts
-    # forbid bulk hooks, so the honest comparison is against the object
-    # path; the ratio prices what unsynchronized clocks cost per round.
+    # The async-vs-sync rows: the event engine's cost over the round
+    # engine.  The per-event row prices the generic path against the
+    # object engine (partial cohorts forbid bulk hooks there); the
+    # batched row prices the vectorized window drain against the *array*
+    # engine — the honest bar, since both vectorize — and tracks the
+    # batched-over-event speedup so the gap's trajectory is recorded,
+    # not just its existence.
     async_rounds = 200
     sync_rps = measure_throughput("sharedbit", n, 2, async_rounds, "object")
-    async_rps = measure_async_throughput("sharedbit", n, 2, async_rounds)
+    event_rps = measure_async_throughput("sharedbit", n, 2, async_rounds,
+                                         async_mode="event")
     results["sharedbit_async_jitter"] = {
         "rounds": async_rounds,
         "timing": "jitter(0.5)",
         "sync_object_rounds_per_s": round(sync_rps, 1),
-        "async_event_rounds_per_s": round(async_rps, 1),
-        "async_over_sync": round(async_rps / sync_rps, 2),
+        "async_event_rounds_per_s": round(event_rps, 1),
+        "async_over_sync": round(event_rps / sync_rps, 2),
+    }
+    sync_array_rps = measure_throughput("sharedbit", n, 2, async_rounds,
+                                        "array")
+    batched_rps = measure_async_throughput("sharedbit", n, 2, async_rounds,
+                                           async_mode="batched")
+    results["sharedbit_async_jitter_batched"] = {
+        "rounds": async_rounds,
+        "timing": "jitter(0.5)",
+        "sync_array_rounds_per_s": round(sync_array_rps, 1),
+        "async_batched_rounds_per_s": round(batched_rps, 1),
+        "async_over_sync_array": round(batched_rps / sync_array_rps, 2),
+        "batched_over_event": round(batched_rps / event_rps, 2),
     }
     record_bench("engine:fastpath", results)
     return results
@@ -264,6 +293,12 @@ def main(argv=None) -> int:
     failures += check_async_determinism(
         n=16 if args.quick else 24, rounds=25 if args.quick else 40
     )
+    # Window-batching gate: the vectorized window drain must reproduce
+    # the generic per-event path byte for byte, through both engine
+    # front halves.
+    failures += check_async_batched_identity(
+        n=16 if args.quick else 24, rounds=25 if args.quick else 40
+    )
     for failure in failures:
         print(f"DIVERGENCE: {failure}", file=sys.stderr)
     if failures:
@@ -271,16 +306,28 @@ def main(argv=None) -> int:
     print("fast path byte-identical to reference "
           "(3 algorithms x 3 dynamics x 4 acceptance rules, plus "
           "sleep/churn/lossy fault regimes, the NoFaults identity, "
-          "the ASYNC synchronous-timing identity, and async "
-          "seed-determinism)")
+          "the ASYNC synchronous-timing identity, async "
+          "seed-determinism, and the batched-window identity)")
 
     if args.quick:
         probe = measure_throughput("sharedbit", 256, 2, 60, "array")
         faulty_probe = measure_throughput("sharedbit", 256, 2, 60, "array",
                                           fault=_sleep_fault)
+        event_probe = measure_async_throughput("sharedbit", 256, 2, 60,
+                                               async_mode="event")
+        batched_probe = measure_async_throughput("sharedbit", 256, 2, 60,
+                                                 async_mode="batched")
+        if batched_probe <= event_probe:
+            print(f"FAIL: batched async window path "
+                  f"({batched_probe:.0f} rounds/s) did not beat the "
+                  f"per-event path ({event_probe:.0f} rounds/s) at n=256",
+                  file=sys.stderr)
+            return 1
         print(f"throughput probe ok ({probe:.0f} rounds/s clean, "
               f"{faulty_probe:.0f} rounds/s under sleep(6/8), "
-              "sharedbit array, n=256)")
+              "sharedbit array, n=256; async jitter "
+              f"{event_probe:.0f} rounds/s per-event -> "
+              f"{batched_probe:.0f} rounds/s batched)")
         return 0
 
     results = run_engine_bench(n=args.n)
@@ -299,6 +346,24 @@ def main(argv=None) -> int:
         f"{async_row['async_event_rounds_per_s']:8.1f} r/s  "
         f"({async_row['async_over_sync']:.2f}x)"
     )
+    batched_row = results["sharedbit_async_jitter_batched"]
+    print(
+        f"{'  ... batched':22s} n={args.n}: sync-array  "
+        f"{batched_row['sync_array_rounds_per_s']:8.1f} r/s -> async "
+        f"{batched_row['async_batched_rounds_per_s']:8.1f} r/s  "
+        f"({batched_row['async_over_sync_array']:.2f}x of array, "
+        f"{batched_row['batched_over_event']:.2f}x over per-event)"
+    )
+    if args.n >= 2000 and batched_row["async_over_sync_array"] < 0.5:
+        print("FAIL: batched async path fell below 0.5x of the sync "
+              f"array engine ({batched_row['async_over_sync_array']:.2f}x)",
+              file=sys.stderr)
+        return 1
+    if args.n >= 2000 and batched_row["batched_over_event"] <= 1.0:
+        print("FAIL: batched window path lost to the per-event path "
+              f"({batched_row['batched_over_event']:.2f}x)",
+              file=sys.stderr)
+        return 1
     best = max(results["sharedbit"]["speedup"],
                results["blindmatch"]["speedup"])
     if args.n >= 2000 and best < 3.0:

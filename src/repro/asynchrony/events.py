@@ -51,6 +51,29 @@ class EventQueue:
             members.append((vertex, cycle))
         return ticks, members
 
+    def pop_window(self, boundary: int) -> list[tuple[int, list[tuple[int, int]]]]:
+        """Pop every cohort whose tick is strictly below ``boundary``.
+
+        Returns ``[(ticks, [(vertex, cycle), ...]), ...]`` in ascending
+        tick order, each cohort's members in ascending vertex order —
+        exactly the sequence repeated :meth:`pop_cohort` calls would
+        produce, but in one heap pass.  A round window holds thousands of
+        singleton cohorts under jittered timing, so draining the window
+        at once is what keeps the per-event loop's queue overhead off the
+        per-cohort price.  An empty list means no pending event precedes
+        the boundary (the queue itself may still hold later events).
+        """
+        heap = self._heap
+        cohorts: list[tuple[int, list[tuple[int, int]]]] = []
+        while heap and heap[0][0] < boundary:
+            ticks = heap[0][0]
+            members: list[tuple[int, int]] = []
+            while heap and heap[0][0] == ticks:
+                _, vertex, cycle = heapq.heappop(heap)
+                members.append((vertex, cycle))
+            cohorts.append((ticks, members))
+        return cohorts
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -47,7 +47,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.registry import TIMING_REGISTRY, register_timing
-from repro.rng import SeedTree, prf_bits
+from repro.rng import SeedTree, prf_template, serialize_index
 
 __all__ = [
     "TICKS_PER_ROUND",
@@ -113,6 +113,26 @@ class TimingModel:
         (``cycle`` counts from 1)."""
         raise NotImplementedError
 
+    def activation_ticks_batch(self, vertices, cycles) -> np.ndarray:
+        """Vectorized :meth:`activation_ticks` over parallel arrays.
+
+        Returns an ``int64`` array with entry ``i`` equal to
+        ``activation_ticks(vertices[i], cycles[i])`` — *exactly* equal,
+        bit for bit: the batched engine path derives its whole window
+        schedule through this hook, and determinism demands the same
+        schedule the per-event path computes one call at a time.  The
+        base implementation loops the scalar hook (correct for any
+        model); models whose draws vectorize override it.
+        """
+        return np.fromiter(
+            (
+                self.activation_ticks(int(vertex), int(cycle))
+                for vertex, cycle in zip(vertices, cycles)
+            ),
+            dtype=np.int64,
+            count=len(vertices),
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(n={self.n})"
 
@@ -140,6 +160,9 @@ class Synchronous(TimingModel):
     def activation_ticks(self, vertex: int, cycle: int) -> int:
         return cycle * TICKS_PER_ROUND
 
+    def activation_ticks_batch(self, vertices, cycles) -> np.ndarray:
+        return np.asarray(cycles, dtype=np.int64) * TICKS_PER_ROUND
+
 
 class UniformJitter(TimingModel):
     """Unsynchronized scan offsets: cycle ``c`` fires at ``c + U·jitter``.
@@ -159,17 +182,106 @@ class UniformJitter(TimingModel):
             )
         self.jitter = jitter
         self._span = int(jitter * TICKS_PER_ROUND)
-        # One PRF evaluation per (vertex, cycle) is the whole schedule —
-        # this runs once per event, so it skips the SeedTree->Random
-        # construction (one blake2b + a Mersenne init per call) for a
-        # single keyed blake2b.
+        # The schedule PRF is evaluated in *blocks*: one keyed-BLAKE2b
+        # digest for ``(vertex, cycle >> 3)`` yields 64 bytes = eight
+        # 64-bit words, and cycle ``c`` reads word ``c & 7``.  Each draw
+        # is still a pure function of (seed, vertex, cycle) under the
+        # dedicated ("async", "jitter") subtree — the block is just an
+        # 8x amortization of the hash, which is the dominant cost of
+        # draining a window in the batched engine (one draw per event).
         self._key = self._tree.key("jitter")
+        # Batch-path caches: a pre-keyed hash template (copying it is
+        # cheaper than re-keying per draw), plus the per-vertex current
+        # block and its eight words — cycles advance one per window, so
+        # seven of eight windows reuse a cached block outright.
+        self._template = prf_template(self._key)
+        self._scalar_blocks: dict[int, tuple[int, bytes]] = {}
+        self._block_of: np.ndarray | None = None
+        self._words: np.ndarray | None = None
+        # Index serializations are pure and reused heavily (a vertex's
+        # prefix for the whole run, a block's suffix across all vertices
+        # crossing into it), and building one costs as much as the hash
+        # itself — memoize both halves.
+        self._vertex_ser: dict[int, bytes] = {}
+        self._block_ser: dict[int, bytes] = {}
+
+    def _block_digest(self, vertex: int, block: int) -> bytes:
+        # prf_bytes(key, (vertex, block), 64) — payload + 4-byte counter
+        # (always zero: one digest is exactly one block of eight draws).
+        vser = self._vertex_ser.get(vertex)
+        if vser is None:
+            vser = self._vertex_ser[vertex] = serialize_index((vertex,))
+        bser = self._block_ser.get(block)
+        if bser is None:
+            bser = self._block_ser[block] = (
+                serialize_index((block,)) + b"\x00\x00\x00\x00"
+            )
+        h = self._template.copy()
+        h.update(vser + bser)
+        return h.digest()
 
     def activation_ticks(self, vertex: int, cycle: int) -> int:
         if self._span == 0:
             return cycle * TICKS_PER_ROUND
-        draw = prf_bits(self._key, (vertex, cycle), 53) * (2.0 ** -53)
+        block, slot = cycle >> 3, cycle & 7
+        cached = self._scalar_blocks.get(vertex)
+        if cached is None or cached[0] != block:
+            digest = self._block_digest(vertex, block)
+            self._scalar_blocks[vertex] = (block, digest)
+        else:
+            digest = cached[1]
+        word = int.from_bytes(digest[8 * slot: 8 * slot + 8], "big")
+        draw = (word >> 11) * (2.0 ** -53)
         return cycle * TICKS_PER_ROUND + int(draw * self._span)
+
+    def activation_ticks_batch(self, vertices, cycles) -> np.ndarray:
+        """The scalar draw, vectorized everywhere the PRF is not.
+
+        BLAKE2b is inherently one evaluation per block, but block reuse
+        does the heavy lifting: the per-vertex ``(block, words)`` cache
+        is an ``(n, 8)`` uint64 matrix, so a window whose members stay
+        inside their current blocks is a single fancy gather with *zero*
+        hashing, and only block-crossing members (one window in eight)
+        pay a digest.  The 53-bit extraction / offset arithmetic runs as
+        numpy array ops whose IEEE operation sequence matches the scalar
+        path exactly (top 53 bits, ``* 2**-53``, ``* span``, truncate) —
+        so the returned ticks are bit-identical to per-event
+        :meth:`activation_ticks` calls.
+        """
+        base = np.asarray(cycles, dtype=np.int64) * TICKS_PER_ROUND
+        if self._span == 0 or len(base) == 0:
+            return base
+        vertices = np.asarray(vertices, dtype=np.int64)
+        cycles = np.asarray(cycles, dtype=np.int64)
+        if self._block_of is None:
+            self._block_of = np.full(self.n, -1, dtype=np.int64)
+            self._words = np.zeros((self.n, 8), dtype=np.uint64)
+        blocks = cycles >> 3
+        slots = cycles & 7
+        stale = np.nonzero(self._block_of[vertices] != blocks)[0]
+        words = self._words[vertices, slots]
+        if stale.size:
+            stale_vertices = vertices[stale].tolist()
+            digest = self._block_digest
+            digests = b"".join(
+                [
+                    digest(vertex, block)
+                    for vertex, block in zip(stale_vertices,
+                                             blocks[stale].tolist())
+                ]
+            )
+            fresh = np.frombuffer(digests, dtype=">u8").astype(
+                np.uint64
+            ).reshape(-1, 8)
+            # Gather the stale rows' words from the fresh digests first:
+            # a vertex appearing twice in one window with cycles in
+            # *different* blocks must not read a cache row its later
+            # occurrence just overwrote.
+            words[stale] = fresh[np.arange(stale.size), slots[stale]]
+            self._words[stale_vertices] = fresh
+            self._block_of[stale_vertices] = blocks[stale]
+        draws = (words >> np.uint64(11)) * (2.0 ** -53)
+        return base + (draws * float(self._span)).astype(np.int64)
 
     def __repr__(self) -> str:
         return f"UniformJitter(n={self.n}, jitter={self.jitter})"
@@ -238,6 +350,18 @@ class HeterogeneousRates(TimingModel):
             + int(self._phase_of[vertex])
             + int((cycle - 1) * TICKS_PER_ROUND / self._rate_of[vertex])
         )
+
+    def activation_ticks_batch(self, vertices, cycles) -> np.ndarray:
+        # Same arithmetic as the scalar hook on array operands: the
+        # int64 products are exact, the float64 division and truncation
+        # match ``int(pyint * TPR / np.float64)`` operation for
+        # operation, so the batch is bit-identical.
+        vertices = np.asarray(vertices, dtype=np.int64)
+        cycles = np.asarray(cycles, dtype=np.int64)
+        periods = (
+            (cycles - 1) * TICKS_PER_ROUND / self._rate_of[vertices]
+        ).astype(np.int64)
+        return TICKS_PER_ROUND + self._phase_of[vertices] + periods
 
     def __repr__(self) -> str:
         return f"HeterogeneousRates(n={self.n}, rates={self.rates})"

@@ -88,14 +88,34 @@ class EqualityTester:
         self.stats.calls += 1
         elements_a = list(set_a)
         elements_b = list(set_b)
-        for _ in range(trials):
-            self.stats.trials += 1
-            self.stats.bits += self._bits_per_trial
-            if channel is not None:
-                channel.charge_bits(self._bits_per_trial, label="eqtest")
-            point = rng.randrange(self._prime)
-            value_a = eval_set_polynomial(elements_a, point, self._prime)
-            value_b = eval_set_polynomial(elements_b, point, self._prime)
-            if value_a != value_b:
-                return False
-        return True
+        prime = self._prime
+        if set(elements_a) == set(elements_b):
+            # Equal sets can never early-exit: every trial runs and
+            # necessarily matches, so the outcome carries no randomness —
+            # charge the identical trials and bits but skip the draws and
+            # polynomial evaluations.  Determinism is preserved because
+            # set equality is itself a pure function of protocol state:
+            # every replay takes the same branch, so the initiator's
+            # private stream advances identically on every run.  In
+            # Transfer's binary search most prefix comparisons are
+            # between equal (often empty) restrictions, so this is the
+            # protocol's hot path.
+            executed = trials
+            matched = True
+        else:
+            executed = 0
+            matched = True
+            for _ in range(trials):
+                executed += 1
+                point = rng.randrange(prime)
+                value_a = eval_set_polynomial(elements_a, point, prime)
+                value_b = eval_set_polynomial(elements_b, point, prime)
+                if value_a != value_b:
+                    matched = False
+                    break
+        self.stats.trials += executed
+        self.stats.bits += executed * self._bits_per_trial
+        if channel is not None:
+            channel.charge_bits(executed * self._bits_per_trial,
+                                label="eqtest")
+        return matched

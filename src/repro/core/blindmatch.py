@@ -111,6 +111,56 @@ class BlindMatchNode(GossipNode):
                     targets[vertex] = node.rng.choice(row)
         return np.asarray(targets, dtype=np.int64)
 
+    # -- window hooks (batched async path) -------------------------------
+    # The sender coin comes off each node's *private* rng — the same
+    # stream Transfer's EQTest draws from — so scans must stay in event
+    # order relative to interactions (``eager_scan = False``: the engine
+    # calls ``scan`` cohort by cohort).  The batched win for b = 0 is in
+    # the engine's drain/commit/resolve machinery, not in hashing.
+
+    @classmethod
+    def make_window_hooks(cls, nodes) -> "_BlindMatchWindowOps":
+        return _BlindMatchWindowOps(nodes)
+
+
+class _BlindMatchWindowOps:
+    """Stateful window ops for BlindMatch (see ``window_hooks``).
+
+    Tags are always 0 (b = 0) and never depend on token state
+    (``needs_retag = False``); the coin and the uniform target draw
+    consume each member's private rng exactly as the scalar hooks do —
+    ``rng.choice`` over the visible-UID array is the same single
+    ``_randbelow(len)`` as over the ``NeighborView`` tuple.  Like the
+    bulk hooks, the batch skips ``_sender_this_round`` bookkeeping;
+    nothing outside the scalar hooks reads it.
+    """
+
+    eager_scan = False
+    needs_retag = False
+
+    def __init__(self, nodes):
+        self._nodes = nodes
+
+    def state_changed(self, vertex: int) -> None:
+        pass
+
+    def scan(self, vertices, cycles) -> tuple[np.ndarray, np.ndarray]:
+        count = len(vertices)
+        tags = np.zeros(count, dtype=np.int64)
+        senders = np.empty(count, dtype=bool)
+        nodes = self._nodes
+        for i, vertex in enumerate(np.asarray(vertices).tolist()):
+            senders[i] = nodes[vertex].rng.random() < 0.5
+        return tags, senders
+
+    def retag(self, vertex: int, cycle: int) -> int:
+        return 0
+
+    def propose_one(self, vertex, cycle, neighbor_uids, neighbor_tags) -> int:
+        if len(neighbor_uids) == 0:
+            return -1
+        return int(self._nodes[vertex].rng.choice(neighbor_uids))
+
 
 @register_algorithm(
     name="blindmatch",

@@ -79,6 +79,14 @@ class GossipRunResult:
     def residual_potential(self) -> int:
         return potential(self.nodes, self.instance.token_ids)
 
+    @property
+    def estimated_wall_rounds(self) -> float:
+        """Effective run length in wall-clock rounds (async runs report
+        the trace's skew-stretched estimate; synchronous runs spend one
+        wall round per round)."""
+        estimate = self.trace.estimated_wall_rounds()
+        return float(self.rounds) if estimate is None else estimate
+
     def coverage(self) -> list[int]:
         """Per-node count of known tokens (harness-side)."""
         wanted = self.instance.token_ids

@@ -166,6 +166,123 @@ class SharedBitNode(GossipNode):
             targets[vertex] = zeros[index]
         return targets
 
+    # -- window hooks (batched async path) -------------------------------
+    # All of SharedBit's per-round randomness is *shared* (PRF reads keyed
+    # by round group), so a whole asynchronous window's tags can be
+    # computed eagerly — the handful of nodes whose token sets change
+    # mid-window (transfer endpoints, crash resets) are retagged exactly
+    # at their activation position by the engine.
+
+    @classmethod
+    def make_window_hooks(cls, nodes) -> "_SharedBitWindowOps":
+        return _SharedBitWindowOps(nodes)
+
+
+class _SharedBitWindowOps:
+    """Stateful window ops for SharedBit (see ``window_hooks``).
+
+    Tags are parities of shared token bits, so the batch keeps a dense
+    ``(n, cap)`` matrix of token labels (sentinel-padded rows, rebuilt
+    only for nodes whose state changed) and evaluates each window group's
+    bits once into a label-indexed lookup table: a member's tag is then
+    one gather + row-parity, identical to ``advertisement_bit`` because
+    the PRF is stateless and absent labels contribute 0.  Unlike the
+    scalar ``advertise``, the batch does not maintain
+    ``_bit_this_round`` — nothing outside the scalar hooks reads it, and
+    a batched run never calls them.
+    """
+
+    eager_scan = True
+    needs_retag = True
+
+    def __init__(self, nodes):
+        first = nodes[0]
+        self._nodes = nodes
+        self._shared = first.shared
+        self._offset = first.config.group_offset
+        # Token labels live in [1, upper_n]; one slot past that is the
+        # row-padding sentinel, mapping to a permanent 0 in every lookup.
+        self._sentinel = first.upper_n + 1
+        n = len(nodes)
+        cap = max(max((len(node._tokens) for node in nodes), default=1), 1)
+        self._matrix = np.full((n, cap), self._sentinel, dtype=np.int64)
+        self._row_tokens: list[tuple[int, ...]] = [()] * n
+        self._counts: dict[int, int] = {}
+        self._dirty: set[int] = set(range(n))
+        self._sync()
+
+    def _sync(self) -> None:
+        for vertex in self._dirty:
+            node = self._nodes[vertex]
+            tokens = tuple(node._tokens)
+            counts = self._counts
+            for label in self._row_tokens[vertex]:
+                left = counts[label] - 1
+                if left:
+                    counts[label] = left
+                else:
+                    del counts[label]
+            for label in tokens:
+                counts[label] = counts.get(label, 0) + 1
+            if len(tokens) > self._matrix.shape[1]:
+                grown = np.full(
+                    (self._matrix.shape[0], 2 * len(tokens)),
+                    self._sentinel, dtype=np.int64,
+                )
+                grown[:, : self._matrix.shape[1]] = self._matrix
+                self._matrix = grown
+            row = self._matrix[vertex]
+            row[: len(tokens)] = tokens
+            row[len(tokens):] = self._sentinel
+            self._row_tokens[vertex] = tokens
+        self._dirty.clear()
+
+    def state_changed(self, vertex: int) -> None:
+        self._dirty.add(vertex)
+
+    def scan(self, vertices, cycles) -> tuple[np.ndarray, np.ndarray]:
+        if self._dirty:
+            self._sync()
+        vertices = np.asarray(vertices, dtype=np.int64)
+        cycles = np.asarray(cycles, dtype=np.int64)
+        known = sorted(self._counts)
+        lookup = np.zeros(self._sentinel + 1, dtype=np.int64)
+        first = int(cycles[0]) if len(cycles) else 0
+        if len(cycles) and bool((cycles == first).all()):
+            # Single-cycle window — the common case for any timing model
+            # whose cycles stay inside their own round window (jitter):
+            # one bit table, one gather, no per-cycle partitioning.
+            bit_of = self._shared.token_bits(first + self._offset, known)
+            lookup[known] = [bit_of[label] for label in known]
+            tags = lookup[self._matrix[vertices]].sum(axis=1) & 1
+            return tags, tags == 1
+        tags = np.empty(len(vertices), dtype=np.int64)
+        for cycle in np.unique(cycles).tolist():
+            bit_of = self._shared.token_bits(cycle + self._offset, known)
+            lookup[known] = [bit_of[label] for label in known]
+            sel = cycles == cycle
+            rows = self._matrix[vertices[sel]]
+            tags[sel] = lookup[rows].sum(axis=1) & 1
+        return tags, tags == 1
+
+    def retag(self, vertex: int, cycle: int) -> int:
+        return self._nodes[vertex].advertisement_bit(cycle)
+
+    def sender_from_tag(self, tag: int) -> bool:
+        # Retagged members re-enter (or leave) the candidate pool by the
+        # same rule ``scan`` applies: 1-advertisers propose.
+        return tag == 1
+
+    def propose_one(self, vertex, cycle, neighbor_uids, neighbor_tags) -> int:
+        zeros = neighbor_uids[neighbor_tags == 0]
+        if zeros.size == 0:
+            return -1
+        zeros = np.sort(zeros)
+        index = self._shared.selection_index(
+            cycle + self._offset, self._nodes[vertex].uid, zeros.size
+        )
+        return int(zeros[index])
+
 
 @register_algorithm(
     name="sharedbit",

@@ -25,7 +25,12 @@ The asynchrony layer adds a third axis (ASYNC):
 identical* to the round engine — same matches, same random-stream
 consumption, same traces, same end state — on both the object and the
 array path; :func:`check_async_determinism` pins that jittered timing
-models are seed-deterministic (same seed, twice, byte-identical).
+models are seed-deterministic (same seed, twice, byte-identical);
+:func:`check_async_batched_identity` pins that the batched window path
+(``async_mode="batched"``) is byte-identical to the generic per-event
+path under every timing regime and fault regime, on both the object and
+the array front half — the determinism contract of the window-batching
+optimization ("no random draw may move").
 """
 
 from __future__ import annotations
@@ -65,6 +70,7 @@ __all__ = [
     "check_null_fault_identity",
     "check_async_sync_identity",
     "check_async_determinism",
+    "check_async_batched_identity",
     "make_dynamics",
     "make_fault",
     "make_timing",
@@ -179,11 +185,14 @@ def run_case(
     rounds: int = 40,
     fault="none",
     timing=None,
+    async_mode="auto",
 ) -> tuple:
     """Run one differential case; returns (trace signature, final state).
 
     ``timing=None`` runs the round engine; anything else (a kind name or
-    a built model — including ``"synchronous"``) runs the event engine.
+    a built model — including ``"synchronous"``) runs the event engine,
+    with ``async_mode`` selecting its front half (``"event"`` forces the
+    generic per-event path, ``"batched"`` forces window batching).
     """
     if algorithm == "ppush":
         nodes = _ppush_nodes(n, seed)
@@ -205,7 +214,7 @@ def run_case(
         sim = Simulation(dynamics, nodes, **engine_kwargs)
     else:
         sim = AsyncSimulation(dynamics, nodes, timing=timing,
-                              **engine_kwargs)
+                              async_mode=async_mode, **engine_kwargs)
     sim.run(max_rounds=rounds)
     if algorithm == "ppush":
         state = tuple(
@@ -287,6 +296,7 @@ def check_async_sync_identity(
     algorithms=CHECK_ASYNC_ALGORITHMS,
     dynamics=CHECK_ASYNC_DYNAMICS,
     acceptances=("uniform",),
+    async_mode="auto",
 ) -> list[str]:
     """The ASYNC axis: synchronous timing == the round engine.
 
@@ -309,6 +319,7 @@ def check_async_sync_identity(
                     event_engine = run_case(
                         algorithm, kind, acceptance, engine_mode,
                         n, seed, rounds, timing="synchronous",
+                        async_mode=async_mode,
                     )
                     if round_engine != event_engine:
                         failures.append(
@@ -319,6 +330,53 @@ def check_async_sync_identity(
     return failures
 
 
+def check_async_batched_identity(
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+    algorithms=CHECK_ASYNC_ALGORITHMS,
+    dynamics=CHECK_ASYNC_DYNAMICS,
+    timings=("synchronous",) + CHECK_TIMINGS,
+    faults=("none", "sleep", "churn", "lossy"),
+) -> list[str]:
+    """The window-batching contract: no random draw may move.
+
+    Runs each (algorithm, dynamics, timing, fault) case through the
+    generic per-event path (``async_mode="event"``) and through the
+    batched window path (``async_mode="batched"``) on *both* the object
+    and the array front half, and reports any case where any observable —
+    matches, stream consumption, traces, fault composition, end state —
+    differs (empty = batching is a pure reordering of work, not of
+    randomness).  ``"synchronous"`` timing is included so the batched
+    machinery is also pinned against full-cohort windows, transitively
+    anchoring it to the round engine through
+    :func:`check_async_sync_identity`.
+    """
+    failures = []
+    for algorithm in algorithms:
+        for kind in dynamics:
+            for timing in timings:
+                for fault in faults:
+                    reference = run_case(
+                        algorithm, kind, "uniform", "object",
+                        n, seed, rounds, fault=fault, timing=timing,
+                        async_mode="event",
+                    )
+                    for engine_mode in ("object", "array"):
+                        batched = run_case(
+                            algorithm, kind, "uniform", engine_mode,
+                            n, seed, rounds, fault=fault, timing=timing,
+                            async_mode="batched",
+                        )
+                        if reference != batched:
+                            failures.append(
+                                f"{algorithm}/{kind}/{timing}/{fault}/"
+                                f"{engine_mode}: batched window path "
+                                "diverged from the per-event path"
+                            )
+    return failures
+
+
 def check_async_determinism(
     n: int = 24,
     seed: int = 7,
@@ -326,6 +384,7 @@ def check_async_determinism(
     algorithms=CHECK_ASYNC_ALGORITHMS,
     dynamics=CHECK_ASYNC_DYNAMICS,
     timings=CHECK_TIMINGS,
+    async_mode="auto",
 ) -> list[str]:
     """Jittered timing is replayable: same seed => byte-identical runs."""
     failures = []
@@ -333,9 +392,11 @@ def check_async_determinism(
         for kind in dynamics:
             for timing in timings:
                 first = run_case(algorithm, kind, "uniform", "object",
-                                 n, seed, rounds, timing=timing)
+                                 n, seed, rounds, timing=timing,
+                                 async_mode=async_mode)
                 second = run_case(algorithm, kind, "uniform", "object",
-                                  n, seed, rounds, timing=timing)
+                                  n, seed, rounds, timing=timing,
+                                  async_mode=async_mode)
                 if first != second:
                     failures.append(
                         f"{algorithm}/{kind}/{timing}: two runs from the "

@@ -31,9 +31,37 @@ __all__ = [
     "prf_bits",
     "prf_bits_many",
     "prf_uniform_int",
+    "serialize_index",
+    "prf_template",
 ]
 
 _PERSON = b"repro-gossip"
+
+
+def serialize_index(index: tuple[int, ...]) -> bytes:
+    """The unambiguous serialization of a PRF index tuple.
+
+    Length-prefixed big-endian integers — exactly the payload prefix
+    :func:`prf_bytes` hashes.  Exposed so batched evaluators can build
+    payloads incrementally (e.g. a cached per-vertex prefix plus a
+    per-cycle suffix) and still land on the same digests.
+    """
+    return b"".join(
+        len(ix := i.to_bytes((max(i.bit_length(), 1) + 7) // 8, "big", signed=False)).to_bytes(2, "big") + ix
+        for i in index
+    )
+
+
+def prf_template(key: bytes):
+    """A keyed BLAKE2b state compatible with :func:`prf_bytes`.
+
+    ``prf_template(key).copy()`` then ``update(serialize_index(index) +
+    counter.to_bytes(4, "big"))`` yields the same digest ``prf_bytes``
+    computes for ``index`` at that counter.  Batched evaluators copy the
+    template instead of re-keying the hash per call, which is the
+    dominant setup cost at thousands of draws per round window.
+    """
+    return hashlib.blake2b(key=key[:64], person=_PERSON, digest_size=64)
 
 
 def prf_bytes(key: bytes, index: tuple[int, ...], nbytes: int) -> bytes:
@@ -45,10 +73,7 @@ def prf_bytes(key: bytes, index: tuple[int, ...], nbytes: int) -> bytes:
     """
     if nbytes <= 0:
         raise ValueError(f"nbytes must be positive, got {nbytes}")
-    payload = b"".join(
-        len(ix := i.to_bytes((max(i.bit_length(), 1) + 7) // 8, "big", signed=False)).to_bytes(2, "big") + ix
-        for i in index
-    )
+    payload = serialize_index(index)
     out = bytearray()
     counter = 0
     while len(out) < nbytes:

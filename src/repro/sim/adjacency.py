@@ -52,6 +52,7 @@ class CSRAdjacency:
     base: "CSRAdjacency | None" = None
     _edge_sources: np.ndarray | None = field(default=None, repr=False)
     _uid_rows: list | None = field(default=None, repr=False)
+    _masked_memo: dict | None = field(default=None, repr=False)
 
     @classmethod
     def from_graph(cls, graph) -> "CSRAdjacency":
@@ -157,6 +158,45 @@ class CSRAdjacency:
         return CSRAdjacency(
             n=self.n, indptr=indptr, indices=self.indices[keep]
         )
+
+    def masked_bound(self, active: np.ndarray) -> "CSRAdjacency":
+        """:meth:`masked` for UID-bound snapshots, memoized per mask.
+
+        Produces the active-subgraph snapshot *with the UID binding
+        carried along* in the same edge pass (``masked()`` returns an
+        unbound snapshot the caller would have to re-bind, a second
+        O(edges) gather).  A small per-snapshot memo keyed by the mask's
+        bytes makes repeated masks — a duty cycle's few phases, or the
+        many cohorts of one asynchronous round window sharing a fault
+        mask — reuse the filtered row buffers instead of rebuilding
+        them; distinct-every-round masks (churn) just rotate through the
+        memo.  Rows keep the sorted-by-vertex invariant.
+        """
+        if self.uids is None:
+            raise ValueError("masked_bound needs a UID-bound snapshot")
+        if self._masked_memo is None:
+            self._masked_memo = {}
+        key = active.tobytes()
+        snapshot = self._masked_memo.get(key)
+        if snapshot is None:
+            sources = self.edge_sources()
+            keep = active[sources] & active[self.indices]
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(sources[keep], minlength=self.n), out=indptr[1:]
+            )
+            snapshot = CSRAdjacency(
+                n=self.n,
+                indptr=indptr,
+                indices=self.indices[keep],
+                uids=self.uids[keep],
+                vertex_uids=self.vertex_uids,
+                base=self.base if self.base is not None else self,
+            )
+            if len(self._masked_memo) >= 8:
+                self._masked_memo.pop(next(iter(self._masked_memo)))
+            self._masked_memo[key] = snapshot
+        return snapshot
 
     def bind_uids(self, vertex_uids: np.ndarray) -> "CSRAdjacency":
         """Return a snapshot with UID arrays attached (engine-side)."""

@@ -98,6 +98,19 @@ class SimulationResult:
         # the node set never changes after the run.
         return {node.uid: node for node in self.nodes.values()}
 
+    @property
+    def estimated_wall_rounds(self) -> float:
+        """Effective run length in wall-clock rounds.
+
+        Round-engine runs spend exactly one wall round per round;
+        asynchronous runs report the trace's skew-stretched estimate
+        (see :meth:`~repro.sim.trace.Trace.estimated_wall_rounds`),
+        falling back to ``rounds`` when the trace kept no async records
+        (e.g. aggressive downsampling).
+        """
+        estimate = self.trace.estimated_wall_rounds()
+        return float(self.rounds) if estimate is None else estimate
+
 
 class Simulation:
     """Drive a set of node protocols over a dynamic graph.

@@ -34,6 +34,7 @@ __all__ = [
     "resolve_proposals_arrays",
     "resolve_proposals_arrays_masked",
     "resolve_proposals_masked",
+    "resolve_proposal_cohorts",
     "resolve_proposals_unbounded",
     "ACCEPTANCE_RULES",
     "AcceptanceRule",
@@ -240,6 +241,77 @@ def resolve_proposals_arrays_masked(
     return resolve_proposals_arrays(
         proposer_uids[keep], target_uids[keep], rng, rule=rule
     )
+
+
+def resolve_proposal_cohorts(
+    proposer_uids,
+    target_uids,
+    bounds,
+    rng_for_cohort,
+    rule: str = "uniform",
+    active_uids=None,
+) -> list[list[tuple[int, int]]]:
+    """Resolve many cohorts' proposals in one call (batched async path).
+
+    ``proposer_uids``/``target_uids`` hold a whole round window's
+    proposals, cohorts concatenated in event order; cohort ``c`` owns the
+    slice ``bounds[c]:bounds[c + 1]``.  Each cohort resolves
+    *independently* — simultaneity is per tick, so proposals in different
+    cohorts never compete — and its matches equal what the per-event
+    engine computes for that cohort:
+
+    * ``rng_for_cohort(c)`` is called only when cohort ``c`` holds two or
+      more proposals (singletons consume no randomness — the per-event
+      engine's rule), and the acceptance draw consumes it in the
+      resolver's sorted-target order;
+    * ``active_uids`` (optional, per-cohort: ``active_uids(c)`` returning
+      an awake-UID array or ``None``) routes the cohort through
+      :func:`resolve_proposals_arrays_masked`, dropping proposals with a
+      sleeping endpoint before resolution.
+
+    Returns one match list per cohort.
+    """
+    proposer_uids = np.asarray(proposer_uids, dtype=np.int64)
+    target_uids = np.asarray(target_uids, dtype=np.int64)
+    results: list[list[tuple[int, int]]] = []
+    for cohort in range(len(bounds) - 1):
+        lo, hi = int(bounds[cohort]), int(bounds[cohort + 1])
+        if hi == lo:
+            results.append([])
+            continue
+        senders = proposer_uids[lo:hi]
+        targets = target_uids[lo:hi]
+        active = active_uids(cohort) if active_uids is not None else None
+        if rule == "unbounded":
+            rng = None
+        else:
+            rng = rng_for_cohort(cohort) if hi - lo >= 2 else None
+        if hi - lo == 1:
+            # Singleton fast path: the lone proposal always lands (a
+            # self-proposal is a protocol violation, so the target is
+            # never itself a proposer here).
+            if int(senders[0]) == int(targets[0]):
+                raise ProtocolViolationError(
+                    f"node {int(senders[0])} proposed to itself"
+                )
+            if active is not None and (
+                int(senders[0]) not in active or int(targets[0]) not in active
+            ):
+                results.append([])
+            else:
+                results.append([(int(senders[0]), int(targets[0]))])
+            continue
+        if active is not None:
+            results.append(
+                resolve_proposals_arrays_masked(
+                    senders, targets, active, rng, rule=rule
+                )
+            )
+        else:
+            results.append(
+                resolve_proposals_arrays(senders, targets, rng, rule=rule)
+            )
+    return results
 
 
 def resolve_proposals_unbounded(

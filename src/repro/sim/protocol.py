@@ -24,7 +24,7 @@ from typing import Iterable, Protocol, runtime_checkable
 from repro.sim.channel import Channel
 from repro.sim.context import NeighborView
 
-__all__ = ["NodeProtocol", "TokenHolder", "bulk_hooks"]
+__all__ = ["NodeProtocol", "TokenHolder", "bulk_hooks", "window_hooks"]
 
 
 class NodeProtocol(ABC):
@@ -148,6 +148,82 @@ def bulk_hooks(nodes) -> tuple | None:
     if ready is not None and not ready(nodes):
         return None
     return advertise_all, propose_all
+
+
+def window_hooks(nodes):
+    """Detect the optional *window* protocol hooks for batched async runs.
+
+    Bulk hooks (:func:`bulk_hooks`) batch one full synchronous cohort —
+    every vertex, one round index.  Under asynchronous timing a round
+    window instead holds many small cohorts at distinct ticks and local
+    cycles, so batching needs a different shape: a protocol class may
+    provide a ``make_window_hooks(nodes) -> ops`` classmethod returning a
+    stateful per-run *window ops* object with:
+
+    * ``eager_scan`` (bool) — True when ``scan`` reads only shared
+      randomness and protocol state (no per-node private ``Random``), so
+      the engine may compute a whole window's tags upfront and patch the
+      few members whose state changes mid-window; False makes the engine
+      call ``scan`` cohort by cohort in event order, preserving each
+      node's private-stream consumption order relative to interactions.
+    * ``needs_retag`` (bool) — whether a node's tag can change when its
+      protocol state changes mid-window (token transfer, crash reset).
+      Eager-scan hooks with True get ``retag`` calls for exactly those
+      members; False lets the engine skip the patch bookkeeping.
+    * ``scan(vertices, cycles) -> (tags, senders)`` — parallel int64 tag
+      array and boolean proposer-candidate mask for the given members.
+      Must equal looping scalar ``advertise`` over the members in order
+      (same values, same private-rng consumption); ``senders[i]`` False
+      guarantees member ``i``'s scalar ``propose`` would return ``None``
+      without consuming randomness, so the engine never evaluates it.
+    * ``retag(vertex, cycle) -> int`` — recompute one member's tag from
+      current node state (eager hooks only; must consume no randomness
+      beyond what scalar ``advertise`` would, i.e. shared PRF reads).
+    * ``sender_from_tag(tag) -> bool`` — (eager hooks only) the
+      candidate rule as a function of the tag, so a retagged member's
+      proposer candidacy is refreshed along with its advertisement.
+    * ``propose_one(vertex, cycle, neighbor_uids, neighbor_tags) -> int``
+      — the proposal target UID (or ``-1``) given the member's visible
+      neighborhood, equal to scalar ``propose`` on the same views
+      including its private-rng consumption.
+    * ``state_changed(vertex)`` — cache invalidation after the node's
+      protocol state mutated (interaction endpoint, token reset).
+
+    The window ops may skip per-round node bookkeeping the scalar hooks
+    perform (e.g. SharedBit's ``_bit_this_round``) *only* if nothing
+    outside the scalar hooks reads it — a run uses either the window ops
+    or the scalar hooks, never both.
+
+    Eligibility mirrors :func:`bulk_hooks` exactly: one concrete class,
+    the factory defined at least as deep in the MRO as the scalar hooks
+    it replaces, no helper overrides below it, and the shared
+    ``bulk_ready`` homogeneity check (window batching leans on the same
+    shared state the bulk hooks do).  Returns the ops object or ``None``.
+    """
+    node_type = type(nodes[0])
+    if any(type(node) is not node_type for node in nodes):
+        return None
+    factory = getattr(node_type, "make_window_hooks", None)
+    if factory is None:
+        return None
+    factory_owner = _defining_class(node_type, "make_window_hooks")
+    for scalar in ("advertise", "propose"):
+        scalar_owner = _defining_class(node_type, scalar)
+        if scalar_owner is None or not issubclass(factory_owner, scalar_owner):
+            return None
+    harmless = {"advertise", "propose", "advertise_all", "propose_all",
+                "make_window_hooks", "bulk_ready", "_abc_impl"}
+    mro = node_type.__mro__
+    for cls in mro[:mro.index(factory_owner)]:
+        for name in cls.__dict__:
+            if name not in harmless and not (
+                name.startswith("__") and name.endswith("__")
+            ):
+                return None
+    ready = getattr(node_type, "bulk_ready", None)
+    if ready is not None and not ready(nodes):
+        return None
+    return factory(nodes)
 
 
 @runtime_checkable

@@ -117,6 +117,26 @@ class Trace:
             if name in rec.gauges
         ]
 
+    def estimated_wall_rounds(self) -> float | None:
+        """Effective duration of the run in wall-clock rounds, or None.
+
+        Asynchronous runs advance virtual time unevenly: the trace's
+        ``virtual_time`` column holds the fractional round of each
+        window's last event, and ``clock_skew_max`` how many local
+        cycles the slowest node trails the fastest at that instant.  A
+        reasonable wall-clock estimate is the last observed virtual
+        instant stretched by the closing skew — the laggards still need
+        that many cycles to catch up to what the trace already counted.
+        Round-engine traces carry neither column and return ``None``
+        (every round is exactly one wall round there).
+        """
+        for rec in reversed(self.records):
+            if rec.virtual_time is not None:
+                return float(rec.virtual_time) + float(
+                    rec.clock_skew_max or 0
+                )
+        return None
+
     def last(self) -> RoundRecord | None:
         return self.records[-1] if self.records else None
 

@@ -67,6 +67,40 @@ class TestEventQueue:
         with pytest.raises(IndexError):
             EventQueue().pop_cohort()
 
+    def test_pop_window_drains_all_cohorts_below_boundary(self):
+        queue = EventQueue()
+        queue.push(30, 2, 1)
+        queue.push(10, 5, 1)
+        queue.push(10, 1, 1)
+        queue.push(20, 0, 1)
+        queue.push(45, 3, 2)
+        cohorts = queue.pop_window(40)
+        assert cohorts == [
+            (10, [(1, 1), (5, 1)]),
+            (20, [(0, 1)]),
+            (30, [(2, 1)]),
+        ]
+        assert len(queue) == 1  # the event past the boundary stays queued
+
+    def test_pop_window_empty_and_boundary_exclusive(self):
+        queue = EventQueue()
+        queue.push(40, 0, 1)
+        assert queue.pop_window(40) == []  # strictly below the boundary
+        assert queue.pop_window(41) == [(40, [(0, 1)])]
+        assert queue.pop_window(99) == []
+
+    def test_pop_window_equals_repeated_pop_cohort(self):
+        events = [(17, 4, 2), (5, 1, 1), (5, 3, 1), (9, 0, 1), (17, 2, 2)]
+        a, b = EventQueue(), EventQueue()
+        for ticks, vertex, cycle in events:
+            a.push(ticks, vertex, cycle)
+            b.push(ticks, vertex, cycle)
+        windowed = a.pop_window(20)
+        one_by_one = []
+        while len(b):
+            one_by_one.append(b.pop_cohort())
+        assert windowed == one_by_one
+
 
 class TestTimingModels:
     def test_registry_surface(self):
@@ -146,6 +180,41 @@ class TestTimingModels:
         with pytest.raises(ConfigurationError):
             GilbertElliottPauses(4, 1, pause_scale=0.5)
 
+    @pytest.mark.parametrize("make", [
+        lambda: UniformJitter(30, SEED, jitter=0.7),
+        lambda: HeterogeneousRates(30, SEED),
+        lambda: GilbertElliottPauses(30, SEED, p_pause=0.3, p_resume=0.4),
+    ])
+    def test_batch_schedules_bit_identical_to_scalar(self, make):
+        # The batched engine derives its whole window schedule through
+        # activation_ticks_batch; determinism demands exact equality
+        # with per-event scalar calls — including across jitter's
+        # 8-cycle PRF blocks and repeated vertices in one batch.
+        batch_model, scalar_model = make(), make()
+        rng = np.random.RandomState(7)
+        vertices = rng.randint(0, 30, size=600)
+        cycles = rng.randint(1, 40, size=600)
+        batch = batch_model.activation_ticks_batch(vertices, cycles)
+        scalar = [
+            scalar_model.activation_ticks(int(v), int(c))
+            for v, c in zip(vertices, cycles)
+        ]
+        assert batch.tolist() == scalar
+
+    def test_jitter_batch_handles_block_crossing_duplicates(self):
+        # One vertex appearing twice in a single batch with cycles in
+        # different PRF blocks: neither occurrence may read the cache
+        # row the other just refreshed.
+        batch_model = UniformJitter(4, SEED, jitter=0.5)
+        scalar_model = UniformJitter(4, SEED, jitter=0.5)
+        vertices, cycles = [2, 2, 2], [7, 8, 16]  # blocks 0, 1, 2
+        batch = batch_model.activation_ticks_batch(vertices, cycles)
+        scalar = [
+            scalar_model.activation_ticks(v, c)
+            for v, c in zip(vertices, cycles)
+        ]
+        assert batch.tolist() == scalar
+
     def test_bursty_produces_multi_round_gaps(self):
         model = GilbertElliottPauses(10, 3, p_pause=0.5, p_resume=0.2,
                                      pause_scale=4.0)
@@ -158,9 +227,30 @@ class TestTimingModels:
 
 
 class TestAsyncSimulation:
-    def test_array_mode_requires_synchronous_timing(self):
+    def test_array_mode_requires_batched_window_path(self):
+        # Array front half + asynchronous timing is only legal through
+        # the batched window machinery; forcing the per-event path (or
+        # lacking window hooks) keeps the old rejection.
         with pytest.raises(ConfigurationError):
-            _sim(timing=UniformJitter(N, SEED), engine_mode="array")
+            _sim(timing=UniformJitter(N, SEED), engine_mode="array",
+                 async_mode="event")
+        sim, _ = _sim(timing=UniformJitter(N, SEED), engine_mode="array")
+        assert sim._batched
+
+    def test_batched_mode_requires_window_hooks(self):
+        instance = uniform_instance(n=N, k=2, seed=SEED)
+        nodes = build_nodes("multibit", instance, seed=SEED)
+        with pytest.raises(ConfigurationError):
+            AsyncSimulation(
+                StaticDynamicGraph(expander(n=N, degree=4, seed=1)), nodes,
+                b=2, seed=SEED,
+                channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+                timing=None, async_mode="batched",
+            )
+
+    def test_async_mode_validated(self):
+        with pytest.raises(ConfigurationError):
+            _sim(timing=UniformJitter(N, SEED), async_mode="turbo")
 
     def test_timing_population_mismatch_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -253,6 +343,67 @@ class TestAsyncSimulation:
         active = [rec.active_nodes for rec in slept.trace.records]
         assert max(active) < N  # the duty cycle masked activations
 
+    def test_estimated_wall_rounds_from_async_columns(self):
+        sim, instance = _sim(timing=HeterogeneousRates(N, SEED,
+                                                       rates=(0.5, 2.0)))
+        result = sim.run(
+            max_rounds=50_000,
+            termination=all_hold_tokens(instance.token_ids),
+        )
+        last = next(
+            rec for rec in reversed(sim.trace.records)
+            if rec.virtual_time is not None
+        )
+        expected = float(last.virtual_time) + float(last.clock_skew_max)
+        assert sim.trace.estimated_wall_rounds() == expected
+        assert result.estimated_wall_rounds == expected
+        # Slow devices trail the virtual clock, so the wall estimate
+        # exceeds the raw window count.
+        assert result.estimated_wall_rounds > result.rounds
+
+    def test_estimated_wall_rounds_round_engine_fallback(self):
+        result = run_gossip(
+            "sharedbit", StaticDynamicGraph(star(16)),
+            uniform_instance(n=16, k=2, seed=4), seed=4,
+            max_rounds=50_000,
+        )
+        assert result.trace.estimated_wall_rounds() is None
+        assert result.estimated_wall_rounds == float(result.rounds)
+
+
+class TestAsyncLeaderElection:
+    def test_all_agree_on_leader_under_jitter(self):
+        from repro.leader.bitconvergence import LeaderElectionNode
+        from repro.rng import SeedTree
+        from repro.sim.termination import all_agree_on_leader
+
+        n = 12
+        uids = [3 * vertex + 5 for vertex in range(n)]
+        tree = SeedTree(SEED)
+        nodes = {
+            vertex: LeaderElectionNode(
+                uid=uids[vertex], upper_n=max(uids),
+                rng=tree.stream("leader-node", uids[vertex]),
+            )
+            for vertex in range(n)
+        }
+        sim = AsyncSimulation(
+            StaticDynamicGraph(expander(n=n, degree=4, seed=1)), nodes,
+            b=1, seed=SEED,
+            channel_policy=ChannelPolicy.for_upper_n(max(uids)),
+            timing=UniformJitter(n=n, seed=SEED, jitter=0.6),
+        )
+        # Leader election has no window hooks: auto mode must fall back
+        # to the generic per-event path, and still elect the minimum.
+        assert not sim._batched
+        result = sim.run(max_rounds=50_000,
+                         termination=all_agree_on_leader())
+        assert result.terminated
+        winners = {
+            node.candidate_leader for node in result.nodes.values()
+        }
+        assert winners == {min(uids)}
+
 
 class TestRunGossipTiming:
     def _graph(self, n=16):
@@ -342,14 +493,21 @@ class TestSpecsAndSweeps:
         record = execute_run(RunSpec(seed=1, **self.BASE))
         assert "events" not in record
 
-    def test_epsilon_executor_rejects_async_timing(self):
+    @pytest.mark.parametrize("timing", [
+        {"kind": "jitter"},
+        {"kind": "heterogeneous"},
+        {"kind": "bursty"},
+    ])
+    def test_epsilon_executor_rejects_async_timing(self, timing):
+        # Epsilon's guarantee is stated against the synchronous round
+        # structure; every non-null timing kind must be refused.
         spec = RunSpec(
             algorithm="epsilon",
             graph={"family": "expander",
                    "params": {"n": 16, "degree": 4, "seed": 1}},
             instance={"kind": "everyone"},
             config={"epsilon": 0.5},
-            timing={"kind": "jitter"},
+            timing=timing,
             seed=1, max_rounds=50_000,
         )
         with pytest.raises(ConfigurationError, match="asynchronous"):

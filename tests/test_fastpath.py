@@ -29,6 +29,7 @@ from repro.experiments.fastpath import (
     CHECK_DYNAMICS,
     CHECK_FAULTS,
     CHECK_TIMINGS,
+    check_async_batched_identity,
     check_async_determinism,
     check_async_sync_identity,
     check_null_fault_identity,
@@ -167,6 +168,11 @@ class TestAsyncAxis:
 
     def test_determinism_via_shared_harness(self):
         assert check_async_determinism(n=16, rounds=25) == []
+
+    def test_batched_identity_via_shared_harness(self):
+        # The window-batching contract: per-event == batched, byte for
+        # byte, through both engine front halves.
+        assert check_async_batched_identity(n=16, rounds=25) == []
 
     @pytest.mark.parametrize("timing", CHECK_TIMINGS)
     def test_jittered_timing_changes_the_execution(self, timing):
