@@ -2,9 +2,10 @@
 
 A side-by-side of the paper's algorithms (plus the b≥1 MultiBit
 extension) on the bound-tight topology — a fully dynamic star — with each
-run's coverage growth drawn as a sparkline.  CrowdedBin runs on the
-static version of the same star (its τ=∞ requirement), stated as a
-declarative override in the sweep spec rather than a hand-rolled branch:
+run's coverage growth drawn as a sparkline.  CrowdedBin and PPUSH run on
+the static version of the same star (their τ=∞ requirement; PPUSH also
+drops to its single rumor, k=1), stated as declarative overrides in the
+sweep spec rather than hand-rolled branches:
 the whole comparison is one :class:`~repro.experiments.SweepSpec`, so it
 can run cached and process-parallel.
 
@@ -47,7 +48,15 @@ def comparison_sweep() -> SweepSpec:
                     "engine.termination_every": 16,
                     "engine.gauge_every": 64,
                 },
-            }
+            },
+            {
+                # PPUSH spreads exactly one rumor and needs tau=inf.
+                "when": {"algorithm": "ppush"},
+                "set": {
+                    "dynamic": {"kind": "static"},
+                    "instance.k": 1,
+                },
+            },
         ],
     )
 
@@ -62,7 +71,8 @@ def main(argv=None) -> None:
     for summary in result.points:
         algorithm = summary.point["algorithm"]
         record = summary.runs[0]
-        curve = spread_curve_from_series(record["gauges"]["coverage"], K)
+        k = 1 if algorithm == "ppush" else K  # ppush: one rumor
+        curve = spread_curve_from_series(record["gauges"]["coverage"], k)
         curves[algorithm] = curve
         s = curve.summary()
         rows.append(

@@ -47,6 +47,7 @@ from repro.registry import (
     INSTANCE_REGISTRY,
     TIMING_REGISTRY,
     TOPOLOGY_REGISTRY,
+    TRANSPORT_REGISTRY,
 )
 
 __all__ = ["Experiment", "SweepBuilder"]
@@ -155,6 +156,48 @@ class Experiment:
     def run(self) -> dict:
         """Execute the run and return its JSON-able record."""
         return execute_run(self.run_spec())
+
+    def deploy(self, transport: str = "tcp", **opts):
+        """Run this experiment as a *live* cluster of peer servers.
+
+        The same builder settings (graph, dynamics, instance, fault,
+        seed, max rounds) boot real socket-backed peers through the
+        named transport (see ``TRANSPORT_REGISTRY``; ``"tcp"`` is
+        :mod:`repro.net`'s loopback deployment) and return the
+        transport's run report.  Timing models are simulator-only and
+        are rejected — a live cluster's asynchrony is physical.
+        """
+        defn = TRANSPORT_REGISTRY.get(transport)
+        if self._timing.get("kind", "synchronous") != "synchronous":
+            raise ConfigurationError(
+                "deploy() cannot apply a simulated timing model; live "
+                "clusters are asynchronous by nature — drop with_timing()"
+            )
+        from repro.experiments.specs import (
+            build_config,
+            build_dynamic_graph,
+            build_instance,
+        )
+
+        payload = self._base_payload()
+        graph = build_dynamic_graph(
+            payload["graph"], payload["dynamic"], self._seed
+        )
+        instance = build_instance(payload["instance"], graph.n, self._seed)
+        if self._fault.get("kind", "none") != "none":
+            opts.setdefault("fault", dict(self._fault))
+        if self._config is not None:
+            opts.setdefault(
+                "config", build_config(self._algorithm, self._config)
+            )
+        return defn.deploy(
+            algorithm=self._algorithm,
+            dynamic_graph=graph,
+            instance=instance,
+            seed=self._seed,
+            max_rounds=self._max_rounds,
+            **opts,
+        )
 
     def sweep(self, name: str) -> "SweepBuilder":
         """Widen into a sweep; the current settings become its base."""

@@ -151,8 +151,26 @@ class AsyncSimulation(Simulation):
                 # batched path never touches the bulk hooks either way.)
                 engine_kwargs["engine_mode"] = "object"
         super().__init__(dynamic_graph, protocols, b, seed, **engine_kwargs)
+        if self.acceptance_streams != "global":
+            raise ConfigurationError(
+                "AsyncSimulation supports only acceptance_streams="
+                "'global': per-tick cohort resolution keys its streams "
+                "by instant, not by target (the per-target discipline "
+                "exists for the synchronous live bridge, repro.net)"
+            )
         self.timing = timing
         self.async_mode = async_mode
+        # Fault clock conversion: a clock="virtual" model keys its
+        # decisions off the global round window (ticks // TPR) instead
+        # of each node's local cycle, so one fault spec describes the
+        # same wall-clock outage schedule here, on the round engine, and
+        # on a live repro.net cluster.  Under Synchronous timing (and
+        # any timing whose cycle c fires within window c, e.g. jitter
+        # < 1) window index == local cycle, so the two clocks coincide
+        # and the identity gates are unaffected.
+        self._fault_virtual = (
+            self._fault_active and self.faults.clock == "virtual"
+        )
         self._window_ops = (
             window_hooks(self._nodes) if async_mode != "event" else None
         )
@@ -505,15 +523,21 @@ class AsyncSimulation(Simulation):
             for pos, vertex in enumerate(vertices.tolist()):
                 pos_lists.setdefault(vertex, []).append(pos)
 
-        # Fault activity, per distinct local cycle.
+        # Fault activity, per distinct fault index (the member's local
+        # cycle, or — for clock="virtual" models — the shared round
+        # window, collapsing the whole window to one mask lookup).
         mask_cache: dict[int, np.ndarray | None] = {}
         active_flags = np.ones(total, dtype=bool)
         if self._fault_active:
-            distinct_cycles = np.unique(cycles).tolist()
+            if self._fault_virtual:
+                fault_cycles = np.full(total, topo_round, dtype=np.int64)
+            else:
+                fault_cycles = cycles
+            distinct_cycles = np.unique(fault_cycles).tolist()
             for cycle in distinct_cycles:
                 mask = self._mask_for_cycle(cycle, mask_cache)
                 if mask is not None:
-                    sel = cycles == cycle
+                    sel = fault_cycles == cycle
                     active_flags[sel] = mask[vertices[sel]]
 
         # Pending per-position patches: crash resets (known upfront) and
@@ -530,7 +554,7 @@ class AsyncSimulation(Simulation):
 
         if self._fault_active and self.faults.resets_state:
             self._schedule_crash_resets(
-                vertices, cycles, active_flags, distinct_cycles,
+                vertices, fault_cycles, active_flags, distinct_cycles,
                 unique_members, mask_cache, schedule,
             )
 
@@ -782,13 +806,18 @@ class AsyncSimulation(Simulation):
         ops = self._window_ops
         nodes = self._nodes
         tags_np = self._tags_np
+        fault_round = (
+            ticks // TICKS_PER_ROUND if self._fault_virtual else None
+        )
         proposer_uids: list[int] = []
         target_uids: list[int] = []
         cycle_of_uid: dict[int, int] = {}
         for pos in candidate_positions:
             vertex = int(vertices[pos])
             cycle = int(cycles[pos])
-            mask = self._mask_for_cycle(cycle, mask_cache)
+            mask = self._mask_for_cycle(
+                cycle if fault_round is None else fault_round, mask_cache
+            )
             snapshot = bound if mask is None else bound.masked_bound(mask)
             start = snapshot.indptr[vertex]
             end = snapshot.indptr[vertex + 1]
@@ -827,7 +856,9 @@ class AsyncSimulation(Simulation):
             surviving = []
             for pair in matches:
                 if self.faults.drop_connection(
-                    cycle_of_uid[pair[0]], pair[0], pair[1]
+                    cycle_of_uid[pair[0]]
+                    if fault_round is None else fault_round,
+                    pair[0], pair[1],
                 ):
                     window_stats[4] += 1
                 else:
@@ -886,25 +917,30 @@ class AsyncSimulation(Simulation):
         tags = self._tags
         max_tag = self.max_tag
 
-        # Fault masks, evaluated at each member's local cycle (memoized
+        # Fault masks, evaluated at each member's local cycle — or, for
+        # clock="virtual" models, at the shared round window (memoized
         # per cohort; cohorts are usually single-cycle).
         masks: dict[int, np.ndarray | None] = {}
 
+        def fault_index(cycle: int) -> int:
+            return topo_round if self._fault_virtual else cycle
+
         def mask_for(cycle: int) -> np.ndarray | None:
-            return self._mask_for_cycle(cycle, masks)
+            return self._mask_for_cycle(fault_index(cycle), masks)
 
         # Crash resets, before any stage hook runs (the round engine's
         # ordering), detected per node against its own previous cycle.
         if self._fault_active and self.faults.resets_state:
             crashed_cache: dict[int, frozenset] = {}
             for vertex, cycle in members:
-                if cycle not in crashed_cache:
-                    reported = self.faults.crashed_this_round(cycle)
-                    crashed_cache[cycle] = (
+                fcycle = fault_index(cycle)
+                if fcycle not in crashed_cache:
+                    reported = self.faults.crashed_this_round(fcycle)
+                    crashed_cache[fcycle] = (
                         None if reported is None
                         else frozenset(np.asarray(reported).tolist())
                     )
-                reported = crashed_cache[cycle]
+                reported = crashed_cache[fcycle]
                 if reported is not None:
                     crashed = vertex in reported
                 else:
@@ -1002,13 +1038,14 @@ class AsyncSimulation(Simulation):
                 proposals, rng, rule=self.acceptance
             )
 
-        # Fault drop decisions, keyed by the initiator's local cycle.
+        # Fault drop decisions, keyed by the initiator's local cycle
+        # (or the window, for clock="virtual" models).
         dropped = 0
         if self._fault_active and matches:
             surviving = []
             for pair in matches:
                 if self.faults.drop_connection(
-                    cycle_of_uid[pair[0]], pair[0], pair[1]
+                    fault_index(cycle_of_uid[pair[0]]), pair[0], pair[1]
                 ):
                     dropped += 1
                 else:

@@ -39,6 +39,7 @@ from repro.registry import (
     SCENARIO_REGISTRY,
     TIMING_REGISTRY,
     TOPOLOGY_REGISTRY,
+    TRANSPORT_REGISTRY,
     load_plugin,
 )
 
@@ -150,7 +151,8 @@ def _cmd_compare(args) -> int:
         dynamic = {"kind": "static"}
     else:
         dynamic = {"kind": "relabeling", "tau": args.tau}
-    algorithms = list(ALGORITHMS)
+    # PPUSH is single-rumor only; it joins the comparison when k = 1.
+    algorithms = [a for a in ALGORITHMS if a != "ppush" or args.k == 1]
     sweep = SweepSpec(
         name=f"compare-{args.graph}-n{args.n}-k{args.k}",
         base={
@@ -276,7 +278,113 @@ def _cmd_list(args) -> int:
             for defn in SCENARIO_REGISTRY.values()
         ),
     )
+    section(
+        "transports",
+        (
+            f"{defn.name:<8} {defn.description}"
+            for defn in TRANSPORT_REGISTRY.values()
+        ),
+    )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Deploy a live cluster through a registered transport."""
+    defn = TRANSPORT_REGISTRY.get(args.transport)
+    opts = {}
+    if args.heartbeat_every:
+        opts["heartbeat_every"] = args.heartbeat_every
+        if args.heartbeat_max_age is not None:
+            opts["heartbeat_max_age"] = args.heartbeat_max_age
+    if args.scenario:
+        scenario = SCENARIO_REGISTRY.get(args.scenario).factory(
+            seed=args.seed
+        )
+        report = defn.deploy(
+            scenario,
+            algorithm=args.algorithm,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            **opts,
+        )
+        label = f"scenario {scenario.name}"
+    else:
+        if args.algorithm is None:
+            raise ConfigurationError(
+                "serve needs --algorithm when no --scenario is given"
+            )
+        graph, n = _build_graph(args)
+        instance = build_instance(
+            {"kind": "uniform", "k": args.k}, n, args.seed
+        )
+        report = defn.deploy(
+            algorithm=args.algorithm,
+            dynamic_graph=graph,
+            instance=instance,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            **opts,
+        )
+        label = f"{args.graph} (n={n}, k={args.k})"
+    status = "solved" if report.solved else "NOT solved (round limit)"
+    print(
+        f"live {report.algorithm} on {label} via {args.transport}: "
+        f"{report.rounds} rounds, {status}"
+    )
+    rps = report.rounds_per_second
+    stats = report.trace.latency_stats()
+    print(
+        f"wall={report.wall_seconds:.3f}s"
+        + (f" rounds/s={rps:.1f}" if rps else "")
+        + (
+            f" connections={stats['connections']}"
+            f" latency_mean={stats['mean_s'] * 1e3:.2f}ms"
+            f" latency_max={stats['max_s'] * 1e3:.2f}ms"
+            if stats else ""
+        )
+    )
+    return 0 if report.solved else 1
+
+
+def _cmd_replay(args) -> int:
+    """Record a simulation, replay it live, assert equivalence."""
+    from repro.net.bridge import record_run, replay
+
+    spec = _graph_spec(args.graph, args.n, args.seed)
+    dynamic = (
+        {"kind": "static"}
+        if args.tau == 0
+        else {"kind": "relabeling", "tau": args.tau}
+    )
+
+    def factory():
+        return build_dynamic_graph(spec, dynamic, args.seed)
+
+    instance = build_instance(
+        {"kind": "uniform", "k": args.k}, factory().n, args.seed
+    )
+    record = record_run(
+        args.algorithm, factory, instance, args.seed,
+        max_rounds=args.max_rounds,
+    )
+    print(
+        f"recorded {args.algorithm} on {args.graph} (n={instance.n}, "
+        f"k={instance.k}, seed={args.seed}): {record.rounds} rounds, "
+        f"{'solved' if record.solved else 'NOT solved'}"
+    )
+    report = replay(record)
+    if report.equivalent:
+        rps = report.live.rounds_per_second
+        print(
+            "replay EQUIVALENT: live match stream and final token sets "
+            "equal the simulation"
+            + (f" ({rps:.1f} live rounds/s)" if rps else "")
+        )
+        return 0
+    print(f"replay DIVERGED ({len(report.divergences)} divergences):")
+    for divergence in report.divergences[:20]:
+        print(f"  {divergence}")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -357,9 +465,53 @@ def build_parser() -> argparse.ArgumentParser:
     ls_p = sub.add_parser(
         "list",
         help="print registered algorithms, graphs, dynamics, instances, "
-             "fault models, timing models, and scenarios",
+             "fault models, timing models, scenarios, and transports",
     )
     ls_p.set_defaults(func=_cmd_list)
+
+    transport_choices = sorted(TRANSPORT_REGISTRY.names())
+
+    srv_p = sub.add_parser(
+        "serve",
+        help="deploy a live peer-server cluster and run it to completion",
+    )
+    srv_p.add_argument("--transport", choices=transport_choices,
+                       default="tcp")
+    srv_p.add_argument("--scenario", choices=scenario_choices, default=None,
+                       help="boot the cluster from a registered scenario")
+    srv_p.add_argument("--algorithm", choices=algorithm_choices,
+                       default=None,
+                       help="protocol to serve (scenario's recommendation "
+                            "when omitted)")
+    srv_p.add_argument("--graph", choices=graph_choices, default="expander")
+    srv_p.add_argument("--n", type=int, default=8)
+    srv_p.add_argument("--k", type=int, default=2)
+    srv_p.add_argument("--tau", type=int, default=0,
+                       help="stability factor; 0 means infinity")
+    srv_p.add_argument("--seed", type=int, default=0)
+    srv_p.add_argument("--max-rounds", type=int, default=512)
+    srv_p.add_argument("--heartbeat-every", type=int, default=0,
+                       help="rounds between cluster-wide heartbeats "
+                            "(0 = off)")
+    srv_p.add_argument("--heartbeat-max-age", type=float, default=None,
+                       help="seconds before an unheard-from peer is pruned")
+    srv_p.set_defaults(func=_cmd_serve)
+
+    rp_p = sub.add_parser(
+        "replay",
+        help="record a simulated run, replay it on a live cluster, and "
+             "assert match-stream and token-set equivalence",
+    )
+    rp_p.add_argument("--algorithm", choices=algorithm_choices,
+                      required=True)
+    rp_p.add_argument("--graph", choices=graph_choices, default="expander")
+    rp_p.add_argument("--n", type=int, default=8)
+    rp_p.add_argument("--k", type=int, default=2)
+    rp_p.add_argument("--tau", type=int, default=0,
+                      help="stability factor; 0 means infinity")
+    rp_p.add_argument("--seed", type=int, default=0)
+    rp_p.add_argument("--max-rounds", type=int, default=512)
+    rp_p.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.bits import ceil_log2
 from repro.core.tokens import Token
+from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.sim.channel import Channel
 from repro.sim.context import NeighborView
 from repro.sim.protocol import NodeProtocol
@@ -45,6 +47,14 @@ class PPushNode(NodeProtocol):
     def known_tokens(self) -> frozenset:
         """TokenHolder interface so gossip termination conditions apply."""
         return frozenset((self.rumor.token_id,)) if self.rumor else frozenset()
+
+    def has_token(self, token_id: int) -> bool:
+        return self.rumor is not None and self.rumor.token_id == token_id
+
+    def token(self, token_id: int) -> Token:
+        if not self.has_token(token_id):
+            raise KeyError(f"node {self.uid} does not hold token {token_id}")
+        return self.rumor
 
     def advertise(self, round_index: int, neighbor_uids: tuple[int, ...]) -> int:
         return 1 if self.informed else 0
@@ -88,3 +98,33 @@ class PPushNode(NodeProtocol):
         for vertex, uninformed in csr.candidate_rows(tags):
             targets[vertex] = nodes[vertex].rng.choice(uninformed)
         return targets
+
+
+@register_algorithm(
+    name="ppush",
+    description="single-rumor push, informed nodes advertise 1; "
+                "O(log^4 N / a) with tau = infinity (Thm 6.1)",
+    tag_length=1,
+    requires_stable_topology=True,
+)
+def _build_ppush_nodes(ctx):
+    """One PPushNode per vertex; the instance's single token is the rumor."""
+    instance = ctx.instance
+    if len(instance.token_ids) != 1:
+        raise ConfigurationError(
+            "ppush spreads exactly one rumor; got an instance with "
+            f"k={len(instance.token_ids)} tokens (use k=1 or token_at)"
+        )
+    return {
+        vertex: PPushNode(
+            uid=instance.uid_of(vertex),
+            upper_n=instance.upper_n,
+            rng=ctx.tree.stream("node", instance.uid_of(vertex)),
+            rumor=(
+                tokens[0]
+                if (tokens := instance.tokens_for(vertex))
+                else None
+            ),
+        )
+        for vertex in ctx.vertices()
+    }

@@ -31,6 +31,15 @@ models are seed-deterministic (same seed, twice, byte-identical);
 path under every timing regime and fault regime, on both the object and
 the array front half — the determinism contract of the window-batching
 optimization ("no random draw may move").
+
+The live deployment layer (repro.net) adds a fourth invariant:
+:func:`check_local_acceptance_identity` pins that the per-target
+acceptance-stream discipline (``acceptance_streams="local"`` — the
+draws a distributed proposee can derive knowing only seed, round, and
+its own UID) is byte-identical between the object and array paths for
+every proposee-side rule.  The replay bridge
+(:mod:`repro.net.bridge`) records under this discipline, so the check
+anchors live-replay equivalence to whichever engine path recorded.
 """
 
 from __future__ import annotations
@@ -67,6 +76,7 @@ __all__ = [
     "CHECK_ASYNC_DYNAMICS",
     "CHECK_TIMINGS",
     "check_fastpath_divergence",
+    "check_local_acceptance_identity",
     "check_null_fault_identity",
     "check_async_sync_identity",
     "check_async_determinism",
@@ -186,6 +196,7 @@ def run_case(
     fault="none",
     timing=None,
     async_mode="auto",
+    acceptance_streams="global",
 ) -> tuple:
     """Run one differential case; returns (trace signature, final state).
 
@@ -193,6 +204,8 @@ def run_case(
     a built model — including ``"synchronous"``) runs the event engine,
     with ``async_mode`` selecting its front half (``"event"`` forces the
     generic per-event path, ``"batched"`` forces window batching).
+    ``acceptance_streams`` selects the match-stream discipline (the
+    event engine supports only ``"global"``).
     """
     if algorithm == "ppush":
         nodes = _ppush_nodes(n, seed)
@@ -208,6 +221,7 @@ def run_case(
     engine_kwargs = dict(
         b=b, seed=seed, channel_policy=policy, acceptance=acceptance,
         engine_mode=engine_mode, faults=make_fault(fault, n, seed),
+        acceptance_streams=acceptance_streams,
     )
     dynamics = make_dynamics(dynamics_kind, n, seed)
     if timing is None:
@@ -285,6 +299,43 @@ def check_null_fault_identity(
                     failures.append(
                         f"{algorithm}/{kind}/{engine_mode}: NoFaults "
                         "perturbed the trace (the null model must be free)"
+                    )
+    return failures
+
+
+def check_local_acceptance_identity(
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+    algorithms=CHECK_ALGORITHMS,
+    dynamics=CHECK_DYNAMICS,
+    acceptances=("uniform", "lowest_uid", "highest_uid"),
+) -> list[str]:
+    """The live bridge's recording discipline: local streams, both paths.
+
+    Runs every (algorithm, dynamics, proposee-side rule) case under
+    ``acceptance_streams="local"`` through the object reference path and
+    the array fast path and reports any observable difference (empty =
+    the per-target stream discipline is engine-mode independent, so a
+    :func:`repro.net.bridge.record_run` recording replays identically
+    regardless of which path produced it).  ``"unbounded"`` is excluded:
+    it is not a proposee-side rule and the live layer rejects it.
+    """
+    failures = []
+    for algorithm in algorithms:
+        for kind in dynamics:
+            for acceptance in acceptances:
+                reference = run_case(algorithm, kind, acceptance,
+                                     "object", n, seed, rounds,
+                                     acceptance_streams="local")
+                fast = run_case(algorithm, kind, acceptance, "array",
+                                n, seed, rounds,
+                                acceptance_streams="local")
+                if reference != fast:
+                    failures.append(
+                        f"{algorithm}/{kind}/{acceptance}: array path "
+                        "diverged from the object path under local "
+                        "acceptance streams"
                     )
     return failures
 

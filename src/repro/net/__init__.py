@@ -1,0 +1,48 @@
+"""repro.net: live deployment of registered gossip protocols.
+
+This package runs the *same* protocol objects the simulator builds —
+``ALGORITHMS`` registry entries like ``ppush``, ``blindmatch`` and
+``sharedbit`` — as real peer servers over TCP sockets on localhost.
+Each node gets a :class:`~repro.net.server.PeerServer` (one thread per
+request, length-prefixed JSON framing, stdlib only); a
+:class:`~repro.net.coordinator.Coordinator` boots a cluster from any
+registered topology and drives the mobile-telephone round structure
+(scan → propose → accept → connect) over request/response messages, with
+acceptance rules enforced by the *proposee* exactly as
+``repro.sim.matching.resolve_proposals`` does.
+
+The keystone is the replay bridge (:mod:`repro.net.bridge`): record a
+simulation run, replay it on a live cluster seeded with the same
+SeedTree-derived randomness, and assert the live match stream and final
+token sets are equivalent to the simulated trace.
+"""
+
+from repro.net.bridge import (
+    RecordedRun,
+    ReplayReport,
+    record_run,
+    replay,
+)
+from repro.net.coordinator import Coordinator, NetRunReport, deploy_run
+from repro.net.framing import TransportError, recv_msg, request, send_msg
+from repro.net.peers import PeerEntry, PeerTable
+from repro.net.server import PeerServer
+from repro.net.trace import NetTrace
+
+__all__ = [
+    "Coordinator",
+    "NetRunReport",
+    "NetTrace",
+    "PeerEntry",
+    "PeerServer",
+    "PeerTable",
+    "RecordedRun",
+    "ReplayReport",
+    "TransportError",
+    "deploy_run",
+    "record_run",
+    "recv_msg",
+    "replay",
+    "request",
+    "send_msg",
+]

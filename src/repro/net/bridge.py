@@ -1,0 +1,199 @@
+"""The replay bridge: simulated runs replayed on live clusters.
+
+This is the net layer's keystone correctness instrument.
+:func:`record_run` executes a simulation under
+``acceptance_streams="local"`` — the per-target match streams a
+distributed proposee can derive knowing only (seed, round, own UID) —
+and records the post-drop match stream plus final token sets.
+:func:`replay` then boots a live TCP cluster from the *same* seed and
+drives it for the same number of rounds; because
+
+* live nodes are built by the same registered builder from the same
+  :class:`~repro.rng.SeedTree` (identical per-node private streams),
+* the coordinator phase-barriers scan/propose per round (identical
+  per-node draw order), and
+* each proposee resolves contention with exactly the simulator's
+  per-target stream and acceptance rule,
+
+the live cluster's match stream and final token sets must equal the
+simulation's.  :class:`ReplayReport` asserts that, listing any
+divergences.  Tolerated divergences (documented in DESIGN.md §8):
+within-round match *order* (matches are node-disjoint; both sides are
+compared as sets per round) and wall-clock columns, which only the live
+trace has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.runner import build_nodes
+from repro.errors import ConfigurationError
+from repro.net.coordinator import Coordinator, NetRunReport
+from repro.registry import ALGORITHM_REGISTRY
+from repro.sim.channel import ChannelPolicy
+from repro.sim.engine import Simulation
+from repro.sim.termination import all_hold_tokens
+
+__all__ = [
+    "RecordedRun",
+    "RecordingSimulation",
+    "ReplayReport",
+    "record_run",
+    "replay",
+]
+
+
+class RecordingSimulation(Simulation):
+    """A :class:`Simulation` that records the per-round match stream.
+
+    ``_stage3`` receives exactly the matches that survived the fault
+    layer's drop decision, so the recorded stream is directly
+    comparable to :class:`~repro.net.coordinator.NetRunReport`'s.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.match_stream: list[tuple] = []
+
+    def _stage3(self, rnd: int, matches) -> tuple[int, int]:
+        self.match_stream.append(
+            tuple((int(a), int(b)) for a, b in matches)
+        )
+        return super()._stage3(rnd, matches)
+
+
+@dataclass(frozen=True)
+class RecordedRun:
+    """A simulated execution, pinned down enough to replay live."""
+
+    algorithm: str
+    seed: int
+    rounds: int
+    solved: bool
+    match_stream: tuple
+    final_tokens: dict
+    acceptance: str
+    instance: object
+    graph_source: object
+    config: object = None
+
+
+def _graph_of(graph_source):
+    """A fresh dynamic graph: call factories, pass graphs through."""
+    return graph_source() if callable(graph_source) else graph_source
+
+
+def record_run(
+    algorithm: str,
+    graph_source,
+    instance,
+    seed: int,
+    max_rounds: int = 512,
+    *,
+    acceptance: str = "uniform",
+    engine_mode: str = "auto",
+    config=None,
+) -> RecordedRun:
+    """Simulate and record a run the live layer can replay.
+
+    ``graph_source`` is a :class:`~repro.graphs.dynamic.DynamicGraph`
+    or a zero-argument factory for one — pass a factory for stateful
+    dynamics (mobility) so the recording and the replay each advance a
+    fresh object.  Fault models are deliberately unsupported here: the
+    bridge asserts *clean-model* equivalence, where every divergence is
+    a bug rather than a wall-clock artifact.
+    """
+    defn = ALGORITHM_REGISTRY.get(algorithm)
+    if config is None:
+        config = defn.make_config()
+    nodes = build_nodes(algorithm, instance, seed, config)
+    sim = RecordingSimulation(
+        dynamic_graph=_graph_of(graph_source),
+        protocols=nodes,
+        b=defn.resolve_tag_length(config),
+        seed=seed,
+        channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+        acceptance=acceptance,
+        acceptance_streams="local",
+        engine_mode=engine_mode,
+    )
+    result = sim.run(
+        max_rounds=max_rounds,
+        termination=all_hold_tokens(instance.token_ids),
+    )
+    final_tokens = {
+        node.uid: tuple(sorted(node.known_tokens))
+        for node in nodes.values()
+    }
+    return RecordedRun(
+        algorithm=algorithm,
+        seed=seed,
+        rounds=result.rounds,
+        solved=result.terminated,
+        match_stream=tuple(sim.match_stream),
+        final_tokens=final_tokens,
+        acceptance=acceptance,
+        instance=instance,
+        graph_source=graph_source,
+        config=config,
+    )
+
+
+@dataclass
+class ReplayReport:
+    """The live replay next to its recording, with any divergences."""
+
+    record: RecordedRun
+    live: NetRunReport
+    divergences: list = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.divergences
+
+
+def replay(record: RecordedRun, **opts) -> ReplayReport:
+    """Replay ``record`` on a live loopback cluster and compare.
+
+    Drives exactly ``record.rounds`` rounds (termination checks off) so
+    the two match streams align round for round, then compares them as
+    per-round sets plus the final token sets.
+    """
+    if record.rounds < 1:
+        raise ConfigurationError("recorded run has no rounds to replay")
+    coordinator = Coordinator(
+        record.algorithm,
+        _graph_of(record.graph_source),
+        record.instance,
+        record.seed,
+        config=record.config,
+        acceptance=record.acceptance,
+        termination_every=0,
+        **opts,
+    )
+    with coordinator:
+        live = coordinator.run(max_rounds=record.rounds)
+
+    divergences: list[str] = []
+    for index, recorded in enumerate(record.match_stream):
+        rnd = index + 1
+        lived = (
+            live.match_stream[index]
+            if index < len(live.match_stream)
+            else ()
+        )
+        if set(recorded) != set(lived):
+            divergences.append(
+                f"round {rnd}: simulated matches {sorted(recorded)} != "
+                f"live matches {sorted(lived)}"
+            )
+    for uid in sorted(record.final_tokens):
+        sim_tokens = record.final_tokens[uid]
+        live_tokens = live.final_tokens.get(uid)
+        if live_tokens != sim_tokens:
+            divergences.append(
+                f"node {uid}: simulated final tokens {sim_tokens} != "
+                f"live {live_tokens}"
+            )
+    return ReplayReport(record=record, live=live, divergences=divergences)

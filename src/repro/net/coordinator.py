@@ -1,0 +1,453 @@
+"""Cluster bootstrap and the live round driver.
+
+:class:`Coordinator` turns any registered (algorithm, topology,
+instance) triple into a cluster of :class:`~repro.net.server.PeerServer`
+processes-in-threads on localhost, then drives the mobile telephone
+model's round structure over TCP: every simulated edge becomes a
+peer-table entry, every round runs scan → propose → accept → connect as
+request/response messages, and acceptance is enforced by the proposee
+(see ``PeerServer._op_resolve``) exactly as
+:func:`repro.sim.matching.resolve_proposals` does.
+
+The coordinator never touches a node object after construction — all
+state lives behind the servers and moves over the wire.  Connects run
+concurrently (matches are node-disjoint, so no two touch one node);
+everything else is phase-barriered per round, which is what makes each
+node's private draw order identical to the simulator's and hence makes
+the replay bridge's equivalence assertion hold.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.runner import build_nodes
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import TAU_INFINITY
+from repro.net.framing import request
+from repro.net.server import PeerServer
+from repro.net.trace import NetTrace
+from repro.registry import ALGORITHM_REGISTRY, register_transport
+from repro.sim.channel import ChannelPolicy
+from repro.sim.faults import build_fault
+
+__all__ = ["Coordinator", "NetRunReport", "deploy_run"]
+
+
+@dataclass
+class NetRunReport:
+    """Outcome of one live cluster run.
+
+    ``match_stream[r-1]`` is round ``r``'s post-drop matches as
+    ``(initiator_uid, responder_uid)`` pairs in resolution order —
+    directly comparable to a recorded simulation's stream.
+    """
+
+    algorithm: str
+    n: int
+    rounds: int
+    solved: bool
+    trace: NetTrace
+    match_stream: list = field(default_factory=list)
+    final_tokens: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def rounds_per_second(self) -> float | None:
+        if self.wall_seconds <= 0 or self.rounds == 0:
+            return None
+        return self.rounds / self.wall_seconds
+
+
+def _materialize_fault(fault, n: int, seed: int):
+    """Accept a FaultModel, a registered name, a spec dict, or None."""
+    if fault is None:
+        return None
+    if isinstance(fault, str):
+        fault = {"kind": fault}
+    if isinstance(fault, dict):
+        return build_fault(fault, n, seed)
+    return None if fault.is_null else fault
+
+
+class Coordinator:
+    """Boot a live cluster and drive rounds over real sockets.
+
+    ``fault`` accepts the same forms as ``run_gossip`` and keys its
+    masks off the round counter (``clock="cycle"``) or — the live
+    layer's reason for the knob — off elapsed wall time in units of
+    ``round_duration`` seconds (``clock="virtual"``), so a slow round
+    can burn through several fault windows just as a slow phone would.
+
+    ``heartbeat_every`` > 0 makes every server heartbeat its peer table
+    each time that many rounds complete, and ``heartbeat_max_age``
+    (seconds) prunes peers not heard from within the horizon — the
+    liveness machinery the loopback tests drive with a virtual clock.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        dynamic_graph,
+        instance,
+        seed: int,
+        *,
+        config=None,
+        acceptance: str = "uniform",
+        channel_policy: ChannelPolicy | None = None,
+        fault=None,
+        heartbeat_every: int = 0,
+        heartbeat_max_age: float | None = None,
+        round_duration: float | None = None,
+        trace_sample_every: int = 1,
+        termination_every: int = 1,
+        host: str = "127.0.0.1",
+        connect_workers: int = 8,
+        request_timeout: float = 10.0,
+    ):
+        defn = ALGORITHM_REGISTRY.get(algorithm)
+        if dynamic_graph.n != instance.n:
+            raise ConfigurationError(
+                f"graph has n={dynamic_graph.n} but instance has "
+                f"n={instance.n}"
+            )
+        if defn.requires_stable_topology and dynamic_graph.tau != TAU_INFINITY:
+            raise ConfigurationError(
+                f"{algorithm} assumes a stable topology (tau = infinity); "
+                f"got tau={dynamic_graph.tau}"
+            )
+        self.algorithm = algorithm
+        self.dynamic_graph = dynamic_graph
+        self.instance = instance
+        self.seed = seed
+        if config is None:
+            config = defn.make_config()
+        self.config = config
+        self.acceptance = acceptance
+        self.faults = _materialize_fault(fault, dynamic_graph.n, seed)
+        self.heartbeat_every = heartbeat_every
+        self.heartbeat_max_age = heartbeat_max_age
+        self.round_duration = round_duration
+        self.termination_every = termination_every
+        self.connect_workers = connect_workers
+        self.request_timeout = request_timeout
+        policy = channel_policy or ChannelPolicy.for_upper_n(
+            instance.upper_n
+        )
+        b = defn.resolve_tag_length(config)
+        nodes = build_nodes(algorithm, instance, seed, config)
+        self.servers = {
+            vertex: PeerServer(
+                nodes[vertex],
+                uid=instance.uid_of(vertex),
+                vertex=vertex,
+                seed=seed,
+                b=b,
+                acceptance=acceptance,
+                channel_policy=policy,
+                host=host,
+                request_timeout=request_timeout,
+            )
+            for vertex in range(instance.n)
+        }
+        self._by_uid = {
+            server.uid: server for server in self.servers.values()
+        }
+        self.trace = NetTrace(sample_every=trace_sample_every)
+        self.match_stream: list[tuple] = []
+        self._epoch: int | None = None
+        self._neighbors: dict[int, list[int]] = {}
+        self._started = False
+        self._wall_start: float | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "Coordinator":
+        for vertex in sorted(self.servers):
+            self.servers[vertex].start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        for vertex in sorted(self.servers):
+            self.servers[vertex].stop()
+        self._started = False
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _ask(self, uid: int, obj: dict) -> dict:
+        server = self._by_uid[uid]
+        host, port = server.address
+        reply = request(host, port, obj, timeout=self.request_timeout)
+        if "error" in reply:
+            raise ConfigurationError(
+                f"peer {uid} failed {obj.get('op')!r}: {reply['error']}"
+            )
+        return reply
+
+    # -- round driver -------------------------------------------------
+
+    def _install_epoch(self, rnd: int) -> None:
+        epoch = self.dynamic_graph.epoch_of(rnd)
+        if epoch == self._epoch:
+            return
+        graph = self.dynamic_graph.graph_at(rnd)
+        uid_of = self.instance.uid_of
+        self._neighbors = {
+            vertex: sorted(graph.neighbors(vertex))
+            for vertex in range(self.instance.n)
+        }
+        for vertex in sorted(self.servers):
+            entries = []
+            for nb in self._neighbors[vertex]:
+                nb_server = self.servers[nb]
+                nb_host, nb_port = nb_server.address
+                entries.append([uid_of(nb), nb_host, nb_port, nb])
+            self._ask(
+                uid_of(vertex), {"op": "set_neighbors", "entries": entries}
+            )
+        self._epoch = epoch
+
+    def _fault_round(self, rnd: int) -> int:
+        """The index fault masks key off for round ``rnd``."""
+        if (
+            self.faults is not None
+            and self.faults.clock == "virtual"
+            and self.round_duration
+            and self._wall_start is not None
+        ):
+            elapsed = time.monotonic() - self._wall_start
+            return int(elapsed / self.round_duration) + 1
+        return rnd
+
+    def run_round(self, rnd: int) -> None:
+        self._install_epoch(rnd)
+        uid_of = self.instance.uid_of
+        n = self.instance.n
+        fault_round = self._fault_round(rnd)
+        mask = (
+            self.faults.active_mask(fault_round)
+            if self.faults is not None
+            else None
+        )
+
+        def active(vertex: int) -> bool:
+            return mask is None or bool(mask[vertex])
+
+        if self.faults is not None and self.faults.resets_state:
+            for vertex in self.faults.crashed_this_round(fault_round):
+                self._ask(uid_of(int(vertex)), {"op": "reset"})
+
+        visible = {
+            vertex: (
+                [nb for nb in self._neighbors[vertex] if active(nb)]
+                if active(vertex)
+                else []
+            )
+            for vertex in range(n)
+        }
+
+        # Stage 1 — scan.  Every vertex runs its hook (a masked vertex
+        # sees an empty neighborhood), mirroring the masked simulator.
+        tags: dict[int, int] = {}
+        for vertex in range(n):
+            uid = uid_of(vertex)
+            reply = self._ask(
+                uid,
+                {
+                    "op": "advertise",
+                    "round": rnd,
+                    "neighbors": [uid_of(nb) for nb in visible[vertex]],
+                },
+            )
+            tags[uid] = reply["tag"]
+
+        # Stage 2a — propose.  Sequential on purpose: each server
+        # delivers its proposal peer-to-peer before the next runs, so
+        # proposal sends can never form a waiting cycle.
+        proposal_count = 0
+        targets: set[int] = set()
+        for vertex in range(n):
+            uid = uid_of(vertex)
+            views = [
+                [uid_of(nb), tags[uid_of(nb)]] for nb in visible[vertex]
+            ]
+            reply = self._ask(
+                uid, {"op": "propose", "round": rnd, "views": views}
+            )
+            if reply["target"] is not None:
+                proposal_count += 1
+                targets.add(int(reply["target"]))
+
+        # Stage 2b — accept, enforced by each proposee.
+        matches = []
+        for target in sorted(targets):
+            reply = self._ask(target, {"op": "resolve", "round": rnd})
+            if reply["winner"] is not None:
+                matches.append((int(reply["winner"]), target))
+
+        dropped = 0
+        if self.faults is not None:
+            kept = []
+            for initiator, responder in matches:
+                if self.faults.drop_connection(
+                    fault_round, initiator, responder
+                ):
+                    dropped += 1
+                else:
+                    kept.append((initiator, responder))
+            matches = kept
+
+        # Stage 3 — connect.  Matches are node-disjoint, so concurrent
+        # connections never touch one node from two sides.
+        tokens_moved = 0
+        control_bits = 0
+
+        def connect(match):
+            initiator, responder = match
+            return self._ask(
+                initiator,
+                {"op": "connect", "round": rnd, "responder": responder},
+            )
+
+        if matches:
+            workers = min(self.connect_workers, len(matches))
+            if workers > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    replies = list(pool.map(connect, matches))
+            else:
+                replies = [connect(match) for match in matches]
+            for reply in replies:
+                tokens_moved += reply["tokens_moved"]
+                control_bits += reply["bits"]
+                self.trace.record_connection(rnd, reply["latency_s"])
+
+        if self.heartbeat_every and rnd % self.heartbeat_every == 0:
+            for vertex in sorted(self.servers):
+                self._ask(uid_of(vertex), {"op": "beat"})
+            if self.heartbeat_max_age is not None:
+                for vertex in sorted(self.servers):
+                    self._ask(
+                        uid_of(vertex),
+                        {"op": "prune",
+                         "max_age": self.heartbeat_max_age},
+                    )
+
+        self.match_stream.append(tuple(matches))
+        self.trace.close_round(
+            round_index=rnd,
+            proposals=proposal_count,
+            connections=len(matches),
+            tokens_moved=tokens_moved,
+            control_bits=control_bits,
+            active_nodes=(
+                n if mask is None else int(mask.sum())
+            ),
+            dropped_connections=dropped,
+        )
+
+    def snapshots(self) -> dict[int, tuple]:
+        """uid -> sorted tuple of known token ids, over the wire."""
+        result = {}
+        for vertex in sorted(self.servers):
+            uid = self.instance.uid_of(vertex)
+            reply = self._ask(uid, {"op": "snapshot"})
+            result[uid] = tuple(reply["tokens"])
+        return result
+
+    def _solved(self) -> bool:
+        wanted = self.instance.token_ids
+        return all(
+            wanted <= set(tokens) for tokens in self.snapshots().values()
+        )
+
+    def run(self, max_rounds: int = 512) -> NetRunReport:
+        """Drive rounds until every node holds every token (or the cap)."""
+        if not self._started:
+            raise ConfigurationError(
+                "coordinator not started; use `with Coordinator(...)` or "
+                "call start() first"
+            )
+        self._wall_start = time.monotonic()
+        started = time.perf_counter()
+        solved = False
+        rounds = 0
+        for rnd in range(1, max_rounds + 1):
+            self.run_round(rnd)
+            rounds = rnd
+            if (
+                self.termination_every
+                and rnd % self.termination_every == 0
+                and self._solved()
+            ):
+                solved = True
+                break
+        wall = time.perf_counter() - started
+        self.trace.wall_seconds = wall
+        return NetRunReport(
+            algorithm=self.algorithm,
+            n=self.instance.n,
+            rounds=rounds,
+            solved=solved,
+            trace=self.trace,
+            match_stream=list(self.match_stream),
+            final_tokens=self.snapshots(),
+            wall_seconds=wall,
+        )
+
+
+@register_transport(
+    name="tcp",
+    description="loopback TCP peer servers: one socket endpoint per node, "
+                "length-prefixed JSON framing (repro.net)",
+)
+def deploy_run(
+    scenario=None,
+    *,
+    algorithm: str | None = None,
+    dynamic_graph=None,
+    instance=None,
+    seed: int = 0,
+    max_rounds: int = 512,
+    **opts,
+) -> NetRunReport:
+    """Deploy a live cluster and run it to completion.
+
+    Pass either a :class:`~repro.workloads.scenarios.Scenario` — or a
+    registered scenario name, materialized with the run seed — (its
+    topology, instance, and recommended algorithm are used; overrides
+    via keywords) or the explicit pieces.  This is the ``tcp``
+    transport's registry entry point, shared by ``repro-gossip serve``
+    and ``Experiment.deploy()``.
+    """
+    if isinstance(scenario, str):
+        from repro.registry import SCENARIO_REGISTRY
+
+        scenario = SCENARIO_REGISTRY.get(scenario).factory(seed=seed)
+    if scenario is not None:
+        if getattr(scenario, "timing", None) is not None:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} uses a timing model; the live "
+                "layer is inherently asynchronous and does not replay "
+                "simulated clocks"
+            )
+        algorithm = algorithm or scenario.recommended_algorithm
+        dynamic_graph = dynamic_graph or scenario.dynamic_graph
+        instance = instance or scenario.instance
+        opts.setdefault("fault", scenario.fault)
+    if algorithm is None or dynamic_graph is None or instance is None:
+        raise ConfigurationError(
+            "deploy_run needs a scenario or all of algorithm, "
+            "dynamic_graph, and instance"
+        )
+    coordinator = Coordinator(
+        algorithm, dynamic_graph, instance, seed, **opts
+    )
+    with coordinator:
+        return coordinator.run(max_rounds=max_rounds)

@@ -1,0 +1,98 @@
+"""Wire framing for the live deployment layer: length-prefixed JSON.
+
+Every message is a 4-byte big-endian unsigned length followed by that
+many bytes of UTF-8 compact JSON.  One request per TCP connection keeps
+the protocol trivially correct under threading (no stream multiplexing,
+no partial-read state machine beyond :func:`_recv_exact`) at the cost of
+a connect per message — fine for localhost clusters, and honest about
+what a smartphone pairing costs.
+
+Stdlib only by design: ``struct`` + ``json`` + ``socket``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+__all__ = [
+    "MAX_FRAME",
+    "TransportError",
+    "recv_msg",
+    "request",
+    "send_msg",
+]
+
+HEADER = struct.Struct("!I")
+
+#: Upper bound on one frame's payload.  Snapshots of an n=4096 cluster
+#: with long payload strings stay far below this; anything bigger is a
+#: corrupt length prefix, not a message.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class TransportError(RuntimeError):
+    """A peer connection failed or sent a malformed frame."""
+
+
+def send_msg(sock: socket.socket, obj) -> None:
+    """Send one JSON-able object as a length-prefixed frame."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    sock.sendall(HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes, or None on clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise TransportError(
+                f"connection closed mid-frame ({count - remaining}/{count}"
+                " bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket):
+    """Receive one frame; ``None`` on clean EOF before a header."""
+    header = _recv_exact(sock, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise TransportError(
+            f"frame length {length} exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise TransportError("connection closed between header and payload")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"malformed frame payload: {exc}") from exc
+
+
+def request(host: str, port: int, obj, timeout: float = 5.0):
+    """One request/response round trip on a fresh TCP connection."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            send_msg(sock, obj)
+            reply = recv_msg(sock)
+    except OSError as exc:
+        raise TransportError(
+            f"request to {host}:{port} failed: {exc}"
+        ) from exc
+    if reply is None:
+        raise TransportError(f"{host}:{port} closed without replying")
+    return reply

@@ -1,0 +1,91 @@
+"""Peer tables with heartbeat-based liveness pruning.
+
+Each :class:`~repro.net.server.PeerServer` holds a :class:`PeerTable`
+mapping neighbor UIDs to addresses — the live analogue of one row of the
+simulator's adjacency structure.  Entries age out when their last
+heartbeat is older than a caller-chosen horizon; every time-touching
+method accepts an explicit ``now`` so tests can drive liveness with a
+virtual clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+
+__all__ = ["PeerEntry", "PeerTable"]
+
+
+@dataclass(frozen=True)
+class PeerEntry:
+    """One known peer: identity, address, and last heartbeat instant."""
+
+    uid: int
+    host: str
+    port: int
+    vertex: int = -1
+    last_seen: float = 0.0
+
+
+class PeerTable:
+    """Thread-safe UID → :class:`PeerEntry` map with liveness pruning."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[int, PeerEntry] = {}
+
+    def upsert(self, entry: PeerEntry) -> None:
+        with self._lock:
+            self._entries[entry.uid] = entry
+
+    def replace_all(self, entries) -> None:
+        """Install a fresh neighbor set (a topology epoch change)."""
+        table = {entry.uid: entry for entry in entries}
+        with self._lock:
+            self._entries = table
+
+    def heartbeat(self, uid: int, now: float | None = None) -> bool:
+        """Refresh ``uid``'s last-seen instant; False if unknown."""
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            entry = self._entries.get(uid)
+            if entry is None:
+                return False
+            self._entries[uid] = replace(entry, last_seen=stamp)
+            return True
+
+    def get(self, uid: int) -> PeerEntry | None:
+        with self._lock:
+            return self._entries.get(uid)
+
+    def uids(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def entries(self) -> tuple[PeerEntry, ...]:
+        with self._lock:
+            return tuple(
+                self._entries[uid] for uid in sorted(self._entries)
+            )
+
+    def prune(self, max_age: float, now: float | None = None) -> tuple[int, ...]:
+        """Drop peers not heard from within ``max_age``; return their UIDs."""
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            stale = tuple(
+                uid
+                for uid, entry in sorted(self._entries.items())
+                if stamp - entry.last_seen > max_age
+            )
+            for uid in stale:
+                del self._entries[uid]
+        return stale
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, uid: int) -> bool:
+        with self._lock:
+            return uid in self._entries

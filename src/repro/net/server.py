@@ -1,0 +1,460 @@
+"""A live peer server wrapping one registered protocol node.
+
+Each :class:`PeerServer` owns exactly one protocol object (the *same*
+class the simulator builds — PPushNode, BlindMatchNode, SharedBitNode,
+LeaderElectionNode, ...) and exposes the mobile telephone model's round
+primitives as request/response operations over the framing protocol:
+
+========== ==========================================================
+op          meaning
+========== ==========================================================
+advertise   run the node's scan-stage hook, reply with its b-bit tag
+propose     run the propose hook; deliver the proposal peer-to-peer
+proposal    (peer-to-peer) record an incoming proposal for a round
+resolve     proposee-enforced acceptance over the round's inbox —
+            exactly ``resolve_proposals`` semantics (proposals to
+            proposers are lost; ties break by the registered
+            acceptance rule on the per-target SeedTree stream)
+connect     initiator-side Stage 3: pull the responder's visible
+            state, run ``interact`` against a remote-peer adapter
+            under the metered :class:`~repro.sim.channel.Channel`,
+            push the deltas back
+========== ==========================================================
+
+plus cluster plumbing (``ping``/``set_neighbors``/``heartbeat``/
+``beat``/``peers``/``prune``), state transfer (``state_pull``/
+``state_push``/``snapshot``/``reset``), and ``stop``.
+
+Lock discipline: the node lock is **never held across an outbound
+network call**.  ``propose`` computes the target under the lock, then
+delivers the proposal with the lock released; ``connect`` pulls remote
+state first, runs ``interact`` locally under the lock, then pushes
+deltas.  Matches are node-disjoint within a round, so concurrent
+connects never contend for one node from two sides.
+
+Determinism: a server derives its acceptance draws from
+``SeedTree(seed).child("engine").stream("match", round, "uid", uid)`` —
+the same per-target streams the simulator uses under
+``acceptance_streams="local"`` — so a proposee knowing only the run
+seed, the round number, and its own UID reproduces the simulator's
+coin flips exactly.  That is what makes the replay bridge's
+equivalence assertion possible.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+
+from repro.core.tokens import Token
+from repro.errors import ConfigurationError
+from repro.net.framing import TransportError, recv_msg, request, send_msg
+from repro.net.peers import PeerEntry, PeerTable
+from repro.rng import SeedTree
+from repro.sim.channel import Channel, ChannelPolicy
+from repro.sim.context import NeighborView
+from repro.sim.matching import ACCEPTANCE_RULES
+
+__all__ = ["PeerServer"]
+
+
+class _RemoteTokenPeer:
+    """Stand-in for a remote token-gossip node during ``interact``.
+
+    ``run_transfer`` touches only ``known_tokens``, ``token(id)`` and
+    ``store_token`` on its peer; this adapter serves those from a pulled
+    snapshot and records stores as deltas to push back.
+    """
+
+    def __init__(self, tokens: list):
+        self._tokens = {
+            int(tid): Token(int(tid), payload, int(origin))
+            for tid, payload, origin in tokens
+        }
+        self.received: list[Token] = []
+
+    @property
+    def known_tokens(self) -> frozenset:
+        return frozenset(self._tokens)
+
+    def token(self, token_id: int) -> Token:
+        return self._tokens[token_id]
+
+    def store_token(self, token: Token) -> None:
+        if token.token_id not in self._tokens:
+            self._tokens[token.token_id] = token
+            self.received.append(token)
+
+    def deltas(self) -> dict | None:
+        if not self.received:
+            return None
+        return {
+            "kind": "tokens",
+            "tokens": [
+                [t.token_id, t.payload, t.origin_uid] for t in self.received
+            ],
+        }
+
+
+class _RemotePPushPeer:
+    """Stand-in for a remote PPUSH responder during ``interact``."""
+
+    def __init__(self, informed: bool, rumor):
+        self._was_informed = informed
+        self.rumor = (
+            Token(int(rumor[0]), rumor[1], int(rumor[2]))
+            if rumor is not None
+            else None
+        )
+        self.informed_at_round = None
+
+    @property
+    def informed(self) -> bool:
+        return self.rumor is not None
+
+    def deltas(self) -> dict | None:
+        if self._was_informed or self.rumor is None:
+            return None
+        return {
+            "kind": "ppush",
+            "rumor": [
+                self.rumor.token_id,
+                self.rumor.payload,
+                self.rumor.origin_uid,
+            ],
+            "informed_at_round": self.informed_at_round,
+        }
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One request per connection: read a frame, dispatch, reply."""
+
+    def handle(self):
+        try:
+            msg = recv_msg(self.request)
+        except TransportError:
+            return
+        if msg is None:
+            return
+        try:
+            reply = self.server.peer_server.handle(msg)
+        except Exception as exc:  # surfaced to the caller, not swallowed
+            reply = {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            send_msg(self.request, reply)
+        except OSError:
+            pass
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class PeerServer:
+    """One protocol node behind a threaded TCP endpoint."""
+
+    def __init__(
+        self,
+        node,
+        *,
+        uid: int,
+        vertex: int,
+        seed: int,
+        b: int,
+        acceptance: str = "uniform",
+        channel_policy: ChannelPolicy | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = 5.0,
+    ):
+        if acceptance not in ACCEPTANCE_RULES:
+            raise ConfigurationError(
+                f"unknown acceptance rule {acceptance!r}; live servers "
+                f"support {sorted(ACCEPTANCE_RULES)}"
+            )
+        self.node = node
+        self.uid = uid
+        self.vertex = vertex
+        self.acceptance = acceptance
+        self.channel_policy = channel_policy or ChannelPolicy.for_upper_n(
+            max(uid, 1)
+        )
+        self.max_tag = (1 << b) - 1
+        self.request_timeout = request_timeout
+        self.table = PeerTable()
+        self._engine_tree = SeedTree(seed).child("engine")
+        self._lock = threading.RLock()
+        self._proposed: dict[int, int | None] = {}
+        self._inbox: dict[int, list[int]] = {}
+        self._server = _TCPServer((host, port), _Handler)
+        self._server.peer_server = self
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def start(self) -> "PeerServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"peer-{self.uid}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "PeerServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- dispatch -----------------------------------------------------
+
+    def handle(self, msg: dict) -> dict:
+        op = msg.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"error": f"unknown op {op!r}"}
+        return handler(msg)
+
+    def _peer_request(self, entry: PeerEntry, obj) -> dict:
+        reply = request(
+            entry.host, entry.port, obj, timeout=self.request_timeout
+        )
+        if "error" in reply:
+            raise TransportError(
+                f"peer {entry.uid} rejected {obj.get('op')!r}: "
+                f"{reply['error']}"
+            )
+        return reply
+
+    # -- cluster plumbing ---------------------------------------------
+
+    def _op_ping(self, msg: dict) -> dict:
+        return {"ok": True, "uid": self.uid, "vertex": self.vertex}
+
+    def _op_set_neighbors(self, msg: dict) -> dict:
+        now = msg.get("now")
+        stamp = time.monotonic() if now is None else float(now)
+        self.table.replace_all(
+            PeerEntry(
+                uid=int(uid),
+                host=host,
+                port=int(port),
+                vertex=int(vertex),
+                last_seen=stamp,
+            )
+            for uid, host, port, vertex in msg["entries"]
+        )
+        return {"ok": True, "peers": len(self.table)}
+
+    def _op_heartbeat(self, msg: dict) -> dict:
+        return {
+            "ok": self.table.heartbeat(int(msg["from"]), now=msg.get("now"))
+        }
+
+    def _op_peers(self, msg: dict) -> dict:
+        return {"uids": list(self.table.uids())}
+
+    def _op_beat(self, msg: dict) -> dict:
+        """Send one heartbeat to every known peer; dead peers tolerated."""
+        now = msg.get("now")
+        delivered, failed = [], []
+        for entry in self.table.entries():  # snapshot; no lock held below
+            beat = {"op": "heartbeat", "from": self.uid}
+            if now is not None:
+                beat["now"] = now
+            try:
+                self._peer_request(entry, beat)
+                delivered.append(entry.uid)
+            except TransportError:
+                failed.append(entry.uid)
+        return {"delivered": delivered, "failed": failed}
+
+    def _op_prune(self, msg: dict) -> dict:
+        removed = self.table.prune(
+            float(msg["max_age"]), now=msg.get("now")
+        )
+        return {"removed": list(removed)}
+
+    # -- round structure ----------------------------------------------
+
+    def _op_advertise(self, msg: dict) -> dict:
+        rnd = int(msg["round"])
+        neighbor_uids = tuple(int(u) for u in msg.get("neighbors", ()))
+        with self._lock:
+            tag = int(self.node.advertise(rnd, neighbor_uids))
+        if not 0 <= tag <= self.max_tag:
+            raise ConfigurationError(
+                f"node {self.uid} advertised tag {tag} outside "
+                f"[0, {self.max_tag}]"
+            )
+        return {"tag": tag}
+
+    def _op_propose(self, msg: dict) -> dict:
+        rnd = int(msg["round"])
+        views = tuple(
+            NeighborView(uid=int(uid), tag=int(tag))
+            for uid, tag in msg.get("views", ())
+        )
+        with self._lock:
+            target = self.node.propose(rnd, views)
+            self._proposed[rnd] = target
+            self._proposed.pop(rnd - 8, None)  # bounded per-round memory
+        if target is not None:
+            entry = self.table.get(int(target))
+            if entry is None:
+                raise TransportError(
+                    f"node {self.uid} proposed to unknown peer {target} "
+                    f"in round {rnd}"
+                )
+            self._peer_request(
+                entry, {"op": "proposal", "round": rnd, "from": self.uid}
+            )
+        return {"target": target}
+
+    def _op_proposal(self, msg: dict) -> dict:
+        rnd = int(msg["round"])
+        with self._lock:
+            self._inbox.setdefault(rnd, []).append(int(msg["from"]))
+        return {"ok": True}
+
+    def _op_resolve(self, msg: dict) -> dict:
+        """Proposee-enforced acceptance: ``resolve_proposals`` semantics.
+
+        A node that proposed this round loses its incoming proposals
+        (the model's collision rule); a contested inbox is settled by
+        the registered acceptance rule, drawing — for ``uniform`` — from
+        this target's own match stream, which is exactly the draw the
+        simulator makes under ``acceptance_streams="local"``.
+        """
+        rnd = int(msg["round"])
+        with self._lock:
+            proposed = self._proposed.get(rnd)
+            senders = sorted(set(self._inbox.pop(rnd, ())))
+        if proposed is not None or not senders:
+            return {"winner": None, "senders": len(senders)}
+        if len(senders) == 1:
+            return {"winner": senders[0], "senders": 1}
+        rng = (
+            self._engine_tree.stream("match", rnd, "uid", self.uid)
+            if self.acceptance == "uniform"
+            else None
+        )
+        winner = ACCEPTANCE_RULES[self.acceptance](senders, rng)
+        return {"winner": int(winner), "senders": len(senders)}
+
+    def _op_connect(self, msg: dict) -> dict:
+        """Initiator-side Stage 3 against a remote responder."""
+        rnd = int(msg["round"])
+        responder_uid = int(msg["responder"])
+        entry = self.table.get(responder_uid)
+        if entry is None:
+            raise TransportError(
+                f"node {self.uid} has no peer entry for responder "
+                f"{responder_uid}"
+            )
+        started = time.perf_counter()
+        pulled = self._peer_request(entry, {"op": "state_pull"})
+        if pulled["kind"] == "tokens":
+            adapter = _RemoteTokenPeer(pulled["tokens"])
+        elif pulled["kind"] == "ppush":
+            adapter = _RemotePPushPeer(pulled["informed"], pulled["rumor"])
+        else:
+            raise TransportError(
+                f"responder {responder_uid} pulled unknown state kind "
+                f"{pulled['kind']!r}"
+            )
+        with self._lock:
+            channel = Channel(rnd, self.uid, responder_uid,
+                              self.channel_policy)
+            self.node.interact(adapter, channel, rnd)
+            channel.close()
+        deltas = adapter.deltas()
+        if deltas is not None:
+            push = dict(deltas, op="state_push", round=rnd)
+            self._peer_request(entry, push)
+        latency = time.perf_counter() - started
+        return {
+            "tokens_moved": channel.tokens_moved,
+            "bits": channel.bits.total_bits,
+            "latency_s": latency,
+        }
+
+    # -- state transfer -----------------------------------------------
+
+    def _op_state_pull(self, msg: dict) -> dict:
+        with self._lock:
+            node = self.node
+            if hasattr(node, "store_token"):
+                return {
+                    "kind": "tokens",
+                    "tokens": [
+                        [t.token_id, t.payload, t.origin_uid]
+                        for t in sorted(
+                            (node.token(tid) for tid in node.known_tokens),
+                            key=lambda t: t.token_id,
+                        )
+                    ],
+                }
+            rumor = node.rumor
+            return {
+                "kind": "ppush",
+                "informed": node.informed,
+                "rumor": None
+                if rumor is None
+                else [rumor.token_id, rumor.payload, rumor.origin_uid],
+            }
+
+    def _op_state_push(self, msg: dict) -> dict:
+        with self._lock:
+            node = self.node
+            if msg["kind"] == "tokens":
+                stored = 0
+                for tid, payload, origin in msg["tokens"]:
+                    token = Token(int(tid), payload, int(origin))
+                    if not node.has_token(token.token_id):
+                        node.store_token(token)
+                        stored += 1
+                return {"ok": True, "stored": stored}
+            if msg["kind"] == "ppush":
+                if not node.informed:
+                    tid, payload, origin = msg["rumor"]
+                    node.rumor = Token(int(tid), payload, int(origin))
+                    node.informed_at_round = msg.get("informed_at_round")
+                    return {"ok": True, "stored": 1}
+                return {"ok": True, "stored": 0}
+            return {"error": f"unknown state kind {msg['kind']!r}"}
+
+    def _op_snapshot(self, msg: dict) -> dict:
+        with self._lock:
+            return {
+                "uid": self.uid,
+                "vertex": self.vertex,
+                "tokens": sorted(self.node.known_tokens),
+            }
+
+    def _op_reset(self, msg: dict) -> dict:
+        """Crash-with-state-loss hook (fault models with resets)."""
+        with self._lock:
+            if hasattr(self.node, "reset_tokens"):
+                self.node.reset_tokens()
+                return {"ok": True, "reset": True}
+        return {"ok": True, "reset": False}
+
+    def _op_stop(self, msg: dict) -> dict:
+        threading.Thread(target=self.stop, daemon=True).start()
+        return {"ok": True}

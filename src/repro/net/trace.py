@@ -1,0 +1,77 @@
+"""Live-run traces: the simulator's Trace plus wall-clock latencies.
+
+:class:`NetTrace` reuses the whole :class:`~repro.sim.trace.Trace`
+column machinery (records, totals, ``column_series``/``gauge_series``)
+and adds what only a real deployment can measure: per-connection
+wall-clock latency, folded into each round's gauges as
+``net_latency_mean_s`` / ``net_latency_max_s``, and overall throughput.
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import RoundRecord, Trace
+
+__all__ = ["NetTrace"]
+
+
+class NetTrace(Trace):
+    """A :class:`Trace` that also logs per-connection wall latencies."""
+
+    def __init__(self, sample_every: int = 1):
+        super().__init__(sample_every=sample_every)
+        #: Flat (round_index, seconds) list of every connection's
+        #: wall-clock duration (state pull + interact + state push).
+        self.connection_latencies: list[tuple[int, float]] = []
+        self._pending: list[float] = []
+        self.wall_seconds: float = 0.0
+
+    def record_connection(self, round_index: int, seconds: float) -> None:
+        self.connection_latencies.append((round_index, float(seconds)))
+        self._pending.append(float(seconds))
+
+    def close_round(
+        self,
+        round_index: int,
+        proposals: int,
+        connections: int,
+        tokens_moved: int,
+        control_bits: int,
+        active_nodes: int | None = None,
+        dropped_connections: int = 0,
+    ) -> None:
+        """Fold the round's buffered latencies into a round record."""
+        gauges: dict = {}
+        if self._pending:
+            gauges["net_latency_mean_s"] = sum(self._pending) / len(
+                self._pending
+            )
+            gauges["net_latency_max_s"] = max(self._pending)
+        self._pending = []
+        self.record(
+            RoundRecord(
+                round_index=round_index,
+                proposals=proposals,
+                connections=connections,
+                tokens_moved=tokens_moved,
+                control_bits=control_bits,
+                gauges=gauges,
+                active_nodes=active_nodes,
+                dropped_connections=dropped_connections,
+            )
+        )
+
+    def rounds_per_second(self) -> float | None:
+        if self.wall_seconds <= 0 or self.total_rounds == 0:
+            return None
+        return self.total_rounds / self.wall_seconds
+
+    def latency_stats(self) -> dict | None:
+        """Overall mean/max per-connection latency in seconds."""
+        if not self.connection_latencies:
+            return None
+        values = [seconds for _, seconds in self.connection_latencies]
+        return {
+            "connections": len(values),
+            "mean_s": sum(values) / len(values),
+            "max_s": max(values),
+        }

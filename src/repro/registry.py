@@ -67,6 +67,7 @@ __all__ = [
     "ScenarioDef",
     "FaultDef",
     "TimingDef",
+    "TransportDef",
     "NodeBuildContext",
     "Registry",
     "RegistryNames",
@@ -78,6 +79,7 @@ __all__ = [
     "SCENARIO_REGISTRY",
     "FAULT_REGISTRY",
     "TIMING_REGISTRY",
+    "TRANSPORT_REGISTRY",
     "register_algorithm",
     "register_topology",
     "register_dynamics",
@@ -85,6 +87,7 @@ __all__ = [
     "register_scenario",
     "register_fault",
     "register_timing",
+    "register_transport",
     "ensure_builtins",
     "load_plugin",
 ]
@@ -254,6 +257,23 @@ class TimingDef:
     build: Callable[..., Any]
 
 
+@dataclass(frozen=True)
+class TransportDef:
+    """A deployment transport: how a cluster of live peer servers runs
+    the registered protocols over real message passing.
+
+    ``deploy(scenario_or_spec, **opts)`` boots a cluster (e.g. loopback
+    TCP peer servers, :mod:`repro.net`), drives the round loop, and
+    returns the transport's run report.  The simulator never calls
+    this; it is the execution target for ``repro-gossip serve``,
+    ``Experiment.deploy()``, and the replay bridge.
+    """
+
+    name: str
+    description: str
+    deploy: Callable[..., Any]
+
+
 class Registry:
     """Name -> definition, with duplicate protection and enumerated errors."""
 
@@ -405,6 +425,7 @@ INSTANCE_REGISTRY = Registry("instance kind", "instance kinds")
 SCENARIO_REGISTRY = Registry("scenario", "scenarios")
 FAULT_REGISTRY = Registry("fault model", "fault models")
 TIMING_REGISTRY = Registry("timing model", "timing models")
+TRANSPORT_REGISTRY = Registry("transport", "transports")
 
 
 def register_algorithm(
@@ -519,9 +540,22 @@ def register_timing(*, name: str, description: str):
     return decorate
 
 
+def register_transport(*, name: str, description: str):
+    """Decorator registering a deployment-transport entry point."""
+
+    def decorate(fn):
+        TRANSPORT_REGISTRY.register(
+            TransportDef(name=name, description=description, deploy=fn)
+        )
+        return fn
+
+    return decorate
+
+
 #: Modules whose import registers the built-in definitions.  Algorithm
 #: order here fixes the display/grid order of the name views (the paper's
-#: Figure 1 order, MultiBit — our b ≥ 1 generalization — last).
+#: Figure 1 order, then MultiBit — our b ≥ 1 generalization — then the
+#: single-rumor PPUSH primitive from §6).
 _BUILTIN_MODULES = (
     "repro.graphs.topologies",
     "repro.graphs.dynamic",
@@ -534,7 +568,9 @@ _BUILTIN_MODULES = (
     "repro.core.crowdedbin",
     "repro.core.multibit",
     "repro.core.epsilon",
+    "repro.core.ppush",
     "repro.workloads.scenarios",
+    "repro.net.coordinator",
 )
 
 _builtins_loaded = False

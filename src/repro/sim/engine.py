@@ -64,6 +64,8 @@ from repro.sim.matching import (
     ACCEPTANCE_RULES,
     resolve_proposals,
     resolve_proposals_arrays,
+    resolve_proposals_arrays_local,
+    resolve_proposals_local,
     resolve_proposals_unbounded,
 )
 from repro.sim.protocol import NodeProtocol, bulk_hooks
@@ -132,6 +134,7 @@ class Simulation:
         trace_sample_every: int = 1,
         termination_every: int = 1,
         acceptance: str = "uniform",
+        acceptance_streams: str = "global",
         engine_mode: str = "auto",
         faults: FaultModel | None = None,
     ):
@@ -141,6 +144,11 @@ class Simulation:
             raise ConfigurationError(
                 f"unknown acceptance mode {acceptance!r}; choose from "
                 f"{sorted(ACCEPTANCE_RULES) + ['unbounded']}"
+            )
+        if acceptance_streams not in ("global", "local"):
+            raise ConfigurationError(
+                f"unknown acceptance_streams {acceptance_streams!r}; choose "
+                "from ('global', 'local')"
             )
         if engine_mode not in ENGINE_MODES:
             raise ConfigurationError(
@@ -180,6 +188,12 @@ class Simulation:
         #: "uniform"/"lowest_uid"/"highest_uid" (mobile telephone model) or
         #: "unbounded" (the classical telephone model baseline).
         self.acceptance = acceptance
+        #: "global" (default — one sequential acceptance stream per round,
+        #: consumed in sorted-target order) or "local" (one stream per
+        #: contested target, keyed ("match", round, "uid", target_uid) —
+        #: the discipline a distributed proposee can reproduce; used by
+        #: the live deployment bridge, see repro.net).
+        self.acceptance_streams = acceptance_streams
         self.trace = Trace(sample_every=trace_sample_every)
 
         self._tree = SeedTree(seed).child("engine")
@@ -474,14 +488,29 @@ class Simulation:
                 )
             proposals[node.uid] = target
 
+        return len(proposals), self._resolve_matches(rnd, proposals)
+
+    def _match_rng_for_target(self, rnd: int):
+        """Per-target acceptance streams for ``acceptance_streams="local"``.
+
+        Keyed ``("match", rnd, "uid", target_uid)`` off the engine
+        subtree — derivable by any party that knows the run seed, the
+        round, and its own UID (the live proposee's position)."""
+        return lambda target: self._tree.stream("match", rnd, "uid", target)
+
+    def _resolve_matches(self, rnd: int, proposals: dict) -> list:
+        """Resolve one round's proposal dict under the configured
+        acceptance rule and stream discipline."""
         if self.acceptance == "unbounded":
-            matches = resolve_proposals_unbounded(proposals)
-        else:
-            matches = resolve_proposals(
-                proposals, self._tree.stream("match", rnd),
+            return resolve_proposals_unbounded(proposals)
+        if self.acceptance_streams == "local":
+            return resolve_proposals_local(
+                proposals, self._match_rng_for_target(rnd),
                 rule=self.acceptance,
             )
-        return len(proposals), matches
+        return resolve_proposals(
+            proposals, self._tree.stream("match", rnd), rule=self.acceptance
+        )
 
     def _stages12_object_masked(
         self, rnd: int, mask: np.ndarray
@@ -544,14 +573,7 @@ class Simulation:
         # guarantee every surviving proposal has both endpoints active,
         # so the masked resolver twins (the public API for callers
         # without that guarantee) would filter nothing here.
-        if self.acceptance == "unbounded":
-            matches = resolve_proposals_unbounded(proposals)
-        else:
-            matches = resolve_proposals(
-                proposals, self._tree.stream("match", rnd),
-                rule=self.acceptance,
-            )
-        return len(proposals), matches
+        return len(proposals), self._resolve_matches(rnd, proposals)
 
     def _stages12_array(self, rnd: int) -> tuple[int, list[tuple[int, int]]]:
         """Stages 1–2 through bulk hooks over the epoch's CSR snapshot."""
@@ -642,6 +664,11 @@ class Simulation:
         if self.acceptance == "unbounded":
             matches = resolve_proposals_arrays(
                 proposer_uids, target_uids, rule="unbounded"
+            )
+        elif self.acceptance_streams == "local":
+            matches = resolve_proposals_arrays_local(
+                proposer_uids, target_uids,
+                self._match_rng_for_target(rnd), rule=self.acceptance,
             )
         else:
             matches = resolve_proposals_arrays(

@@ -88,12 +88,29 @@ class FaultModel:
     #: loses app state instead of resuming where it left off.
     resets_state = False
 
-    def __init__(self, n: int, seed: int, kind: str):
+    #: How the model's ``round_index`` argument is derived by the
+    #: caller: ``"cycle"`` (default — the synchronous round number, or a
+    #: node's *local* cycle under asynchrony) or ``"virtual"`` (the
+    #: global virtual-time round window / wall-clock round index, so one
+    #: fault spec drives :class:`~repro.sim.engine.Simulation`,
+    #: :class:`~repro.asynchrony.engine.AsyncSimulation`, and live
+    #: :mod:`repro.net` runs off the same clock).  The model itself is
+    #: clock-agnostic — the attribute tells the engine which index to
+    #: pass.
+    FAULT_CLOCKS = ("cycle", "virtual")
+
+    def __init__(self, n: int, seed: int, kind: str, clock: str = "cycle"):
         if n < 1:
             raise ConfigurationError(f"fault models need n >= 1, got {n}")
+        if clock not in self.FAULT_CLOCKS:
+            raise ConfigurationError(
+                f"unknown fault clock {clock!r}; choose from "
+                f"{self.FAULT_CLOCKS}"
+            )
         self.n = n
         self.seed = seed
         self.kind = kind
+        self.clock = clock
         self._tree = SeedTree(seed).child("faults", kind)
 
     def active_mask(self, round_index: int) -> np.ndarray | None:
@@ -140,6 +157,7 @@ class NoFaults(FaultModel):
         self.n = n
         self.seed = seed
         self.kind = "none"
+        self.clock = "cycle"
 
     def active_mask(self, round_index: int) -> None:
         return None
@@ -161,8 +179,8 @@ class SleepCycle(FaultModel):
     """
 
     def __init__(self, n: int, seed: int, period: int = 8, duty: int = 6,
-                 stagger: bool = True):
-        super().__init__(n, seed, "sleep")
+                 stagger: bool = True, clock: str = "cycle"):
+        super().__init__(n, seed, "sleep", clock=clock)
         if period < 1:
             raise ConfigurationError(f"period must be >= 1, got {period}")
         if not 1 <= duty <= period:
@@ -213,8 +231,9 @@ class CrashChurn(FaultModel):
 
     def __init__(self, n: int, seed: int, cycle: int = 64,
                  crash_prob: float = 0.15, min_outage: int = 8,
-                 max_outage: int = 24, reset_tokens: bool = False):
-        super().__init__(n, seed, "churn")
+                 max_outage: int = 24, reset_tokens: bool = False,
+                 clock: str = "cycle"):
+        super().__init__(n, seed, "churn", clock=clock)
         if cycle < 2:
             raise ConfigurationError(f"cycle must be >= 2, got {cycle}")
         if not 0 <= crash_prob <= 1:
@@ -288,8 +307,9 @@ class LossyLinks(FaultModel):
     examined.
     """
 
-    def __init__(self, n: int, seed: int, drop_prob: float = 0.2):
-        super().__init__(n, seed, "lossy")
+    def __init__(self, n: int, seed: int, drop_prob: float = 0.2,
+                 clock: str = "cycle"):
+        super().__init__(n, seed, "lossy", clock=clock)
         if not 0 <= drop_prob <= 1:
             raise ConfigurationError(
                 f"drop_prob must be in [0, 1], got {drop_prob}"
@@ -324,9 +344,10 @@ def _build_no_faults(n, seed):
     description="duty-cycled radios: each node awake duty-of-period "
                 "rounds on a per-node phase",
 )
-def _build_sleep_cycle(n, seed, *, period=8, duty=6, stagger=True):
+def _build_sleep_cycle(n, seed, *, period=8, duty=6, stagger=True,
+                       clock="cycle"):
     return SleepCycle(n=n, seed=seed, period=period, duty=duty,
-                      stagger=stagger)
+                      stagger=stagger, clock=clock)
 
 
 @register_fault(
@@ -335,10 +356,10 @@ def _build_sleep_cycle(n, seed, *, period=8, duty=6, stagger=True):
                 "retained or reset on crash",
 )
 def _build_crash_churn(n, seed, *, cycle=64, crash_prob=0.15, min_outage=8,
-                       max_outage=24, reset_tokens=False):
+                       max_outage=24, reset_tokens=False, clock="cycle"):
     return CrashChurn(n=n, seed=seed, cycle=cycle, crash_prob=crash_prob,
                       min_outage=min_outage, max_outage=max_outage,
-                      reset_tokens=reset_tokens)
+                      reset_tokens=reset_tokens, clock=clock)
 
 
 @register_fault(
@@ -346,5 +367,5 @@ def _build_crash_churn(n, seed, *, cycle=64, crash_prob=0.15, min_outage=8,
     description="lossy connections: each resolved match independently "
                 "fails with drop_prob after acceptance",
 )
-def _build_lossy_links(n, seed, *, drop_prob=0.2):
-    return LossyLinks(n=n, seed=seed, drop_prob=drop_prob)
+def _build_lossy_links(n, seed, *, drop_prob=0.2, clock="cycle"):
+    return LossyLinks(n=n, seed=seed, drop_prob=drop_prob, clock=clock)

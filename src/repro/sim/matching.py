@@ -32,7 +32,9 @@ from repro.errors import ConfigurationError, ProtocolViolationError
 __all__ = [
     "resolve_proposals",
     "resolve_proposals_arrays",
+    "resolve_proposals_arrays_local",
     "resolve_proposals_arrays_masked",
+    "resolve_proposals_local",
     "resolve_proposals_masked",
     "resolve_proposal_cohorts",
     "resolve_proposals_unbounded",
@@ -110,6 +112,102 @@ def resolve_proposals(
         senders = sorted(incoming[target])
         matches.append((accept(senders, rng), target))
     return matches
+
+
+def resolve_proposals_local(
+    proposals: dict[int, int],
+    rng_for_target,
+    rule: str = "uniform",
+) -> list[tuple[int, int]]:
+    """Per-target-stream twin of :func:`resolve_proposals`.
+
+    Instead of one sequential rng consumed in sorted-target order — a
+    discipline only a centralized resolver can reproduce —
+    ``rng_for_target(target_uid)`` supplies a *fresh* stream for each
+    contested target, so a distributed proposee that knows only its own
+    UID and the round number can derive exactly the draw made here.  This
+    is the acceptance semantics the live deployment layer
+    (:mod:`repro.net`) enforces proposee-side; the simulator's
+    ``acceptance_streams="local"`` knob runs the same rule so recorded
+    traces replay bit-for-bit against a live cluster.
+
+    Deterministic rules (``lowest_uid``/``highest_uid``) never call
+    ``rng_for_target``; the uniform rule calls it only for targets with
+    two or more surviving proposals (matching the cohort resolvers'
+    no-draw singleton discipline).
+    """
+    if rule not in ACCEPTANCE_RULES:
+        raise ConfigurationError(
+            f"unknown acceptance rule {rule!r}; choose from "
+            f"{sorted(ACCEPTANCE_RULES)}"
+        )
+    _validate(proposals)
+    accept = ACCEPTANCE_RULES[rule]
+    matches = []
+    incoming = _incoming_at_non_proposers(proposals)
+    for target in sorted(incoming):
+        senders = sorted(incoming[target])
+        rng = (
+            rng_for_target(target)
+            if rule == "uniform" and len(senders) > 1
+            else None
+        )
+        matches.append((accept(senders, rng), target))
+    return matches
+
+
+def resolve_proposals_arrays_local(
+    proposer_uids,
+    target_uids,
+    rng_for_target,
+    rule: str = "uniform",
+) -> list[tuple[int, int]]:
+    """Array twin of :func:`resolve_proposals_local`.
+
+    Pair-for-pair identical to the dict form on the same proposals, with
+    the same per-target stream discipline — ``rng_for_target`` is called
+    once per contested target under the uniform rule, never otherwise.
+    """
+    if rule not in ACCEPTANCE_RULES:
+        raise ConfigurationError(
+            f"unknown acceptance rule {rule!r}; choose from "
+            f"{sorted(ACCEPTANCE_RULES)}"
+        )
+    proposer_uids = np.asarray(proposer_uids, dtype=np.int64)
+    target_uids = np.asarray(target_uids, dtype=np.int64)
+    if proposer_uids.shape != target_uids.shape:
+        raise ConfigurationError(
+            "proposer_uids and target_uids must have matching shapes"
+        )
+    if proposer_uids.size == 0:
+        return []
+    self_loops = proposer_uids == target_uids
+    if self_loops.any():
+        offender = int(proposer_uids[self_loops][0])
+        raise ProtocolViolationError(f"node {offender} proposed to itself")
+    if np.unique(proposer_uids).size != proposer_uids.size:
+        raise ProtocolViolationError("duplicate proposer UIDs")
+    keep = ~np.isin(target_uids, proposer_uids)
+    senders = proposer_uids[keep]
+    targets = target_uids[keep]
+    if senders.size == 0:
+        return []
+    order = np.lexsort((senders, targets))
+    senders = senders[order]
+    targets = targets[order]
+    group_targets, starts = np.unique(targets, return_index=True)
+    bounds = np.append(starts, senders.size)
+    if rule == "lowest_uid":
+        initiators = senders[starts]
+    elif rule == "highest_uid":
+        initiators = senders[bounds[1:] - 1]
+    else:  # uniform, one fresh stream per contested target
+        initiators = senders[starts].copy()
+        sizes = np.diff(bounds)
+        for g in np.nonzero(sizes > 1)[0]:
+            group = senders[bounds[g]:bounds[g + 1]]
+            initiators[g] = rng_for_target(int(group_targets[g])).choice(group)
+    return list(zip(initiators.tolist(), group_targets.tolist()))
 
 
 def resolve_proposals_arrays(

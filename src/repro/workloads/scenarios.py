@@ -42,6 +42,7 @@ __all__ = [
     "festival_scenario",
     "disaster_scenario",
     "rural_mesh_scenario",
+    "live_smoke_scenario",
     "subway_scenario",
     "protest_lossy_scenario",
     "festival_nightfall_scenario",
@@ -247,6 +248,34 @@ def festival_nightfall_scenario(n: int = 48, k: int = 8, seed: int = 0,
         instance=clean.instance,
         recommended_algorithm="sharedbit",
         fault=SleepCycle(n=n, seed=seed, period=period, duty=duty),
+    )
+
+
+@register_scenario(
+    name="live_smoke",
+    description="small stable expander sized for a loopback live "
+                "deployment (repro-gossip serve / repro.net)",
+)
+def live_smoke_scenario(n: int = 8, k: int = 2, seed: int = 0) -> Scenario:
+    """The live layer's smoke workload: real sockets, tiny cluster.
+
+    A stable degree-4 expander small enough that a laptop can run one
+    OS thread per peer server comfortably; SharedBit is recommended
+    because its in-process shared randomness makes the replay bridge's
+    equivalence assertion cover the subtlest protocol (PRF tags plus
+    shared selection indices) at no extra cost.
+    """
+    if n < 6:
+        raise ConfigurationError(f"live_smoke needs n >= 6, got {n}")
+    topo = expander(n=n, degree=4, seed=seed)
+    instance = uniform_instance(n=n, k=k, seed=seed)
+    return Scenario(
+        name="live_smoke",
+        description="small stable expander sized for a loopback live "
+                    "deployment (repro-gossip serve / repro.net)",
+        dynamic_graph=StaticDynamicGraph(topo),
+        instance=instance,
+        recommended_algorithm="sharedbit",
     )
 
 

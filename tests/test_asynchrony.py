@@ -393,9 +393,9 @@ class TestAsyncLeaderElection:
             channel_policy=ChannelPolicy.for_upper_n(max(uids)),
             timing=UniformJitter(n=n, seed=SEED, jitter=0.6),
         )
-        # Leader election has no window hooks: auto mode must fall back
-        # to the generic per-event path, and still elect the minimum.
-        assert not sim._batched
+        # Leader election ships window hooks: auto mode takes the
+        # batched window path, and still elects the minimum.
+        assert sim._batched
         result = sim.run(max_rounds=50_000,
                          termination=all_agree_on_leader())
         assert result.terminated
@@ -403,6 +403,41 @@ class TestAsyncLeaderElection:
             node.candidate_leader for node in result.nodes.values()
         }
         assert winners == {min(uids)}
+
+    def test_leader_batched_identical_to_per_event(self):
+        from repro.experiments.fastpath import trace_signature
+        from repro.leader.bitconvergence import LeaderElectionNode
+        from repro.rng import SeedTree
+        from repro.sim.termination import all_agree_on_leader
+
+        n = 12
+        uids = [3 * vertex + 5 for vertex in range(n)]
+
+        def run(async_mode):
+            tree = SeedTree(SEED)
+            nodes = {
+                vertex: LeaderElectionNode(
+                    uid=uids[vertex], upper_n=max(uids),
+                    rng=tree.stream("leader-node", uids[vertex]),
+                )
+                for vertex in range(n)
+            }
+            sim = AsyncSimulation(
+                StaticDynamicGraph(expander(n=n, degree=4, seed=1)), nodes,
+                b=1, seed=SEED,
+                channel_policy=ChannelPolicy.for_upper_n(max(uids)),
+                timing=UniformJitter(n=n, seed=SEED, jitter=0.6),
+                async_mode=async_mode,
+            )
+            result = sim.run(max_rounds=50_000,
+                             termination=all_agree_on_leader())
+            leaders = tuple(
+                (node.uid, node.candidate_leader)
+                for node in result.nodes.values()
+            )
+            return trace_signature(result.rounds, sim.trace), leaders
+
+        assert run("batched") == run("event")
 
 
 class TestRunGossipTiming:

@@ -32,6 +32,7 @@ from repro.experiments.fastpath import (
     check_async_batched_identity,
     check_async_determinism,
     check_async_sync_identity,
+    check_local_acceptance_identity,
     check_null_fault_identity,
     make_dynamics,
     run_case,
@@ -112,6 +113,29 @@ class TestTraceForTraceEqualityUnderFaults:
 
     def test_null_fault_model_is_free(self):
         assert check_null_fault_identity(n=16, rounds=25) == []
+
+
+class TestLocalAcceptanceStreams:
+    """The live bridge's recording discipline: per-target match streams
+    (``acceptance_streams="local"``) must be byte-identical across the
+    object and array paths, or a recorded run would replay differently
+    depending on which engine path recorded it (see repro.net.bridge)."""
+
+    def test_local_streams_engine_mode_identity(self):
+        assert check_local_acceptance_identity(n=16, rounds=25) == []
+
+    def test_local_differs_from_global_when_contested(self):
+        """The knob is real: on a contested topology the per-target
+        draws differ from the global sequence.  (Not on the star: its
+        hub proposes every round, so spoke proposals are lost and no
+        target is ever contested — zero draws under either discipline.)
+        """
+        assert (
+            run_case("sharedbit", "relabeling", "uniform", "object",
+                     n=16, rounds=25, acceptance_streams="local")
+            != run_case("sharedbit", "relabeling", "uniform", "object",
+                        n=16, rounds=25)
+        )
 
 
 class TestAsyncAxis:

@@ -1,0 +1,273 @@
+"""Tests for repro.net: framing, peer tables, loopback clusters, replay.
+
+The socket-free pieces (framing round trips, :class:`PeerTable`
+liveness under an explicit virtual clock) run unconditionally.  Tests
+that bind real loopback sockets carry the ``net`` marker so CI's tier-1
+job can stay hermetic (``-m "not net"``) while the net-smoke job runs
+them; locally they run by default and need no network beyond 127.0.0.1.
+
+Liveness tests drive the clock explicitly (``now=``) — no sleeps as
+synchronization anywhere in this file.
+"""
+
+import socket
+
+import pytest
+
+from repro.core.problem import uniform_instance
+from repro.core.runner import build_nodes
+from repro.errors import ConfigurationError
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.graphs.topologies import cycle, expander
+from repro.net import (
+    Coordinator,
+    PeerEntry,
+    PeerServer,
+    PeerTable,
+    TransportError,
+    record_run,
+    recv_msg,
+    replay,
+    request,
+    send_msg,
+)
+from repro.net.framing import HEADER, MAX_FRAME
+from repro.registry import TRANSPORT_REGISTRY
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"op": "ping", "values": [1, 2, 3], "nested": {"x": None}}
+            send_msg(a, payload)
+            assert recv_msg(b) == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            # Announce 100 bytes, deliver 3, then hang up mid-frame.
+            a.sendall(HEADER.pack(100) + b"abc")
+            a.close()
+            with pytest.raises(TransportError):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(HEADER.pack(MAX_FRAME + 1))
+            with pytest.raises(TransportError):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestPeerTable:
+    def test_upsert_get_contains(self):
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=7, host="127.0.0.1", port=9000,
+                               vertex=0, last_seen=1.0))
+        assert 7 in table
+        assert table.get(7).port == 9000
+        assert table.uids() == (7,)
+        assert len(table) == 1
+
+    def test_heartbeat_advances_virtual_clock(self):
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=1, host="h", port=1, last_seen=10.0))
+        assert table.heartbeat(1, now=25.0)
+        assert table.get(1).last_seen == 25.0
+        assert not table.heartbeat(99, now=25.0)  # unknown uid
+
+    def test_prune_is_age_based_and_explicit(self):
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=1, host="h", port=1, last_seen=100.0))
+        table.upsert(PeerEntry(uid=2, host="h", port=2, last_seen=100.0))
+        table.heartbeat(1, now=130.0)
+        # At t=140 with max_age=20: uid 1 is 10s old (kept), uid 2 is
+        # 40s old (pruned).
+        assert table.prune(max_age=20.0, now=140.0) == (2,)
+        assert table.uids() == (1,)
+        # Idempotent: nothing else crosses the threshold.
+        assert table.prune(max_age=20.0, now=140.0) == ()
+
+    def test_replace_all_swaps_membership(self):
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=1, host="h", port=1, last_seen=0.0))
+        table.replace_all([
+            PeerEntry(uid=2, host="h", port=2, last_seen=5.0),
+            PeerEntry(uid=3, host="h", port=3, last_seen=5.0),
+        ])
+        assert table.uids() == (2, 3)
+        assert 1 not in table
+
+
+def _single_server(n=4, seed=3, vertex=0):
+    instance = uniform_instance(n=n, k=2, seed=seed)
+    nodes = build_nodes("sharedbit", instance, seed=seed)
+    return PeerServer(
+        nodes[vertex],
+        uid=instance.uid_of(vertex),
+        vertex=vertex,
+        seed=seed,
+        b=1,
+    )
+
+
+@pytest.mark.net
+class TestPeerServer:
+    def test_ping_and_snapshot(self):
+        with _single_server() as server:
+            host, port = server.address
+            assert request(host, port, {"op": "ping"})["ok"] is True
+            snap = request(host, port, {"op": "snapshot"})
+            assert snap["uid"] == server.uid
+            assert snap["vertex"] == 0
+            assert isinstance(snap["tokens"], list)
+
+    def test_unknown_op_reports_error(self):
+        with _single_server() as server:
+            host, port = server.address
+            reply = request(host, port, {"op": "no-such-op"})
+            assert "error" in reply
+
+    def test_rejects_unbounded_acceptance(self):
+        instance = uniform_instance(n=4, k=2, seed=3)
+        nodes = build_nodes("sharedbit", instance, seed=3)
+        with pytest.raises(ConfigurationError):
+            PeerServer(nodes[0], uid=instance.uid_of(0), vertex=0,
+                       seed=3, b=1, acceptance="unbounded")
+
+
+@pytest.mark.net
+class TestLoopbackCluster:
+    def test_three_node_convergence(self):
+        """3-node cycle, live sharedbit: everyone learns every token."""
+        n = 3
+        instance = uniform_instance(n=n, k=2, seed=7)
+        coord = Coordinator(
+            "sharedbit",
+            StaticDynamicGraph(cycle(n)),
+            instance,
+            seed=7,
+        )
+        with coord:
+            report = coord.run(max_rounds=64)
+        assert report.solved, f"did not converge in {report.rounds} rounds"
+        wanted = tuple(sorted(instance.token_ids))
+        assert all(tokens == wanted
+                   for tokens in report.final_tokens.values())
+        assert report.trace.total_connections >= 1
+
+    def test_heartbeat_prunes_killed_peer(self):
+        """A stopped peer misses heartbeats and is pruned from tables.
+
+        No sleeps: the surviving server's ``beat`` op fails to reach the
+        dead peer (so its ``last_seen`` never advances past the install
+        stamp), and a ``prune`` with ``max_age=0.0`` evicts any entry
+        strictly older than *now* — which the dead peer necessarily is
+        after the failed beat's own round trips.
+        """
+        instance = uniform_instance(n=4, k=2, seed=5)
+        nodes = build_nodes("sharedbit", instance, seed=5)
+        alive = PeerServer(nodes[0], uid=instance.uid_of(0), vertex=0,
+                           seed=5, b=1)
+        doomed = PeerServer(nodes[1], uid=instance.uid_of(1), vertex=1,
+                            seed=5, b=1)
+        alive.start()
+        doomed.start()
+        try:
+            host, port = alive.address
+            d_host, d_port = doomed.address
+            reply = request(host, port, {
+                "op": "set_neighbors",
+                "entries": [[doomed.uid, d_host, d_port, 1]],
+            })
+            assert reply == {"ok": True, "peers": 1}
+            assert doomed.uid in alive.table
+
+            doomed.stop()
+            beat = request(host, port, {"op": "beat"})
+            assert beat["failed"] == [doomed.uid]
+            assert beat["delivered"] == []
+
+            pruned = request(host, port,
+                             {"op": "prune", "max_age": 0.0})
+            assert pruned["removed"] == [doomed.uid]
+            assert doomed.uid not in alive.table
+        finally:
+            alive.stop()
+            doomed.stop()
+
+
+@pytest.mark.net
+class TestReplayBridge:
+    def test_sharedbit_replay_is_equivalent(self):
+        """Keystone: a recorded sim run replays live, match for match."""
+        record = record_run(
+            "sharedbit",
+            lambda: StaticDynamicGraph(expander(n=8, degree=4, seed=2)),
+            uniform_instance(n=8, k=3, seed=11),
+            seed=42,
+        )
+        assert record.solved
+        report = replay(record)
+        assert report.equivalent, "\n".join(report.divergences)
+        assert report.live.rounds == record.rounds
+        assert report.live.final_tokens == record.final_tokens
+
+    def test_ppush_replay_is_equivalent(self):
+        record = record_run(
+            "ppush",
+            lambda: StaticDynamicGraph(expander(n=8, degree=4, seed=4)),
+            uniform_instance(n=8, k=1, seed=9),
+            seed=17,
+        )
+        report = replay(record)
+        assert report.equivalent, "\n".join(report.divergences)
+
+    def test_divergence_detected_when_seed_differs(self):
+        """The bridge is not vacuous: a perturbed replay is flagged."""
+        record = record_run(
+            "sharedbit",
+            lambda: StaticDynamicGraph(expander(n=8, degree=4, seed=2)),
+            uniform_instance(n=8, k=3, seed=11),
+            seed=42,
+        )
+        tampered = record.__class__(**{
+            **{f: getattr(record, f)
+               for f in record.__dataclass_fields__},
+            "seed": record.seed + 1,
+        })
+        report = replay(tampered)
+        assert not report.equivalent
+
+
+@pytest.mark.net
+class TestTransportRegistry:
+    def test_tcp_transport_registered(self):
+        defn = TRANSPORT_REGISTRY.get("tcp")
+        assert defn.name == "tcp"
+        assert callable(defn.deploy)
+
+    def test_deploy_run_solves_scenario(self):
+        report = TRANSPORT_REGISTRY.get("tcp").deploy(
+            scenario="live_smoke", seed=3, max_rounds=64,
+        )
+        assert report.solved
+        assert report.algorithm == "sharedbit"
+        assert report.n == 8

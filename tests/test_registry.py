@@ -111,9 +111,11 @@ class TestDefinitionMetadata:
     def test_algorithms_view_filters_experiment_only(self):
         assert "epsilon" in EXPERIMENT_ALGORITHMS
         assert "epsilon" not in ALGORITHMS
+        # PPUSH registers when crowdedbin imports its module, so it
+        # lands between simsharedbit and crowdedbin in the view order.
         assert tuple(ALGORITHMS) == (
-            "blindmatch", "sharedbit", "simsharedbit", "crowdedbin",
-            "multibit",
+            "blindmatch", "sharedbit", "simsharedbit", "ppush",
+            "crowdedbin", "multibit",
         )
 
     def test_tag_length_resolution(self):
@@ -269,6 +271,33 @@ class TestPluginLoading:
         finally:
             ALGORITHM_REGISTRY.unregister("plugin_ls")
 
+    def test_cli_list_shows_plugin_transport(self, tmp_path, capsys):
+        """The one-decorator-surface invariant extends to transports:
+        a --plugin file can register one and `list` shows it."""
+        from repro.cli import main
+        from repro.registry import TRANSPORT_REGISTRY
+
+        plugin = tmp_path / "transport_plugin.py"
+        plugin.write_text(textwrap.dedent(
+            """
+            from repro.registry import register_transport
+
+
+            @register_transport(
+                name="plugin_wire",
+                description="plugin-registered null transport",
+            )
+            def deploy_plugin_wire(**kwargs):
+                return None
+            """
+        ))
+        try:
+            assert main(["--plugin", str(plugin), "list"]) == 0
+            out = capsys.readouterr().out
+            assert "plugin_wire" in out
+        finally:
+            TRANSPORT_REGISTRY.unregister("plugin_wire")
+
     def test_missing_plugin_file_raises(self):
         from repro.registry import load_plugin
 
@@ -286,13 +315,14 @@ class TestCliList:
         out = capsys.readouterr().out
         for heading in (
             "algorithms:", "topology families:", "dynamics kinds:",
-            "instance kinds:", "scenarios:",
+            "instance kinds:", "scenarios:", "transports:",
         ):
             assert heading in out
         assert "crowdedbin" in out and "tau=inf" in out
         assert "experiments-layer only" in out  # epsilon's marker
         assert "relabeling" in out and "token_at" in out
         assert "festival" in out
+        assert "tcp" in out and "live_smoke" in out  # PR 7 surfaces
 
 
 class TestFluentApi:

@@ -18,14 +18,17 @@ from repro.graphs.topologies import cycle, expander
 class TestBuildNodes:
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
     def test_builds_one_node_per_vertex(self, algorithm):
-        inst = uniform_instance(n=8, k=2, seed=1)
+        # PPUSH spreads exactly one rumor, so it builds from k=1.
+        inst = uniform_instance(n=8, k=1 if algorithm == "ppush" else 2,
+                                seed=1)
         nodes = build_nodes(algorithm, inst, seed=1)
         assert set(nodes) == set(range(8))
         assert {node.uid for node in nodes.values()} == set(inst.uids)
 
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
     def test_initial_tokens_placed(self, algorithm):
-        inst = uniform_instance(n=8, k=3, seed=2)
+        inst = uniform_instance(n=8, k=1 if algorithm == "ppush" else 3,
+                                seed=2)
         nodes = build_nodes(algorithm, inst, seed=2)
         for vertex, tokens in inst.initial_tokens.items():
             for token in tokens:
