@@ -1,0 +1,197 @@
+"""DEGRADED-LIVE: kill-k-of-n throughput and spread on a live cluster.
+
+Graceful-degradation pricing for the chaos-hardened net layer: boot a
+real loopback cluster of ``n`` socket-backed peers, SIGKILL-style
+``kill()`` a fixed fraction of them at round 3, and let the coordinator
+finish a fixed round budget over the surviving quorum.  Each cell
+reports
+
+* **rounds/s** — wall-clock round throughput *including* the retry and
+  suspect-probing overhead the dead peers induce (the honest price of
+  degradation, not a clean-path number);
+* **spread** — the fraction of *surviving* peers holding the full token
+  set when the budget expires (does gossip still make progress across
+  the hole the failures tore in the graph?);
+* the failure-column totals (suspects, retries, timeouts,
+  degraded rounds) from :class:`~repro.net.coordinator.NetRunReport`.
+
+Kill fractions 0 / ¼ / ½ at n = 8, 16, 32 (``--quick`` stops at 16).
+The ``kill=0`` row is the control: same cluster, same budget, no chaos —
+the overhead columns must stay at zero and the rounds/s gap between it
+and the kill rows *is* the degradation cost.
+
+Determinism note: the gossip schedule is seeded and reproducible; the
+wall-clock numbers are not (they price real sockets, real thread
+teardown, and real ECONNREFUSED round trips).
+
+Run directly for the perf ledger / EXPERIMENTS.md table::
+
+    python benchmarks/bench_degraded.py           # full, writes report
+    python benchmarks/bench_degraded.py --quick   # n <= 16 (CI smoke)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from _common import record_bench, write_report
+
+from repro.core.problem import uniform_instance
+from repro.graphs.dynamic import StaticDynamicGraph
+from repro.graphs.topologies import expander
+from repro.net import Coordinator, RetryPolicy
+
+#: Dead loopback ports refuse instantly, so short backoffs keep the
+#: bench honest about *coordination* overhead without sleeping through
+#: the budget waiting on peers that will never answer.
+BENCH_RETRY = RetryPolicy(
+    attempts=2, base_delay=0.005, factor=2.0, max_delay=0.02, jitter=0.2
+)
+
+K_TOKENS = 3
+KILL_AT = 3
+MAX_ROUNDS = 16
+SIZES = (8, 16, 32)
+
+
+def run_cell(n: int, killed: int, seed: int = 5) -> dict:
+    """One live cluster: kill ``killed`` peers at round KILL_AT."""
+    graph = StaticDynamicGraph(expander(n=n, degree=4, seed=2))
+    instance = uniform_instance(n=n, k=K_TOKENS, seed=11)
+    coord = Coordinator(
+        "sharedbit",
+        graph,
+        instance,
+        seed=seed,
+        retry=BENCH_RETRY,
+        request_timeout=2.0,
+        termination_every=0,
+    )
+    victims = list(range(0, 2 * killed, 2))  # spread kills across the ring
+    original = coord.run_round
+
+    def chaotic_round(rnd):
+        if rnd == KILL_AT:
+            for vertex in victims:
+                coord.servers[vertex].kill()
+        original(rnd)
+
+    coord.run_round = chaotic_round
+    started = time.perf_counter()
+    with coord:
+        report = coord.run(max_rounds=MAX_ROUNDS)
+    elapsed = time.perf_counter() - started
+
+    # A token whose every holder was killed before it spread is *lost*:
+    # no surviving peer can ever learn it.  Spread is measured against
+    # the tokens that remained spreadable, so it answers "did gossip
+    # finish distributing what survived?" and lost_tokens separately
+    # answers "how much information did the failures destroy?".
+    survivors = [
+        uid for uid in report.final_tokens if uid not in report.suspects
+    ]
+    alive = set().union(
+        *(set(report.final_tokens[uid]) for uid in survivors)
+    ) if survivors else set()
+    lost = len(set(instance.token_ids) - alive)
+    complete = sum(
+        1 for uid in survivors if set(report.final_tokens[uid]) >= alive
+    )
+    return {
+        "n": n,
+        "killed": killed,
+        "rounds": report.rounds,
+        "elapsed_s": round(elapsed, 3),
+        "rounds_per_s": round(report.rounds / elapsed, 1),
+        "survivor_spread": round(complete / len(survivors), 3)
+        if survivors else 0.0,
+        "lost_tokens": lost,
+        "suspects": len(report.suspects),
+        "retries": report.retries,
+        "timeouts": report.timeouts,
+        "degraded_rounds": report.degraded_rounds,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="n <= 16 only (CI smoke); skips the report files",
+    )
+    args = parser.parse_args()
+    sizes = tuple(n for n in SIZES if n <= 16) if args.quick else SIZES
+
+    rows = []
+    for n in sizes:
+        for killed in (0, n // 4, n // 2):
+            cell = run_cell(n, killed)
+            rows.append(cell)
+            print(
+                f"n={n:3d} kill={killed:2d}: "
+                f"{cell['rounds_per_s']:7.1f} rounds/s  "
+                f"spread={cell['survivor_spread']:.2f}  "
+                f"lost={cell['lost_tokens']}  "
+                f"suspects={cell['suspects']:2d}  "
+                f"retries={cell['retries']:3d}  "
+                f"degraded_rounds={cell['degraded_rounds']:2d}"
+            )
+            # The control row must be genuinely clean, and every kill
+            # must be noticed (suspected) rather than silently hung on.
+            if killed == 0:
+                assert cell["suspects"] == 0 and cell["retries"] == 0, cell
+            else:
+                assert cell["suspects"] == killed, cell
+                assert cell["rounds"] == MAX_ROUNDS, cell
+
+    if not args.quick:
+        lines = [
+            "DEGRADED-LIVE: kill-k-of-n on a live loopback cluster "
+            f"(sharedbit, k={K_TOKENS}, expander degree 4, "
+            f"kill at round {KILL_AT}, budget {MAX_ROUNDS} rounds)",
+            "",
+            f"{'n':>4} {'killed':>6} {'rounds/s':>9} {'spread':>7} "
+            f"{'lost':>5} {'suspects':>8} {'retries':>8} "
+            f"{'timeouts':>8} {'degraded':>9}",
+        ]
+        for cell in rows:
+            lines.append(
+                f"{cell['n']:>4} {cell['killed']:>6} "
+                f"{cell['rounds_per_s']:>9.1f} "
+                f"{cell['survivor_spread']:>7.2f} "
+                f"{cell['lost_tokens']:>5} "
+                f"{cell['suspects']:>8} {cell['retries']:>8} "
+                f"{cell['timeouts']:>8} {cell['degraded_rounds']:>9}"
+            )
+        lines.append("")
+        lines.append(
+            "spread = fraction of surviving peers holding every token "
+            "that remained spreadable; lost = tokens destroyed because "
+            "all holders were killed before spreading; rounds/s "
+            "includes retry and suspect-probe overhead."
+        )
+        write_report("degraded_live", "\n".join(lines))
+        record_bench(
+            "net:degraded",
+            {
+                "kind": "degraded-live",
+                "cells": {
+                    f"n={c['n']},kill={c['killed']}": {
+                        key: c[key]
+                        for key in (
+                            "rounds_per_s", "survivor_spread",
+                            "lost_tokens", "suspects", "retries",
+                            "timeouts", "degraded_rounds",
+                        )
+                    }
+                    for c in rows
+                },
+            },
+        )
+    print("degraded-live bench: all cells completed without hanging")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -157,7 +157,7 @@ class Experiment:
         """Execute the run and return its JSON-able record."""
         return execute_run(self.run_spec())
 
-    def deploy(self, transport: str = "tcp", **opts):
+    def deploy(self, transport: str = "tcp", chaos=None, **opts):
         """Run this experiment as a *live* cluster of peer servers.
 
         The same builder settings (graph, dynamics, instance, fault,
@@ -166,6 +166,12 @@ class Experiment:
         :mod:`repro.net`'s loopback deployment) and return the
         transport's run report.  Timing models are simulator-only and
         are rejected — a live cluster's asynchrony is physical.
+
+        ``chaos`` selects **physical** fault injection
+        (:class:`~repro.net.chaos.ChaosModel`): ``True`` enacts the
+        builder's ``with_fault()`` schedule by actually killing,
+        sleeping, or interdicting peers instead of masking them; a kind
+        name or spec dict enacts that schedule directly.
         """
         defn = TRANSPORT_REGISTRY.get(transport)
         if self._timing.get("kind", "synchronous") != "synchronous":
@@ -184,7 +190,18 @@ class Experiment:
             payload["graph"], payload["dynamic"], self._seed
         )
         instance = build_instance(payload["instance"], graph.n, self._seed)
-        if self._fault.get("kind", "none") != "none":
+        if chaos is True:
+            if self._fault.get("kind", "none") == "none":
+                raise ConfigurationError(
+                    "deploy(chaos=True) enacts the builder's fault "
+                    "schedule physically, but no with_fault() was set; "
+                    "pass a chaos kind/spec or add a fault first"
+                )
+            opts["chaos"] = dict(self._fault)
+        elif chaos is not None:
+            opts["chaos"] = {"kind": chaos} if isinstance(chaos, str) \
+                else chaos
+        elif self._fault.get("kind", "none") != "none":
             opts.setdefault("fault", dict(self._fault))
         if self._config is not None:
             opts.setdefault(

@@ -296,6 +296,12 @@ def _cmd_serve(args) -> int:
         opts["heartbeat_every"] = args.heartbeat_every
         if args.heartbeat_max_age is not None:
             opts["heartbeat_max_age"] = args.heartbeat_max_age
+    if getattr(args, "chaos", None) is not None:
+        # --chaos with no value enacts the scenario's (or --fault's)
+        # schedule physically; --chaos KIND names the schedule directly.
+        opts["chaos"] = True if args.chaos == "auto" else args.chaos
+    if getattr(args, "fault", None) not in (None, "none"):
+        opts["fault"] = args.fault
     if args.scenario:
         scenario = SCENARIO_REGISTRY.get(args.scenario).factory(
             seed=args.seed
@@ -343,6 +349,16 @@ def _cmd_serve(args) -> int:
             if stats else ""
         )
     )
+    if report.degraded or report.retries or report.chaos_kills:
+        print(
+            f"robustness: retries={report.retries} "
+            f"timeouts={report.timeouts} "
+            f"suspects={len(report.suspects)} "
+            f"(events={report.suspect_events}, rejoins={report.rejoins}) "
+            f"degraded_rounds={report.degraded_rounds} "
+            f"chaos_kills={report.chaos_kills} "
+            f"chaos_revives={report.chaos_revives}"
+        )
     return 0 if report.solved else 1
 
 
@@ -363,21 +379,36 @@ def _cmd_replay(args) -> int:
     instance = build_instance(
         {"kind": "uniform", "k": args.k}, factory().n, args.seed
     )
+    fault = None if args.fault in (None, "none") else args.fault
+    if args.chaos and fault is None:
+        raise ConfigurationError(
+            "replay --chaos needs --fault KIND: chaos replay physically "
+            "enacts the recorded fault schedule"
+        )
     record = record_run(
         args.algorithm, factory, instance, args.seed,
-        max_rounds=args.max_rounds,
+        max_rounds=args.max_rounds, fault=fault,
     )
     print(
         f"recorded {args.algorithm} on {args.graph} (n={instance.n}, "
-        f"k={instance.k}, seed={args.seed}): {record.rounds} rounds, "
+        f"k={instance.k}, seed={args.seed}"
+        + (f", fault={fault}" if fault else "")
+        + f"): {record.rounds} rounds, "
         f"{'solved' if record.solved else 'NOT solved'}"
     )
-    report = replay(record)
+    report = replay(record, chaos=args.chaos)
     if report.equivalent:
         rps = report.live.rounds_per_second
+        mode = (
+            "through physically enacted chaos "
+            f"({report.live.chaos_kills} kills, "
+            f"{report.live.chaos_revives} revives)"
+            if args.chaos
+            else "equal the simulation"
+        )
         print(
             "replay EQUIVALENT: live match stream and final token sets "
-            "equal the simulation"
+            + mode
             + (f" ({rps:.1f} live rounds/s)" if rps else "")
         )
         return 0
@@ -495,6 +526,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = off)")
     srv_p.add_argument("--heartbeat-max-age", type=float, default=None,
                        help="seconds before an unheard-from peer is pruned")
+    srv_p.add_argument(
+        "--fault", choices=sorted(FAULT_REGISTRY.names()), default=None,
+        help="fault regime masked logically during the live run",
+    )
+    srv_p.add_argument(
+        "--chaos", nargs="?", const="auto", default=None,
+        choices=sorted(FAULT_REGISTRY.names()) + ["auto"],
+        help="enact a fault schedule PHYSICALLY (killed endpoints, "
+             "sleeping radios, dropped handshakes); with no value, "
+             "enacts the scenario's or --fault's schedule",
+    )
     srv_p.set_defaults(func=_cmd_serve)
 
     rp_p = sub.add_parser(
@@ -511,6 +553,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="stability factor; 0 means infinity")
     rp_p.add_argument("--seed", type=int, default=0)
     rp_p.add_argument("--max-rounds", type=int, default=512)
+    rp_p.add_argument(
+        "--fault", choices=sorted(FAULT_REGISTRY.names()), default="none",
+        help="record the simulation under this fault regime and replay "
+             "it under the same schedule",
+    )
+    rp_p.add_argument(
+        "--chaos", action="store_true",
+        help="enact the recorded fault schedule physically during the "
+             "live replay (requires --fault)",
+    )
     rp_p.set_defaults(func=_cmd_replay)
 
     return parser

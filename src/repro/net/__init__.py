@@ -15,6 +15,15 @@ The keystone is the replay bridge (:mod:`repro.net.bridge`): record a
 simulation run, replay it on a live cluster seeded with the same
 SeedTree-derived randomness, and assert the live match stream and final
 token sets are equivalent to the simulated trace.
+
+The chaos layer hardens all of it against real failure: every RPC is
+classified (:mod:`repro.net.errors`) and retried under a seeded
+:class:`~repro.net.errors.RetryPolicy`; unresponsive peers are
+suspected and rounds degrade gracefully over the surviving quorum; and
+:class:`~repro.net.chaos.ChaosModel` enacts the simulator's own seeded
+fault schedules *physically* — killed endpoints, sleeping radios,
+interdicted handshakes — so the bridge can assert equivalence through
+actual failures, not just simulated ones.
 """
 
 from repro.net.bridge import (
@@ -23,21 +32,37 @@ from repro.net.bridge import (
     record_run,
     replay,
 )
+from repro.net.chaos import ChaosModel
 from repro.net.coordinator import Coordinator, NetRunReport, deploy_run
+from repro.net.errors import (
+    DEFAULT_REQUEST_TIMEOUT,
+    DEFAULT_RETRY_POLICY,
+    NetError,
+    ProtocolError,
+    RetryBudgetExceeded,
+    RetryPolicy,
+)
 from repro.net.framing import TransportError, recv_msg, request, send_msg
 from repro.net.peers import PeerEntry, PeerTable
 from repro.net.server import PeerServer
 from repro.net.trace import NetTrace
 
 __all__ = [
+    "ChaosModel",
     "Coordinator",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "DEFAULT_RETRY_POLICY",
+    "NetError",
     "NetRunReport",
     "NetTrace",
     "PeerEntry",
     "PeerServer",
     "PeerTable",
+    "ProtocolError",
     "RecordedRun",
     "ReplayReport",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
     "TransportError",
     "deploy_run",
     "record_run",

@@ -21,6 +21,18 @@ divergences.  Tolerated divergences (documented in DESIGN.md §8):
 within-round match *order* (matches are node-disjoint; both sides are
 compared as sets per round) and wall-clock columns, which only the live
 trace has.
+
+With a fault model the bridge gets sharper teeth: ``record_run(...,
+fault=...)`` records a *faulty* simulation, and ``replay(record,
+chaos=True)`` replays it against a cluster where the same seeded
+schedule is enacted **physically** by
+:class:`~repro.net.chaos.ChaosModel` — PeerServers actually killed and
+rebound, radios actually refusing connections, handshakes actually
+interdicted mid-round.  Equivalence then certifies not just the clean
+round structure but the entire fault pipeline: mask timing, crash
+resets, drop draws, and the degradation machinery's non-interference.
+(``replay(record)`` without ``chaos`` masks the same schedule
+logically, which checks the schedule but not the physical enactment.)
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from repro.net.coordinator import Coordinator, NetRunReport
 from repro.registry import ALGORITHM_REGISTRY
 from repro.sim.channel import ChannelPolicy
 from repro.sim.engine import Simulation
+from repro.sim.faults import build_fault
 from repro.sim.termination import all_hold_tokens
 
 __all__ = [
@@ -77,6 +90,11 @@ class RecordedRun:
     instance: object
     graph_source: object
     config: object = None
+    #: The fault spec (dict/name) the recording ran under, or None.
+    #: Kept as a *spec*, not a model instance: both the logical and the
+    #: chaos replay rebuild a fresh model from it, so the recording's
+    #: consumed streams can never leak into the replay.
+    fault: object = None
 
 
 def _graph_of(graph_source):
@@ -94,19 +112,36 @@ def record_run(
     acceptance: str = "uniform",
     engine_mode: str = "auto",
     config=None,
+    fault=None,
 ) -> RecordedRun:
     """Simulate and record a run the live layer can replay.
 
     ``graph_source`` is a :class:`~repro.graphs.dynamic.DynamicGraph`
     or a zero-argument factory for one — pass a factory for stateful
     dynamics (mobility) so the recording and the replay each advance a
-    fresh object.  Fault models are deliberately unsupported here: the
-    bridge asserts *clean-model* equivalence, where every divergence is
-    a bug rather than a wall-clock artifact.
+    fresh object.  ``fault`` is an optional fault *spec* (a registered
+    name or a ``{"kind": ...}`` dict — not a model instance, so the
+    replay can rebuild it fresh); the recording then captures a faulty
+    execution that ``replay(..., chaos=True)`` can re-enact physically.
     """
     defn = ALGORITHM_REGISTRY.get(algorithm)
     if config is None:
         config = defn.make_config()
+    if fault is not None and not isinstance(fault, (str, dict)):
+        raise ConfigurationError(
+            "record_run takes a fault *spec* (name or dict), not a model "
+            "instance: the replay must rebuild the model from scratch so "
+            "the recording's consumed streams cannot leak into it"
+        )
+    fault_model = (
+        build_fault(
+            {"kind": fault} if isinstance(fault, str) else fault,
+            instance.n,
+            seed,
+        )
+        if fault is not None
+        else None
+    )
     nodes = build_nodes(algorithm, instance, seed, config)
     sim = RecordingSimulation(
         dynamic_graph=_graph_of(graph_source),
@@ -117,6 +152,7 @@ def record_run(
         acceptance=acceptance,
         acceptance_streams="local",
         engine_mode=engine_mode,
+        faults=fault_model,
     )
     result = sim.run(
         max_rounds=max_rounds,
@@ -137,6 +173,7 @@ def record_run(
         instance=instance,
         graph_source=graph_source,
         config=config,
+        fault=fault,
     )
 
 
@@ -153,15 +190,33 @@ class ReplayReport:
         return not self.divergences
 
 
-def replay(record: RecordedRun, **opts) -> ReplayReport:
+def replay(record: RecordedRun, *, chaos: bool = False,
+           **opts) -> ReplayReport:
     """Replay ``record`` on a live loopback cluster and compare.
 
     Drives exactly ``record.rounds`` rounds (termination checks off) so
     the two match streams align round for round, then compares them as
-    per-round sets plus the final token sets.
+    per-round sets plus the final token sets (``snapshots("all")`` on
+    the live side — a node that ends the run mid-outage still has its
+    storage compared, exactly as the simulator's final state does).
+
+    A recording made with a fault spec replays under the same schedule:
+    masked logically by default, or — with ``chaos=True`` — enacted
+    physically (servers killed/rebound, radios asleep, handshakes
+    interdicted) through :class:`~repro.net.chaos.ChaosModel`.
     """
     if record.rounds < 1:
         raise ConfigurationError("recorded run has no rounds to replay")
+    if chaos and record.fault is None:
+        raise ConfigurationError(
+            "chaos replay needs a recording made with a fault spec "
+            "(record_run(..., fault=...))"
+        )
+    if record.fault is not None:
+        if chaos:
+            opts["chaos"] = record.fault
+        else:
+            opts.setdefault("fault", record.fault)
     coordinator = Coordinator(
         record.algorithm,
         _graph_of(record.graph_source),

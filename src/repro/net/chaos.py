@@ -1,0 +1,204 @@
+"""Deterministic physical fault injection for live clusters.
+
+:class:`ChaosModel` wraps one :class:`~repro.sim.faults.FaultModel` and
+enacts its decisions **physically** against a cluster of
+:class:`~repro.net.server.PeerServer`\\ s instead of masking them in
+software.  Because it consumes the *same* ``("faults", kind)`` seed
+streams as the simulator — it literally holds the same model object a
+:class:`~repro.sim.engine.Simulation` would build — the set of nodes
+killed, asleep, or interdicted in live round *r* is byte-for-byte the
+set the simulator masks or drops in round *r*.  That is what makes a
+recorded faulty simulation replayable match-equivalent against a live
+cluster experiencing *actual* failures.
+
+How each fault family is enacted (chosen by the model's
+``chaos_enactment`` attribute, declared next to the models in
+:mod:`repro.sim.faults` so the two layers cannot drift):
+
+``"kill"`` (:class:`~repro.sim.faults.CrashChurn`)
+    A node entering an outage has its TCP endpoint torn down
+    SIGKILL-style (:meth:`PeerServer.kill` — no draining, in-flight
+    requests fail at their callers); if the model resets state, the
+    node's tokens are reset through the same ``crashed_this_round``
+    schedule and vertex order the simulator uses.  When the outage ends
+    the server rebinds the *same* port (:meth:`PeerServer.revive`) and
+    rejoins through the ordinary heartbeat / peer-table path.
+
+``"sleep"`` (:class:`~repro.sim.faults.SleepCycle`)
+    The endpoint stays bound but drops every connection without a reply
+    (``asleep`` shim) — callers see closed-without-reply transport
+    faults, exactly a radio that is off.
+
+``"drop"`` (:class:`~repro.sim.faults.LossyLinks`)
+    Per-match: after the round's matches resolve, the responder of each
+    to-be-dropped match is told to fail that initiator's Stage-3 state
+    pull at the socket level (:meth:`PeerServer.interdict`), so the
+    initiator experiences a real mid-handshake link failure.
+
+``"mask"`` (fallback)
+    No physical enactment; the coordinator masks the node logically,
+    as it does for plain ``fault=`` runs.
+
+The coordinator *knows the plan*: chaos failures are scheduled, not
+discovered, so rounds proceed over the planned-active set exactly like
+the simulator's masked rounds.  Failures the plan does not cover (a
+node that really dies) still flow through the retry-budget → suspect →
+degradation machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.faults import FaultModel
+
+__all__ = ["ChaosModel", "ChaosRound"]
+
+
+@dataclass(frozen=True)
+class ChaosRound:
+    """What one round of chaos did to the cluster, physically."""
+
+    #: Planned-active vertex indices (None = everyone), mirroring the
+    #: simulator's normalized ``active_mask``.
+    active: tuple[int, ...] | None
+    killed: tuple[int, ...] = ()
+    revived: tuple[int, ...] = ()
+    slept: tuple[int, ...] = ()
+    woke: tuple[int, ...] = ()
+    reset: tuple[int, ...] = ()
+    interdicted: int = field(default=0, compare=False)
+
+
+class ChaosModel:
+    """Enacts a fault model's schedule against live peer servers."""
+
+    def __init__(self, fault: FaultModel):
+        if fault is None or fault.is_null:
+            raise ConfigurationError(
+                "ChaosModel needs a non-null fault model; run without "
+                "chaos instead of wrapping NoFaults"
+            )
+        self.fault = fault
+        self.enactment = getattr(fault, "chaos_enactment", "mask")
+        self._servers: list = []
+        self._by_uid: dict[int, object] = {}
+        self._inactive: set[int] = set()
+
+    def bind(self, servers) -> "ChaosModel":
+        """Attach the cluster (vertex-ordered list of PeerServers)."""
+        if len(servers) != self.fault.n:
+            raise ConfigurationError(
+                f"chaos fault model is sized for n={self.fault.n} but the "
+                f"cluster has {len(servers)} servers"
+            )
+        self._servers = list(servers)
+        self._by_uid = {server.uid: server for server in self._servers}
+        self._inactive = set()
+        return self
+
+    # -- per-round enactment ------------------------------------------
+
+    def enact(self, rnd: int, fault_round: int) -> ChaosRound:
+        """Physically apply round ``fault_round``'s schedule.
+
+        ``rnd`` is the coordinator round (for bookkeeping); the fault
+        model is indexed by ``fault_round`` — the same clock-mapped
+        index the simulator would pass.  Transitions are applied in
+        vertex order, and state resets use ``crashed_this_round`` (the
+        authoritative schedule) *before* the round's stages run —
+        mirroring ``Simulation._apply_crash_resets`` exactly.
+        """
+        mask = self.fault.active_mask(fault_round)
+        if mask is not None and bool(mask.all()):
+            mask = None  # the simulator's normalization
+        inactive_now = (
+            set() if mask is None
+            else {v for v in range(self.fault.n) if not mask[v]}
+        )
+
+        reset: list[int] = []
+        if self.fault.resets_state:
+            crashed = self.fault.crashed_this_round(fault_round)
+            if crashed is None:
+                crashed = sorted(inactive_now - self._inactive)
+            for vertex in crashed:
+                server = self._servers[int(vertex)]
+                server.handle({"op": "reset"})
+                reset.append(int(vertex))
+
+        killed, revived, slept, woke = [], [], [], []
+        going_down = sorted(inactive_now - self._inactive)
+        coming_up = sorted(self._inactive - inactive_now)
+        if self.enactment == "kill":
+            for vertex in going_down:
+                self._servers[vertex].kill()
+                killed.append(vertex)
+            for vertex in coming_up:
+                self._servers[vertex].revive()
+                revived.append(vertex)
+        elif self.enactment == "sleep":
+            for vertex in going_down:
+                self._servers[vertex].asleep = True
+                slept.append(vertex)
+            for vertex in coming_up:
+                self._servers[vertex].asleep = False
+                woke.append(vertex)
+        # "drop"/"mask": nothing endpoint-level per round; drops are
+        # installed per match via interdict().
+        self._inactive = inactive_now
+
+        active = (
+            None if mask is None
+            else tuple(v for v in range(self.fault.n) if mask[v])
+        )
+        return ChaosRound(
+            active=active,
+            killed=tuple(killed),
+            revived=tuple(revived),
+            slept=tuple(slept),
+            woke=tuple(woke),
+            reset=tuple(reset),
+        )
+
+    def interdict(self, rnd: int, fault_round: int, matches) -> int:
+        """Install socket-level drops for this round's doomed matches.
+
+        ``matches`` is an iterable of resolved ``(initiator_uid,
+        responder_uid)`` pairs — UIDs, matching the key the simulator
+        passes to ``drop_connection``.  For each match the fault model
+        dooms (the same pure draw the simulator makes), the responder's
+        server is told to fail that initiator's Stage-3 state pull.
+        Returns how many matches were interdicted.
+        """
+        count = 0
+        for initiator_uid, responder_uid in matches:
+            if self.fault.drop_connection(
+                fault_round, int(initiator_uid), int(responder_uid)
+            ):
+                self._by_uid[int(responder_uid)].interdict(
+                    rnd, int(initiator_uid)
+                )
+                count += 1
+        return count
+
+    def restore(self) -> None:
+        """End-of-run cleanup: wake sleepers, revive the killed.
+
+        Called before final snapshots so every node can report its
+        state over the wire (the simulator's final state also includes
+        currently-crashed vertices — their storage, not their radio).
+        """
+        for vertex in sorted(self._inactive):
+            server = self._servers[vertex]
+            if self.enactment == "kill" and server.dead:
+                server.revive()
+            elif self.enactment == "sleep":
+                server.asleep = False
+        self._inactive = set()
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosModel({self.fault!r}, enactment={self.enactment!r})"
+        )

@@ -9,12 +9,37 @@ request/response messages, and acceptance is enforced by the proposee
 (see ``PeerServer._op_resolve``) exactly as
 :func:`repro.sim.matching.resolve_proposals` does.
 
-The coordinator never touches a node object after construction — all
-state lives behind the servers and moves over the wire.  Connects run
-concurrently (matches are node-disjoint, so no two touch one node);
-everything else is phase-barriered per round, which is what makes each
-node's private draw order identical to the simulator's and hence makes
-the replay bridge's equivalence assertion hold.
+The coordinator never holds a node lock — all protocol state lives
+behind the servers and moves over the wire.  Connects run concurrently
+(matches are node-disjoint, so no two touch one node); everything else
+is phase-barriered per round, which is what makes each node's private
+draw order identical to the simulator's and hence makes the replay
+bridge's equivalence assertion hold.
+
+Robustness (the chaos-hardening layer):
+
+* Every RPC goes through a shared :class:`~repro.net.errors.RetryPolicy`
+  — bounded retries, exponential backoff, jitter drawn from a seeded
+  ``("net", "retry", "coordinator")`` stream, so even the retry timing
+  of a run is a pure function of its seed.
+* A peer that exhausts its retry budget is marked **suspect**: it is
+  dropped from every subsequent stage (neighbors stop seeing it, its
+  hooks stop being called) and the round *completes over the surviving
+  quorum* instead of hanging or raising.  Each round opens with a
+  cheap single-attempt rejoin probe; a suspect that answers gets its
+  neighbor table re-pushed and rejoins the next stages.
+* With ``chaos=`` the coordinator holds a
+  :class:`~repro.net.chaos.ChaosModel`: the same seeded fault schedule
+  the simulator would mask is enacted *physically* (killed endpoints,
+  sleeping radios, interdicted handshakes).  Chaos failures are
+  planned, so the coordinator masks them logically exactly like the
+  simulator — inactive vertices still run their hooks (via in-process
+  dispatch, since their sockets are genuinely down) against empty
+  neighborhoods, preserving per-node stream parity; matches the fault
+  model dooms are not pre-dropped but *interdicted* and then really
+  attempted, the resulting transport failures classified as dropped
+  connections.  Unplanned failures still flow through the suspect
+  machinery.
 """
 
 from __future__ import annotations
@@ -26,10 +51,19 @@ from dataclasses import dataclass, field
 from repro.core.runner import build_nodes
 from repro.errors import ConfigurationError
 from repro.graphs.dynamic import TAU_INFINITY
+from repro.net.chaos import ChaosModel
+from repro.net.errors import (
+    DEFAULT_REQUEST_TIMEOUT,
+    DEFAULT_RETRY_POLICY,
+    ProtocolError,
+    RetryPolicy,
+    TransportError,
+)
 from repro.net.framing import request
 from repro.net.server import PeerServer
 from repro.net.trace import NetTrace
 from repro.registry import ALGORITHM_REGISTRY, register_transport
+from repro.rng import SeedTree
 from repro.sim.channel import ChannelPolicy
 from repro.sim.faults import build_fault
 
@@ -43,6 +77,14 @@ class NetRunReport:
     ``match_stream[r-1]`` is round ``r``'s post-drop matches as
     ``(initiator_uid, responder_uid)`` pairs in resolution order —
     directly comparable to a recorded simulation's stream.
+
+    The failure columns: ``retries``/``timeouts`` total every retried
+    or timed-out RPC across the coordinator and all servers;
+    ``suspects`` maps each still-suspect UID to the round it was marked
+    in; ``suspect_events``/``rejoins`` count markings and re-admissions
+    over the whole run; ``degraded_rounds`` counts rounds that ran over
+    a surviving quorum; ``chaos_kills``/``chaos_revives`` count
+    physically enacted outages.
     """
 
     algorithm: str
@@ -53,12 +95,25 @@ class NetRunReport:
     match_stream: list = field(default_factory=list)
     final_tokens: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    suspects: dict = field(default_factory=dict)
+    suspect_events: int = 0
+    rejoins: int = 0
+    degraded_rounds: int = 0
+    chaos_kills: int = 0
+    chaos_revives: int = 0
 
     @property
     def rounds_per_second(self) -> float | None:
         if self.wall_seconds <= 0 or self.rounds == 0:
             return None
         return self.rounds / self.wall_seconds
+
+    @property
+    def degraded(self) -> bool:
+        """True if any round ran short-handed or ended with suspects."""
+        return self.degraded_rounds > 0 or bool(self.suspects)
 
 
 def _materialize_fault(fault, n: int, seed: int):
@@ -80,6 +135,18 @@ class Coordinator:
     layer's reason for the knob — off elapsed wall time in units of
     ``round_duration`` seconds (``clock="virtual"``), so a slow round
     can burn through several fault windows just as a slow phone would.
+    Faults are *logical*: the coordinator masks vertices in software.
+
+    ``chaos`` accepts the same forms but enacts the schedule
+    **physically** through a :class:`~repro.net.chaos.ChaosModel` —
+    killed endpoints, sleeping radios, interdicted handshakes — while
+    keeping the same logical round structure, so a chaos run is
+    match-equivalent to the same seed's simulation.  ``fault`` and
+    ``chaos`` are mutually exclusive.
+
+    ``retry`` is the :class:`~repro.net.errors.RetryPolicy` every RPC
+    uses (None = single-shot); a peer that exhausts it is suspected and
+    the run degrades gracefully instead of raising.
 
     ``heartbeat_every`` > 0 makes every server heartbeat its peer table
     each time that many rounds complete, and ``heartbeat_max_age``
@@ -98,6 +165,8 @@ class Coordinator:
         acceptance: str = "uniform",
         channel_policy: ChannelPolicy | None = None,
         fault=None,
+        chaos=None,
+        retry: RetryPolicy | None = DEFAULT_RETRY_POLICY,
         heartbeat_every: int = 0,
         heartbeat_max_age: float | None = None,
         round_duration: float | None = None,
@@ -105,7 +174,7 @@ class Coordinator:
         termination_every: int = 1,
         host: str = "127.0.0.1",
         connect_workers: int = 8,
-        request_timeout: float = 10.0,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ):
         defn = ALGORITHM_REGISTRY.get(algorithm)
         if dynamic_graph.n != instance.n:
@@ -127,12 +196,23 @@ class Coordinator:
         self.config = config
         self.acceptance = acceptance
         self.faults = _materialize_fault(fault, dynamic_graph.n, seed)
+        chaos_fault = _materialize_fault(chaos, dynamic_graph.n, seed)
+        if self.faults is not None and chaos_fault is not None:
+            raise ConfigurationError(
+                "fault= and chaos= are mutually exclusive: the same "
+                "schedule is either masked logically or enacted "
+                "physically, not both"
+            )
         self.heartbeat_every = heartbeat_every
         self.heartbeat_max_age = heartbeat_max_age
         self.round_duration = round_duration
         self.termination_every = termination_every
         self.connect_workers = connect_workers
         self.request_timeout = request_timeout
+        self.retry_policy = retry
+        self._retry_rng = (
+            SeedTree(seed).child("net").stream("retry", "coordinator")
+        )
         policy = channel_policy or ChannelPolicy.for_upper_n(
             instance.upper_n
         )
@@ -149,16 +229,30 @@ class Coordinator:
                 channel_policy=policy,
                 host=host,
                 request_timeout=request_timeout,
+                retry=retry,
             )
             for vertex in range(instance.n)
         }
         self._by_uid = {
             server.uid: server for server in self.servers.values()
         }
+        self.chaos = (
+            None
+            if chaos_fault is None
+            else ChaosModel(chaos_fault).bind(
+                [self.servers[v] for v in sorted(self.servers)]
+            )
+        )
         self.trace = NetTrace(sample_every=trace_sample_every)
         self.match_stream: list[tuple] = []
+        self.suspects: dict[int, int] = {}
+        self.suspect_events = 0
+        self.rejoins = 0
+        self._retries = 0
+        self._timeouts = 0
         self._epoch: int | None = None
         self._neighbors: dict[int, list[int]] = {}
+        self._entries_by_vertex: dict[int, list] = {}
         self._started = False
         self._wall_start: float | None = None
 
@@ -181,15 +275,97 @@ class Coordinator:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    def _ask(self, uid: int, obj: dict) -> dict:
+    # -- RPC plumbing -------------------------------------------------
+
+    def _ask(
+        self,
+        uid: int,
+        obj: dict,
+        *,
+        retry: RetryPolicy | None | str = "default",
+        timeout: float | None = None,
+    ) -> dict:
         server = self._by_uid[uid]
         host, port = server.address
-        reply = request(host, port, obj, timeout=self.request_timeout)
+        policy = self.retry_policy if retry == "default" else retry
+        reply = request(
+            host,
+            port,
+            obj,
+            timeout=self.request_timeout if timeout is None else timeout,
+            retry=policy,
+            rng=self._retry_rng,
+            on_retry=self._note_retry,
+            uid=uid,
+        )
         if "error" in reply:
-            raise ConfigurationError(
-                f"peer {uid} failed {obj.get('op')!r}: {reply['error']}"
+            raise ProtocolError(
+                f"peer {uid} failed {obj.get('op')!r}: {reply['error']}",
+                uid=uid,
+                op=obj.get("op"),
+                remote_type=reply.get("error_type"),
             )
         return reply
+
+    def _ask_local(self, vertex: int, obj: dict) -> dict:
+        """In-process dispatch for a chaos-inactive node.
+
+        A killed or sleeping endpoint cannot answer TCP, but the
+        simulator still runs every masked node's hooks each round
+        (against empty neighborhoods) — so the coordinator runs them
+        directly on the server object, preserving per-node private
+        stream parity.  The phone's CPU keeps running; only its radio
+        is down.
+        """
+        reply = self.servers[vertex].handle(obj)
+        if "error" in reply:
+            raise ProtocolError(
+                f"peer vertex {vertex} failed {obj.get('op')!r} locally: "
+                f"{reply['error']}",
+                uid=self.instance.uid_of(vertex),
+                op=obj.get("op"),
+            )
+        return reply
+
+    def _note_retry(self, exc: TransportError, attempt: int,
+                    delay: float) -> None:
+        self._retries += 1
+        if exc.kind == "timeout":
+            self._timeouts += 1
+
+    def _suspect(self, uid: int, rnd: int) -> None:
+        """Mark ``uid`` suspect: dropped from every stage until rejoin."""
+        if uid not in self.suspects:
+            self.suspects[uid] = rnd
+            self.suspect_events += 1
+
+    def _probe_rejoins(self, rnd: int) -> None:
+        """One cheap single-attempt probe per suspect, each round.
+
+        A suspect that answers is re-admitted: its neighbor table is
+        re-pushed (it may have missed an epoch while unreachable) and
+        it participates again from this round's stages on.
+        """
+        probe_timeout = min(1.0, self.request_timeout)
+        for uid in sorted(self.suspects):
+            server = self._by_uid[uid]
+            if server.dead or server.asleep:
+                continue  # endpoint verifiably down; skip the probe
+            try:
+                self._ask(uid, {"op": "ping"}, retry=None,
+                          timeout=probe_timeout)
+                entries = self._entries_by_vertex.get(server.vertex)
+                if entries is not None:
+                    self._ask(
+                        uid,
+                        {"op": "set_neighbors", "entries": entries},
+                        retry=None,
+                        timeout=probe_timeout,
+                    )
+            except (TransportError, ProtocolError):
+                continue
+            del self.suspects[uid]
+            self.rejoins += 1
 
     # -- round driver -------------------------------------------------
 
@@ -209,16 +385,33 @@ class Coordinator:
                 nb_server = self.servers[nb]
                 nb_host, nb_port = nb_server.address
                 entries.append([uid_of(nb), nb_host, nb_port, nb])
-            self._ask(
-                uid_of(vertex), {"op": "set_neighbors", "entries": entries}
-            )
+            self._entries_by_vertex[vertex] = entries
+            msg = {"op": "set_neighbors", "entries": entries}
+            server = self.servers[vertex]
+            uid = uid_of(vertex)
+            if server.dead or server.asleep:
+                # Chaos-inactive: install directly; the table must be
+                # current when the node's radio comes back.
+                self._ask_local(vertex, msg)
+            elif uid in self.suspects:
+                continue  # re-pushed by the rejoin probe on re-admission
+            else:
+                try:
+                    self._ask(uid, msg)
+                except TransportError:
+                    self._suspect(uid, rnd)
         self._epoch = epoch
 
     def _fault_round(self, rnd: int) -> int:
-        """The index fault masks key off for round ``rnd``."""
+        """The index fault/chaos schedules key off for round ``rnd``."""
+        model = (
+            self.faults
+            if self.faults is not None
+            else (self.chaos.fault if self.chaos is not None else None)
+        )
         if (
-            self.faults is not None
-            and self.faults.clock == "virtual"
+            model is not None
+            and model.clock == "virtual"
             and self.round_duration
             and self._wall_start is not None
         ):
@@ -227,73 +420,142 @@ class Coordinator:
         return rnd
 
     def run_round(self, rnd: int) -> None:
-        self._install_epoch(rnd)
         uid_of = self.instance.uid_of
         n = self.instance.n
         fault_round = self._fault_round(rnd)
-        mask = (
-            self.faults.active_mask(fault_round)
-            if self.faults is not None
-            else None
-        )
+        retries_before = self._total_retries()
+        timeouts_before = self._total_timeouts()
+        rejoins_before = self.rejoins
+
+        if self.suspects:
+            self._probe_rejoins(rnd)
+
+        # Planned inactivity: a fault model masks logically, a chaos
+        # model enacts physically — either way the coordinator knows
+        # the plan, exactly like the simulator.
+        chaos_round = None
+        if self.chaos is not None:
+            chaos_round = self.chaos.enact(rnd, fault_round)
+            active_set = (
+                None
+                if chaos_round.active is None
+                else set(chaos_round.active)
+            )
+        elif self.faults is not None:
+            mask = self.faults.active_mask(fault_round)
+            if mask is not None and bool(mask.all()):
+                mask = None
+            active_set = (
+                None
+                if mask is None
+                else {v for v in range(n) if mask[v]}
+            )
+            if self.faults.resets_state:
+                crashed = self.faults.crashed_this_round(fault_round)
+                if crashed is None:
+                    crashed = ()
+                for vertex in crashed:
+                    self._ask(uid_of(int(vertex)), {"op": "reset"})
+        else:
+            active_set = None
+
+        self._install_epoch(rnd)
 
         def active(vertex: int) -> bool:
-            return mask is None or bool(mask[vertex])
+            return active_set is None or vertex in active_set
 
-        if self.faults is not None and self.faults.resets_state:
-            for vertex in self.faults.crashed_this_round(fault_round):
-                self._ask(uid_of(int(vertex)), {"op": "reset"})
+        def planned_down(vertex: int) -> bool:
+            """Chaos-inactive: socket is really down; dispatch locally."""
+            return self.chaos is not None and not active(vertex)
 
+        suspects = self.suspects
         visible = {
             vertex: (
-                [nb for nb in self._neighbors[vertex] if active(nb)]
-                if active(vertex)
+                [
+                    nb
+                    for nb in self._neighbors[vertex]
+                    if active(nb) and uid_of(nb) not in suspects
+                ]
+                if active(vertex) and uid_of(vertex) not in suspects
                 else []
             )
             for vertex in range(n)
         }
 
         # Stage 1 — scan.  Every vertex runs its hook (a masked vertex
-        # sees an empty neighborhood), mirroring the masked simulator.
+        # sees an empty neighborhood), mirroring the masked simulator;
+        # chaos-inactive vertices run it in-process since their socket
+        # is genuinely down.  A vertex that stops answering is
+        # suspected and the round continues without it.
         tags: dict[int, int] = {}
         for vertex in range(n):
             uid = uid_of(vertex)
-            reply = self._ask(
-                uid,
-                {
-                    "op": "advertise",
-                    "round": rnd,
-                    "neighbors": [uid_of(nb) for nb in visible[vertex]],
-                },
-            )
-            tags[uid] = reply["tag"]
+            if uid in suspects:
+                continue
+            msg = {
+                "op": "advertise",
+                "round": rnd,
+                "neighbors": [uid_of(nb) for nb in visible[vertex]],
+            }
+            if planned_down(vertex):
+                tags[uid] = self._ask_local(vertex, msg)["tag"]
+                continue
+            try:
+                tags[uid] = self._ask(uid, msg)["tag"]
+            except TransportError:
+                self._suspect(uid, rnd)
 
         # Stage 2a — propose.  Sequential on purpose: each server
         # delivers its proposal peer-to-peer before the next runs, so
-        # proposal sends can never form a waiting cycle.
+        # proposal sends can never form a waiting cycle.  Views carry
+        # only neighbors that actually advertised this round.
         proposal_count = 0
         targets: set[int] = set()
         for vertex in range(n):
             uid = uid_of(vertex)
+            if uid in suspects:
+                continue
             views = [
-                [uid_of(nb), tags[uid_of(nb)]] for nb in visible[vertex]
+                [uid_of(nb), tags[uid_of(nb)]]
+                for nb in visible[vertex]
+                if uid_of(nb) in tags
             ]
-            reply = self._ask(
-                uid, {"op": "propose", "round": rnd, "views": views}
-            )
+            msg = {"op": "propose", "round": rnd, "views": views}
+            try:
+                reply = (
+                    self._ask_local(vertex, msg)
+                    if planned_down(vertex)
+                    else self._ask(uid, msg)
+                )
+            except TransportError:
+                self._suspect(uid, rnd)
+                continue
             if reply["target"] is not None:
                 proposal_count += 1
-                targets.add(int(reply["target"]))
+                if reply.get("delivered"):
+                    targets.add(int(reply["target"]))
 
         # Stage 2b — accept, enforced by each proposee.
         matches = []
         for target in sorted(targets):
-            reply = self._ask(target, {"op": "resolve", "round": rnd})
+            if target in suspects:
+                continue
+            try:
+                reply = self._ask(target, {"op": "resolve", "round": rnd})
+            except TransportError:
+                self._suspect(target, rnd)
+                continue
             if reply["winner"] is not None:
                 matches.append((int(reply["winner"]), target))
 
+        # Connection drops.  A logical fault pre-drops doomed matches
+        # (the simulator's exact behavior); a chaos model *interdicts*
+        # them — the responder will fail the initiator's handshake at
+        # the socket level — and the failure is observed for real below.
         dropped = 0
-        if self.faults is not None:
+        if self.chaos is not None and matches:
+            self.chaos.interdict(rnd, fault_round, matches)
+        elif self.faults is not None:
             kept = []
             for initiator, responder in matches:
                 if self.faults.drop_connection(
@@ -305,70 +567,166 @@ class Coordinator:
             matches = kept
 
         # Stage 3 — connect.  Matches are node-disjoint, so concurrent
-        # connections never touch one node from two sides.
+        # connections never touch one node from two sides.  A failed
+        # handshake (interdicted, or the peer died) is a dropped
+        # connection this round, not an aborted run.
         tokens_moved = 0
         control_bits = 0
 
         def connect(match):
             initiator, responder = match
-            return self._ask(
-                initiator,
-                {"op": "connect", "round": rnd, "responder": responder},
-            )
+            try:
+                reply = self._ask(
+                    initiator,
+                    {"op": "connect", "round": rnd, "responder": responder},
+                )
+                return match, reply, None
+            except (TransportError, ProtocolError) as exc:
+                return match, None, exc
 
+        surviving = []
         if matches:
             workers = min(self.connect_workers, len(matches))
             if workers > 1:
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    replies = list(pool.map(connect, matches))
+                    outcomes = list(pool.map(connect, matches))
             else:
-                replies = [connect(match) for match in matches]
-            for reply in replies:
-                tokens_moved += reply["tokens_moved"]
-                control_bits += reply["bits"]
-                self.trace.record_connection(rnd, reply["latency_s"])
+                outcomes = [connect(match) for match in matches]
+            for match, reply, exc in outcomes:
+                if reply is not None:
+                    surviving.append(match)
+                    tokens_moved += reply["tokens_moved"]
+                    control_bits += reply["bits"]
+                    self.trace.record_connection(rnd, reply["latency_s"])
+                    continue
+                initiator, responder = match
+                if isinstance(exc, ProtocolError):
+                    if not exc.transport_related:
+                        raise exc  # a real bug, not a broken link
+                    # The initiator's Stage-3 pull hit a dead/lossy
+                    # responder: a failed connection, charged to the
+                    # link; the responder answers for itself next time
+                    # something addresses it directly.
+                    dropped += 1
+                else:
+                    # The initiator itself is unreachable.
+                    dropped += 1
+                    self._suspect(initiator, rnd)
+        matches = surviving
 
+        # Liveness plumbing, quorum-only: suspects and planned-down
+        # nodes are skipped (their radios are off; beats to them would
+        # just burn the retry budget).
         if self.heartbeat_every and rnd % self.heartbeat_every == 0:
             for vertex in sorted(self.servers):
-                self._ask(uid_of(vertex), {"op": "beat"})
+                uid = uid_of(vertex)
+                if uid in suspects or planned_down(vertex):
+                    continue
+                try:
+                    self._ask(uid, {"op": "beat"})
+                except TransportError:
+                    self._suspect(uid, rnd)
             if self.heartbeat_max_age is not None:
                 for vertex in sorted(self.servers):
-                    self._ask(
-                        uid_of(vertex),
-                        {"op": "prune",
-                         "max_age": self.heartbeat_max_age},
-                    )
+                    uid = uid_of(vertex)
+                    if uid in suspects or planned_down(vertex):
+                        continue
+                    try:
+                        self._ask(
+                            uid,
+                            {"op": "prune",
+                             "max_age": self.heartbeat_max_age},
+                        )
+                    except TransportError:
+                        self._suspect(uid, rnd)
 
         self.match_stream.append(tuple(matches))
+        active_count = n if active_set is None else len(active_set)
+        self.trace.suspect_events = self.suspect_events
         self.trace.close_round(
             round_index=rnd,
             proposals=proposal_count,
             connections=len(matches),
             tokens_moved=tokens_moved,
             control_bits=control_bits,
-            active_nodes=(
-                n if mask is None else int(mask.sum())
-            ),
+            active_nodes=active_count - len(suspects),
             dropped_connections=dropped,
+            retries=self._total_retries() - retries_before,
+            timeouts=self._total_timeouts() - timeouts_before,
+            suspects=len(suspects),
+            rejoins=self.rejoins - rejoins_before,
+            chaos_killed=(
+                0 if chaos_round is None else len(chaos_round.killed)
+            ),
+            chaos_revived=(
+                0 if chaos_round is None else len(chaos_round.revived)
+            ),
+            degraded=bool(suspects),
         )
 
-    def snapshots(self) -> dict[int, tuple]:
-        """uid -> sorted tuple of known token ids, over the wire."""
+    def _total_retries(self) -> int:
+        return self._retries + sum(
+            s.stats["retries"] for s in self.servers.values()
+        )
+
+    def _total_timeouts(self) -> int:
+        return self._timeouts + sum(
+            s.stats["timeouts"] for s in self.servers.values()
+        )
+
+    # -- state readout ------------------------------------------------
+
+    def snapshots(self, include: str = "all") -> dict[int, tuple]:
+        """uid -> sorted tuple of known token ids.
+
+        ``include="all"`` reads every node — over the wire when the
+        endpoint answers, in-process when it is dead, asleep, or
+        suspect (a crashed phone's *storage* still exists, and the
+        simulator's final state includes crashed vertices too).
+        ``include="quorum"`` reads only currently reachable,
+        non-suspect nodes — the set a degraded termination check may
+        legitimately consult.
+        """
+        if include not in ("all", "quorum"):
+            raise ConfigurationError(
+                f"snapshots(include=...) must be 'all' or 'quorum', "
+                f"got {include!r}"
+            )
         result = {}
         for vertex in sorted(self.servers):
+            server = self.servers[vertex]
             uid = self.instance.uid_of(vertex)
-            reply = self._ask(uid, {"op": "snapshot"})
+            unreachable = (
+                server.dead or server.asleep or uid in self.suspects
+            )
+            if unreachable:
+                if include == "quorum":
+                    continue
+                reply = self._ask_local(vertex, {"op": "snapshot"})
+            else:
+                try:
+                    reply = self._ask(uid, {"op": "snapshot"})
+                except TransportError:
+                    if include == "quorum":
+                        self._suspect(uid, self.trace.total_rounds)
+                        continue
+                    reply = self._ask_local(vertex, {"op": "snapshot"})
             result[uid] = tuple(reply["tokens"])
         return result
 
     def _solved(self) -> bool:
+        """Has the surviving quorum finished?  (Degradation-aware: dead
+        or suspect nodes do not gate termination — the simulator's
+        all-nodes criterion is checked by the replay bridge, which runs
+        a fixed round count instead.)"""
         wanted = self.instance.token_ids
-        return all(
-            wanted <= set(tokens) for tokens in self.snapshots().values()
-        )
+        snaps = self.snapshots(include="quorum")
+        if not snaps:
+            return False
+        return all(wanted <= set(tokens) for tokens in snaps.values())
 
     def run(self, max_rounds: int = 512) -> NetRunReport:
-        """Drive rounds until every node holds every token (or the cap)."""
+        """Drive rounds until the quorum holds every token (or the cap)."""
         if not self._started:
             raise ConfigurationError(
                 "coordinator not started; use `with Coordinator(...)` or "
@@ -390,6 +748,17 @@ class Coordinator:
                 break
         wall = time.perf_counter() - started
         self.trace.wall_seconds = wall
+        if self.chaos is not None:
+            # Wake/revive everyone before the final readout and stop:
+            # the run is over, and the report reads each node's state
+            # through the normal path where possible.
+            self.chaos.restore()
+        chaos_kills = sum(
+            s.stats["kills"] for s in self.servers.values()
+        )
+        chaos_revives = sum(
+            s.stats["revives"] for s in self.servers.values()
+        )
         return NetRunReport(
             algorithm=self.algorithm,
             n=self.instance.n,
@@ -397,15 +766,25 @@ class Coordinator:
             solved=solved,
             trace=self.trace,
             match_stream=list(self.match_stream),
-            final_tokens=self.snapshots(),
+            final_tokens=self.snapshots(include="all"),
             wall_seconds=wall,
+            retries=self._total_retries(),
+            timeouts=self._total_timeouts(),
+            suspects=dict(self.suspects),
+            suspect_events=self.suspect_events,
+            rejoins=self.rejoins,
+            degraded_rounds=self.trace.degraded_rounds,
+            chaos_kills=chaos_kills,
+            chaos_revives=chaos_revives,
         )
 
 
 @register_transport(
     name="tcp",
     description="loopback TCP peer servers: one socket endpoint per node, "
-                "length-prefixed JSON framing (repro.net)",
+                "length-prefixed JSON framing, seeded retry/backoff with "
+                "graceful degradation, optional physical chaos injection "
+                "(repro.net)",
 )
 def deploy_run(
     scenario=None,
@@ -425,7 +804,13 @@ def deploy_run(
     via keywords) or the explicit pieces.  This is the ``tcp``
     transport's registry entry point, shared by ``repro-gossip serve``
     and ``Experiment.deploy()``.
+
+    ``chaos=`` selects physical fault injection: a fault spec/name/model
+    to enact, or ``True``/``"auto"`` to take the scenario's (or the
+    explicit ``fault=`` option's) schedule and enact it physically
+    instead of masking it logically.
     """
+    chaos = opts.pop("chaos", None)
     if isinstance(scenario, str):
         from repro.registry import SCENARIO_REGISTRY
 
@@ -440,7 +825,19 @@ def deploy_run(
         algorithm = algorithm or scenario.recommended_algorithm
         dynamic_graph = dynamic_graph or scenario.dynamic_graph
         instance = instance or scenario.instance
-        opts.setdefault("fault", scenario.fault)
+        if chaos is None and scenario.fault is not None:
+            opts.setdefault("fault", scenario.fault)
+    if chaos in (True, "auto"):
+        chaos = opts.pop("fault", None)
+        if chaos is None and scenario is not None:
+            chaos = scenario.fault
+        if chaos is None:
+            raise ConfigurationError(
+                "chaos='auto' needs a fault schedule to enact — from the "
+                "scenario or an explicit fault= option"
+            )
+    if chaos not in (None, False):
+        opts["chaos"] = chaos
     if algorithm is None or dynamic_graph is None or instance is None:
         raise ConfigurationError(
             "deploy_run needs a scenario or all of algorithm, "

@@ -7,6 +7,14 @@ no partial-read state machine beyond :func:`_recv_exact`) at the cost of
 a connect per message — fine for localhost clusters, and honest about
 what a smartphone pairing costs.
 
+Every socket-level failure inside :func:`request` is translated into a
+:class:`~repro.net.errors.TransportError` that names the peer
+(``host:port``, plus UID/op when the caller supplies them) and carries a
+failure ``kind`` — refused, timeout, reset, eof, frame — so retry loops
+can distinguish a rebooting peer from a corrupt one.  Pass a
+:class:`~repro.net.errors.RetryPolicy` (and a seeded ``rng``) to retry
+retryable faults with deterministic exponential backoff.
+
 Stdlib only by design: ``struct`` + ``json`` + ``socket``.
 """
 
@@ -15,8 +23,17 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
+
+from repro.net.errors import (
+    DEFAULT_REQUEST_TIMEOUT,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    TransportError,
+)
 
 __all__ = [
+    "DEFAULT_REQUEST_TIMEOUT",
     "MAX_FRAME",
     "TransportError",
     "recv_msg",
@@ -32,16 +49,13 @@ HEADER = struct.Struct("!I")
 MAX_FRAME = 16 * 1024 * 1024
 
 
-class TransportError(RuntimeError):
-    """A peer connection failed or sent a malformed frame."""
-
-
 def send_msg(sock: socket.socket, obj) -> None:
     """Send one JSON-able object as a length-prefixed frame."""
     payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME:
         raise TransportError(
-            f"frame of {len(payload)} bytes exceeds MAX_FRAME={MAX_FRAME}"
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME={MAX_FRAME}",
+            kind="frame", retryable=False,
         )
     sock.sendall(HEADER.pack(len(payload)) + payload)
 
@@ -57,7 +71,8 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
                 return None
             raise TransportError(
                 f"connection closed mid-frame ({count - remaining}/{count}"
-                " bytes read)"
+                " bytes read)",
+                kind="eof",
             )
         chunks.append(chunk)
         remaining -= len(chunk)
@@ -72,27 +87,122 @@ def recv_msg(sock: socket.socket):
     (length,) = HEADER.unpack(header)
     if length > MAX_FRAME:
         raise TransportError(
-            f"frame length {length} exceeds MAX_FRAME={MAX_FRAME}"
+            f"frame length {length} exceeds MAX_FRAME={MAX_FRAME}",
+            kind="frame", retryable=False,
         )
     payload = _recv_exact(sock, length)
     if payload is None:
-        raise TransportError("connection closed between header and payload")
+        raise TransportError(
+            "connection closed between header and payload", kind="eof"
+        )
     try:
         return json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise TransportError(f"malformed frame payload: {exc}") from exc
+        raise TransportError(
+            f"malformed frame payload: {exc}", kind="frame", retryable=False
+        ) from exc
 
 
-def request(host: str, port: int, obj, timeout: float = 5.0):
-    """One request/response round trip on a fresh TCP connection."""
+def _classify_os_error(exc: OSError) -> str:
+    """Map an OSError subclass to a TransportError ``kind``."""
+    if isinstance(exc, TimeoutError):  # socket.timeout is an alias
+        return "timeout"
+    if isinstance(exc, ConnectionRefusedError):
+        return "refused"
+    if isinstance(exc, (ConnectionResetError, BrokenPipeError,
+                        ConnectionAbortedError)):
+        return "reset"
+    return "transport"
+
+
+def _request_once(host, port, obj, timeout, *, op, uid):
+    """One request/response attempt; every error path closes the socket
+    (``create_connection`` is a context manager, and a failure inside it
+    tears the connection down before the exception propagates)."""
     try:
         with socket.create_connection((host, port), timeout=timeout) as sock:
             send_msg(sock, obj)
             reply = recv_msg(sock)
-    except OSError as exc:
+    except TransportError as exc:
+        if exc.host is not None:
+            raise
+        # Annotate frame/eof faults raised below us with peer context.
         raise TransportError(
-            f"request to {host}:{port} failed: {exc}"
+            f"request to {host}:{port}"
+            + (f" (uid {uid})" if uid is not None else "")
+            + (f" op {op!r}" if op else "") + f" failed: {exc}",
+            host=host, port=port, uid=uid, op=op,
+            kind=exc.kind, retryable=exc.retryable,
+        ) from exc
+    except OSError as exc:
+        kind = _classify_os_error(exc)
+        detail = (
+            f"timed out after {timeout}s" if kind == "timeout" else str(exc)
+        )
+        raise TransportError(
+            f"request to {host}:{port}"
+            + (f" (uid {uid})" if uid is not None else "")
+            + (f" op {op!r}" if op else "") + f" failed: {detail}",
+            host=host, port=port, uid=uid, op=op, kind=kind,
         ) from exc
     if reply is None:
-        raise TransportError(f"{host}:{port} closed without replying")
+        raise TransportError(
+            f"{host}:{port}"
+            + (f" (uid {uid})" if uid is not None else "")
+            + " closed without replying"
+            + (f" to op {op!r}" if op else ""),
+            host=host, port=port, uid=uid, op=op, kind="eof",
+        )
     return reply
+
+
+def request(
+    host: str,
+    port: int,
+    obj,
+    timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    *,
+    retry: RetryPolicy | None = None,
+    rng=None,
+    sleep=time.sleep,
+    on_retry=None,
+    uid: int | None = None,
+):
+    """One request/response round trip on a fresh TCP connection.
+
+    With a :class:`~repro.net.errors.RetryPolicy`, retryable transport
+    faults (refused / timeout / reset / eof — a peer rebooting or
+    sleeping its radio) are retried up to ``retry.attempts`` times with
+    exponential backoff jittered by the seeded ``rng``; frame faults
+    (corruption) are never retried.  ``on_retry(exc, attempt, delay)``
+    is called before each backoff so callers can count retries and
+    timeouts; ``sleep`` is injectable so tests record the deterministic
+    schedule instead of waiting it out.  When the budget runs out the
+    final error is a :class:`~repro.net.errors.RetryBudgetExceeded`
+    chaining the last underlying fault.
+    """
+    op = obj.get("op") if isinstance(obj, dict) else None
+    attempts = retry.attempts if retry is not None else 1
+    last: TransportError | None = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return _request_once(host, port, obj, timeout, op=op, uid=uid)
+        except TransportError as exc:
+            last = exc
+            if not exc.retryable or attempt == attempts:
+                break
+            delay = retry.delay(attempt, rng)
+            if on_retry is not None:
+                on_retry(exc, attempt, delay)
+            if delay > 0:
+                sleep(delay)
+    if attempts > 1 and last.retryable:
+        raise RetryBudgetExceeded(
+            f"request to {host}:{port}"
+            + (f" (uid {uid})" if uid is not None else "")
+            + (f" op {op!r}" if op else "")
+            + f" failed after {attempts} attempts: {last}",
+            attempts=attempts, host=host, port=port, uid=uid, op=op,
+            kind=last.kind,
+        ) from last
+    raise last

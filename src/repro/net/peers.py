@@ -69,6 +69,22 @@ class PeerTable:
                 self._entries[uid] for uid in sorted(self._entries)
             )
 
+    def touch_all(self, now: float | None = None) -> None:
+        """Refresh every entry's ``last_seen`` to ``now``.
+
+        The rejoin path: a peer that was killed and revived still holds
+        its pre-outage table, whose stamps are all older than the
+        outage — without a refresh its first prune would evict every
+        neighbor it needs to rejoin through.  A rejoining phone trusts
+        its stored peer list until heartbeats say otherwise.
+        """
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            self._entries = {
+                uid: replace(entry, last_seen=stamp)
+                for uid, entry in self._entries.items()
+            }
+
     def prune(self, max_age: float, now: float | None = None) -> tuple[int, ...]:
         """Drop peers not heard from within ``max_age``; return their UIDs."""
         stamp = time.monotonic() if now is None else now

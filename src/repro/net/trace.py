@@ -4,7 +4,10 @@
 column machinery (records, totals, ``column_series``/``gauge_series``)
 and adds what only a real deployment can measure: per-connection
 wall-clock latency, folded into each round's gauges as
-``net_latency_mean_s`` / ``net_latency_max_s``, and overall throughput.
+``net_latency_mean_s`` / ``net_latency_max_s``, and overall throughput
+— plus the failure columns the robustness layer produces: per-round
+retries / timeouts / suspects / rejoins / chaos kill and revive counts
+(gauges ``net_retries`` etc.) and their run totals.
 """
 
 from __future__ import annotations
@@ -24,6 +27,14 @@ class NetTrace(Trace):
         self.connection_latencies: list[tuple[int, float]] = []
         self._pending: list[float] = []
         self.wall_seconds: float = 0.0
+        # Failure accounting (populated by the robustness layer).
+        self.total_retries: int = 0
+        self.total_timeouts: int = 0
+        self.suspect_events: int = 0
+        self.rejoin_events: int = 0
+        self.degraded_rounds: int = 0
+        self.chaos_kills: int = 0
+        self.chaos_revives: int = 0
 
     def record_connection(self, round_index: int, seconds: float) -> None:
         self.connection_latencies.append((round_index, float(seconds)))
@@ -38,8 +49,22 @@ class NetTrace(Trace):
         control_bits: int,
         active_nodes: int | None = None,
         dropped_connections: int = 0,
+        retries: int = 0,
+        timeouts: int = 0,
+        suspects: int = 0,
+        rejoins: int = 0,
+        chaos_killed: int = 0,
+        chaos_revived: int = 0,
+        degraded: bool = False,
     ) -> None:
-        """Fold the round's buffered latencies into a round record."""
+        """Fold the round's buffered latencies into a round record.
+
+        ``retries``/``timeouts`` are this round's deltas; ``suspects``
+        is the suspect-set size *at round close* (a level, not a delta);
+        ``rejoins``/``chaos_killed``/``chaos_revived`` count this
+        round's events.  A ``degraded`` round ran over a surviving
+        quorum rather than the full planned-active set.
+        """
         gauges: dict = {}
         if self._pending:
             gauges["net_latency_mean_s"] = sum(self._pending) / len(
@@ -47,6 +72,25 @@ class NetTrace(Trace):
             )
             gauges["net_latency_max_s"] = max(self._pending)
         self._pending = []
+        self.total_retries += retries
+        self.total_timeouts += timeouts
+        self.rejoin_events += rejoins
+        self.chaos_kills += chaos_killed
+        self.chaos_revives += chaos_revived
+        if degraded:
+            self.degraded_rounds += 1
+        if retries:
+            gauges["net_retries"] = retries
+        if timeouts:
+            gauges["net_timeouts"] = timeouts
+        if suspects:
+            gauges["net_suspects"] = suspects
+        if rejoins:
+            gauges["net_rejoins"] = rejoins
+        if chaos_killed:
+            gauges["net_chaos_killed"] = chaos_killed
+        if chaos_revived:
+            gauges["net_chaos_revived"] = chaos_revived
         self.record(
             RoundRecord(
                 round_index=round_index,

@@ -88,6 +88,18 @@ class FaultModel:
     #: loses app state instead of resuming where it left off.
     resets_state = False
 
+    #: How :class:`~repro.net.chaos.ChaosModel` enacts this model's
+    #: decisions *physically* against live :class:`PeerServer`\\ s:
+    #: ``"kill"`` (tear the TCP endpoint down and rebind it on rejoin —
+    #: crash/churn), ``"sleep"`` (the endpoint accepts and hangs up
+    #: without replying — a duty-cycled radio), ``"drop"`` (per-match
+    #: socket-level interdiction of the Stage-3 handshake — lossy
+    #: links), ``"mask"`` (coordinator-side masking only, the
+    #: conservative fallback), or ``"none"``.  The mapping lives here,
+    #: next to the models, so sim and chaos can never disagree about
+    #: what a fault *is*.
+    chaos_enactment = "mask"
+
     #: How the model's ``round_index`` argument is derived by the
     #: caller: ``"cycle"`` (default — the synchronous round number, or a
     #: node's *local* cycle under asynchrony) or ``"virtual"`` (the
@@ -151,6 +163,7 @@ class NoFaults(FaultModel):
     """
 
     is_null = True
+    chaos_enactment = "none"
 
     def __init__(self, n: int = 1, seed: int = 0):
         # No SeedTree: the null model must not even derive a stream.
@@ -177,6 +190,8 @@ class SleepCycle(FaultModel):
     After the one-time phase draw the mask is fully deterministic — a
     sleep schedule, not a coin flip per round.
     """
+
+    chaos_enactment = "sleep"
 
     def __init__(self, n: int, seed: int, period: int = 8, duty: int = 6,
                  stagger: bool = True, clock: str = "cycle"):
@@ -228,6 +243,8 @@ class CrashChurn(FaultModel):
     token back to the node's initial assignment.  The default models a
     phone whose storage survives the reboot.
     """
+
+    chaos_enactment = "kill"
 
     def __init__(self, n: int, seed: int, cycle: int = 64,
                  crash_prob: float = 0.15, min_outage: int = 8,
@@ -306,6 +323,8 @@ class LossyLinks(FaultModel):
     many other matches the round produced or in what order they are
     examined.
     """
+
+    chaos_enactment = "drop"
 
     def __init__(self, n: int, seed: int, drop_prob: float = 0.2,
                  clock: str = "cycle"):

@@ -11,6 +11,7 @@ synchronization anywhere in this file.
 """
 
 import socket
+import time
 
 import pytest
 
@@ -115,6 +116,95 @@ class TestPeerTable:
         assert table.uids() == (2, 3)
         assert 1 not in table
 
+    def test_heartbeat_racing_prune_refresh_wins_when_first(self):
+        """A refresh that lands before the prune saves the entry."""
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=1, host="h", port=1, last_seen=10.0))
+        assert table.heartbeat(1, now=100.0)
+        assert table.prune(max_age=20.0, now=105.0) == ()
+        assert 1 in table
+
+    def test_heartbeat_racing_prune_prune_wins_when_first(self):
+        """A refresh that lands after the prune finds the entry gone —
+        and must report that honestly (False), not resurrect it."""
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=1, host="h", port=1, last_seen=10.0))
+        assert table.prune(max_age=20.0, now=100.0) == (1,)
+        assert not table.heartbeat(1, now=100.0)
+        assert 1 not in table
+
+    def test_concurrent_heartbeats_and_prunes_keep_invariants(self):
+        """Hammer refresh/prune from threads: no exceptions, and every
+        surviving entry's stamp is one some heartbeat actually wrote.
+
+        The virtual clock still drives liveness — threads only contend
+        for the lock, they never sleep.
+        """
+        import threading as _threading
+
+        table = PeerTable()
+        for uid in range(8):
+            table.upsert(PeerEntry(uid=uid, host="h", port=uid,
+                                   last_seen=0.0))
+        stamps = [float(s) for s in range(1, 33)]
+        errors = []
+
+        def beat():
+            try:
+                for stamp in stamps:
+                    for uid in range(8):
+                        table.heartbeat(uid, now=stamp)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def prune():
+            try:
+                for stamp in stamps:
+                    table.prune(max_age=5.0, now=stamp)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [_threading.Thread(target=beat) for _ in range(3)]
+        threads += [_threading.Thread(target=prune) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        for entry in table.entries():
+            assert entry.last_seen in stamps
+
+    def test_pruned_peer_can_be_readded(self):
+        """Re-adding after prune is a fresh entry, not a resurrection:
+        the new stamp governs the next prune decision."""
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=1, host="h", port=1, last_seen=10.0))
+        assert table.prune(max_age=5.0, now=100.0) == (1,)
+        table.upsert(PeerEntry(uid=1, host="h2", port=2, last_seen=100.0))
+        assert 1 in table
+        assert table.get(1).host == "h2"
+        assert table.prune(max_age=5.0, now=104.0) == ()
+        assert table.prune(max_age=5.0, now=106.0) == (1,)
+
+    def test_prune_max_age_zero_is_strictly_older(self):
+        """``max_age=0`` evicts entries strictly older than *now* and
+        keeps ones stamped exactly now — the boundary the live
+        kill-and-prune path relies on."""
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=1, host="h", port=1, last_seen=50.0))
+        table.upsert(PeerEntry(uid=2, host="h", port=2, last_seen=49.9))
+        assert table.prune(max_age=0.0, now=50.0) == (2,)
+        assert 1 in table
+
+    def test_touch_all_refreshes_every_stamp(self):
+        """The rejoin path: a revived node trusts its stored table."""
+        table = PeerTable()
+        table.upsert(PeerEntry(uid=1, host="h", port=1, last_seen=1.0))
+        table.upsert(PeerEntry(uid=2, host="h", port=2, last_seen=2.0))
+        table.touch_all(now=500.0)
+        assert [e.last_seen for e in table.entries()] == [500.0, 500.0]
+        assert table.prune(max_age=10.0, now=505.0) == ()
+
 
 def _single_server(n=4, seed=3, vertex=0):
     instance = uniform_instance(n=n, k=2, seed=seed)
@@ -151,6 +241,89 @@ class TestPeerServer:
         with pytest.raises(ConfigurationError):
             PeerServer(nodes[0], uid=instance.uid_of(0), vertex=0,
                        seed=3, b=1, acceptance="unbounded")
+
+    def test_stop_reports_leaked_handler_threads(self):
+        """A handler pinned by a half-sent frame is counted, not lost.
+
+        The client announces a 100-byte frame, sends 3 bytes, and goes
+        silent; the handler blocks in ``recv``.  ``stop`` with a tiny
+        timeout must return the leak count instead of pretending the
+        shutdown was clean.
+        """
+        server = _single_server().start()
+        host, port = server.address
+        client = socket.create_connection((host, port))
+        try:
+            client.sendall(HEADER.pack(100) + b"abc")
+            # Wait (bounded) for the handler thread to pick the
+            # connection up — the accept loop is asynchronous.
+            deadline = time.monotonic() + 5.0
+            while (not server._handler_threads
+                   and time.monotonic() < deadline):
+                time.sleep(0.005)
+            leaked = server.stop(timeout=0.05)
+            assert leaked >= 1
+            assert server.stats["leaked_threads"] == leaked
+        finally:
+            client.close()
+
+    def test_clean_stop_reports_zero_leaks(self):
+        server = _single_server().start()
+        host, port = server.address
+        assert request(host, port, {"op": "ping"})["ok"] is True
+        assert server.stop() == 0
+        assert server.stats["leaked_threads"] == 0
+
+
+@pytest.mark.net
+class TestTransportErrorContext:
+    def test_refused_connection_names_the_peer(self):
+        """Satellite: a refused connect carries host:port, not a bare
+        errno."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()  # nothing listens here now
+        with pytest.raises(TransportError) as info:
+            request(host, port, {"op": "ping"}, timeout=2.0, uid=42)
+        err = info.value
+        assert err.kind == "refused"
+        assert err.retryable
+        assert err.peer == f"{host}:{port}"
+        assert err.uid == 42
+        assert err.op == "ping"
+        assert f"{host}:{port}" in str(err)
+
+    def test_timeout_is_classified_with_context(self):
+        """A listening socket that never accepts/replies times the
+        request out; the error names the peer and the timeout."""
+        silent = socket.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        host, port = silent.getsockname()
+        try:
+            with pytest.raises(TransportError) as info:
+                request(host, port, {"op": "ping"}, timeout=0.05)
+            err = info.value
+            assert err.kind == "timeout"
+            assert err.retryable
+            assert err.peer == f"{host}:{port}"
+        finally:
+            silent.close()
+
+    def test_default_timeouts_are_unified(self):
+        """Satellite: server and coordinator share one named constant."""
+        from repro.net import DEFAULT_REQUEST_TIMEOUT
+        import inspect
+
+        server_default = inspect.signature(
+            PeerServer.__init__
+        ).parameters["request_timeout"].default
+        coord_default = inspect.signature(
+            Coordinator.__init__
+        ).parameters["request_timeout"].default
+        assert server_default == DEFAULT_REQUEST_TIMEOUT
+        assert coord_default == DEFAULT_REQUEST_TIMEOUT
 
 
 @pytest.mark.net
