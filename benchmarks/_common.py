@@ -79,27 +79,55 @@ def _provenance() -> dict:
     return {"git_rev": rev, "date": date.today().isoformat()}
 
 
-def record_bench(name: str, payload: dict) -> Path:
-    """Merge one named entry into the repo-root ``BENCH_engine.json``.
+class DirtyTreeError(RuntimeError):
+    """The working tree is dirty, so a ledger entry would lie.
+
+    A perf number recorded under rev ``abc1234`` while uncommitted edits
+    are loaded is attributed to code that never existed at that commit —
+    exactly the kind of silent trajectory corruption the ledgers exist
+    to prevent.  Benchmarks accept ``--allow-dirty`` (and the helpers an
+    ``allow_dirty=True``) for local experimentation; the recorded rev
+    then keeps its ``-dirty`` suffix so the entry is self-describing.
+    """
+
+
+def record_bench(
+    name: str, payload: dict, allow_dirty: bool = False, path=None
+) -> Path:
+    """Merge one named entry into a repo-root perf ledger.
 
     Read-modify-write keyed by ``name``: re-running one bench refreshes
     its entry without clobbering the others, so the file accumulates the
     whole suite's trajectory.  Entries are stamped with the producing
-    git revision and ISO date.  A corrupt ledger degrades to a fresh one.
+    git revision and ISO date; a dirty working tree is **refused**
+    (:class:`DirtyTreeError`) unless ``allow_dirty`` is set, because a
+    dirty-tree number cannot be attributed to any commit.  ``path``
+    selects the ledger (default ``BENCH_engine.json``; bench_scale
+    writes ``BENCH_scale.json``).  A corrupt ledger degrades to a fresh
+    one.
     """
+    path = Path(path) if path is not None else BENCH_JSON_PATH
+    stamp = _provenance()
+    if stamp["git_rev"].endswith("-dirty") and not allow_dirty:
+        raise DirtyTreeError(
+            f"refusing to record {name!r} in {path.name}: the working "
+            f"tree is dirty (rev {stamp['git_rev']}).  Commit first, or "
+            "pass --allow-dirty / allow_dirty=True to record anyway "
+            "(the entry keeps its -dirty rev)."
+        )
     data: dict = {}
-    if BENCH_JSON_PATH.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON_PATH.read_text())
+            data = json.loads(path.read_text())
         except ValueError:
             data = {}
         if not isinstance(data, dict):
             data = {}
-    data[name] = dict(payload, **_provenance())
-    BENCH_JSON_PATH.write_text(
+    data[name] = dict(payload, **stamp)
+    path.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n"
     )
-    return BENCH_JSON_PATH
+    return path
 
 
 def _point_label(point: dict) -> str:
@@ -109,13 +137,14 @@ def _point_label(point: dict) -> str:
 
 
 def run_bench_sweep(
-    sweep: SweepSpec, require_solved: bool = True
+    sweep: SweepSpec, require_solved: bool = True, allow_dirty: bool = False
 ):
     """Run a bench sweep serially and sanity-check every cell solved.
 
     Every sweep also records a machine-readable entry (wall time, total
     simulated rounds, rounds/s, per-cell round-count medians) in the
-    repo-root ``BENCH_engine.json`` via :func:`record_bench`.
+    repo-root ``BENCH_engine.json`` via :func:`record_bench` — which
+    refuses a dirty working tree unless ``allow_dirty`` is set.
     """
     started = time.perf_counter()
     result = run_sweep(sweep)
@@ -142,6 +171,7 @@ def run_bench_sweep(
                 for summary in result.points
             },
         },
+        allow_dirty=allow_dirty,
     )
     return result
 

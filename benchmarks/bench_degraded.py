@@ -120,6 +120,10 @@ def main() -> int:
         "--quick", action="store_true",
         help="n <= 16 only (CI smoke); skips the report files",
     )
+    parser.add_argument(
+        "--allow-dirty", action="store_true",
+        help="record BENCH_engine.json even from a dirty working tree",
+    )
     args = parser.parse_args()
     sizes = tuple(n for n in SIZES if n <= 16) if args.quick else SIZES
 
@@ -188,6 +192,7 @@ def main() -> int:
                     for c in rows
                 },
             },
+            allow_dirty=args.allow_dirty,
         )
     print("degraded-live bench: all cells completed without hanging")
     return 0

@@ -134,7 +134,7 @@ def measure_async_throughput(algorithm: str, n: int, k: int, rounds: int,
     return rounds / (time.perf_counter() - started)
 
 
-def run_engine_bench(n: int = 2000) -> dict:
+def run_engine_bench(n: int = 2000, allow_dirty: bool = False) -> dict:
     """Measure object vs array throughput and update BENCH_engine.json."""
     cases = {"sharedbit": 400, "blindmatch": 1000}
     results: dict = {"n": n, "kind": "engine-throughput",
@@ -192,7 +192,7 @@ def run_engine_bench(n: int = 2000) -> dict:
         "async_over_sync_array": round(batched_rps / sync_array_rps, 2),
         "batched_over_event": round(batched_rps / event_rps, 2),
     }
-    record_bench("engine:fastpath", results)
+    record_bench("engine:fastpath", results, allow_dirty=allow_dirty)
     return results
 
 
@@ -267,6 +267,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--n", type=int, default=2000,
                         help="population size for the throughput bench")
+    parser.add_argument(
+        "--allow-dirty", action="store_true",
+        help="record BENCH_engine.json even from a dirty working tree "
+             "(the entry keeps its -dirty rev)",
+    )
     args = parser.parse_args(argv)
 
     print("checking fast-path vs reference traces ...", flush=True)
@@ -330,7 +335,7 @@ def main(argv=None) -> int:
               f"{batched_probe:.0f} rounds/s batched)")
         return 0
 
-    results = run_engine_bench(n=args.n)
+    results = run_engine_bench(n=args.n, allow_dirty=args.allow_dirty)
     for case in ("sharedbit", "blindmatch", "sharedbit_sleep_6of8"):
         row = results[case]
         print(

@@ -1,0 +1,336 @@
+"""BENCH_scale: the million-node trajectory (rounds/s, RSS, bytes/node).
+
+Each cell of (algorithm x graph x n) runs in its **own subprocess**, so
+``ru_maxrss`` — which is monotonic per process — measures that cell
+alone: the worker notes its post-import baseline RSS, builds the graph
+and node population, runs a fixed round budget on the array engine, and
+reports
+
+* ``rounds_per_s``   — simulation-only throughput (build excluded),
+* ``peak_rss_mb``    — the process high-water mark,
+* ``bytes_per_node`` — (peak - post-import baseline) / n, the whole
+  simulation's marginal footprint per node.
+
+The grid is 2 algorithms (sharedbit, blindmatch) x 2 graphs (static
+ring-expander built straight to CSR; geometric random-waypoint mobility
+with ``bridge=False``) x 3 sizes (10^4, 10^5, 10^6), plus one
+acceptance cell: the n = 10^6 sharedbit static run routed through
+``run_sweep(stream_to=...)`` — the sharded streaming path a real
+million-node sweep would use.  Results land in the repo-root
+``BENCH_scale.json`` (rev + date stamped; a dirty tree is refused
+without ``--allow-dirty``).
+
+``--quick`` is the CI gate: the spatial-grid-vs-blocked-sweep identity,
+the int32-vs-int64 CSR identity, streamed-vs-in-memory sweep
+aggregation identity (byte-compared ``to_json``), and an n = 10^5
+sharedbit sanity run under the streamed path.  No ledger writes.
+
+Round budgets shrink as n grows (64 / 16 / 4): the point is steady-state
+per-round cost and footprint, not solving gossip at 10^6.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _common import record_bench
+
+#: The scale ledger (separate from BENCH_engine.json: these rows track
+#: the n-trajectory, not per-optimization speedups).
+SCALE_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+SIZES = (10_000, 100_000, 1_000_000)
+ROUNDS = {10_000: 64, 100_000: 16, 1_000_000: 4}
+ALGORITHMS = ("sharedbit", "blindmatch")
+GRAPHS = ("expander", "geometric")
+SEED = 11
+GRAPH_SEED = 1
+TOKENS_K = 1
+CASE_TIMEOUT_S = 3600
+
+
+def _geometric_radius(n: int) -> float:
+    """Unit-disk radius giving mean degree ~12 at density n (pi r^2 n)."""
+    return math.sqrt(12.0 / (math.pi * n))
+
+
+def _build_graph(graph: str, n: int, rounds: int):
+    from repro.graphs.dynamic import (
+        GeometricMobilityGraph,
+        ring_expander_graph,
+    )
+
+    if graph == "expander":
+        return ring_expander_graph(n, degree=6, seed=GRAPH_SEED)
+    if graph == "geometric":
+        # tau = the whole budget: one epoch, one grid edge build; the
+        # mobility cost is charged to build, the gossip cost to run.
+        return GeometricMobilityGraph(
+            n=n, radius=_geometric_radius(n), step=0.05, tau=rounds,
+            seed=GRAPH_SEED, bridge=False,
+        )
+    raise ValueError(f"unknown graph kind {graph!r}")
+
+
+def _streamed_payload(n: int, rounds: int) -> dict:
+    return {
+        "algorithm": "sharedbit",
+        "graph": {
+            "family": "ring_expander",
+            "params": {"n": n, "degree": 6, "seed": GRAPH_SEED},
+        },
+        "dynamic": {"kind": "static"},
+        "instance": {"kind": "uniform", "k": TOKENS_K},
+        "max_rounds": rounds,
+        "engine": {
+            "trace_sample_every": 1024,
+            "trace_max_records": 64,
+            "termination_every": rounds,
+        },
+    }
+
+
+def _rss_kb() -> int:
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _measure_direct(case: dict) -> dict:
+    """One (algorithm, graph, n) cell: direct array-engine execution."""
+    baseline_kb = _rss_kb()
+    n, rounds = case["n"], case["rounds"]
+
+    from repro.core.problem import uniform_instance
+    from repro.core.runner import build_nodes
+    from repro.registry import ALGORITHM_REGISTRY
+    from repro.sim.channel import ChannelPolicy
+    from repro.sim.engine import Simulation
+
+    build_started = time.perf_counter()
+    graph = _build_graph(case["graph"], n, rounds)
+    instance = uniform_instance(n=n, k=TOKENS_K, seed=SEED)
+    nodes = build_nodes(case["algorithm"], instance, seed=SEED)
+    defn = ALGORITHM_REGISTRY.get(case["algorithm"])
+    sim = Simulation(
+        graph, nodes,
+        b=defn.resolve_tag_length(defn.make_config()),
+        seed=SEED,
+        channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+        trace_sample_every=1024,
+        trace_max_records=64,
+        engine_mode="array",
+    )
+    build_s = time.perf_counter() - build_started
+
+    run_started = time.perf_counter()
+    sim.run(max_rounds=rounds)
+    run_s = time.perf_counter() - run_started
+
+    peak_kb = _rss_kb()
+    return {
+        "n": n,
+        "rounds": rounds,
+        "engine_mode": "array",
+        "build_s": round(build_s, 3),
+        "run_s": round(run_s, 3),
+        "rounds_per_s": round(rounds / run_s, 2) if run_s > 0 else None,
+        "peak_rss_mb": round(peak_kb / 1024.0, 1),
+        "bytes_per_node": int((peak_kb - baseline_kb) * 1024 / n),
+        "total_connections": sim.trace.total_connections,
+    }
+
+
+def _measure_streamed(case: dict) -> dict:
+    """The acceptance cell: sharedbit static at n through the sharded
+    streaming sweep path (``run_sweep(stream_to=...)``)."""
+    baseline_kb = _rss_kb()
+    n, rounds = case["n"], case["rounds"]
+
+    from repro.experiments import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name=f"scale-stream-n{n}",
+        base=_streamed_payload(n, rounds),
+        seeds=(SEED,),
+    )
+    stream_dir = Path(tempfile.mkdtemp(prefix="bench-scale-stream-"))
+    started = time.perf_counter()
+    result = run_sweep(spec, stream_to=stream_dir)
+    elapsed = time.perf_counter() - started
+
+    summary = result.points[0]
+    peak_kb = _rss_kb()
+    return {
+        "n": n,
+        "rounds": summary.rounds[0],
+        "streamed": True,
+        "shards_sealed": (stream_dir / "index.json").exists(),
+        "elapsed_s": round(elapsed, 3),
+        "rounds_per_s_incl_build": round(summary.rounds[0] / elapsed, 2)
+        if elapsed > 0 else None,
+        "peak_rss_mb": round(peak_kb / 1024.0, 1),
+        "bytes_per_node": int((peak_kb - baseline_kb) * 1024 / n),
+    }
+
+
+def _worker(case_json: str, out_path: str) -> int:
+    case = json.loads(case_json)
+    measure = (
+        _measure_streamed if case.get("streamed") else _measure_direct
+    )
+    row = measure(case)
+    Path(out_path).write_text(json.dumps(row))
+    return 0
+
+
+def _run_case_subprocess(case: dict) -> dict:
+    """Run one cell in a fresh interpreter so ru_maxrss isolates it."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as out:
+        out_path = out.name
+    try:
+        completed = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()),
+             "--worker", json.dumps(case), "--worker-out", out_path],
+            timeout=CASE_TIMEOUT_S,
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"scale worker failed (exit {completed.returncode}) "
+                f"for case {case}"
+            )
+        return json.loads(Path(out_path).read_text())
+    finally:
+        Path(out_path).unlink(missing_ok=True)
+
+
+def _case_label(case: dict) -> str:
+    kind = "stream" if case.get("streamed") else case["graph"]
+    return f"alg={case['algorithm']},graph={kind},n={case['n']}"
+
+
+def run_quick() -> int:
+    """The CI gate: identities + an n=10^5 streamed sanity run."""
+    from repro.experiments import SweepSpec, run_sweep
+    from repro.experiments.fastpath import (
+        check_dtype_identity,
+        check_grid_identity,
+    )
+
+    print("checking spatial grid vs blocked sweep ...", flush=True)
+    failures = check_grid_identity()
+    print("checking int32 vs int64 CSR traces ...", flush=True)
+    failures += check_dtype_identity(n=16, rounds=25)
+
+    print("checking streamed vs in-memory sweep aggregation ...",
+          flush=True)
+    spec = SweepSpec(
+        name="scale-quick-identity",
+        base=_streamed_payload(64, 12),
+        grid={"instance.k": [1, 2]},
+        seeds=(11, 23),
+    )
+    in_memory = run_sweep(spec)
+    stream_dir = Path(tempfile.mkdtemp(prefix="bench-scale-quick-"))
+    streamed = run_sweep(spec, stream_to=stream_dir)
+    if in_memory.to_json() != streamed.to_json():
+        failures.append(
+            "streamed sweep aggregation diverged from the in-memory path"
+        )
+
+    for failure in failures:
+        print(f"DIVERGENCE: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("scale identities ok (grid edges, int32 CSR, streamed sweeps)")
+
+    n, rounds = 100_000, 2
+    print(f"streamed sanity run: sharedbit expander n={n} ...", flush=True)
+    row = _measure_streamed({"n": n, "rounds": rounds, "streamed": True,
+                             "algorithm": "sharedbit"})
+    if row["rounds"] < 1 or not row["shards_sealed"]:
+        print(f"FAIL: streamed sanity run did not complete: {row}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"streamed sanity ok: {row['rounds']} rounds in "
+        f"{row['elapsed_s']:.1f}s, peak {row['peak_rss_mb']:.0f} MB "
+        f"({row['bytes_per_node']} bytes/node)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: scale identities + n=10^5 streamed sanity run; "
+             "does not touch BENCH_scale.json",
+    )
+    parser.add_argument(
+        "--max-n", type=int, default=max(SIZES),
+        help="cap the trajectory at this n (development shortcut)",
+    )
+    parser.add_argument(
+        "--allow-dirty", action="store_true",
+        help="record BENCH_scale.json even from a dirty working tree",
+    )
+    parser.add_argument("--worker", help=argparse.SUPPRESS)
+    parser.add_argument("--worker-out", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        return _worker(args.worker, args.worker_out)
+    if args.quick:
+        return run_quick()
+
+    sizes = tuple(n for n in SIZES if n <= args.max_n)
+    cases = [
+        {"algorithm": algorithm, "graph": graph, "n": n,
+         "rounds": ROUNDS[n]}
+        for n in sizes
+        for graph in GRAPHS
+        for algorithm in ALGORITHMS
+    ]
+    big = max(sizes)
+    cases.append({"algorithm": "sharedbit", "n": big,
+                  "rounds": ROUNDS[big], "streamed": True})
+
+    rows: dict[str, dict] = {}
+    for case in cases:
+        label = _case_label(case)
+        print(f"[{len(rows) + 1}/{len(cases)}] {label} ...", flush=True)
+        row = _run_case_subprocess(case)
+        rows[label] = row
+        rate = row.get("rounds_per_s") or row.get("rounds_per_s_incl_build")
+        print(
+            f"    {row['rounds']} rounds, {rate} rounds/s, peak "
+            f"{row['peak_rss_mb']:.0f} MB, {row['bytes_per_node']} "
+            "bytes/node",
+            flush=True,
+        )
+
+    path = record_bench(
+        "scale:trajectory",
+        {
+            "kind": "scale-trajectory",
+            "k": TOKENS_K,
+            "seed": SEED,
+            "rows": rows,
+        },
+        allow_dirty=args.allow_dirty,
+        path=SCALE_JSON_PATH,
+    )
+    print(f"recorded {path.name} ({len(rows)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

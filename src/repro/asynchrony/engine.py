@@ -485,7 +485,9 @@ class AsyncSimulation(Simulation):
         csr = self.dynamic_graph.csr_at(topo_round)
         bound = self._csr_bound
         if bound is None or bound.base is not csr:
-            bound = self._csr_bound = csr.bind_uids(self._uid_array)
+            bound = self._csr_bound = csr.bind_uids(
+                self._uid_array, arena=self._arena
+            )
         return bound
 
     def _process_window_batched(self, ticks, vertices, cycles) -> None:

@@ -98,7 +98,8 @@ class BlindMatchNode(GossipNode):
     def advertise_all(cls, nodes, round_index, csr) -> np.ndarray:
         for node in nodes:
             node._sender_this_round = node.rng.random() < 0.5
-        return np.zeros(len(nodes), dtype=np.int64)
+        return csr.round_buffer("blindmatch:tags", len(nodes), np.int64,
+                                fill=0)
 
     @classmethod
     def propose_all(cls, nodes, round_index, csr, tags) -> np.ndarray:
@@ -109,7 +110,9 @@ class BlindMatchNode(GossipNode):
                 row = rows[vertex]
                 if row:
                     targets[vertex] = node.rng.choice(row)
-        return np.asarray(targets, dtype=np.int64)
+        out = csr.round_buffer("blindmatch:targets", len(nodes), np.int64)
+        out[:] = targets
+        return out
 
     # -- window hooks (batched async path) -------------------------------
     # The sender coin comes off each node's *private* rng — the same

@@ -94,7 +94,8 @@ class PPushNode(NodeProtocol):
 
     @classmethod
     def propose_all(cls, nodes, round_index, csr, tags) -> np.ndarray:
-        targets = np.full(len(nodes), -1, dtype=np.int64)
+        targets = csr.round_buffer("ppush:targets", len(nodes), np.int64,
+                                   fill=-1)
         for vertex, uninformed in csr.candidate_rows(tags):
             targets[vertex] = nodes[vertex].rng.choice(uninformed)
         return targets

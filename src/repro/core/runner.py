@@ -32,7 +32,7 @@ from repro.registry import (
 )
 from repro.rng import SeedTree
 from repro.sim.channel import ChannelPolicy
-from repro.sim.engine import Simulation
+from repro.sim.engine import OBJECT_PATH_MAX_N, Simulation
 from repro.sim.faults import build_fault
 from repro.sim.protocol import NodeProtocol
 from repro.sim.termination import all_hold_tokens
@@ -177,8 +177,10 @@ def run_gossip(
     gauges: dict | None = None,
     gauge_every: int = 64,
     trace_sample_every: int = 1,
+    trace_max_records: int | None = None,
     termination_every: int = 1,
     engine_mode: str = "auto",
+    object_path_max_n: int | None = OBJECT_PATH_MAX_N,
 ) -> GossipRunResult:
     """Run ``algorithm`` on ``instance`` over ``dynamic_graph`` to completion.
 
@@ -207,6 +209,11 @@ def run_gossip(
     bulk hooks, ``"object"`` forces the per-node reference path, and
     ``"array"`` requires the fast path.  Both paths produce byte-identical
     traces; the knob exists for differential tests and benchmarks.
+
+    ``trace_max_records`` bounds kept trace records for very long runs
+    (see :class:`repro.sim.trace.Trace`); ``object_path_max_n`` is the
+    memory-budget guard threshold the engine applies when a run resolves
+    to the per-node object path (``None`` disables it).
     """
     defn = _runnable_def(algorithm)
     if dynamic_graph.n != instance.n:
@@ -235,8 +242,10 @@ def run_gossip(
         gauges=gauges,
         gauge_every=gauge_every,
         trace_sample_every=trace_sample_every,
+        trace_max_records=trace_max_records,
         termination_every=termination_every,
         engine_mode=engine_mode,
+        object_path_max_n=object_path_max_n,
     )
     if timing_model is None:
         sim = Simulation(**engine_kwargs)

@@ -145,7 +145,7 @@ class SharedBitNode(GossipNode):
         for node in nodes:
             known.update(node._tokens)
         bit_of = first.shared.token_bits(group, sorted(known))
-        tags = np.empty(len(nodes), dtype=np.int64)
+        tags = csr.round_buffer("sharedbit:tags", len(nodes), np.int64)
         get = bit_of.__getitem__
         for vertex, node in enumerate(nodes):
             tokens = node._tokens
@@ -159,7 +159,8 @@ class SharedBitNode(GossipNode):
         first = nodes[0]
         group = round_index + first.config.group_offset
         shared = first.shared
-        targets = np.full(len(nodes), -1, dtype=np.int64)
+        targets = csr.round_buffer("sharedbit:targets", len(nodes),
+                                   np.int64, fill=-1)
         for vertex, zeros in csr.candidate_rows(tags):
             index = shared.selection_index(group, nodes[vertex].uid,
                                            len(zeros))

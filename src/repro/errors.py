@@ -20,6 +20,18 @@ class ConfigurationError(ReproError):
     """
 
 
+class MemoryBudgetError(ConfigurationError, ValueError):
+    """A configuration would materialize more memory than its path can bear.
+
+    Raised eagerly, at construction time, when the object engine path is
+    asked to build per-vertex view skeletons and per-node Python state
+    at a scale where they would silently consume gigabytes (the array
+    path exists for exactly that regime).  Inherits ``ValueError`` so
+    callers validating parameters generically can catch it without
+    importing the repro hierarchy.
+    """
+
+
 class TopologyError(ReproError):
     """A topology violates a model requirement.
 

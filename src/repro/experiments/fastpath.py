@@ -32,6 +32,16 @@ path under every timing regime and fault regime, on both the object and
 the array front half — the determinism contract of the window-batching
 optimization ("no random draw may move").
 
+The scale layer adds two more invariants: :func:`check_dtype_identity`
+pins that running the array path over int32 CSR index arrays (the
+memory-lean layout auto-chosen below n = 2^31) is byte-identical to
+int64 — same matches, same random-stream consumption, same traces —
+and :func:`check_grid_identity` pins the cell-grid geometric primitives
+(:mod:`repro.graphs.spatial`) to their O(n^2) differential references:
+grid disk edges == blocked-sweep disk edges (same arrays, same order),
+and :class:`~repro.graphs.spatial.PointIndex` nearest queries ==
+dense ``nearest_pair`` (value *and* tie-break).
+
 The live deployment layer (repro.net) adds a fourth invariant:
 :func:`check_local_acceptance_identity` pins that the per-target
 acceptance-stream discipline (``acceptance_streams="local"`` — the
@@ -75,7 +85,9 @@ __all__ = [
     "CHECK_ASYNC_ALGORITHMS",
     "CHECK_ASYNC_DYNAMICS",
     "CHECK_TIMINGS",
+    "check_dtype_identity",
     "check_fastpath_divergence",
+    "check_grid_identity",
     "check_local_acceptance_identity",
     "check_null_fault_identity",
     "check_async_sync_identity",
@@ -197,6 +209,7 @@ def run_case(
     timing=None,
     async_mode="auto",
     acceptance_streams="global",
+    csr_dtype=None,
 ) -> tuple:
     """Run one differential case; returns (trace signature, final state).
 
@@ -205,8 +218,11 @@ def run_case(
     with ``async_mode`` selecting its front half (``"event"`` forces the
     generic per-event path, ``"batched"`` forces window batching).
     ``acceptance_streams`` selects the match-stream discipline (the
-    event engine supports only ``"global"``).
+    event engine supports only ``"global"``).  ``csr_dtype`` forces the
+    dynamic graph's CSR index dtype (``"int32"`` / ``"int64"``; ``None``
+    keeps the auto-chosen narrowest) — the dtype-identity axis.
     """
+    import numpy as np
     if algorithm == "ppush":
         nodes = _ppush_nodes(n, seed)
         b = 1
@@ -224,6 +240,8 @@ def run_case(
         acceptance_streams=acceptance_streams,
     )
     dynamics = make_dynamics(dynamics_kind, n, seed)
+    if csr_dtype is not None:
+        dynamics.csr_dtype = np.dtype(csr_dtype)
     if timing is None:
         sim = Simulation(dynamics, nodes, **engine_kwargs)
     else:
@@ -268,6 +286,89 @@ def check_fastpath_divergence(
                             f"{algorithm}/{kind}/{acceptance}/{fault}: "
                             "fast path diverged from reference trace"
                         )
+    return failures
+
+
+def check_dtype_identity(
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+    algorithms=CHECK_ALGORITHMS,
+    dynamics=CHECK_DYNAMICS,
+    acceptances=CHECK_ACCEPTANCES,
+) -> list[str]:
+    """The memory-lean layout's invariant: int32 CSR == int64 CSR.
+
+    Runs every (algorithm, dynamics, acceptance) case through the array
+    path twice — once with the CSR index arrays forced to int64, once to
+    int32 — and reports any observable difference (empty = the index
+    dtype is pure representation; uids and random draws never touch it).
+    """
+    failures = []
+    for algorithm in algorithms:
+        for kind in dynamics:
+            for acceptance in acceptances:
+                wide = run_case(algorithm, kind, acceptance, "array",
+                                n, seed, rounds, csr_dtype="int64")
+                narrow = run_case(algorithm, kind, acceptance, "array",
+                                  n, seed, rounds, csr_dtype="int32")
+                if wide != narrow:
+                    failures.append(
+                        f"{algorithm}/{kind}/{acceptance}: int32 CSR "
+                        "diverged from int64 on the array path"
+                    )
+    return failures
+
+
+def check_grid_identity(
+    ns=(64, 256, 1024),
+    radii=(0.02, 0.1, 0.35),
+    seeds=(0, 1),
+) -> list[str]:
+    """The spatial grid's invariant: grid output == O(n^2) reference.
+
+    For every (n, seed) point cloud: the cell-grid disk-edge builder
+    must return byte-identical arrays to the blocked pairwise sweep at
+    every radius (order included — nx component iteration is
+    edge-insertion-order sensitive), and :class:`PointIndex` nearest
+    queries must agree with the dense ``nearest_pair`` reduction on
+    value *and* tie-break.
+    """
+    import numpy as np
+
+    from repro.graphs.spatial import (
+        PointIndex,
+        disk_edges_blocked,
+        disk_edges_grid,
+        nearest_pair,
+    )
+
+    failures = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        for n in ns:
+            xs = rng.random(n)
+            ys = rng.random(n)
+            for radius in radii:
+                bu, bv = disk_edges_blocked(xs, ys, radius)
+                gu, gv = disk_edges_grid(xs, ys, radius)
+                if not (np.array_equal(bu, gu) and np.array_equal(bv, gv)):
+                    failures.append(
+                        f"n={n}/radius={radius}/seed={seed}: grid edge "
+                        "set diverged from the blocked sweep"
+                    )
+            half = n // 2
+            reference = nearest_pair(xs[:half], ys[:half],
+                                     xs[half:], ys[half:])
+            indexed = PointIndex(xs[:half], ys[:half]).nearest(
+                xs[half:], ys[half:]
+            )
+            if reference != indexed:
+                failures.append(
+                    f"n={n}/seed={seed}: PointIndex nearest pair "
+                    f"diverged from the dense reduction "
+                    f"({indexed} != {reference})"
+                )
     return failures
 
 

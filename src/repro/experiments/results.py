@@ -24,8 +24,10 @@ from repro.experiments.specs import SweepSpec, canonical_json
 __all__ = [
     "PointSummary",
     "ResultCache",
+    "ShardedRunLog",
     "SweepResult",
     "aggregate",
+    "load_streamed",
     "percentile",
     "write_report",
 ]
@@ -86,6 +88,113 @@ class ResultCache:
             json.dumps({"format": RESULT_FORMAT, "record": record})
         )
         tmp.replace(path)
+
+
+class ShardedRunLog:
+    """Append-only JSONL shards + index for a streamed sweep.
+
+    The bounded-memory counterpart of the runner's in-memory record
+    dict: each completed run is appended to the current shard file as
+    one canonical-JSON line (``{"index": flat_run_index, "record":
+    ...}``) the moment it finishes, and :meth:`finalize` seals the
+    stream with an ``index.json`` naming every shard.  Aggregation then
+    happens from a re-read (:func:`load_streamed`), so a million-node
+    sweep never holds more than one run record in the parent process —
+    and a crashed sweep leaves every completed run on disk.
+
+    Appends open/write/close per record: slow-path-proof (a worker
+    crash loses at most the in-flight line) and trivially correct; at
+    sweep granularity the cost is noise.  A fresh log *truncates* any
+    prior shards in the directory — resumability is the result cache's
+    job, the stream is one sweep's output.
+    """
+
+    def __init__(self, directory, shard_size: int = 256):
+        if shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size must be >= 1, got {shard_size}"
+            )
+        self.dir = Path(directory)
+        self.shard_size = shard_size
+        self.count = 0
+        self.shards: list[str] = []
+        self.dir.mkdir(parents=True, exist_ok=True)
+        for stale in self.dir.glob("shard-*.jsonl"):
+            stale.unlink()
+        index = self.dir / "index.json"
+        if index.exists():
+            index.unlink()
+
+    def append(self, flat_index: int, record: dict) -> None:
+        shard_number = self.count // self.shard_size
+        if shard_number == len(self.shards):
+            self.shards.append(f"shard-{shard_number:05d}.jsonl")
+        line = canonical_json({"index": flat_index, "record": record})
+        with open(self.dir / self.shards[shard_number], "a") as handle:
+            handle.write(line + "\n")
+        self.count += 1
+
+    def finalize(self, spec: SweepSpec) -> Path:
+        """Seal the stream: write ``index.json`` naming every shard."""
+        path = self.dir / "index.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": RESULT_FORMAT,
+                    "sweep_hash": spec.spec_hash(),
+                    "total_runs": self.count,
+                    "shard_size": self.shard_size,
+                    "shards": list(self.shards),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        return path
+
+
+def load_streamed(directory) -> dict:
+    """Re-read a sealed stream into the runner's records-by-index form.
+
+    The dict this returns is exactly what :func:`aggregate` consumes, so
+    ``aggregate(spec, load_streamed(d))`` over a streamed sweep is
+    byte-identical (``SweepResult.to_json``) to the in-memory path —
+    record values are JSON-native, and a JSON round-trip preserves them
+    exactly.  Raises :class:`ConfigurationError` on a missing or
+    unsealed stream.
+    """
+    directory = Path(directory)
+    index_path = directory / "index.json"
+    try:
+        index = json.loads(index_path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(
+            f"no sealed stream at {directory}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"corrupt stream index {index_path}: {exc}"
+        ) from exc
+    if index.get("format") != RESULT_FORMAT:
+        raise ConfigurationError(
+            f"stream {directory} has format {index.get('format')!r}; "
+            f"this reader expects {RESULT_FORMAT}"
+        )
+    records: dict[int, dict] = {}
+    for shard in index.get("shards", ()):
+        with open(directory / shard) as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                entry = json.loads(line)
+                records[entry["index"]] = entry["record"]
+    total = index.get("total_runs")
+    if total is not None and len(records) != total:
+        raise ConfigurationError(
+            f"stream {directory} is incomplete: index.json promises "
+            f"{total} runs, shards hold {len(records)}"
+        )
+    return records
 
 
 @dataclass

@@ -21,8 +21,10 @@ from repro.core.runner import coverage_gauge, potential_gauge, run_gossip
 from repro.errors import ConfigurationError
 from repro.experiments.results import (
     ResultCache,
+    ShardedRunLog,
     SweepResult,
     aggregate,
+    load_streamed,
 )
 from repro.experiments.specs import (
     RunSpec,
@@ -140,6 +142,7 @@ def execute_run(payload) -> dict:
             gauges=gauges or None,
             gauge_every=engine.get("gauge_every", 64),
             trace_sample_every=engine.get("trace_sample_every", 1024),
+            trace_max_records=engine.get("trace_max_records"),
             termination_every=engine.get("termination_every", 1),
         )
         record = {
@@ -186,6 +189,7 @@ def run_sweep(
     cache_dir=None,
     progress=None,
     plugins=(),
+    stream_to=None,
 ) -> SweepResult:
     """Run every cell × seed of ``spec`` and aggregate in sweep order.
 
@@ -197,6 +201,13 @@ def run_sweep(
     (see :func:`repro.registry.load_plugin`) loaded both here and in
     every worker process, so a sweep over an out-of-tree algorithm
     parallelizes like any other.
+
+    ``stream_to`` (optional) is a directory: each completed run record is
+    appended to JSONL shards there (:class:`ShardedRunLog`) instead of
+    accumulating in memory, and aggregation happens from a re-read of the
+    sealed stream — the million-node mode.  The returned
+    :class:`SweepResult` is byte-identical (``to_json``) to the in-memory
+    path's, and the shards survive for later re-aggregation.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -204,15 +215,26 @@ def run_sweep(
     for plugin in plugins:
         load_plugin(plugin)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    stream = ShardedRunLog(stream_to) if stream_to is not None else None
     runs = spec.runs()
     hashes = [run_hash(payload) for _, _, _, payload in runs]
 
     records: dict[int, dict] = {}
     pending: list[int] = []
+    done = 0
+
+    def keep(index: int, record: dict) -> None:
+        nonlocal done
+        done += 1
+        if stream is not None:
+            stream.append(index, record)
+        else:
+            records[index] = record
+
     for index, key in enumerate(hashes):
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
-            records[index] = cached
+            keep(index, cached)
         else:
             pending.append(index)
 
@@ -221,13 +243,13 @@ def run_sweep(
             _, point, seed, _ = runs[index]
             cell = ", ".join(f"{k}={v}" for k, v in point.items()) or "base"
             progress(
-                f"[{len(records)}/{len(runs)}] {cell} seed={seed}: "
+                f"[{done}/{len(runs)}] {cell} seed={seed}: "
                 f"{record['rounds']} rounds"
             )
 
     def consume(fresh) -> None:
         for index, record in zip(pending, fresh):
-            records[index] = record
+            keep(index, record)
             if cache is not None:
                 cache.put(hashes[index], record)
             note_done(index, record)
@@ -249,6 +271,9 @@ def run_sweep(
                 # silently simulating them to completion first.
                 pool.shutdown(cancel_futures=True)
 
+    if stream is not None:
+        stream.finalize(spec)
+        records = load_streamed(stream_to)
     result = aggregate(spec, records, runs=runs)
     result.jobs = jobs
     if cache is not None:

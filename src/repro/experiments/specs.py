@@ -56,7 +56,8 @@ __all__ = [
 EXPERIMENT_ALGORITHMS = RegistryNames(ALGORITHM_REGISTRY)
 
 _ENGINE_KEYS = frozenset(
-    {"trace_sample_every", "termination_every", "gauge_every", "gauges"}
+    {"trace_sample_every", "trace_max_records", "termination_every",
+     "gauge_every", "gauges"}
 )
 
 
@@ -131,9 +132,10 @@ class RunSpec:
                    selects a classmethod preset (``paper`` / ``practical``)
                    before field overrides apply.  For ``epsilon`` runs the
                    ``"epsilon"`` key holds the coverage fraction.
-    ``engine``   — ``trace_sample_every`` / ``termination_every`` /
-                   ``gauge_every`` / ``gauges`` (named gauges, e.g.
-                   ``["coverage"]``, serialized into the run result).
+    ``engine``   — ``trace_sample_every`` / ``trace_max_records`` /
+                   ``termination_every`` / ``gauge_every`` / ``gauges``
+                   (named gauges, e.g. ``["coverage"]``, serialized into
+                   the run result).
     """
 
     algorithm: str
@@ -206,14 +208,52 @@ def build_topology(graph_spec: dict) -> Topology:
         ) from exc
 
 
+@dataclass(frozen=True)
+class _SizeOnlyTopology:
+    """Stand-in passed to topology-free dynamics builders.
+
+    Dynamics kinds flagged ``topology_free`` (resampled families,
+    geometric mobility) read nothing but ``topology.n`` — they generate
+    their own graphs.  At n = 10^6 materializing the nx topology they
+    would ignore costs minutes and gigabytes, so the builder gets this
+    shim instead whenever the graph params carry an explicit size.
+    """
+
+    n: int
+
+
 def build_dynamic_graph(
     graph_spec: dict, dynamic_spec: dict, seed: int
 ) -> DynamicGraph:
-    """Build the dynamic graph a run spec describes."""
+    """Build the dynamic graph a run spec describes.
+
+    Two scale bypasses sit in front of the general
+    ``build_topology`` → ``defn.build`` path, both behavior-preserving:
+
+    - a family with a ``build_dynamic`` hook (``ring_expander``) builds
+      its :class:`DynamicGraph` directly for static runs — no nx graph,
+      no redundant connectivity check;
+    - a ``topology_free`` dynamics kind gets a size-only shim when the
+      graph params name ``n``, skipping the nx topology it would ignore.
+    """
     defn = DYNAMICS_REGISTRY.get(dynamic_spec.get("kind", "static"))
-    topo = build_topology(graph_spec)
+    family = TOPOLOGY_REGISTRY.get(graph_spec.get("family"))
     params = {key: value for key, value in dynamic_spec.items()
               if key != "kind"}
+    if family.build_dynamic is not None and defn.name == "static":
+        graph_params = graph_spec.get("params", {})
+        try:
+            return family.build_dynamic(**graph_params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad params for topology family {family.name!r}: {exc}"
+            ) from exc
+    if defn.topology_free and isinstance(
+        graph_spec.get("params", {}).get("n"), int
+    ):
+        topo = _SizeOnlyTopology(n=graph_spec["params"]["n"])
+    else:
+        topo = build_topology(graph_spec)
     try:
         return defn.build(topo, seed, **params)
     except TypeError as exc:

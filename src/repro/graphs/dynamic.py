@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.graphs.metrics import vertex_expansion_estimate, max_degree
+from repro.graphs.spatial import PointIndex, disk_edges, nearest_pair
 from repro.graphs.topologies import Topology
 from repro.registry import register_dynamics
 from repro.rng import SeedTree
@@ -37,9 +38,11 @@ __all__ = [
     "TAU_INFINITY",
     "DynamicGraph",
     "StaticDynamicGraph",
+    "CSRStaticGraph",
     "PeriodicRewireGraph",
     "RelabelingAdversary",
     "GeometricMobilityGraph",
+    "ring_expander_graph",
     "dynamic_max_degree",
     "dynamic_expansion_estimate",
 ]
@@ -80,6 +83,11 @@ class DynamicGraph(ABC):
             )
         self.n = n
         self.tau = tau
+        #: Forced CSR index dtype for every snapshot this graph produces
+        #: (``None`` = the narrowest dtype that fits, see
+        #: :func:`repro.sim.adjacency.index_dtype_for`).  The int32/int64
+        #: differential gate sets this to pin byte-identity.
+        self.csr_dtype = None
         # Per-epoch CSR snapshot cache, keyed on the graph object identity
         # (graph_at returns the same object for every round of an epoch).
         self._csr_cache_key = None
@@ -113,7 +121,9 @@ class DynamicGraph(ABC):
         if self._csr_cache_key is not graph:
             from repro.sim.adjacency import CSRAdjacency
 
-            self._csr_cache = CSRAdjacency.from_graph(graph)
+            self._csr_cache = CSRAdjacency.from_graph(
+                graph, dtype=self.csr_dtype
+            )
             self._csr_cache_key = graph
         return self._csr_cache
 
@@ -142,6 +152,55 @@ class StaticDynamicGraph(DynamicGraph):
         self._graph = _check_graph(topology.graph, topology.n, topology.name)
 
     def _graph_for_epoch(self, epoch: int) -> nx.Graph:
+        return self._graph
+
+
+class CSRStaticGraph(DynamicGraph):
+    """τ = ∞ over a CSR snapshot — no ``nx.Graph``, no O(n) node dicts.
+
+    The million-node static workhorse: families that can certify
+    connectivity *by construction* (``ring_expander`` — a union of
+    Hamiltonian cycles) build their edge arrays directly and skip both
+    the ``nx`` materialization and the O(n + m) connectivity check that
+    :class:`~repro.graphs.topologies.Topology` performs.  The array
+    engine only ever calls :meth:`csr_at`, so the graph object is built
+    lazily and only if an object-path or analysis consumer asks for it
+    (fine at test sizes, deliberately unbounded at scale — the object
+    path refuses large n anyway, see
+    :class:`~repro.errors.MemoryBudgetError`).
+    """
+
+    def __init__(self, csr, name: str = "csr"):
+        super().__init__(n=csr.n, tau=TAU_INFINITY)
+        self.name = name
+        self._csr = csr
+        self._graph: nx.Graph | None = None
+
+    def csr_at(self, round_index: int):
+        _check_round(round_index)
+        if self.csr_dtype is not None and (
+            self._csr.indptr.dtype != self.csr_dtype
+        ):
+            from repro.sim.adjacency import CSRAdjacency
+
+            self._csr = CSRAdjacency(
+                n=self._csr.n,
+                indptr=self._csr.indptr.astype(self.csr_dtype),
+                indices=self._csr.indices.astype(self.csr_dtype),
+            )
+        return self._csr
+
+    def _graph_for_epoch(self, epoch: int) -> nx.Graph:
+        if self._graph is None:
+            g = nx.Graph()
+            g.add_nodes_from(range(self.n))
+            csr = self._csr
+            sources = csr.edge_sources()
+            upper = csr.indices > sources
+            g.add_edges_from(
+                zip(sources[upper].tolist(), csr.indices[upper].tolist())
+            )
+            self._graph = g
         return self._graph
 
 
@@ -275,11 +334,14 @@ class RelabelingAdversary(DynamicGraph):
             from repro.sim.adjacency import CSRAdjacency
 
             if self._base_csr is None:
-                self._base_csr = CSRAdjacency.from_graph(self.topology.graph)
+                self._base_csr = CSRAdjacency.from_graph(
+                    self.topology.graph, dtype=self.csr_dtype
+                )
             base = self._base_csr
             perm = np.asarray(self._epoch_permutation(epoch), dtype=np.int64)
             self._csr_cache = CSRAdjacency.from_edge_lists(
-                perm[base.edge_sources()], perm[base.indices], self.n
+                perm[base.edge_sources()], perm[base.indices], self.n,
+                dtype=self.csr_dtype,
             )
             self._csr_epoch = epoch
         return self._csr_cache
@@ -326,6 +388,8 @@ class GeometricMobilityGraph(DynamicGraph):
         self._cache = _EpochCache()
         self._positions, self._waypoints = self._initial_state()
         self._built_through = -1
+        self._geo_csr_epoch: int | None = None
+        self._geo_csr_cache = None
 
     def _initial_state(self) -> tuple[list, list]:
         """Epoch-0 positions and waypoints, re-derivable from the seed."""
@@ -373,6 +437,41 @@ class GeometricMobilityGraph(DynamicGraph):
         return self._disk_graph(self.positions_at(epoch),
                                 record_bridges=False)
 
+    def csr_at(self, round_index: int):
+        """Unbridged meshes never materialize an ``nx.Graph`` on the
+        array path: the grid's edge list goes straight into a CSR
+        snapshot (structurally identical to converting the graph —
+        both sort rows by neighbor vertex).  Bridged meshes fall back
+        to the default graph-conversion hook because bridging needs the
+        component iteration, which lives on the graph object.
+        """
+        if self.bridge:
+            return super().csr_at(round_index)
+        _check_round(round_index)
+        epoch = self.epoch_of(round_index)
+        if self._geo_csr_epoch != epoch:
+            from repro.sim.adjacency import CSRAdjacency
+
+            if epoch <= self._built_through:
+                positions = self.positions_at(epoch)
+            else:
+                while self._built_through < epoch:
+                    self._built_through += 1
+                    if self._built_through > 0:
+                        self._move(self._positions, self._waypoints,
+                                   self._built_through)
+                positions = self._positions
+            pos = np.asarray(positions)
+            rows, cols = disk_edges(pos[:, 0], pos[:, 1], self.radius)
+            self._geo_csr_cache = CSRAdjacency.from_edge_lists(
+                np.concatenate([rows, cols]),
+                np.concatenate([cols, rows]),
+                self.n,
+                dtype=self.csr_dtype,
+            )
+            self._geo_csr_epoch = epoch
+        return self._geo_csr_cache
+
     def _move(self, positions: list, waypoints: list, epoch: int) -> None:
         rng = self._tree.stream("epoch", epoch)
         for i in range(self.n):
@@ -389,40 +488,34 @@ class GeometricMobilityGraph(DynamicGraph):
 
     def _disk_graph(self, positions: list,
                     record_bridges: bool) -> nx.Graph:
-        # Edges come from a blocked numpy pairwise-distance sweep (the
-        # former per-pair Python loop was the epoch-build bottleneck); the
-        # block keeps peak memory at O(block * n) instead of O(n^2).
-        # Edge insertion order is (i, j) lexicographic with i < j, exactly
-        # the loop's order, so the graph — and the component iteration the
-        # bridging step depends on — is unchanged.
+        # Edges come from the cell-binning grid (repro.graphs.spatial):
+        # O(n) at constant density where the former blocked pairwise
+        # sweep was O(n^2).  The grid emits edges in (i, j) lexicographic
+        # order with i < j — exactly the sweep's order, pinned identical
+        # by a differential gate — so the graph, and the component
+        # iteration the bridging step depends on, is unchanged.
         g = nx.Graph()
         g.add_nodes_from(range(self.n))
-        r2 = self.radius * self.radius
         pos = np.asarray(positions)
-        xs, ys = pos[:, 0], pos[:, 1]
-        block = 512
-        for start in range(0, self.n, block):
-            stop = min(start + block, self.n)
-            d2 = (xs[start:stop, None] - xs[None, :]) ** 2
-            d2 += (ys[start:stop, None] - ys[None, :]) ** 2
-            rows, cols = np.nonzero(d2 <= r2)
-            rows += start
-            upper = cols > rows
-            g.add_edges_from(
-                zip(rows[upper].tolist(), cols[upper].tolist())
-            )
+        rows, cols = disk_edges(pos[:, 0], pos[:, 1], self.radius)
+        g.add_edges_from(zip(rows.tolist(), cols.tolist()))
         if self.bridge:
             self._bridge_components(g, positions, record_bridges)
         return g
 
+    # Above this many base*other distance evaluations per bridging
+    # iteration, the dense nearest-pair reduction gives way to a
+    # PointIndex over the base component (identical results — the grid
+    # replicates the dense tie-break exactly).
+    _BRIDGE_DENSE_MAX = 1 << 22
+
     def _bridge_components(self, g: nx.Graph, positions: list,
                            record_bridges: bool) -> None:
-        # Nearest-pair search per component pair is a numpy pairwise
-        # reduction (the former quadruple Python loop dominated epoch
-        # builds on fragmented meshes).  np.argmin's first-minimum,
-        # row-major tie-break reproduces the loop's strict-< update order
-        # (u outer, v inner), and the distance arithmetic is the same
-        # IEEE double ops — so the chosen bridge edges are identical,
+        # Nearest-pair search per component pair: dense pairwise
+        # reduction for small products, a cell grid over the (large)
+        # base component otherwise — both produce np.argmin's
+        # first-minimum, row-major tie-break (u outer, v inner, strict-<
+        # update), so the chosen bridge edges are identical either way,
         # pinned by tests/test_dynamic.py against a reference loop.
         components = [list(c) for c in nx.connected_components(g)]
         if len(components) <= 1:
@@ -433,13 +526,18 @@ class GeometricMobilityGraph(DynamicGraph):
             base = components[0]
             bx = xs[base]
             by = ys[base]
+            rest = sum(len(other) for other in components[1:])
+            index = None
+            if len(base) * rest > self._BRIDGE_DENSE_MAX:
+                index = PointIndex(bx, by)
             best = None
             for other_idx, other in enumerate(components[1:], start=1):
-                d2 = (bx[:, None] - xs[other][None, :]) ** 2
-                d2 += (by[:, None] - ys[other][None, :]) ** 2
-                flat = int(np.argmin(d2))
-                u_index, v_index = divmod(flat, len(other))
-                d = float(d2[u_index, v_index])
+                if index is None:
+                    d, u_index, v_index = nearest_pair(
+                        bx, by, xs[other], ys[other]
+                    )
+                else:
+                    d, u_index, v_index = index.nearest(xs[other], ys[other])
                 if best is None or d < best[0]:
                     best = (d, base[u_index], other[v_index], other_idx)
             _, u, v, other_idx = best
@@ -447,6 +545,47 @@ class GeometricMobilityGraph(DynamicGraph):
             if record_bridges:
                 self.bridges_added += 1
             base.extend(components.pop(other_idx))
+
+
+def ring_expander_graph(n: int, degree: int = 6, seed: int = 0,
+                        csr_dtype=None) -> CSRStaticGraph:
+    """A union of ``degree/2`` random Hamiltonian cycles, CSR-direct.
+
+    The million-node static expander: each cycle alone is connected, so
+    the union is connected **by construction** — no O(n + m) check, no
+    ``nx`` materialization, just numpy permutations into a
+    :class:`CSRStaticGraph`.  Unions of independent Hamiltonian cycles
+    are expanders w.h.p. (constant α for degree ≥ 4), which is the
+    regime the paper's bounds, and the scale benchmarks, care about.
+    Duplicate edges across cycles (rare at large n) are deduplicated so
+    the graph is simple, matching every other family's contract.
+    """
+    if n < 3:
+        raise ConfigurationError(f"need n >= 3, got n={n}")
+    if degree < 2 or degree % 2 or degree >= n:
+        raise ConfigurationError(
+            f"need an even 2 <= degree < n, got degree={degree}"
+        )
+    from repro.sim.adjacency import CSRAdjacency
+
+    rng = np.random.default_rng(np.random.SeedSequence([seed, n, degree]))
+    cycle_us, cycle_vs = [], []
+    for _ in range(degree // 2):
+        perm = rng.permutation(n)
+        cycle_us.append(perm)
+        cycle_vs.append(np.roll(perm, -1))
+    a = np.concatenate(cycle_us)
+    b = np.concatenate(cycle_vs)
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    # n^2 fits int64 up to n ~ 3e9, far past the int32 vertex ceiling.
+    unique = np.unique(lo * np.int64(n) + hi)
+    lo, hi = np.divmod(unique, np.int64(n))
+    csr = CSRAdjacency.from_edge_lists(
+        np.concatenate([lo, hi]), np.concatenate([hi, lo]), n,
+        dtype=csr_dtype,
+    )
+    return CSRStaticGraph(csr, name="ring_expander")
 
 
 def dynamic_max_degree(dynamic_graph: DynamicGraph, horizon: int) -> int:
@@ -505,6 +644,7 @@ def _build_relabeling_dynamics(topology, seed, *, tau=1):
 @register_dynamics(
     name="resampled_regular",
     description="a fresh random degree-regular graph every tau rounds",
+    topology_free=True,
 )
 def _build_resampled_regular_dynamics(topology, seed, *, degree, tau=1):
     return PeriodicRewireGraph.resampled_regular(
@@ -516,6 +656,7 @@ def _build_resampled_regular_dynamics(topology, seed, *, degree, tau=1):
     name="resampled_gnp",
     description="a fresh G(n, p) sample every tau rounds (connected by "
                 "default; require_connected=False allows fragments)",
+    topology_free=True,
 )
 def _build_resampled_gnp_dynamics(topology, seed, *, p, tau=1,
                                   require_connected=True):
@@ -529,6 +670,7 @@ def _build_resampled_gnp_dynamics(topology, seed, *, p, tau=1,
     name="geometric",
     description="random-waypoint mobility on the unit square (tau-stable "
                 "unit-disk graph; bridge=False allows fragmentation)",
+    topology_free=True,
 )
 def _build_geometric_dynamics(topology, seed, *, radius=0.35, step=0.05,
                               tau=1, bridge=True):

@@ -1,0 +1,273 @@
+"""Cell-binning spatial grid for unit-disk neighbor queries.
+
+:class:`~repro.graphs.dynamic.GeometricMobilityGraph` needs two
+geometric primitives per epoch: the radius-``r`` unit-disk edge set of
+the node positions, and (when bridging fragments) the nearest pair of
+points across two components.  Both used to be O(n^2) pairwise sweeps;
+at n = 10^6 a single epoch's sweep is 10^12 distance evaluations.
+
+This module replaces them with a cell grid: positions are binned into
+radius-sized cells so that every disk edge lies within one cell or one
+of its 8 neighbors, and only those candidate pairs are examined — O(n)
+work at constant density.  The grid output is **pinned identical** to
+the blocked sweep (kept here as :func:`disk_edges_blocked`, the
+differential reference): the same IEEE double ops compute every
+distance (``(dx)**2 + (dy)**2`` against ``r*r``), each unordered pair
+is generated exactly once, and the result is returned in ``(i, j)``
+lexicographic order with ``i < j`` — the order the blocked sweep emits
+and the order edge-insertion-sensitive consumers (``nx``'s component
+iteration) depend on.  Identity is gated by tests/test_dynamic.py and
+``bench_scale.py --quick`` in CI.
+
+Coordinates are assumed to lie in the unit square (the mobility model's
+domain); the binning clips boundary values inward so ``x == 1.0`` is
+legal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "disk_edges",
+    "disk_edges_blocked",
+    "disk_edges_grid",
+    "nearest_pair",
+    "PointIndex",
+]
+
+#: Half-neighborhood cell offsets: (0, 0) pairs within a cell, the rest
+#: pair each cell with 4 of its 8 neighbors so every unordered cell
+#: pair is visited exactly once.
+_HALF_NEIGHBORHOOD = ((0, 0), (0, 1), (1, -1), (1, 0), (1, 1))
+
+
+def disk_edges_blocked(
+    xs: np.ndarray, ys: np.ndarray, radius: float, block: int = 512
+) -> tuple[np.ndarray, np.ndarray]:
+    """All pairs within ``radius``, by blocked pairwise sweep — O(n^2).
+
+    The differential reference for :func:`disk_edges_grid`: this is the
+    exact computation GeometricMobilityGraph shipped with (same blocking,
+    same distance arithmetic), kept verbatim so the grid can be pinned
+    against it.  Returns ``(rows, cols)`` with ``rows[k] < cols[k]``,
+    lexicographically sorted.
+    """
+    n = len(xs)
+    r2 = radius * radius
+    all_rows, all_cols = [], []
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        d2 = (xs[start:stop, None] - xs[None, :]) ** 2
+        d2 += (ys[start:stop, None] - ys[None, :]) ** 2
+        rows, cols = np.nonzero(d2 <= r2)
+        rows += start
+        upper = cols > rows
+        all_rows.append(rows[upper])
+        all_cols.append(cols[upper])
+    if not all_rows:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(all_rows), np.concatenate(all_cols)
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i] + counts[i])`` segments."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    flat = np.arange(total, dtype=np.int64)
+    return flat - np.repeat(ends - counts, counts) + np.repeat(starts, counts)
+
+
+def disk_edges_grid(
+    xs: np.ndarray, ys: np.ndarray, radius: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """All pairs within ``radius``, by cell binning — O(n) at constant
+    density.
+
+    Cells are ``radius``-sized, so a disk edge's endpoints are at most
+    one cell apart; scanning each cell against itself and 4 of its 8
+    neighbors (the half-neighborhood) generates every candidate pair
+    once.  Distances use the same IEEE ops as the blocked sweep and the
+    result is sorted ``(i, j)`` lexicographic with ``i < j`` — byte-for-
+    byte the blocked sweep's output.
+    """
+    n = len(xs)
+    r2 = radius * radius
+    ncells = max(1, math.ceil(1.0 / radius))
+    cx = np.minimum((xs / radius).astype(np.int64), ncells - 1)
+    cy = np.minimum((ys / radius).astype(np.int64), ncells - 1)
+    cell = cx * ncells + cy
+    order = np.argsort(cell, kind="stable")
+    sorted_cells = cell[order]
+
+    pair_u, pair_v = [], []
+    for dx, dy in _HALF_NEIGHBORHOOD:
+        if dx == 0 and dy == 0:
+            pts = np.arange(n, dtype=np.int64)
+            neighbor_cell = cell
+        else:
+            ncx = cx + dx
+            ncy = cy + dy
+            valid = (ncx < ncells) & (0 <= ncy) & (ncy < ncells)
+            pts = np.nonzero(valid)[0]
+            if len(pts) == 0:
+                continue
+            neighbor_cell = ncx[pts] * ncells + ncy[pts]
+        starts = np.searchsorted(sorted_cells, neighbor_cell, side="left")
+        ends = np.searchsorted(sorted_cells, neighbor_cell, side="right")
+        counts = ends - starts
+        src = np.repeat(pts, counts)
+        dst = order[_concat_ranges(starts, counts)]
+        if dx == 0 and dy == 0:
+            keep = src < dst
+            src, dst = src[keep], dst[keep]
+        d2 = (xs[src] - xs[dst]) ** 2
+        d2 += (ys[src] - ys[dst]) ** 2
+        keep = d2 <= r2
+        src, dst = src[keep], dst[keep]
+        pair_u.append(np.minimum(src, dst))
+        pair_v.append(np.maximum(src, dst))
+
+    if not pair_u:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    u = np.concatenate(pair_u)
+    v = np.concatenate(pair_v)
+    sort = np.lexsort((v, u))
+    return u[sort], v[sort]
+
+
+def disk_edges(
+    xs: np.ndarray, ys: np.ndarray, radius: float, method: str = "grid"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch between the grid (production) and blocked (reference)."""
+    if method == "grid":
+        return disk_edges_grid(xs, ys, radius)
+    if method == "blocked":
+        return disk_edges_blocked(xs, ys, radius)
+    raise ValueError(f"unknown disk_edges method {method!r}")
+
+
+def nearest_pair(
+    bx: np.ndarray, by: np.ndarray, ox: np.ndarray, oy: np.ndarray
+) -> tuple[float, int, int]:
+    """Closest (base, other) point pair, by dense pairwise reduction.
+
+    Returns ``(d2, u_index, v_index)`` where the tie-break is
+    ``np.argmin``'s row-major first minimum — smallest ``u_index``, then
+    smallest ``v_index`` — the contract the bridging loop was pinned to
+    (tests/test_dynamic.py).  O(|base| * |other|) memory and time; the
+    differential reference for :meth:`PointIndex.nearest`.
+    """
+    d2 = (bx[:, None] - ox[None, :]) ** 2
+    d2 += (by[:, None] - oy[None, :]) ** 2
+    flat = int(np.argmin(d2))
+    u_index, v_index = divmod(flat, len(ox))
+    return float(d2[u_index, v_index]), u_index, v_index
+
+
+class PointIndex:
+    """A cell grid over a fixed point set for exact nearest queries.
+
+    Built once per bridging iteration over the (large) base component;
+    :meth:`nearest` then answers each small component's closest-pair
+    query by expanding cell rings outward from the query instead of
+    scanning all of the base.  Results — value *and* tie-break — are
+    identical to :func:`nearest_pair`: distances are the same IEEE ops,
+    ring pruning uses a strict lower bound so exact ties are never cut
+    off, and ties resolve to the smallest base index, then the smallest
+    query index (row-major first-minimum order).
+    """
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray):
+        self.xs = xs
+        self.ys = ys
+        nb = len(xs)
+        self.x0 = float(xs.min())
+        self.y0 = float(ys.min())
+        extent = max(float(xs.max()) - self.x0, float(ys.max()) - self.y0)
+        # ~1 point per cell at uniform density; degenerate (all points
+        # coincident) collapses to a single cell.
+        self.cell = extent / max(1.0, math.sqrt(nb)) or 1.0
+        self.ncx = min(nb, int(extent / self.cell) + 1)
+        self.ncy = self.ncx
+        cx = np.minimum(
+            ((xs - self.x0) / self.cell).astype(np.int64), self.ncx - 1
+        )
+        cy = np.minimum(
+            ((ys - self.y0) / self.cell).astype(np.int64), self.ncy - 1
+        )
+        keys = cx * self.ncy + cy
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+        # Buckets hold ascending base indices (stable sort over arange),
+        # which is what makes the min-index tie-break cheap.  Each split
+        # segment holds original point indices sharing one cell key.
+        self._buckets = {
+            int(keys[seg[0]]): seg
+            for seg in np.split(order, boundaries)
+            if len(seg)
+        }
+
+    def _nearest_one(self, qx: float, qy: float) -> tuple[float, int]:
+        """Exact nearest base point to ``(qx, qy)``: (d2, min base index
+        among exact-d2 ties)."""
+        cell = self.cell
+        qcx = min(max(int((qx - self.x0) / cell), 0), self.ncx - 1)
+        qcy = min(max(int((qy - self.y0) / cell), 0), self.ncy - 1)
+        best_d2 = math.inf
+        best_u = -1
+        max_ring = max(self.ncx, self.ncy)
+        for ring in range(max_ring + 1):
+            # Any cell at Chebyshev ring k is at least (k-1)*cell away
+            # from the query (valid for clipped/outside queries too:
+            # projection onto the grid box only shrinks distances).
+            if best_u >= 0 and ((ring - 1) * cell) ** 2 > best_d2:
+                break
+            for ccx, ccy in self._ring_cells(qcx, qcy, ring):
+                pts = self._buckets.get(ccx * self.ncy + ccy)
+                if pts is None:
+                    continue
+                d2 = (self.xs[pts] - qx) ** 2
+                d2 += (self.ys[pts] - qy) ** 2
+                m = float(d2.min())
+                if m < best_d2:
+                    best_d2 = m
+                    best_u = int(pts[d2 == m][0])
+                elif m == best_d2:
+                    best_u = min(best_u, int(pts[d2 == m][0]))
+        return best_d2, best_u
+
+    def _ring_cells(self, qcx: int, qcy: int, ring: int):
+        """In-bounds cells at exactly Chebyshev distance ``ring``."""
+        if ring == 0:
+            yield qcx, qcy
+            return
+        lo_x, hi_x = qcx - ring, qcx + ring
+        lo_y, hi_y = qcy - ring, qcy + ring
+        for ccx in range(max(lo_x, 0), min(hi_x, self.ncx - 1) + 1):
+            on_x_edge = ccx == lo_x or ccx == hi_x
+            for ccy in range(max(lo_y, 0), min(hi_y, self.ncy - 1) + 1):
+                if on_x_edge or ccy == lo_y or ccy == hi_y:
+                    yield ccx, ccy
+
+    def nearest(
+        self, ox: np.ndarray, oy: np.ndarray
+    ) -> tuple[float, int, int]:
+        """Closest (base, query) pair — :func:`nearest_pair`'s contract."""
+        best: tuple[float, int, int] | None = None
+        for v_index in range(len(ox)):
+            d2, u = self._nearest_one(float(ox[v_index]), float(oy[v_index]))
+            if (
+                best is None
+                or d2 < best[0]
+                or (d2 == best[0] and u < best[1])
+            ):
+                best = (d2, u, v_index)
+        return best

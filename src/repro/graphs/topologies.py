@@ -43,6 +43,7 @@ __all__ = [
     "lollipop",
     "binary_tree",
     "expander",
+    "ring_expander",
     "TOPOLOGY_FAMILIES",
 ]
 
@@ -291,6 +292,49 @@ def expander(n: int, degree: int = 6, seed: int = 0) -> Topology:
         name="expander",
         params=topo.params,
         notes=topo.notes,
+    )
+
+
+def _ring_expander_from_size(n: int, seed: int) -> dict:
+    """Even degree ≤ 6 for a bare ``--n`` (CLI convention)."""
+    degree = min(6, n - 1)
+    if degree % 2:
+        degree -= 1
+    return {"n": n, "degree": max(degree, 2), "seed": seed}
+
+
+def _ring_expander_dynamic(**params):
+    """``build_dynamic`` hook: straight to a CSR-backed DynamicGraph."""
+    from repro.graphs.dynamic import ring_expander_graph
+
+    return ring_expander_graph(**params)
+
+
+@register_topology(
+    name="ring_expander",
+    description="union of degree/2 random Hamiltonian cycles — connected "
+                "by construction, CSR-direct at million-node scale",
+    from_size=_ring_expander_from_size,
+    build_dynamic=_ring_expander_dynamic,
+)
+def ring_expander(n: int, degree: int = 6, seed: int = 0) -> Topology:
+    """The :func:`~repro.graphs.dynamic.ring_expander_graph` family as a
+    conventional ``nx`` Topology (object path, CLI, small-n tests).
+
+    At scale the experiments layer never calls this factory — the
+    registered ``build_dynamic`` hook returns the CSR-backed dynamic
+    graph directly, skipping the ``nx`` materialization and the
+    connectivity check this constructor performs.  Both views are built
+    from the same edge arrays, so they are the same graph.
+    """
+    from repro.graphs.dynamic import ring_expander_graph
+
+    dyn = ring_expander_graph(n=n, degree=degree, seed=seed)
+    return Topology(
+        graph=dyn._graph_for_epoch(0),
+        name="ring_expander",
+        params={"n": n, "degree": degree, "seed": seed},
+        notes="expander w.h.p. for degree >= 4; connected by construction",
     )
 
 

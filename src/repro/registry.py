@@ -112,13 +112,20 @@ class NodeBuildContext:
         return range(self.instance.n)
 
     def common(self, vertex: int) -> dict:
-        """The constructor kwargs every :class:`GossipNode` shares."""
+        """The constructor kwargs every :class:`GossipNode` shares.
+
+        The private stream is a :class:`~repro.rng.LazyStream`: draw-
+        for-draw identical to ``tree.stream("node", uid)`` but not
+        materialized until first use — array-path runs of bulk-hook
+        algorithms never touch per-node streams, and at n = 10^6 the
+        eager Mersenne states alone would cost ~2.5 GB.
+        """
         uid = self.instance.uid_of(vertex)
         return {
             "uid": uid,
             "upper_n": self.instance.upper_n,
             "initial_tokens": self.instance.tokens_for(vertex),
-            "rng": self.tree.stream("node", uid),
+            "rng": self.tree.lazy_stream("node", uid),
         }
 
 
@@ -178,12 +185,21 @@ class TopologyDef:
     ``from_size(n, seed) -> params`` is the optional CLI convention: a
     family that knows how to size itself from a single ``--n`` appears as
     a ``--graph`` choice.
+
+    ``build_dynamic(**params)`` is the optional scale path: it returns a
+    ready :class:`~repro.graphs.dynamic.DynamicGraph` directly — no
+    ``nx`` Topology, no connectivity check — for families that certify
+    connectivity by construction (``ring_expander``).  The experiments
+    layer uses it for ``static`` dynamics, and for any dynamics kind
+    declaring ``topology_free`` (which only needs the size); other
+    kinds still go through ``factory``.
     """
 
     name: str
     description: str
     factory: Callable[..., Any]
     from_size: Callable[[int, int], dict] | None = None
+    build_dynamic: Callable[..., Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -194,11 +210,17 @@ class DynamicsDef:
     :class:`~repro.graphs.dynamic.DynamicGraph`.  Kinds that resample
     their own shapes each epoch still receive the built topology and read
     ``topology.n`` from it, so every spec names its size the same way.
+
+    ``topology_free=True`` declares that ``build`` reads nothing but
+    ``topology.n`` — the experiments layer may then hand it a size-only
+    shim instead of materializing a million-node ``nx`` graph it would
+    ignore (geometric mobility, resampled families).
     """
 
     name: str
     description: str
     build: Callable[..., Any]
+    topology_free: bool = False
 
 
 @dataclass(frozen=True)
@@ -463,7 +485,8 @@ def register_algorithm(
     return decorate
 
 
-def register_topology(*, name: str, description: str, from_size=None):
+def register_topology(*, name: str, description: str, from_size=None,
+                      build_dynamic=None):
     """Decorator registering a topology-family factory."""
 
     def decorate(fn):
@@ -473,6 +496,7 @@ def register_topology(*, name: str, description: str, from_size=None):
                 description=description,
                 factory=fn,
                 from_size=from_size,
+                build_dynamic=build_dynamic,
             )
         )
         return fn
@@ -480,12 +504,13 @@ def register_topology(*, name: str, description: str, from_size=None):
     return decorate
 
 
-def register_dynamics(*, name: str, description: str):
+def register_dynamics(*, name: str, description: str, topology_free=False):
     """Decorator registering a dynamic-graph builder."""
 
     def decorate(fn):
         DYNAMICS_REGISTRY.register(
-            DynamicsDef(name=name, description=description, build=fn)
+            DynamicsDef(name=name, description=description, build=fn,
+                        topology_free=topology_free)
         )
         return fn
 

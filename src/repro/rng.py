@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 
 __all__ = [
+    "LazyStream",
     "SeedTree",
     "SharedRandomness",
     "prf_bytes",
@@ -137,6 +138,35 @@ def _derive_seed(root: int, path: tuple) -> int:
     return int.from_bytes(hashlib.blake2b(material, digest_size=16).digest(), "big")
 
 
+class LazyStream:
+    """A ``random.Random`` stand-in that materializes on first draw.
+
+    A real ``random.Random`` carries the full Mersenne state — roughly
+    2.5 KB — so a million per-node private streams cost ~2.5 GB at node
+    build time, even though array-path runs of bulk-hook algorithms
+    never draw from them (private randomness flows through the batched
+    PRF and acceptance streams instead).  The proxy holds only a seed
+    closure until the first attribute access; it then builds the real
+    stream and caches the requested bound methods in its instance dict,
+    so every later ``rng.random()`` is one dict hit away from the real
+    thing.  Draw-for-draw identical to the eager stream for the same
+    derivation path (pinned in tests/test_scale.py).
+    """
+
+    def __init__(self, factory):
+        self._factory = factory
+
+    def __getattr__(self, name):
+        rng = self.__dict__.get("_rng")
+        if rng is None:
+            rng = self.__dict__["_rng"] = self._factory()
+        attr = getattr(rng, name)
+        if not name.startswith("_"):
+            # Cache the bound method so repeated draws skip __getattr__.
+            self.__dict__[name] = attr
+        return attr
+
+
 @dataclass
 class SeedTree:
     """A tree of independent reproducible random streams.
@@ -158,6 +188,18 @@ class SeedTree:
     def stream(self, *path) -> random.Random:
         """Return a ``random.Random`` dedicated to ``path``."""
         return random.Random(_derive_seed(self.seed, self._path + tuple(path)))
+
+    def lazy_stream(self, *path) -> LazyStream:
+        """Like :meth:`stream`, but deferred until the first draw.
+
+        Returns a :class:`LazyStream` whose materialized stream is the
+        exact ``random.Random`` :meth:`stream` would have built for the
+        same path — the memory-lean form for per-node private streams
+        that bulk-hook runs never touch.
+        """
+        root = self.seed
+        full = self._path + tuple(path)
+        return LazyStream(lambda: random.Random(_derive_seed(root, full)))
 
     def child(self, *path) -> "SeedTree":
         """Return a subtree rooted at ``path`` (for handing to subsystems)."""

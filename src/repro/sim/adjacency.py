@@ -3,10 +3,14 @@
 The object engine hands protocols per-vertex ``NeighborView`` tuples; the
 array fast path instead hands bulk protocol hooks one
 :class:`CSRAdjacency` per epoch: the topology in compressed-sparse-row
-form (``indptr``/``indices`` as numpy int64 arrays), with each row's
-neighbors **sorted by vertex** — exactly the order the object engine's
-``_refresh_adjacency`` produces, which is what keeps the two paths'
-random-stream consumption aligned.
+form (``indptr``/``indices`` in the narrowest index dtype that fits —
+int32 below 2^31 vertices/edges, int64 above, see
+:func:`index_dtype_for`), with each row's neighbors **sorted by
+vertex** — exactly the order the object engine's ``_refresh_adjacency``
+produces, which is what keeps the two paths' random-stream consumption
+aligned.  UID arrays stay int64 regardless (the matching resolvers
+coerce to int64, so the index dtype never reaches a random draw — the
+int32/int64 identity the differential harness pins).
 
 A CSR snapshot is built once per τ-epoch.  :meth:`DynamicGraph.csr_at
 <repro.graphs.dynamic.DynamicGraph.csr_at>` is the producing hook: the
@@ -27,7 +31,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["CSRAdjacency"]
+__all__ = ["CSRAdjacency", "index_dtype_for"]
+
+#: Largest value an int32 index array can hold.  Vertex ids must stay
+#: below it, and so must the edge count (``indptr``'s last entry).
+_INT32_LIMIT = np.iinfo(np.int32).max
+
+
+def index_dtype_for(n: int, nnz: int | None = None) -> np.dtype:
+    """The narrowest index dtype that can hold a snapshot's structure.
+
+    int32 when every vertex id (< ``n``) and every ``indptr`` offset
+    (≤ ``nnz``) fits, int64 otherwise.  Halving the index width is the
+    single biggest memory lever at n = 10^6: a degree-6 snapshot's
+    ``indices`` drop from 48 MB to 24 MB, and every masked/bound copy
+    shrinks with them.  When ``nnz`` is unknown pass ``None`` and the
+    decision is made on ``n`` alone (callers that later learn the edge
+    count re-check it).
+    """
+    if n > _INT32_LIMIT or (nnz is not None and nnz > _INT32_LIMIT):
+        return np.dtype(np.int64)
+    return np.dtype(np.int32)
 
 
 # eq=False: a generated __eq__ over array fields raises on comparison;
@@ -50,37 +74,50 @@ class CSRAdjacency:
     uids: np.ndarray | None = None
     vertex_uids: np.ndarray | None = None
     base: "CSRAdjacency | None" = None
+    arena: "object | None" = field(default=None, repr=False)
     _edge_sources: np.ndarray | None = field(default=None, repr=False)
     _uid_rows: list | None = field(default=None, repr=False)
     _masked_memo: dict | None = field(default=None, repr=False)
 
     @classmethod
-    def from_graph(cls, graph) -> "CSRAdjacency":
-        """Snapshot an ``nx.Graph`` over vertices ``0..n-1``."""
+    def from_graph(cls, graph, dtype=None) -> "CSRAdjacency":
+        """Snapshot an ``nx.Graph`` over vertices ``0..n-1``.
+
+        ``dtype`` forces the index dtype; ``None`` picks the narrowest
+        one that fits (:func:`index_dtype_for`).
+        """
         n = graph.number_of_nodes()
         adj = graph.adj
         counts = [len(adj[vertex]) for vertex in range(n)]
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        nnz = sum(counts)
+        if dtype is None:
+            dtype = index_dtype_for(n, nnz)
+        indptr = np.zeros(n + 1, dtype=dtype)
         np.cumsum(counts, out=indptr[1:])
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        indices = np.empty(nnz, dtype=dtype)
         for vertex in range(n):
             row = sorted(adj[vertex])
             indices[indptr[vertex]:indptr[vertex + 1]] = row
         return cls(n=n, indptr=indptr, indices=indices)
 
     @classmethod
-    def from_edge_lists(cls, sources, targets, n: int) -> "CSRAdjacency":
+    def from_edge_lists(cls, sources, targets, n: int,
+                        dtype=None) -> "CSRAdjacency":
         """Snapshot from parallel per-edge arrays (both directions listed).
 
         Rows come out sorted by neighbor vertex whatever order the edges
-        arrive in — the contract every snapshot shares.
+        arrive in — the contract every snapshot shares.  ``dtype`` as in
+        :meth:`from_graph`.
         """
         sources = np.asarray(sources, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
+        if dtype is None:
+            dtype = index_dtype_for(n, len(sources))
         order = np.lexsort((targets, sources))
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=dtype)
         np.cumsum(np.bincount(sources, minlength=n), out=indptr[1:])
-        return cls(n=n, indptr=indptr, indices=targets[order])
+        return cls(n=n, indptr=indptr,
+                   indices=targets[order].astype(dtype, copy=False))
 
     @property
     def degrees(self) -> np.ndarray:
@@ -93,9 +130,28 @@ class CSRAdjacency:
         """Per-edge source vertex (``rows`` of the CSR), built lazily."""
         if self._edge_sources is None:
             self._edge_sources = np.repeat(
-                np.arange(self.n, dtype=np.int64), self.degrees
+                np.arange(self.n, dtype=self.indices.dtype), self.degrees
             )
         return self._edge_sources
+
+    def round_buffer(self, name: str, shape, dtype,
+                     fill=None) -> np.ndarray:
+        """A per-round scratch array, arena-backed when one is attached.
+
+        Bulk hooks allocate their tag/proposal arrays through this so
+        Stage 1–2 stop creating fresh numpy arrays every round: with an
+        engine :class:`~repro.sim.arena.BufferArena` attached (UID-bound
+        snapshots on the array path) the same buffer comes back each
+        round; without one it degrades to a plain allocation.  Buffers
+        are only valid until the next round's call with the same name.
+        """
+        if self.arena is None:
+            buf = np.empty(shape, dtype=dtype)
+        else:
+            buf = self.arena.take(name, shape, dtype)
+        if fill is not None:
+            buf[...] = fill
+        return buf
 
     def uid_rows(self) -> list:
         """Per-vertex neighbor-UID tuples (UID-bound snapshots only).
@@ -151,7 +207,7 @@ class CSRAdjacency:
         """
         sources = self.edge_sources()
         keep = active[sources] & active[self.indices]
-        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        indptr = np.zeros(self.n + 1, dtype=self.indptr.dtype)
         np.cumsum(
             np.bincount(sources[keep], minlength=self.n), out=indptr[1:]
         )
@@ -181,7 +237,7 @@ class CSRAdjacency:
         if snapshot is None:
             sources = self.edge_sources()
             keep = active[sources] & active[self.indices]
-            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            indptr = np.zeros(self.n + 1, dtype=self.indptr.dtype)
             np.cumsum(
                 np.bincount(sources[keep], minlength=self.n), out=indptr[1:]
             )
@@ -192,13 +248,15 @@ class CSRAdjacency:
                 uids=self.uids[keep],
                 vertex_uids=self.vertex_uids,
                 base=self.base if self.base is not None else self,
+                arena=self.arena,
             )
             if len(self._masked_memo) >= 8:
                 self._masked_memo.pop(next(iter(self._masked_memo)))
             self._masked_memo[key] = snapshot
         return snapshot
 
-    def bind_uids(self, vertex_uids: np.ndarray) -> "CSRAdjacency":
+    def bind_uids(self, vertex_uids: np.ndarray,
+                  arena=None) -> "CSRAdjacency":
         """Return a snapshot with UID arrays attached (engine-side)."""
         return CSRAdjacency(
             n=self.n,
@@ -207,6 +265,7 @@ class CSRAdjacency:
             uids=vertex_uids[self.indices],
             vertex_uids=vertex_uids,
             base=self,
+            arena=arena,
             _edge_sources=self._edge_sources,
         )
 

@@ -1,0 +1,58 @@
+"""Preallocated per-round scratch buffers for the array fast path.
+
+At n = 10^6 the array engine's Stage 1–3 used to allocate a handful of
+fresh n-length (and edge-length) numpy arrays *every round* — tags,
+proposal targets, legality masks.  Each is tens of megabytes at that
+scale, so a 100-round run churned gigabytes through the allocator for
+arrays whose shapes never change.  :class:`BufferArena` keeps one buffer
+per (name, dtype) slot and hands the same memory back each round;
+callers own the buffer only until their next request for the same name.
+
+The arena is engine-private: :class:`~repro.sim.engine.Simulation`
+creates one and attaches it to the UID-bound CSR snapshot, which is how
+bulk protocol hooks reach it (via
+:meth:`~repro.sim.adjacency.CSRAdjacency.round_buffer`) without any
+change to the hook signatures.  Buffers are reallocated transparently
+when a requested shape grows or changes (epoch changes, fault masks),
+so correctness never depends on the arena — it is purely an allocation
+cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BufferArena"]
+
+
+class BufferArena:
+    """A named pool of reusable numpy scratch buffers.
+
+    ``take(name, shape, dtype)`` returns an *uninitialized* array of
+    exactly that shape and dtype, reusing the previous round's memory
+    when shape and dtype match.  Contents are whatever the last user
+    left there — callers must overwrite every element they read (or ask
+    :meth:`~repro.sim.adjacency.CSRAdjacency.round_buffer` to ``fill``).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def take(self, name: str, shape, dtype) -> np.ndarray:
+        if isinstance(shape, int):
+            shape = (shape,)
+        else:
+            shape = tuple(shape)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def nbytes(self) -> int:
+        """Total bytes currently held (for memory accounting/benches)."""
+        return sum(buf.nbytes for buf in self._buffers.values())

@@ -52,11 +52,13 @@ import numpy as np
 
 from repro.errors import (
     ConfigurationError,
+    MemoryBudgetError,
     ProtocolViolationError,
     RoundLimitExceeded,
 )
 from repro.graphs.dynamic import DynamicGraph
 from repro.rng import SeedTree
+from repro.sim.arena import BufferArena
 from repro.sim.channel import Channel, ChannelPolicy
 from repro.sim.context import NeighborView
 from repro.sim.faults import FaultModel, NoFaults
@@ -77,6 +79,19 @@ __all__ = ["Simulation", "SimulationResult"]
 Gauge = Callable[[Mapping[int, NodeProtocol], int], object]
 
 ENGINE_MODES = ("auto", "array", "object")
+
+#: Above this n the object path refuses to build (see
+#: :class:`~repro.errors.MemoryBudgetError`): per-vertex NeighborView
+#: skeletons, neighbor tuples, and frozensets cost kilobytes per node
+#: in Python objects, which silently turns into gigabytes at 10^6.
+#: Pass ``object_path_max_n=None`` to Simulation to disable the guard,
+#: or a larger value to move it.
+OBJECT_PATH_MAX_N = 200_000
+
+#: Rough per-node cost of the object path's epoch caches and per-node
+#: Python state, used for the guard's error message (measured ~2-4 KB
+#: per node at average degree 6 on CPython 3.12).
+_OBJECT_PATH_BYTES_PER_NODE = 3_000
 
 
 @dataclass
@@ -137,6 +152,8 @@ class Simulation:
         acceptance_streams: str = "global",
         engine_mode: str = "auto",
         faults: FaultModel | None = None,
+        trace_max_records: int | None = None,
+        object_path_max_n: int | None = OBJECT_PATH_MAX_N,
     ):
         if b < 0:
             raise ConfigurationError(f"tag length b must be >= 0, got {b}")
@@ -194,7 +211,9 @@ class Simulation:
         #: the discipline a distributed proposee can reproduce; used by
         #: the live deployment bridge, see repro.net).
         self.acceptance_streams = acceptance_streams
-        self.trace = Trace(sample_every=trace_sample_every)
+        self.trace = Trace(
+            sample_every=trace_sample_every, max_records=trace_max_records
+        )
 
         self._tree = SeedTree(seed).child("engine")
         self._vertex_of_uid = {
@@ -227,10 +246,34 @@ class Simulation:
                 "bulk_hooks); use 'auto' or 'object'"
             )
         self.engine_mode = "array" if self._bulk is not None else "object"
+        if (
+            self.engine_mode == "object"
+            and object_path_max_n is not None
+            and self.n > object_path_max_n
+        ):
+            est_mb = self.n * _OBJECT_PATH_BYTES_PER_NODE // (1 << 20)
+            hint = (
+                "the node population provides no bulk hooks — port them "
+                "(repro.sim.protocol.bulk_hooks)"
+                if engine_mode == "auto"
+                else "use engine_mode='auto' or 'array'"
+            )
+            raise MemoryBudgetError(
+                f"engine_mode={engine_mode!r} resolved to the object path "
+                f"at n={self.n}: per-vertex NeighborView skeletons and "
+                f"neighbor tuples would cost roughly {est_mb} MB of Python "
+                f"objects (plus proportional per-round churn). {hint}, or "
+                f"pass object_path_max_n={self.n} (None disables the "
+                f"guard) to force it."
+            )
         self._uid_array = np.fromiter(
             (node.uid for node in self._nodes), dtype=np.int64, count=self.n
         )
         self._csr_bound = None  # UID-bound CSR for the current epoch
+        # Per-round scratch buffers for the array front half (and bulk
+        # hooks, via the bound snapshot): one allocation per shape, not
+        # one per round.
+        self._arena = BufferArena()
 
         # Fault layer: when the model is null the per-round fault branch
         # is skipped entirely — no mask, no stream, byte-identical traces
@@ -580,7 +623,9 @@ class Simulation:
         csr = self.dynamic_graph.csr_at(rnd)
         bound = self._csr_bound
         if bound is None or bound.base is not csr:
-            bound = self._csr_bound = csr.bind_uids(self._uid_array)
+            bound = self._csr_bound = csr.bind_uids(
+                self._uid_array, arena=self._arena
+            )
         return self._stages12_array_on(rnd, bound)
 
     def _stages12_array_masked(
@@ -599,7 +644,9 @@ class Simulation:
             or self._masked_for is not csr
             or self._masked_bytes != mask_bytes
         ):
-            self._masked_bound = csr.masked(mask).bind_uids(self._uid_array)
+            self._masked_bound = csr.masked(mask).bind_uids(
+                self._uid_array, arena=self._arena
+            )
             self._masked_for = csr
             self._masked_bytes = mask_bytes
         return self._stages12_array_on(rnd, self._masked_bound)
@@ -637,15 +684,21 @@ class Simulation:
                 f"propose_all returned shape {targets.shape}; expected "
                 f"({self.n},)"
             )
-        proposer_mask = targets >= 0
+        arena = self._arena
+        proposer_mask = arena.take("proposer_mask", self.n, bool)
+        np.greater_equal(targets, 0, out=proposer_mask)
         if proposer_mask.any():
             # Scatter per-edge hits to their source vertex: unlike a
             # reduceat over indptr segments this stays correct for
             # zero-degree vertices (possible under out-of-tree dynamics
             # even though in-tree graphs are connected).
             sources = bound.edge_sources()
-            hit = bound.uids == targets[sources]
-            legal = np.zeros(self.n, dtype=bool)
+            edge_targets = arena.take("edge_targets", sources.shape, np.int64)
+            np.take(targets, sources, out=edge_targets)
+            hit = arena.take("edge_hit", sources.shape, bool)
+            np.equal(bound.uids, edge_targets, out=hit)
+            legal = arena.take("legal", self.n, bool)
+            legal[:] = False
             legal[sources[hit]] = True
             bad = proposer_mask & ~legal
             if bad.any():

@@ -50,12 +50,26 @@ class Trace:
 
     ``sample_every`` controls how often full records are kept (1 = every
     round); totals are exact regardless of sampling.
+
+    ``max_records`` bounds the memory held by kept records for long
+    large-n runs: when the log grows past the bound, ``sample_every``
+    doubles and already-kept records are re-thinned under the new rate
+    (round 1 and gauge-carrying records always survive).  The thinning
+    is deterministic — a run's final record set depends only on the
+    rounds executed, never on when the bound was hit — and the engine
+    reads ``sample_every`` afresh each round, so subsequent rounds are
+    sampled at the widened rate automatically.
     """
 
-    def __init__(self, sample_every: int = 1):
+    def __init__(self, sample_every: int = 1, max_records: int | None = None):
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if max_records is not None and max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1 or None, got {max_records}"
+            )
         self.sample_every = sample_every
+        self.max_records = max_records
         self.records: list[RoundRecord] = []
         self.total_rounds = 0
         self.total_proposals = 0
@@ -101,6 +115,33 @@ class Trace:
         )
         if keep:
             self.records.append(record)
+            if (
+                self.max_records is not None
+                and len(self.records) > self.max_records
+            ):
+                self._thin()
+
+    def _thin(self) -> None:
+        """Double ``sample_every`` until the kept log fits ``max_records``.
+
+        Each doubling keeps exactly the records the wider rate would
+        have kept from the start (rates divide their successors), so the
+        surviving set is independent of *when* the bound was crossed.
+        Stops early if thinning no longer shrinks the log (everything
+        left is round 1 or gauge-carrying — unconditional keeps).
+        """
+        while len(self.records) > self.max_records:
+            self.sample_every *= 2
+            thinned = [
+                rec
+                for rec in self.records
+                if rec.round_index % self.sample_every == 0
+                or rec.round_index == 1
+                or rec.gauges
+            ]
+            if len(thinned) == len(self.records):
+                break
+            self.records = thinned
 
     def column_series(self, name: str) -> list[tuple[int, object]]:
         """(round, value) pairs for one :class:`RoundRecord` field

@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.experiments.fastpath import check_dtype_identity
 from repro.graphs.dynamic import (
     GeometricMobilityGraph,
     PeriodicRewireGraph,
@@ -10,7 +13,7 @@ from repro.graphs.dynamic import (
     StaticDynamicGraph,
 )
 from repro.graphs.topologies import cycle, expander, path, star
-from repro.sim.adjacency import CSRAdjacency
+from repro.sim.adjacency import CSRAdjacency, index_dtype_for
 
 
 def assert_matches_graph(csr: CSRAdjacency, graph) -> None:
@@ -132,3 +135,74 @@ class TestGeometricVectorizedBuild:
         # Every brute-force edge is present; anything extra is a bridge.
         assert expected <= proximity
         assert len(proximity) - len(expected) == dynamic.bridges_added
+
+
+class TestIndexDtype:
+    """int32 vs int64 CSR layout: the width is a storage detail only."""
+
+    def test_small_snapshots_narrow_to_int32(self):
+        assert index_dtype_for(1000) == np.int32
+        assert index_dtype_for(1000, nnz=6000) == np.int32
+
+    def test_overflow_boundary_on_n(self):
+        limit = np.iinfo(np.int32).max
+        assert index_dtype_for(limit) == np.int32
+        assert index_dtype_for(limit + 1) == np.int64
+
+    def test_overflow_boundary_on_nnz(self):
+        # indptr's last entry is the edge count: it must fit too, even
+        # when every vertex id does.
+        limit = np.iinfo(np.int32).max
+        assert index_dtype_for(1000, nnz=limit) == np.int32
+        assert index_dtype_for(1000, nnz=limit + 1) == np.int64
+
+    def test_from_graph_picks_narrow_by_default(self):
+        csr = CSRAdjacency.from_graph(expander(24, degree=4, seed=2).graph)
+        assert csr.indptr.dtype == np.int32
+        assert csr.indices.dtype == np.int32
+
+    def test_explicit_dtype_respected(self):
+        graph = expander(24, degree=4, seed=2).graph
+        wide = CSRAdjacency.from_graph(graph, dtype=np.int64)
+        assert wide.indices.dtype == np.int64
+        assert_matches_graph(wide, graph)
+
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int32_int64_structural_parity(self, n, data):
+        # Property: on any edge set, the two widths produce snapshots
+        # with identical structure — same indptr/indices values, same
+        # rows, same edge sources; only the storage width differs.
+        pairs = data.draw(
+            st.sets(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ).filter(lambda uv: uv[0] != uv[1]).map(
+                    lambda uv: (min(uv), max(uv))
+                ),
+                max_size=40,
+            )
+        )
+        sources = [u for u, v in pairs] + [v for u, v in pairs]
+        targets = [v for u, v in pairs] + [u for u, v in pairs]
+        narrow = CSRAdjacency.from_edge_lists(sources, targets, n,
+                                              dtype=np.int32)
+        wide = CSRAdjacency.from_edge_lists(sources, targets, n,
+                                            dtype=np.int64)
+        assert narrow.indptr.dtype == np.int32
+        assert wide.indptr.dtype == np.int64
+        assert np.array_equal(narrow.indptr, wide.indptr)
+        assert np.array_equal(narrow.indices, wide.indices)
+        assert np.array_equal(narrow.edge_sources(), wide.edge_sources())
+        for vertex in range(n):
+            assert narrow.neighbors(vertex).tolist() == \
+                   wide.neighbors(vertex).tolist()
+
+    def test_trace_identity_via_differential_harness(self):
+        # The end-to-end gate: full simulations on int32 snapshots are
+        # byte-identical (trace signature + rng draws) to int64 ones.
+        assert check_dtype_identity(n=16, rounds=25) == []

@@ -3,9 +3,18 @@
 import math
 
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.experiments.fastpath import check_grid_identity
+from repro.graphs.spatial import (
+    PointIndex,
+    disk_edges,
+    disk_edges_blocked,
+    disk_edges_grid,
+    nearest_pair,
+)
 from repro.graphs.dynamic import (
     TAU_INFINITY,
     GeometricMobilityGraph,
@@ -289,3 +298,149 @@ class TestValidation:
     def test_tau_infinity_epoch(self):
         dg = StaticDynamicGraph(cycle(6))
         assert dg.tau == math.inf
+
+
+class TestSpatialGridIdentity:
+    """The cell grid is pinned byte-identical to the blocked sweep."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("radius", [0.03, 0.1, 0.35])
+    def test_grid_matches_blocked_sweep(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        xs = rng.random(300)
+        ys = rng.random(300)
+        gu, gv = disk_edges_grid(xs, ys, radius)
+        bu, bv = disk_edges_blocked(xs, ys, radius)
+        assert np.array_equal(gu, bu)
+        assert np.array_equal(gv, bv)
+
+    def test_exact_ties_and_duplicates(self):
+        # Lattice coordinates force coincident points and distances
+        # exactly equal to the radius (the <= boundary).
+        rng = np.random.default_rng(7)
+        xs = rng.integers(0, 8, 120) / 8.0
+        ys = rng.integers(0, 8, 120) / 8.0
+        for radius in (0.125, 0.25):
+            gu, gv = disk_edges_grid(xs, ys, radius)
+            bu, bv = disk_edges_blocked(xs, ys, radius)
+            assert np.array_equal(gu, bu)
+            assert np.array_equal(gv, bv)
+
+    def test_unit_square_boundary(self):
+        xs = np.array([0.0, 1.0, 1.0, 0.5])
+        ys = np.array([0.0, 1.0, 0.95, 0.5])
+        gu, gv = disk_edges_grid(xs, ys, 0.2)
+        bu, bv = disk_edges_blocked(xs, ys, 0.2)
+        assert np.array_equal(gu, bu)
+        assert np.array_equal(gv, bv)
+        assert (1, 2) in set(zip(gu.tolist(), gv.tolist()))
+
+    def test_empty_and_singleton(self):
+        empty = np.empty(0)
+        assert disk_edges_grid(empty, empty, 0.3)[0].size == 0
+        one = np.array([0.5])
+        assert disk_edges_grid(one, one, 0.3)[0].size == 0
+
+    def test_dispatch_rejects_unknown_method(self):
+        xs = np.array([0.1, 0.2])
+        with pytest.raises(ValueError):
+            disk_edges(xs, xs, 0.1, method="quadtree")
+
+    def test_fastpath_gate_is_clean(self):
+        # The same differential gate CI runs (bench_scale --quick).
+        assert check_grid_identity() == []
+
+
+class TestPointIndex:
+    @staticmethod
+    def _points(seed, nb=150, nq=40):
+        rng = np.random.default_rng(seed)
+        return (rng.random(nb), rng.random(nb),
+                rng.random(nq), rng.random(nq))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_dense_nearest_pair(self, seed):
+        bx, by, ox, oy = self._points(seed)
+        assert PointIndex(bx, by).nearest(ox, oy) == \
+               nearest_pair(bx, by, ox, oy)
+
+    def test_tie_break_matches_dense(self):
+        # Lattice coordinates: many exact-distance ties; the index must
+        # reproduce np.argmin's row-major first-minimum choice.
+        rng = np.random.default_rng(5)
+        bx = rng.integers(0, 6, 80) / 6.0
+        by = rng.integers(0, 6, 80) / 6.0
+        ox = rng.integers(0, 6, 30) / 6.0
+        oy = rng.integers(0, 6, 30) / 6.0
+        assert PointIndex(bx, by).nearest(ox, oy) == \
+               nearest_pair(bx, by, ox, oy)
+
+    def test_queries_outside_base_bounding_box(self):
+        rng = np.random.default_rng(9)
+        bx = rng.random(100) * 0.25          # base in [0, 0.25]^2
+        by = rng.random(100) * 0.25
+        ox = 0.7 + rng.random(20) * 0.3      # queries far outside
+        oy = 0.7 + rng.random(20) * 0.3
+        assert PointIndex(bx, by).nearest(ox, oy) == \
+               nearest_pair(bx, by, ox, oy)
+
+    def test_degenerate_coincident_base(self):
+        bx = np.full(10, 0.5)
+        by = np.full(10, 0.5)
+        ox = np.array([0.1, 0.9])
+        oy = np.array([0.2, 0.8])
+        assert PointIndex(bx, by).nearest(ox, oy) == \
+               nearest_pair(bx, by, ox, oy)
+
+
+class TestGeometricGridPaths:
+    """The mobility graph's grid build equals the blocked reference."""
+
+    def test_bridged_graphs_identical_under_blocked_reference(
+        self, monkeypatch
+    ):
+        import repro.graphs.dynamic as dyn
+        from repro.graphs import spatial
+
+        params = dict(n=24, radius=0.15, step=0.05, tau=1, seed=2)
+        via_grid = GeometricMobilityGraph(**params)
+        expected = {r: edges_at(via_grid, r) for r in range(1, 8)}
+        assert via_grid.bridges_added > 0  # the radius fragments
+
+        monkeypatch.setattr(
+            dyn, "disk_edges",
+            lambda xs, ys, r: spatial.disk_edges_blocked(xs, ys, r),
+        )
+        via_blocked = GeometricMobilityGraph(**params)
+        for r in range(1, 8):
+            assert edges_at(via_blocked, r) == expected[r]
+        assert via_blocked.bridges_added == via_grid.bridges_added
+
+    def test_bridge_point_index_matches_dense(self, monkeypatch):
+        params = dict(n=48, radius=0.1, step=0.05, tau=1, seed=3)
+        dense = GeometricMobilityGraph(**params)
+        expected = {r: edges_at(dense, r) for r in range(1, 6)}
+        assert dense.bridges_added > 0
+
+        # Force every bridging nearest-pair query through PointIndex.
+        monkeypatch.setattr(GeometricMobilityGraph, "_BRIDGE_DENSE_MAX", 0)
+        indexed = GeometricMobilityGraph(**params)
+        for r in range(1, 6):
+            assert edges_at(indexed, r) == expected[r]
+        assert indexed.bridges_added == dense.bridges_added
+
+    def test_unbridged_csr_matches_graph_conversion(self):
+        from repro.sim.adjacency import CSRAdjacency
+
+        dg = GeometricMobilityGraph(n=30, radius=0.3, step=0.05, tau=2,
+                                    seed=5, bridge=False)
+        for r in (1, 3, 9, 1):  # includes an out-of-order replay
+            direct = dg.csr_at(r)
+            rebuilt = CSRAdjacency.from_graph(dg.graph_at(r))
+            assert direct.same_structure(rebuilt)
+
+    def test_unbridged_mesh_may_fragment(self):
+        dg = GeometricMobilityGraph(n=24, radius=0.1, step=0.05, tau=1,
+                                    seed=2, bridge=False)
+        assert dg.bridges_added == 0
+        assert not nx.is_connected(dg.graph_at(1))

@@ -162,5 +162,5 @@ class TestFamilyRegistry:
         assert set(TOPOLOGY_FAMILIES) == {
             "star", "double_star", "path", "cycle", "complete", "hypercube",
             "random_regular", "erdos_renyi", "grid", "barbell", "lollipop",
-            "binary_tree", "expander",
+            "binary_tree", "expander", "ring_expander",
         }
