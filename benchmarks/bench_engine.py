@@ -52,6 +52,7 @@ from repro.experiments.fastpath import (
     check_async_sync_identity,
     check_fastpath_divergence,
     check_null_fault_identity,
+    check_telemetry_identity,
 )
 from repro.graphs.dynamic import StaticDynamicGraph
 from repro.graphs.topologies import star
@@ -82,7 +83,7 @@ def _blind_static_run(seed: int) -> int:
 
 def measure_throughput(algorithm: str, n: int, k: int, rounds: int,
                        engine_mode: str, seed: int = 11,
-                       fault=None) -> float:
+                       fault=None, telemetry=None) -> float:
     """rounds/s for a fixed-round run on the static-star hot path."""
     instance = uniform_instance(n=n, k=k, seed=seed)
     nodes = build_nodes(algorithm, instance, seed=seed)
@@ -93,10 +94,49 @@ def measure_throughput(algorithm: str, n: int, k: int, rounds: int,
         channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
         trace_sample_every=1024, engine_mode=engine_mode,
         faults=fault(n, seed) if fault is not None else None,
+        telemetry=telemetry,
     )
     started = time.perf_counter()
     sim.run(max_rounds=rounds)
     return rounds / (time.perf_counter() - started)
+
+
+def measure_telemetry_overhead(n: int, rounds: int,
+                               repeats: int = 8) -> tuple[float, float]:
+    """(off, on) rounds/s for telemetry disabled vs enabled.
+
+    ``repeats`` *interleaved* off/on pairs, best of each side: the OBS
+    bar compares the two paths' speed, not the scheduler's mood, and
+    alternating the sides makes slow drift (thermal, noisy neighbors)
+    hit both equally instead of biasing whichever ran second.
+    Sharedbit on the array engine — the hottest path, where fixed
+    per-round span cost is the largest relative burden.
+    """
+    offs, ons = [], []
+    for _ in range(repeats):
+        offs.append(measure_throughput("sharedbit", n, 2, rounds, "array"))
+        ons.append(measure_throughput("sharedbit", n, 2, rounds, "array",
+                                      telemetry=True))
+    return max(offs), max(ons)
+
+
+def measure_phase_profile(n: int, rounds: int, seed: int = 11) -> dict:
+    """One telemetry-enabled run's phase breakdown (seconds rounded)."""
+    instance = uniform_instance(n=n, k=2, seed=seed)
+    nodes = build_nodes("sharedbit", instance, seed=seed)
+    defn = ALGORITHM_REGISTRY.get("sharedbit")
+    sim = Simulation(
+        StaticDynamicGraph(star(n)), nodes,
+        b=defn.resolve_tag_length(defn.make_config()), seed=seed,
+        channel_policy=ChannelPolicy.for_upper_n(instance.upper_n),
+        trace_sample_every=1024, engine_mode="array", telemetry=True,
+    )
+    sim.run(max_rounds=rounds)
+    return {
+        name: {"calls": entry["calls"],
+               "seconds": round(entry["seconds"], 4)}
+        for name, entry in sim.telemetry.profile().items()
+    }
 
 
 def _sleep_fault(n: int, seed: int) -> SleepCycle:
@@ -191,6 +231,18 @@ def run_engine_bench(n: int = 2000, allow_dirty: bool = False) -> dict:
         "async_batched_rounds_per_s": round(batched_rps, 1),
         "async_over_sync_array": round(batched_rps / sync_array_rps, 2),
         "batched_over_event": round(batched_rps / event_rps, 2),
+    }
+    # The OBS row: telemetry's price on the hottest path, plus one run's
+    # phase breakdown so the ledger records where the rounds went, not
+    # just how fast they were.
+    telemetry_rounds = 400
+    off_rps, on_rps = measure_telemetry_overhead(n, telemetry_rounds)
+    results["sharedbit_telemetry"] = {
+        "rounds": telemetry_rounds,
+        "off_rounds_per_s": round(off_rps, 1),
+        "on_rounds_per_s": round(on_rps, 1),
+        "overhead_pct": round(100.0 * (1.0 - on_rps / off_rps), 2),
+        "phases": measure_phase_profile(n, telemetry_rounds),
     }
     record_bench("engine:fastpath", results, allow_dirty=allow_dirty)
     return results
@@ -304,6 +356,12 @@ def main(argv=None) -> int:
     failures += check_async_batched_identity(
         n=16 if args.quick else 24, rounds=25 if args.quick else 40
     )
+    # Observability gate: enabling telemetry must not perturb a single
+    # byte of any trace — spans and counters observe the run, they never
+    # touch its randomness.
+    failures += check_telemetry_identity(
+        n=16 if args.quick else 24, rounds=25 if args.quick else 40
+    )
     for failure in failures:
         print(f"DIVERGENCE: {failure}", file=sys.stderr)
     if failures:
@@ -312,7 +370,8 @@ def main(argv=None) -> int:
           "(3 algorithms x 3 dynamics x 4 acceptance rules, plus "
           "sleep/churn/lossy fault regimes, the NoFaults identity, "
           "the ASYNC synchronous-timing identity, async "
-          "seed-determinism, and the batched-window identity)")
+          "seed-determinism, the batched-window identity, and the "
+          "telemetry on/off identity)")
 
     if args.quick:
         probe = measure_throughput("sharedbit", 256, 2, 60, "array")
@@ -333,6 +392,19 @@ def main(argv=None) -> int:
               "sharedbit array, n=256; async jitter "
               f"{event_probe:.0f} rounds/s per-event -> "
               f"{batched_probe:.0f} rounds/s batched)")
+        # Telemetry must be near-free even at smoke scale; the bound is
+        # loose (the tight <5% bar runs at n=2000 in the full bench)
+        # but catches a hot-path span leak outright.
+        off_rps, on_rps = measure_telemetry_overhead(256, 60)
+        overhead = 1.0 - on_rps / off_rps
+        if overhead > 0.25:
+            print(f"FAIL: telemetry overhead {100 * overhead:.1f}% at "
+                  f"n=256 ({off_rps:.0f} -> {on_rps:.0f} rounds/s); "
+                  "smoke bound is 25%", file=sys.stderr)
+            return 1
+        print(f"telemetry overhead probe ok ({off_rps:.0f} rounds/s off "
+              f"-> {on_rps:.0f} rounds/s on, "
+              f"{100 * max(0.0, overhead):.1f}% at n=256)")
         return 0
 
     results = run_engine_bench(n=args.n, allow_dirty=args.allow_dirty)
@@ -378,6 +450,18 @@ def main(argv=None) -> int:
     if args.n >= 2000 and results["sharedbit_sleep_6of8"]["speedup"] <= 1.0:
         print("FAIL: array path lost its advantage under the faulty "
               "configuration", file=sys.stderr)
+        return 1
+    telemetry_row = results["sharedbit_telemetry"]
+    print(
+        f"{'sharedbit_telemetry':22s} n={args.n}: off "
+        f"{telemetry_row['off_rounds_per_s']:8.1f} r/s -> on "
+        f"{telemetry_row['on_rounds_per_s']:8.1f} r/s  "
+        f"({telemetry_row['overhead_pct']:.2f}% overhead)"
+    )
+    if args.n >= 2000 and telemetry_row["overhead_pct"] > 5.0:
+        print("FAIL: telemetry overhead "
+              f"{telemetry_row['overhead_pct']:.2f}% > 5% at n={args.n}",
+              file=sys.stderr)
         return 1
     print(f"recorded BENCH_engine.json (best speedup {best:.2f}x)")
     return 0

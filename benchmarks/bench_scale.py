@@ -104,7 +104,14 @@ def _rss_kb() -> int:
 
 
 def _measure_direct(case: dict) -> dict:
-    """One (algorithm, graph, n) cell: direct array-engine execution."""
+    """One (algorithm, graph, n) cell: direct array-engine execution.
+
+    Runs with telemetry enabled so each cell also reports *where* its
+    rounds went (the ``phases`` breakdown: CSR binds vs stages vs
+    resolution).  Telemetry is trace-byte-identical and its cost is
+    gated under 5% by bench_engine.py, so the trajectory numbers stay
+    comparable to earlier telemetry-free revisions.
+    """
     baseline_kb = _rss_kb()
     n, rounds = case["n"], case["rounds"]
 
@@ -127,6 +134,7 @@ def _measure_direct(case: dict) -> dict:
         trace_sample_every=1024,
         trace_max_records=64,
         engine_mode="array",
+        telemetry=True,
     )
     build_s = time.perf_counter() - build_started
 
@@ -145,6 +153,11 @@ def _measure_direct(case: dict) -> dict:
         "peak_rss_mb": round(peak_kb / 1024.0, 1),
         "bytes_per_node": int((peak_kb - baseline_kb) * 1024 / n),
         "total_connections": sim.trace.total_connections,
+        "phases": {
+            name: {"calls": entry["calls"],
+                   "seconds": round(entry["seconds"], 4)}
+            for name, entry in sim.telemetry.profile().items()
+        },
     }
 
 

@@ -70,6 +70,7 @@ class Experiment:
         self._timing: dict = {"kind": "synchronous"}
         self._config: dict | None = None
         self._engine: dict = {}
+        self._telemetry: dict | None = None
         self._seed = 0
         self._max_rounds = 200_000
 
@@ -118,6 +119,25 @@ class Experiment:
         self._engine = dict(fields)
         return self
 
+    def with_telemetry(self, enabled: bool = True,
+                       stream=None) -> "Experiment":
+        """Turn on metrics + phase profiling (:mod:`repro.telemetry`).
+
+        The run record gains a ``"profile"`` phase table; ``stream``
+        (a path) additionally appends one JSON line per closed span.
+        Telemetry draws zero randomness, so results are byte-identical
+        with it on or off.  ``with_telemetry(False)`` reverts to the
+        default no-op bundle.
+        """
+        if not enabled:
+            self._telemetry = None
+            return self
+        spec: dict = {"enabled": True}
+        if stream is not None:
+            spec["stream"] = str(stream)
+        self._telemetry = spec
+        return self
+
     def seeded(self, seed: int) -> "Experiment":
         self._seed = seed
         return self
@@ -146,6 +166,8 @@ class Experiment:
             payload["config"] = _deep_copy_jsonable(self._config)
         if self._engine:
             payload["engine"] = _deep_copy_jsonable(self._engine)
+        if self._telemetry is not None:
+            payload["telemetry"] = _deep_copy_jsonable(self._telemetry)
         return payload
 
     def run_spec(self) -> RunSpec:

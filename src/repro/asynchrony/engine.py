@@ -304,11 +304,14 @@ class AsyncSimulation(Simulation):
             if terminated:
                 break
             boundary = (window + 1) * TICKS_PER_ROUND
-            for ticks, members in self._drain_window(boundary):
-                if self._bulk is not None:
-                    self._process_cohort_synchronous(ticks, members)
-                else:
-                    self._process_cohort(ticks, members)
+            with self._prof.span("window.drain"):
+                cohorts = self._drain_window(boundary)
+            with self._prof.span("window.process"):
+                for ticks, members in cohorts:
+                    if self._bulk is not None:
+                        self._process_cohort_synchronous(ticks, members)
+                    else:
+                        self._process_cohort(ticks, members)
         return terminated
 
     def _drain_window(self, boundary: int):
@@ -339,10 +342,11 @@ class AsyncSimulation(Simulation):
                     drained.append((ticks, vertex, cycle))
                     batch_vertices.append(vertex)
                     batch_cycles.append(cycle + 1)
-            next_ticks = timing.activation_ticks_batch(
-                np.asarray(batch_vertices, dtype=np.int64),
-                np.asarray(batch_cycles, dtype=np.int64),
-            ).tolist()
+            with self._prof.span("window.schedule"):
+                next_ticks = timing.activation_ticks_batch(
+                    np.asarray(batch_vertices, dtype=np.int64),
+                    np.asarray(batch_cycles, dtype=np.int64),
+                ).tolist()
             for vertex, cycle, ticks in zip(
                 batch_vertices, batch_cycles, next_ticks
             ):
@@ -376,8 +380,12 @@ class AsyncSimulation(Simulation):
             if terminated:
                 break
             boundary = (window + 1) * TICKS_PER_ROUND
-            ticks, vertices, cycles = self._drain_window_arrays(boundary)
-            self._process_window_batched(ticks, vertices, cycles)
+            with self._prof.span("window.drain"):
+                ticks, vertices, cycles = self._drain_window_arrays(
+                    boundary
+                )
+            with self._prof.span("window.process"):
+                self._process_window_batched(ticks, vertices, cycles)
         return terminated
 
     def _drain_window_arrays(self, boundary: int):
@@ -396,7 +404,10 @@ class AsyncSimulation(Simulation):
                 (next_ticks[due].copy(), due, next_cycles[due].copy())
             )
             following = next_cycles[due] + 1
-            next_ticks[due] = timing.activation_ticks_batch(due, following)
+            with self._prof.span("window.schedule"):
+                next_ticks[due] = timing.activation_ticks_batch(
+                    due, following
+                )
             next_cycles[due] = following
         if len(parts) == 1:
             ticks, vertices, cycles = parts[0]
@@ -416,6 +427,15 @@ class AsyncSimulation(Simulation):
         """Emit window ``self._round + 1``'s record; True if terminated."""
         rnd = self._round + 1
         cycles = self._local_cycle
+        with self._prof.span("window.flush"):
+            self._flush_window_record(rnd, cycles)
+        self._round = rnd
+        return bool(
+            (rnd % self.termination_every == 0 or rnd == max_rounds)
+            and condition(self.protocols, rnd)
+        )
+
+    def _flush_window_record(self, rnd: int, cycles) -> None:
         self._observe_round(
             rnd,
             self._acc_proposals,
@@ -440,11 +460,6 @@ class AsyncSimulation(Simulation):
         self._acc_bits = 0
         self._acc_dropped = 0
         self._acc_last_ticks = None
-        self._round = rnd
-        return bool(
-            (rnd % self.termination_every == 0 or rnd == max_rounds)
-            and condition(self.protocols, rnd)
-        )
 
     def _accumulate(self, ticks: int, events: int, active: int,
                     proposals: int, connections: int, tokens: int,
@@ -502,6 +517,20 @@ class AsyncSimulation(Simulation):
         """
         ops = self._window_ops
         total = len(vertices)
+        # Round-parity skew guard (SharedBit, DESIGN.md §7): shared-PRF
+        # tag derivation is keyed by each member's *own* local cycle
+        # (ops.scan partitions by the cycles passed here), never by a
+        # window-level round index — so clock skew beyond one window
+        # (heterogeneous rates can put cycles.max() - cycles.min() far
+        # past the window span) cannot desynchronize token_bits: two
+        # nodes evaluating the same cycle always derive the same bits,
+        # and no node is ever handed another clock's cycle.  The
+        # invariant that makes that true is that every activation
+        # advances its vertex's cycle strictly past the last committed
+        # one.
+        assert total == 0 or bool(
+            (cycles > self._local_cycle[vertices]).all()
+        ), "window member activated at a non-advancing local cycle"
         topo_round = int(ticks[0]) // TICKS_PER_ROUND
         bound = self._bound_window_csr(topo_round)
 
@@ -918,6 +947,13 @@ class AsyncSimulation(Simulation):
         nodes = self._nodes
         tags = self._tags
         max_tag = self.max_tag
+        # Round-parity skew guard — the per-event twin of the batched
+        # path's assertion: advertise(cycle, ...) below is keyed by the
+        # member's own advancing local cycle, so skew cannot
+        # desynchronize shared-randomness (token_bits) derivation.
+        assert all(
+            cycle > self._local_cycle[vertex] for vertex, cycle in members
+        ), "cohort member activated at a non-advancing local cycle"
 
         # Fault masks, evaluated at each member's local cycle — or, for
         # clock="virtual" models, at the shared round window (memoized

@@ -87,6 +87,7 @@ def _cmd_run(args) -> int:
         max_rounds=args.max_rounds,
         fault=None if args.fault == "none" else args.fault,
         timing=None if args.timing == "synchronous" else args.timing,
+        telemetry=args.profile or None,
     )
     status = "solved" if result.solved else "NOT solved (round limit)"
     fault_label = "" if args.fault == "none" else f", fault={args.fault}"
@@ -112,6 +113,10 @@ def _cmd_run(args) -> int:
             if result.event_counts is not None else ""
         )
     )
+    if args.profile:
+        from repro.telemetry import render_phase_table
+
+        print(render_phase_table(result.profile))
     return 0 if result.solved else 1
 
 
@@ -345,6 +350,8 @@ def _cmd_serve(args) -> int:
         + (
             f" connections={stats['connections']}"
             f" latency_mean={stats['mean_s'] * 1e3:.2f}ms"
+            f" latency_p50={stats['p50_s'] * 1e3:.2f}ms"
+            f" latency_p99={stats['p99_s'] * 1e3:.2f}ms"
             f" latency_max={stats['max_s'] * 1e3:.2f}ms"
             if stats else ""
         )
@@ -360,6 +367,80 @@ def _cmd_serve(args) -> int:
             f"chaos_revives={report.chaos_revives}"
         )
     return 0 if report.solved else 1
+
+
+def _cmd_top(args) -> int:
+    """Poll a live server's ``metrics`` op; render a refreshing status.
+
+    Any endpoint of a running cluster works: every server answers for
+    itself (peers, inbox, robustness counters, connect-latency
+    quantiles) and relays the coordinator's last pushed cluster view
+    (round, suspects).  ``--iterations 0`` polls until interrupted.
+    """
+    import time
+
+    from repro.net.errors import TransportError
+    from repro.net.framing import request as net_request
+
+    host, _, port_text = args.address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ConfigurationError(
+            f"top needs HOST:PORT, got {args.address!r}"
+        )
+    port = int(port_text)
+
+    def ms(seconds) -> str:
+        return "-" if seconds is None else f"{seconds * 1e3:.2f}ms"
+
+    iteration = 0
+    while True:
+        iteration += 1
+        try:
+            snap = net_request(host, port, {"op": "metrics"},
+                               timeout=args.timeout)
+        except TransportError as exc:
+            print(f"poll {iteration}: {args.address} unreachable ({exc})")
+            if args.iterations and iteration >= args.iterations:
+                return 1
+            time.sleep(args.interval)
+            continue
+        if "error" in snap:
+            print(f"poll {iteration}: {args.address}: {snap['error']}")
+            return 1
+        cluster = snap.get("cluster", {})
+        stats = snap.get("stats", {})
+        latency = snap.get("latency", {})
+        if iteration > 1 and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        rows = [
+            ("cluster round", cluster.get("round", "-")),
+            (
+                "cluster active",
+                f"{cluster.get('active', '-')}/{cluster.get('n', '-')}",
+            ),
+            ("cluster suspects", cluster.get("suspects", "-")),
+            ("peer uid", snap["uid"]),
+            ("peer round", snap["round"]),
+            ("peer table", snap["peers"]),
+            ("inbox depth", snap["inbox"]),
+            ("retries", stats.get("retries", 0)),
+            ("timeouts", stats.get("timeouts", 0)),
+            ("failed deliveries", stats.get("failed_deliveries", 0)),
+            ("connects", latency.get("count", 0)),
+            ("connect p50", ms(latency.get("p50"))),
+            ("connect p99", ms(latency.get("p99"))),
+        ]
+        print(
+            render_table(
+                headers=("metric", "value"),
+                rows=rows,
+                title=f"repro-gossip top {args.address} "
+                      f"(poll {iteration})",
+            )
+        )
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        time.sleep(args.interval)
 
 
 def _cmd_replay(args) -> int:
@@ -458,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing regime scheduling per-node cycles (default "
              "parameters; use sweep specs for tuned timing params)",
     )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="enable telemetry and print the per-phase wall-clock "
+             "profile after the run (results stay byte-identical)",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     sc_p = sub.add_parser("scenario", help="run a motivating workload")
@@ -538,6 +624,21 @@ def build_parser() -> argparse.ArgumentParser:
              "enacts the scenario's or --fault's schedule",
     )
     srv_p.set_defaults(func=_cmd_serve)
+
+    top_p = sub.add_parser(
+        "top",
+        help="poll a running peer server's metrics op and render a "
+             "refreshing cluster status table",
+    )
+    top_p.add_argument("address", metavar="HOST:PORT",
+                       help="any live peer endpoint of the cluster")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between polls")
+    top_p.add_argument("--iterations", type=int, default=0,
+                       help="stop after this many polls (0 = forever)")
+    top_p.add_argument("--timeout", type=float, default=2.0,
+                       help="per-poll request timeout in seconds")
+    top_p.set_defaults(func=_cmd_top)
 
     rp_p = sub.add_parser(
         "replay",

@@ -74,6 +74,17 @@ class GossipRunResult:
     instance: GossipInstance
     nodes: Mapping[int, NodeProtocol]
     event_counts: object = None
+    #: The run's :class:`repro.telemetry.Telemetry` bundle (the null
+    #: bundle when telemetry was off).
+    telemetry: object = None
+
+    @property
+    def profile(self) -> dict | None:
+        """The phase profile (``{span: {"calls", "seconds"}}``) when
+        telemetry was enabled; ``None`` otherwise."""
+        if self.telemetry is None or not self.telemetry.enabled:
+            return None
+        return self.telemetry.profile()
 
     @property
     def residual_potential(self) -> int:
@@ -181,6 +192,7 @@ def run_gossip(
     termination_every: int = 1,
     engine_mode: str = "auto",
     object_path_max_n: int | None = OBJECT_PATH_MAX_N,
+    telemetry=None,
 ) -> GossipRunResult:
     """Run ``algorithm`` on ``instance`` over ``dynamic_graph`` to completion.
 
@@ -214,6 +226,13 @@ def run_gossip(
     (see :class:`repro.sim.trace.Trace`); ``object_path_max_n`` is the
     memory-budget guard threshold the engine applies when a run resolves
     to the per-node object path (``None`` disables it).
+
+    ``telemetry`` enables observability (see :mod:`repro.telemetry`):
+    ``True``/``"on"``, a ``{"enabled": ..., "stream": path}`` spec dict,
+    or a :class:`~repro.telemetry.Telemetry` instance.  ``None`` (the
+    default) costs one attribute check per instrumented site and leaves
+    every trace byte-identical — telemetry draws zero randomness.  The
+    result's :attr:`GossipRunResult.profile` carries the phase table.
     """
     defn = _runnable_def(algorithm)
     if dynamic_graph.n != instance.n:
@@ -246,15 +265,17 @@ def run_gossip(
         termination_every=termination_every,
         engine_mode=engine_mode,
         object_path_max_n=object_path_max_n,
+        telemetry=telemetry,
     )
     if timing_model is None:
         sim = Simulation(**engine_kwargs)
     else:
         sim = AsyncSimulation(timing=timing_model, **engine_kwargs)
-    result = sim.run(
-        max_rounds=max_rounds,
-        termination=all_hold_tokens(instance.token_ids),
-    )
+    with sim.telemetry.profiler.span("run.total"):
+        result = sim.run(
+            max_rounds=max_rounds,
+            termination=all_hold_tokens(instance.token_ids),
+        )
     return GossipRunResult(
         algorithm=algorithm,
         rounds=result.rounds,
@@ -263,4 +284,5 @@ def run_gossip(
         instance=instance,
         nodes=nodes,
         event_counts=result.event_counts,
+        telemetry=sim.telemetry,
     )

@@ -42,6 +42,13 @@ grid disk edges == blocked-sweep disk edges (same arrays, same order),
 and :class:`~repro.graphs.spatial.PointIndex` nearest queries ==
 dense ``nearest_pair`` (value *and* tie-break).
 
+The telemetry layer (repro.telemetry) adds the observability axis:
+:func:`check_telemetry_identity` pins that enabling metrics + phase
+profiling perturbs nothing — telemetry draws zero randomness, so every
+case is byte-identical with it on or off, on both engine-mode front
+halves of the round engine and on both front halves of the event
+engine's batched window path.
+
 The live deployment layer (repro.net) adds a fourth invariant:
 :func:`check_local_acceptance_identity` pins that the per-target
 acceptance-stream discipline (``acceptance_streams="local"`` — the
@@ -93,6 +100,7 @@ __all__ = [
     "check_async_sync_identity",
     "check_async_determinism",
     "check_async_batched_identity",
+    "check_telemetry_identity",
     "make_dynamics",
     "make_fault",
     "make_timing",
@@ -210,6 +218,7 @@ def run_case(
     async_mode="auto",
     acceptance_streams="global",
     csr_dtype=None,
+    telemetry=None,
 ) -> tuple:
     """Run one differential case; returns (trace signature, final state).
 
@@ -221,6 +230,10 @@ def run_case(
     event engine supports only ``"global"``).  ``csr_dtype`` forces the
     dynamic graph's CSR index dtype (``"int32"`` / ``"int64"``; ``None``
     keeps the auto-chosen narrowest) — the dtype-identity axis.
+    ``telemetry`` is the observability axis: anything
+    :func:`repro.telemetry.resolve_telemetry` accepts (``True`` turns
+    profiling + metrics on); the telemetry-identity gate pins that it
+    never perturbs the signature.
     """
     import numpy as np
     if algorithm == "ppush":
@@ -237,7 +250,7 @@ def run_case(
     engine_kwargs = dict(
         b=b, seed=seed, channel_policy=policy, acceptance=acceptance,
         engine_mode=engine_mode, faults=make_fault(fault, n, seed),
-        acceptance_streams=acceptance_streams,
+        acceptance_streams=acceptance_streams, telemetry=telemetry,
     )
     dynamics = make_dynamics(dynamics_kind, n, seed)
     if csr_dtype is not None:
@@ -553,5 +566,52 @@ def check_async_determinism(
                     failures.append(
                         f"{algorithm}/{kind}/{timing}: two runs from the "
                         "same seed diverged (async determinism broken)"
+                    )
+    return failures
+
+
+def check_telemetry_identity(
+    n: int = 24,
+    seed: int = 7,
+    rounds: int = 40,
+    algorithms=CHECK_ALGORITHMS,
+    dynamics=CHECK_DYNAMICS,
+) -> list[str]:
+    """The observability contract: telemetry on == telemetry off.
+
+    Runs each (algorithm, dynamics) case with telemetry disabled and
+    enabled — on both engine-mode front halves of the round engine, and
+    (for the event-engine algorithms) on both front halves of the
+    batched window path under jittered timing — and reports any case
+    where instrumentation changed any observable (empty = telemetry
+    draws zero randomness and never feeds back into engine state).
+    """
+    failures = []
+    for algorithm in algorithms:
+        for kind in dynamics:
+            for engine_mode in ("object", "array"):
+                off = run_case(algorithm, kind, "uniform", engine_mode,
+                               n, seed, rounds)
+                on = run_case(algorithm, kind, "uniform", engine_mode,
+                              n, seed, rounds, telemetry=True)
+                if off != on:
+                    failures.append(
+                        f"{algorithm}/{kind}/{engine_mode}: telemetry "
+                        "perturbed the trace (must be byte-identical)"
+                    )
+    for algorithm in CHECK_ASYNC_ALGORITHMS:
+        for kind in CHECK_ASYNC_DYNAMICS:
+            for engine_mode in ("object", "array"):
+                off = run_case(algorithm, kind, "uniform", engine_mode,
+                               n, seed, rounds, timing="jitter",
+                               async_mode="batched")
+                on = run_case(algorithm, kind, "uniform", engine_mode,
+                              n, seed, rounds, timing="jitter",
+                              async_mode="batched", telemetry=True)
+                if off != on:
+                    failures.append(
+                        f"{algorithm}/{kind}/{engine_mode}/batched: "
+                        "telemetry perturbed the async trace (must be "
+                        "byte-identical)"
                     )
     return failures

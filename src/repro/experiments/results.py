@@ -308,6 +308,23 @@ class SweepResult:
             or f"sweep {self.spec.name} ({len(self.spec.seeds)} seeds/cell)",
         )
 
+    def phase_totals(self) -> dict:
+        """Merged phase profile across every run of the sweep.
+
+        Sums the ``"profile"`` dicts telemetry-enabled runs carry in
+        their records (see :func:`repro.telemetry.merge_profiles`) —
+        a commutative fold over per-run records in sweep order, so the
+        merged call counts are invariant to what ``jobs`` was.  Empty
+        when the sweep ran without telemetry.
+        """
+        from repro.telemetry import merge_profiles
+
+        return merge_profiles(
+            record.get("profile")
+            for summary in self.points
+            for record in summary.runs
+        )
+
     def to_payload(self) -> dict:
         return {
             "sweep": self.spec.to_payload(),

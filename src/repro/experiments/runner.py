@@ -109,6 +109,12 @@ def execute_run(payload) -> dict:
     timing = build_timing(spec.timing, dynamic_graph.n, spec.seed)
 
     if defn.execute is not None:
+        if spec.telemetry is not None and spec.telemetry.get("enabled", True):
+            raise ConfigurationError(
+                f"algorithm {spec.algorithm!r} runs through a custom "
+                "experiments-layer executor, which does not support "
+                "telemetry; omit the telemetry block"
+            )
         if fault is not None:
             raise ConfigurationError(
                 f"algorithm {spec.algorithm!r} runs through a custom "
@@ -144,6 +150,7 @@ def execute_run(payload) -> dict:
             trace_sample_every=engine.get("trace_sample_every", 1024),
             trace_max_records=engine.get("trace_max_records"),
             termination_every=engine.get("termination_every", 1),
+            telemetry=spec.telemetry,
         )
         record = {
             "rounds": result.rounds,
@@ -167,6 +174,13 @@ def execute_run(payload) -> dict:
             # Asynchronous runs: total node activations (the virtual
             # clock's work measure, distinct from rounds).
             record["events"] = int(result.event_counts.sum())
+        profile = result.profile
+        if profile is not None:
+            # Phase profile rides the JSON-able record across the
+            # process boundary; SweepResult.phase_totals() merges the
+            # per-run dicts in sweep order, so the merged structure is
+            # invariant to how run_sweep partitioned work over jobs.
+            record["profile"] = profile
 
     record["notes"] = notes
     return record

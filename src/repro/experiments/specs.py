@@ -60,6 +60,8 @@ _ENGINE_KEYS = frozenset(
      "gauge_every", "gauges"}
 )
 
+_TELEMETRY_KEYS = frozenset({"enabled", "stream"})
+
 
 def canonical_json(payload) -> str:
     """Deterministic JSON: sorted keys, no whitespace."""
@@ -136,6 +138,12 @@ class RunSpec:
                    ``termination_every`` / ``gauge_every`` / ``gauges``
                    (named gauges, e.g. ``["coverage"]``, serialized into
                    the run result).
+    ``telemetry``— ``{"enabled": true[, "stream": path]}`` turns on
+                   metrics + phase profiling (:mod:`repro.telemetry`);
+                   the run record gains a ``"profile"`` phase table.
+                   ``None`` (the default) is the no-op bundle and leaves
+                   the run byte-identical — telemetry draws zero
+                   randomness, so it never shifts results.
     """
 
     algorithm: str
@@ -148,6 +156,7 @@ class RunSpec:
     timing: dict = field(default_factory=lambda: {"kind": "synchronous"})
     config: dict | None = None
     engine: dict = field(default_factory=dict)
+    telemetry: dict | None = None
 
     def __post_init__(self):
         # Eager name resolution: a malformed spec fails here, with the
@@ -168,6 +177,19 @@ class RunSpec:
                 f"unknown engine keys {sorted(unknown)}; legal keys are "
                 f"{sorted(_ENGINE_KEYS)}"
             )
+        if self.telemetry is not None:
+            if not isinstance(self.telemetry, dict):
+                raise ConfigurationError(
+                    "telemetry must be a spec dict "
+                    f"({{'enabled': ..., 'stream': ...}}); got "
+                    f"{type(self.telemetry).__name__}"
+                )
+            unknown = set(self.telemetry) - _TELEMETRY_KEYS
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown telemetry keys {sorted(unknown)}; legal keys "
+                    f"are {sorted(_TELEMETRY_KEYS)}"
+                )
 
     def to_payload(self) -> dict:
         """The JSON-able dict form (what workers and the cache see)."""
@@ -182,6 +204,7 @@ class RunSpec:
             "max_rounds": self.max_rounds,
             "config": _deep_copy_jsonable(self.config),
             "engine": _deep_copy_jsonable(self.engine),
+            "telemetry": _deep_copy_jsonable(self.telemetry),
         }
 
     @classmethod

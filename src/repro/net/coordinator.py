@@ -103,6 +103,10 @@ class NetRunReport:
     degraded_rounds: int = 0
     chaos_kills: int = 0
     chaos_revives: int = 0
+    #: Final `metrics`-op snapshot per uid (scraped at run end): round
+    #: progress, peer-table size, robustness counters, connect-latency
+    #: histogram quantiles.  See ``PeerServer._op_metrics``.
+    server_metrics: dict = field(default_factory=dict)
 
     @property
     def rounds_per_second(self) -> float | None:
@@ -642,6 +646,7 @@ class Coordinator:
 
         self.match_stream.append(tuple(matches))
         active_count = n if active_set is None else len(active_set)
+        self._push_status(rnd, active_count)
         self.trace.suspect_events = self.suspect_events
         self.trace.close_round(
             round_index=rnd,
@@ -663,6 +668,58 @@ class Coordinator:
             ),
             degraded=bool(suspects),
         )
+
+    def _push_status(self, rnd: int, active_count: int) -> None:
+        """Relay the cluster-level view to every reachable server.
+
+        The coordinator is not itself an endpoint, so ``repro-gossip
+        top`` — which polls one *server's* ``metrics`` op — learns the
+        cluster round and suspect count only through this push.
+        Single-shot and failure-tolerant: a status push is periodic
+        telemetry, never worth a retry or a suspicion.
+        """
+        status = {
+            "op": "status",
+            "round": rnd,
+            "suspects": len(self.suspects),
+            "active": active_count - len(self.suspects),
+            "n": self.instance.n,
+        }
+        push_timeout = min(1.0, self.request_timeout)
+        for vertex in sorted(self.servers):
+            server = self.servers[vertex]
+            uid = self.instance.uid_of(vertex)
+            if uid in self.suspects:
+                continue
+            if server.dead or server.asleep:
+                self._ask_local(vertex, status)
+                continue
+            try:
+                self._ask(uid, status, retry=None, timeout=push_timeout)
+            except (TransportError, ProtocolError):
+                pass
+
+    def scrape_metrics(self) -> dict[int, dict]:
+        """uid -> `metrics`-op snapshot, for every server.
+
+        Reads over the wire when the endpoint answers, in-process when
+        it is dead, asleep, or suspect (its counters still exist).
+        """
+        result: dict[int, dict] = {}
+        for vertex in sorted(self.servers):
+            server = self.servers[vertex]
+            uid = self.instance.uid_of(vertex)
+            unreachable = (
+                server.dead or server.asleep or uid in self.suspects
+            )
+            if unreachable:
+                result[uid] = self._ask_local(vertex, {"op": "metrics"})
+                continue
+            try:
+                result[uid] = self._ask(uid, {"op": "metrics"})
+            except TransportError:
+                result[uid] = self._ask_local(vertex, {"op": "metrics"})
+        return result
 
     def _total_retries(self) -> int:
         return self._retries + sum(
@@ -776,6 +833,7 @@ class Coordinator:
             degraded_rounds=self.trace.degraded_rounds,
             chaos_kills=chaos_kills,
             chaos_revives=chaos_revives,
+            server_metrics=self.scrape_metrics(),
         )
 
 

@@ -23,7 +23,14 @@ connect     initiator-side Stage 3: pull the responder's visible
 
 plus cluster plumbing (``ping``/``set_neighbors``/``heartbeat``/
 ``beat``/``peers``/``prune``/``stats``), state transfer
-(``state_pull``/``state_push``/``snapshot``/``reset``), and ``stop``.
+(``state_pull``/``state_push``/``snapshot``/``reset``), ``stop``, and
+live introspection: every server carries a
+:class:`~repro.telemetry.MetricsRegistry` (connect-latency histogram,
+robustness counters) and answers ``metrics`` with a one-shot status
+snapshot — round progress, peer-table size, inbox depth, retry/timeout
+counters, latency quantiles, plus whatever cluster-level view the
+coordinator last pushed via ``status`` (round, suspect count) — which
+is what ``repro-gossip top`` polls.
 
 Lock discipline: the node lock is **never held across an outbound
 network call**.  ``propose`` computes the target under the lock, then
@@ -84,6 +91,7 @@ from repro.rng import SeedTree
 from repro.sim.channel import Channel, ChannelPolicy
 from repro.sim.context import NeighborView
 from repro.sim.matching import ACCEPTANCE_RULES
+from repro.telemetry import MetricsRegistry
 
 __all__ = ["PeerServer"]
 
@@ -262,6 +270,18 @@ class PeerServer:
             "kills": 0,
             "revives": 0,
         }
+        # Live introspection: always-on (the live layer is wall-clock
+        # territory anyway — no determinism contract to protect), read
+        # by the `metrics` op and scraped into NetRunReport.
+        self.metrics = MetricsRegistry()
+        self._latency_hist = self.metrics.histogram(
+            "net.connect_latency_s", uid=uid
+        )
+        self._last_round = 0
+        #: Cluster-level view last pushed by the coordinator (`status`
+        #: op): round, suspect count, active count — what lets any
+        #: single server answer `repro-gossip top` for the cluster.
+        self._cluster_status: dict = {}
         self._handler_threads: weakref.WeakSet = weakref.WeakSet()
         self._server = _TCPServer((host, port), _Handler)
         self._server.peer_server = self
@@ -524,12 +544,52 @@ class PeerServer:
         with self._lock:
             return {"uid": self.uid, **self.stats}
 
+    def _op_status(self, msg: dict) -> dict:
+        """Coordinator push: the cluster-level view (round, suspects).
+
+        Stored verbatim so any single endpoint can answer ``metrics``
+        with cluster context — the coordinator is not itself a server,
+        so ``repro-gossip top`` needs some peer to relay its view.
+        """
+        with self._lock:
+            self._cluster_status = {
+                key: msg[key]
+                for key in ("round", "suspects", "active", "n", "solved")
+                if key in msg
+            }
+        return {"ok": True}
+
+    def _op_metrics(self, msg: dict) -> dict:
+        """One-shot introspection snapshot (what ``top`` polls).
+
+        ``round`` is the highest round this node has participated in;
+        ``cluster`` is the coordinator's last pushed view (empty until
+        the first push).  ``latency`` carries the connect-latency
+        histogram's exact count/sum/min/max plus windowed p50/p99.
+        """
+        with self._lock:
+            inbox_depth = sum(
+                len(senders) for senders in self._inbox.values()
+            )
+            return {
+                "uid": self.uid,
+                "vertex": self.vertex,
+                "round": self._last_round,
+                "peers": len(self.table),
+                "inbox": inbox_depth,
+                "asleep": self.asleep,
+                "stats": dict(self.stats),
+                "latency": self._latency_hist.snapshot(),
+                "cluster": dict(self._cluster_status),
+            }
+
     # -- round structure ----------------------------------------------
 
     def _op_advertise(self, msg: dict) -> dict:
         rnd = int(msg["round"])
 
         def compute():
+            self._last_round = max(self._last_round, rnd)
             neighbor_uids = tuple(int(u) for u in msg.get("neighbors", ()))
             tag = int(self.node.advertise(rnd, neighbor_uids))
             if not 0 <= tag <= self.max_tag:
@@ -676,6 +736,7 @@ class PeerServer:
                 push = dict(deltas, op="state_push", round=rnd)
                 self.call_peer(entry, push)
             latency = time.perf_counter() - started
+            self._latency_hist.observe(latency)
             return {
                 "tokens_moved": channel.tokens_moved,
                 "bits": channel.bits.total_bits,

@@ -13,6 +13,7 @@ retries / timeouts / suspects / rejoins / chaos kill and revive counts
 from __future__ import annotations
 
 from repro.sim.trace import RoundRecord, Trace
+from repro.telemetry import quantile
 
 __all__ = ["NetTrace"]
 
@@ -105,12 +106,19 @@ class NetTrace(Trace):
         )
 
     def rounds_per_second(self) -> float | None:
+        """Throughput, or ``None`` when undefined.
+
+        A run that recorded no rounds, or whose wall clock never
+        advanced (``wall_seconds`` unset, or a sub-resolution run),
+        has no meaningful rate — boundary cases return ``None``
+        rather than raising.
+        """
         if self.wall_seconds <= 0 or self.total_rounds == 0:
             return None
         return self.total_rounds / self.wall_seconds
 
     def latency_stats(self) -> dict | None:
-        """Overall mean/max per-connection latency in seconds."""
+        """Overall mean/max/p50/p99 per-connection latency in seconds."""
         if not self.connection_latencies:
             return None
         values = [seconds for _, seconds in self.connection_latencies]
@@ -118,4 +126,6 @@ class NetTrace(Trace):
             "connections": len(values),
             "mean_s": sum(values) / len(values),
             "max_s": max(values),
+            "p50_s": quantile(values, 0.50),
+            "p99_s": quantile(values, 0.99),
         }

@@ -73,6 +73,7 @@ from repro.sim.matching import (
 from repro.sim.protocol import NodeProtocol, bulk_hooks
 from repro.sim.termination import TerminationCondition, never
 from repro.sim.trace import RoundRecord, Trace
+from repro.telemetry import resolve_telemetry
 
 __all__ = ["Simulation", "SimulationResult"]
 
@@ -154,6 +155,7 @@ class Simulation:
         faults: FaultModel | None = None,
         trace_max_records: int | None = None,
         object_path_max_n: int | None = OBJECT_PATH_MAX_N,
+        telemetry=None,
     ):
         if b < 0:
             raise ConfigurationError(f"tag length b must be >= 0, got {b}")
@@ -214,6 +216,13 @@ class Simulation:
         self.trace = Trace(
             sample_every=trace_sample_every, max_records=trace_max_records
         )
+        # Observability (repro.telemetry): disabled by default — the
+        # null bundle's profiler/sink are shared no-ops, so every
+        # instrumented site below costs one attribute check.  Telemetry
+        # draws zero randomness and never writes engine state: traces
+        # are byte-identical with it on or off (check_telemetry_identity).
+        self.telemetry = resolve_telemetry(telemetry)
+        self._prof = self.telemetry.profiler
 
         self._tree = SeedTree(seed).child("engine")
         self._vertex_of_uid = {
@@ -332,6 +341,19 @@ class Simulation:
         """
         self._round += 1
         rnd = self._round
+        prof = self._prof
+        if prof.enabled:
+            with prof.span("round.stages12"):
+                proposal_count, matches, dropped, mask = \
+                    self._round_stages(rnd)
+            with prof.span("round.stage3"):
+                tokens_moved, control_bits = self._stage3(rnd, matches)
+            with prof.span("round.observe"):
+                return self._observe_round(
+                    rnd, proposal_count, len(matches), tokens_moved,
+                    control_bits, dropped,
+                    self.n if mask is None else int(mask.sum()),
+                )
         proposal_count, matches, dropped, mask = self._round_stages(rnd)
         tokens_moved, control_bits = self._stage3(rnd, matches)
         return self._observe_round(
@@ -623,8 +645,12 @@ class Simulation:
         csr = self.dynamic_graph.csr_at(rnd)
         bound = self._csr_bound
         if bound is None or bound.base is not csr:
-            bound = self._csr_bound = csr.bind_uids(
-                self._uid_array, arena=self._arena
+            with self._prof.span("round.csr_bind"):
+                bound = self._csr_bound = csr.bind_uids(
+                    self._uid_array, arena=self._arena
+                )
+            self.telemetry.metrics.gauge("engine.arena_bytes").set(
+                self._arena.nbytes()
             )
         return self._stages12_array_on(rnd, bound)
 
@@ -644,9 +670,10 @@ class Simulation:
             or self._masked_for is not csr
             or self._masked_bytes != mask_bytes
         ):
-            self._masked_bound = csr.masked(mask).bind_uids(
-                self._uid_array, arena=self._arena
-            )
+            with self._prof.span("round.csr_bind"):
+                self._masked_bound = csr.masked(mask).bind_uids(
+                    self._uid_array, arena=self._arena
+                )
             self._masked_for = csr
             self._masked_bytes = mask_bytes
         return self._stages12_array_on(rnd, self._masked_bound)
@@ -658,8 +685,10 @@ class Simulation:
         advertise_all, propose_all = self._bulk
 
         # Stage 1: every tag at once, then one vectorized range check.
-        tags = self._as_int_array(advertise_all(self._nodes, rnd, bound),
-                                  "advertise_all")
+        with self._prof.span("round.advertise"):
+            tags = self._as_int_array(
+                advertise_all(self._nodes, rnd, bound), "advertise_all"
+            )
         if tags.shape != (self.n,):
             raise ProtocolViolationError(
                 f"advertise_all returned shape {tags.shape}; expected "
@@ -676,9 +705,10 @@ class Simulation:
         # Stage 2: every proposal at once (-1 = no proposal), then one
         # vectorized is-it-a-neighbor check — the same model rule the
         # object path enforces per node.
-        targets = self._as_int_array(
-            propose_all(self._nodes, rnd, bound, tags), "propose_all"
-        )
+        with self._prof.span("round.propose"):
+            targets = self._as_int_array(
+                propose_all(self._nodes, rnd, bound, tags), "propose_all"
+            )
         if targets.shape != (self.n,):
             raise ProtocolViolationError(
                 f"propose_all returned shape {targets.shape}; expected "
@@ -714,20 +744,21 @@ class Simulation:
         # proposals with both endpoints active.
         proposer_uids = self._uid_array[proposer_mask]
         target_uids = targets[proposer_mask]
-        if self.acceptance == "unbounded":
-            matches = resolve_proposals_arrays(
-                proposer_uids, target_uids, rule="unbounded"
-            )
-        elif self.acceptance_streams == "local":
-            matches = resolve_proposals_arrays_local(
-                proposer_uids, target_uids,
-                self._match_rng_for_target(rnd), rule=self.acceptance,
-            )
-        else:
-            matches = resolve_proposals_arrays(
-                proposer_uids, target_uids,
-                self._tree.stream("match", rnd), rule=self.acceptance,
-            )
+        with self._prof.span("round.resolve"):
+            if self.acceptance == "unbounded":
+                matches = resolve_proposals_arrays(
+                    proposer_uids, target_uids, rule="unbounded"
+                )
+            elif self.acceptance_streams == "local":
+                matches = resolve_proposals_arrays_local(
+                    proposer_uids, target_uids,
+                    self._match_rng_for_target(rnd), rule=self.acceptance,
+                )
+            else:
+                matches = resolve_proposals_arrays(
+                    proposer_uids, target_uids,
+                    self._tree.stream("match", rnd), rule=self.acceptance,
+                )
         return int(proposer_mask.sum()), matches
 
     @staticmethod

@@ -1,0 +1,204 @@
+"""Phase profiling: where does the wall clock go inside a round?
+
+:class:`PhaseProfiler` accumulates ``(calls, seconds)`` per dotted span
+name (``"round.stages12"``, ``"window.drain"``, ...).  Call sites wrap
+work in ``with profiler.span("name"):`` — when profiling is disabled
+they hold :data:`NULL_PROFILER` instead, whose :meth:`span` returns one
+shared no-op context manager, so the disabled path costs an attribute
+check and an empty ``with``.
+
+Span names form a fixed two-level hierarchy (see DESIGN.md §11):
+``round.*`` for the synchronous engine's stages, ``window.*`` for the
+asynchronous engine's window machinery, ``run.*`` for harness-level
+totals, and ``net.*`` for the live layer.  Timing comes from
+``time.perf_counter`` — wall seconds are *not* deterministic, and
+nothing here feeds back into engine state, traces, or random streams:
+profiles ride beside a run, never inside it.
+
+Profiles serialize as ``{name: {"calls": int, "seconds": float}}``
+(sorted names).  :func:`merge_profiles` sums any number of them — the
+sweep runner merges per-worker profiles this way, and because merging
+is commutative/associative over per-run dicts keyed by flat run index,
+the totals are invariant to the ``jobs`` partitioning.
+
+``stream=`` mirrors :class:`repro.experiments.results.ShardedRunLog`'s
+discipline — one canonical JSON line per closed span, appended to the
+given path — for offline span-level analysis of long runs.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+__all__ = [
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "merge_profiles",
+    "render_phase_table",
+]
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullProfiler:
+    """Disabled-profiling stand-in (see :data:`NULL_PROFILER`)."""
+
+    enabled = False
+    __slots__ = ()
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def table(self) -> str:
+        return "(profiling disabled)"
+
+
+NULL_PROFILER = NullProfiler()
+
+
+class _Span:
+    """One reusable timing context per span name.
+
+    :meth:`PhaseProfiler.span` hands back the *same* object for the
+    same name, so hot loops pay no allocation per round.  The price is
+    that a span name must not nest inside itself (re-entry would
+    clobber ``_started``); the ``round.* / window.* / run.*`` hierarchy
+    never does — parents and children have distinct names.
+    """
+
+    __slots__ = ("_profiler", "_name", "_started")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self):
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._profiler.add(self._name, perf_counter() - self._started)
+        return False
+
+
+class PhaseProfiler:
+    """Accumulate wall seconds per span name; optionally stream spans."""
+
+    enabled = True
+
+    def __init__(self, stream=None):
+        self._acc: dict[str, list] = {}
+        self._spans: dict[str, _Span] = {}
+        self._stream_path = stream
+        self._stream_file = None
+        self._seq = 0
+
+    def span(self, name: str) -> _Span:
+        span = self._spans.get(name)
+        if span is None:
+            span = self._spans[name] = _Span(self, name)
+        return span
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        entry = self._acc.get(name)
+        if entry is None:
+            self._acc[name] = [calls, seconds]
+        else:
+            entry[0] += calls
+            entry[1] += seconds
+        if self._stream_path is not None:
+            self._stream_span(name, seconds)
+
+    def _stream_span(self, name: str, seconds: float) -> None:
+        if self._stream_file is None:
+            self._stream_file = open(self._stream_path, "a",
+                                     encoding="utf-8")
+        line = json.dumps(
+            {"seq": self._seq, "span": name, "seconds": seconds},
+            sort_keys=True, separators=(",", ":"),
+        )
+        self._stream_file.write(line + "\n")
+        self._stream_file.flush()
+        self._seq += 1
+
+    def close(self) -> None:
+        if self._stream_file is not None:
+            self._stream_file.close()
+            self._stream_file = None
+
+    def as_dict(self) -> dict:
+        """``{name: {"calls": int, "seconds": float}}``, sorted names."""
+        return {
+            name: {"calls": calls, "seconds": seconds}
+            for name, (calls, seconds) in sorted(self._acc.items())
+        }
+
+    def table(self) -> str:
+        return render_phase_table(self.as_dict())
+
+
+def merge_profiles(profiles) -> dict:
+    """Sum any number of profile dicts into one (sorted names).
+
+    ``None`` entries are skipped, so per-run records without a profile
+    (telemetry off, cached runs from older revisions) merge cleanly.
+    """
+    merged: dict[str, list] = {}
+    for profile in profiles:
+        if not profile:
+            continue
+        for name, cell in profile.items():
+            entry = merged.get(name)
+            if entry is None:
+                merged[name] = [cell["calls"], cell["seconds"]]
+            else:
+                entry[0] += cell["calls"]
+                entry[1] += cell["seconds"]
+    return {
+        name: {"calls": calls, "seconds": seconds}
+        for name, (calls, seconds) in sorted(merged.items())
+    }
+
+
+def render_phase_table(profile: dict) -> str:
+    """A fixed-width phase table, widest-seconds first.
+
+    Percentages are of the summed span seconds (spans nest, so the sum
+    over-counts parent/child pairs; the table is a where-does-time-go
+    view, not a stopwatch)."""
+    if not profile:
+        return "(no spans recorded)"
+    rows = sorted(
+        profile.items(), key=lambda item: (-item[1]["seconds"], item[0])
+    )
+    total = sum(cell["seconds"] for _, cell in rows) or 1.0
+    width = max(len("phase"), max(len(name) for name, _ in rows))
+    lines = [
+        f"{'phase':<{width}}  {'calls':>10}  {'seconds':>10}  {'share':>6}"
+    ]
+    for name, cell in rows:
+        lines.append(
+            f"{name:<{width}}  {cell['calls']:>10}  "
+            f"{cell['seconds']:>10.4f}  "
+            f"{100.0 * cell['seconds'] / total:>5.1f}%"
+        )
+    return "\n".join(lines)

@@ -34,6 +34,7 @@ from repro.experiments.fastpath import (
     check_async_sync_identity,
     check_local_acceptance_identity,
     check_null_fault_identity,
+    check_telemetry_identity,
     make_dynamics,
     run_case,
     trace_signature,
@@ -208,6 +209,22 @@ class TestAsyncAxis:
             != run_case("sharedbit", "static", "uniform", "object",
                         rounds=40)
         )
+
+
+class TestTelemetryIdentity:
+    """The observability axis: telemetry on == telemetry off, byte for
+    byte — spans and counters observe a run, they never touch its
+    randomness (DESIGN.md §11)."""
+
+    def test_identity_via_shared_harness(self):
+        assert check_telemetry_identity(n=16, rounds=25) == []
+
+    def test_telemetry_on_matches_off_single_case(self):
+        off = run_case("sharedbit", "geometric", "uniform", "array",
+                       rounds=40)
+        on = run_case("sharedbit", "geometric", "uniform", "array",
+                      rounds=40, telemetry=True)
+        assert off == on
 
 
 class TestRunGossipEquality:

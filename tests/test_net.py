@@ -388,6 +388,97 @@ class TestLoopbackCluster:
 
 
 @pytest.mark.net
+class TestLiveIntrospection:
+    """The observability surface of the live layer (DESIGN.md §11):
+    every server answers a ``metrics`` op for itself, relays the
+    coordinator's pushed cluster view, and ``repro-gossip top`` renders
+    either from one endpoint."""
+
+    def test_metrics_op_reports_server_state(self):
+        with _single_server() as server:
+            host, port = server.address
+            snap = request(host, port, {"op": "metrics"})
+            assert snap["uid"] == server.uid
+            assert snap["vertex"] == 0
+            assert snap["round"] == 0
+            assert snap["peers"] == 0
+            assert snap["asleep"] is False
+            assert snap["latency"]["count"] == 0
+            assert snap["cluster"] == {}
+
+    def test_status_push_is_relayed_through_metrics(self):
+        with _single_server() as server:
+            host, port = server.address
+            pushed = request(host, port, {
+                "op": "status", "round": 7, "suspects": 2,
+                "active": 5, "n": 8,
+            })
+            assert pushed == {"ok": True}
+            cluster = request(host, port, {"op": "metrics"})["cluster"]
+            assert cluster == {"round": 7, "suspects": 2,
+                               "active": 5, "n": 8}
+
+    def test_coordinator_pushes_status_and_scrapes_metrics(self):
+        n = 3
+        instance = uniform_instance(n=n, k=2, seed=7)
+        coord = Coordinator(
+            "sharedbit", StaticDynamicGraph(cycle(n)), instance, seed=7,
+        )
+        with coord:
+            report = coord.run(max_rounds=16)
+        assert set(report.server_metrics) == {
+            coord.servers[v].uid for v in range(n)
+        }
+        for snap in report.server_metrics.values():
+            assert snap["round"] == report.rounds
+            cluster = snap["cluster"]
+            assert cluster["round"] == report.rounds
+            assert cluster["n"] == n
+            assert cluster["suspects"] == 0
+        # Someone initiated a connection, so someone timed one.
+        assert any(snap["latency"]["count"] > 0
+                   for snap in report.server_metrics.values())
+
+    def test_top_renders_a_live_endpoint(self, capsys):
+        from repro.cli import main
+
+        n = 3
+        instance = uniform_instance(n=n, k=2, seed=7)
+        coord = Coordinator(
+            "sharedbit", StaticDynamicGraph(cycle(n)), instance, seed=7,
+        )
+        with coord:
+            coord.run(max_rounds=8)
+            host, port = coord.servers[0].address
+            rc = main(["top", f"{host}:{port}", "--iterations", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cluster round" in out
+        assert "cluster active" in out and f"{n}/{n}" in out
+        assert "peer uid" in out
+        assert "connect p50" in out
+
+    def test_top_rejects_malformed_address(self):
+        from repro.cli import main
+
+        with pytest.raises(ConfigurationError):
+            main(["top", "no-port-here"])
+
+    def test_top_unreachable_endpoint_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        # Grab a port nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        rc = main(["top", f"{host}:{port}",
+                   "--iterations", "1", "--timeout", "0.2"])
+        assert rc == 1
+        assert "unreachable" in capsys.readouterr().out
+
+
+@pytest.mark.net
 class TestReplayBridge:
     def test_sharedbit_replay_is_equivalent(self):
         """Keystone: a recorded sim run replays live, match for match."""
